@@ -1,0 +1,29 @@
+# Convenience targets for the spectrum-matching reproduction.
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper figure at canonical repetitions (slow-ish).
+figures:
+	@for fig in 6 7 8; do \
+	  for panel in a b c; do \
+	    spectrum-matching fig$$fig --panel $$panel; echo; \
+	  done; \
+	done
+
+examples:
+	@for script in examples/*.py; do \
+	  echo "=== $$script ==="; python $$script; echo; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis build src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark modules.
+
+Figs. 7 and 8 are two views of the same experiment (welfare vs rounds), so
+their row data is computed once and cached here; whichever benchmark
+module runs first pays the cost.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.analysis.experiments import ExperimentRow
+from repro.analysis.paper_figures import figure_spec, run_figure
+from repro.analysis.reporting import format_experiment_rows
+
+
+@lru_cache(maxsize=None)
+def stage_rows(panel: str, repetitions: int, seed: int = 0) -> Tuple[ExperimentRow, ...]:
+    """Run (or fetch cached) Fig. 7/8 panel data."""
+    spec = figure_spec(7, panel)
+    return tuple(run_figure(spec, repetitions=repetitions, seed=seed))
+
+
+def print_panel(
+    title: str,
+    rows,
+    series_names,
+    x_label: str,
+    include_srcc: bool = False,
+    notes: str = "",
+) -> None:
+    """Print one figure panel's reproduction table."""
+    print()
+    print(f"== {title} ==")
+    if notes:
+        print(notes)
+    print(format_experiment_rows(rows, series_names, x_label, include_srcc))

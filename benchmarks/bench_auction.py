@@ -1,0 +1,133 @@
+"""Matching vs. double auction: the paper's central architectural claim.
+
+The paper replaces auctioneer-run double auctions with distributed
+matching.  This bench makes the trade-off quantitative on homogeneous
+spectrum markets (TRUST's own setting): the same buyers, values,
+interference graph and channels are allocated by
+
+* the two-stage matching algorithm (no auctioneer, Nash-stable, not
+  truthful), and
+* the TRUST double auction (needs an auctioneer, dominant-strategy
+  truthful, weakly budget balanced).
+
+Expected shape: matching serves (weakly) more buyers and extracts higher
+social welfare -- TRUST pays a "truthfulness tax" through bid-independent
+grouping and the McAfee sacrifice -- while TRUST is the only one of the
+two with truthful bidding.  Both respect interference exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.auction.trust import trust_spectrum_auction
+from repro.core.two_stage import run_two_stage
+from repro.interference.geometric import disk_interference_graph
+from repro.workloads.scenarios import homogeneous_market
+
+
+def _random_instance(num_buyers, num_channels, seed):
+    rng = np.random.default_rng(seed)
+    locations = rng.uniform(0, 10, size=(num_buyers, 2))
+    graph = disk_interference_graph(locations, float(rng.uniform(1.0, 4.0)))
+    values = rng.random(num_buyers)
+    asks = rng.uniform(0.0, 0.3, size=num_channels)
+    return values, graph, asks
+
+
+def test_matching_vs_trust(benchmark):
+    num_markets = 10
+    num_buyers, num_channels = 40, 6
+    totals = {
+        "matching welfare": 0.0,
+        "trust welfare": 0.0,
+        "matching buyers served": 0.0,
+        "trust buyers served": 0.0,
+        "trust seller revenue": 0.0,
+        "trust auctioneer surplus": 0.0,
+    }
+    for seed in range(num_markets):
+        values, graph, asks = _random_instance(
+            num_buyers, num_channels, [650, seed]
+        )
+        market = homogeneous_market(values, graph, num_channels)
+        matching = run_two_stage(market, record_trace=False)
+        auction = trust_spectrum_auction(values, graph, asks)
+        totals["matching welfare"] += matching.social_welfare
+        totals["trust welfare"] += auction.buyer_welfare(values)
+        totals["matching buyers served"] += matching.matching.num_matched()
+        totals["trust buyers served"] += len(auction.winning_buyers())
+        totals["trust seller revenue"] += sum(auction.seller_revenue)
+        totals["trust auctioneer surplus"] += auction.mcafee.auctioneer_surplus
+
+    rows = [[name, value / num_markets] for name, value in totals.items()]
+    print()
+    print(
+        f"== Matching vs TRUST double auction "
+        f"({num_markets} homogeneous markets, N={num_buyers}, M={num_channels}) =="
+    )
+    print(format_table(["metric", "mean"], rows))
+    print(
+        "matching: distributed, Nash-stable, no auctioneer | "
+        "TRUST: truthful, budget-balanced, needs an auctioneer"
+    )
+
+    # The paper's claim quantified: matching extracts more welfare and
+    # serves more buyers than the truthful double auction.
+    assert totals["matching welfare"] > totals["trust welfare"]
+    assert totals["matching buyers served"] >= totals["trust buyers served"]
+    # And the auction is weakly budget balanced as promised.
+    assert totals["trust auctioneer surplus"] >= -1e-9
+
+    values, graph, asks = _random_instance(num_buyers, num_channels, 651)
+    benchmark.pedantic(
+        lambda: trust_spectrum_auction(values, graph, asks),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_trust_welfare_fraction_by_market_size(benchmark):
+    """TRUST's welfare fraction across market sizes.
+
+    Two effects pull in opposite directions as N grows: the one-group
+    McAfee sacrifice amortises (helps TRUST), but first-fit groups get
+    larger and the ``|g| * min-bid`` group bid dilutes -- a single
+    low-value member depresses the whole group's bid (hurts TRUST, and
+    is a known cost of its bid-independent grouping).  The net fraction
+    therefore fluctuates; what is robust is that matching wins at every
+    size, by a margin that never collapses to zero.
+    """
+    rows = []
+    for num_buyers in (10, 20, 40, 80):
+        ratio_total = 0.0
+        reps = 8
+        for seed in range(reps):
+            values, graph, asks = _random_instance(
+                num_buyers, 8, [652, num_buyers, seed]
+            )
+            market = homogeneous_market(values, graph, 8)
+            matching = run_two_stage(market, record_trace=False)
+            auction = trust_spectrum_auction(values, graph, asks)
+            if matching.social_welfare > 0:
+                ratio_total += (
+                    auction.buyer_welfare(values) / matching.social_welfare
+                )
+        rows.append([num_buyers, ratio_total / reps])
+    print()
+    print("== TRUST welfare as a fraction of matching welfare ==")
+    print(format_table(["buyers", "trust/matching"], rows))
+
+    # Matching dominates at every size; TRUST keeps a meaningful share.
+    for _, fraction in rows:
+        assert 0.25 <= fraction <= 1.0
+
+    values, graph, asks = _random_instance(80, 8, 653)
+    market = homogeneous_market(values, graph, 8)
+    benchmark.pedantic(
+        lambda: run_two_stage(market, record_trace=False),
+        rounds=3,
+        iterations=1,
+    )

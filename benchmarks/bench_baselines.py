@@ -1,0 +1,148 @@
+"""Baseline ablation: what does interference-aware matching buy?
+
+Compares the proposed two-stage algorithm against every baseline in the
+repository on mid-size paper-workload markets:
+
+* centralised greedy (global knowledge, no stability) -- upper-ish bar;
+* LP relaxation bound (upper bound on any matching's welfare);
+* classic fixed-quota deferred acceptance (the college-admission strawman
+  the paper's introduction argues against), repaired to feasibility, at
+  several quotas;
+* random feasible matching -- the floor.
+
+Expected shape: proposed ~ greedy, well above quota-DA and random, and
+both below the LP bound; quota-DA is poor for small quotas (under-use)
+and for large quotas (repair losses), with no quota recovering the
+interference-aware welfare.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.two_stage import run_two_stage
+from repro.optimal.college_admission import fixed_quota_deferred_acceptance
+from repro.optimal.greedy import greedy_centralized_matching
+from repro.optimal.lp_relaxation import lp_relaxation_bound
+from repro.optimal.random_baseline import random_matching
+from repro.workloads.scenarios import paper_simulation_market
+
+
+def test_baseline_comparison(benchmark):
+    num_markets = 6
+    num_buyers, num_channels = 40, 6
+    totals = {
+        "proposed (two-stage)": 0.0,
+        "greedy (centralised)": 0.0,
+        "quota-DA q=1": 0.0,
+        "quota-DA q=4": 0.0,
+        "quota-DA q=16": 0.0,
+        "random feasible": 0.0,
+        "LP upper bound": 0.0,
+    }
+    for seed in range(num_markets):
+        market = paper_simulation_market(
+            num_buyers, num_channels, np.random.default_rng([600, seed])
+        )
+        utilities = market.utilities
+        totals["proposed (two-stage)"] += run_two_stage(
+            market, record_trace=False
+        ).social_welfare
+        totals["greedy (centralised)"] += greedy_centralized_matching(
+            market
+        ).social_welfare(utilities)
+        for quota in (1, 4, 16):
+            totals[f"quota-DA q={quota}"] += fixed_quota_deferred_acceptance(
+                market, quota=quota
+            ).social_welfare(utilities)
+        totals["random feasible"] += random_matching(
+            market, np.random.default_rng([601, seed])
+        ).social_welfare(utilities)
+        totals["LP upper bound"] += lp_relaxation_bound(market)
+
+    rows = [[name, value / num_markets] for name, value in totals.items()]
+    print()
+    print(f"== Baselines on {num_markets} markets (N={num_buyers}, M={num_channels}) ==")
+    print(format_table(["mechanism", "mean welfare"], rows))
+
+    proposed = totals["proposed (two-stage)"]
+    assert proposed <= totals["LP upper bound"] + 1e-6
+    assert proposed > totals["random feasible"]
+    # Interference-aware matching beats the college-admission strawman at
+    # every quota (the paper's core architectural argument).
+    for quota in (1, 4, 16):
+        assert proposed > totals[f"quota-DA q={quota}"]
+    # And lands in the same league as the centralised greedy.
+    assert proposed >= 0.9 * totals["greedy (centralised)"]
+
+    market = paper_simulation_market(
+        num_buyers, num_channels, np.random.default_rng(602)
+    )
+    benchmark.pedantic(
+        lambda: run_two_stage(market, record_trace=False),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_stage_two_contribution(benchmark):
+    """Ablate Stage II itself: how much welfare do transfers/invites add?
+
+    Reproduction finding (documented in EXPERIMENTS.md): on the paper's
+    *random geometric* workloads a faithful Stage I with MWIS coalition
+    re-optimisation already lands in a (near-)Nash-stable state, so Stage
+    II's average welfare contribution is negligible -- its role there is
+    the worst-case guarantee.  On adversarial instances (the paper's own
+    toy example) Stage II contributes a double-digit improvement
+    (27 -> 30, +11%).  This bench measures both regimes.
+    """
+    from repro.workloads.scenarios import toy_example_market
+
+    # Crafted instance: the paper's toy example.
+    toy = toy_example_market()
+    toy_result = run_two_stage(toy, record_trace=False)
+    toy_gain = (
+        toy_result.welfare_phase2 - toy_result.welfare_stage1
+    ) / toy_result.welfare_stage1
+
+    # Random paper workloads.
+    num_markets = 10
+    stage1_total = 0.0
+    final_total = 0.0
+    for seed in range(num_markets):
+        market = paper_simulation_market(
+            60, 8, np.random.default_rng([603, seed])
+        )
+        result = run_two_stage(market, record_trace=False)
+        stage1_total += result.welfare_stage1
+        final_total += result.welfare_phase2
+    random_gain = (final_total - stage1_total) / stage1_total
+
+    print()
+    print("== Stage II contribution: crafted vs random workloads ==")
+    print(
+        format_table(
+            ["workload", "Stage I welfare", "final welfare", "relative gain"],
+            [
+                ["toy example (crafted)", toy_result.welfare_stage1,
+                 toy_result.welfare_phase2, toy_gain],
+                ["random geometric (N=60, M=8, mean)",
+                 stage1_total / num_markets, final_total / num_markets,
+                 random_gain],
+            ],
+        )
+    )
+    # Stage II never hurts anywhere...
+    assert final_total >= stage1_total - 1e-9
+    assert random_gain >= -1e-12
+    # ...and on the crafted instance it contributes the paper's 27 -> 30.
+    assert toy_gain == pytest.approx(3.0 / 27.0)
+
+    market = paper_simulation_market(60, 8, np.random.default_rng(604))
+    benchmark.pedantic(
+        lambda: run_two_stage(market, record_trace=False),
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,63 @@
+"""Engine scalability beyond the paper's largest configuration.
+
+The paper stops at N = 500 buyers.  This bench pushes the centralised
+two-stage engine to N = 2000 and reports wall-clock time and rounds,
+verifying the O(MN) convergence bound stays comfortable in practice (the
+observed round counts are far below MN -- they track M, as Fig. 8
+suggests).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.two_stage import run_two_stage
+from repro.workloads.scenarios import paper_simulation_market
+
+SIZES = [(200, 10), (500, 10), (1000, 10), (2000, 20)]
+
+
+def test_scalability(benchmark):
+    rows = []
+    for num_buyers, num_channels in SIZES:
+        market = paper_simulation_market(
+            num_buyers, num_channels, np.random.default_rng([700, num_buyers])
+        )
+        start = time.perf_counter()
+        result = run_two_stage(market, record_trace=False)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                f"N={num_buyers}, M={num_channels}",
+                elapsed,
+                result.rounds_stage1,
+                result.rounds_phase1,
+                result.rounds_phase2,
+                result.social_welfare,
+            ]
+        )
+        # Convergence bound (Propositions 1-2) with huge headroom.
+        assert result.rounds_stage1 <= num_buyers * num_channels
+        assert result.rounds_phase1 <= num_channels
+
+    print()
+    print("== Two-stage engine scalability ==")
+    print(
+        format_table(
+            ["market", "seconds", "stage1", "phase1", "phase2", "welfare"],
+            rows,
+        )
+    )
+    # The whole sweep should be interactive-speed.
+    assert sum(row[1] for row in rows) < 60.0
+
+    market = paper_simulation_market(1000, 10, np.random.default_rng(701))
+    benchmark.pedantic(
+        lambda: run_two_stage(market, record_trace=False),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,107 @@
+"""Sensing-noise ablation: how robust is matching to graph errors?
+
+The paper assumes exact interference knowledge.  This bench sweeps
+sensing-error rates and reports the two distinct failure modes:
+
+* **missed edges** co-locate truly interfering buyers -- realised
+  ("effective") welfare falls below what the algorithm believes it
+  achieved, and real interference victims appear;
+* **false edges** only forbid reuse -- no violations, just shrinking
+  capacity and welfare.
+
+Expected shape: effective welfare decreases in both error rates;
+violations appear only with misses; the nominal/effective gap widens with
+the miss rate (the algorithm is increasingly over-confident).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sensing import run_sensing_study
+
+
+def test_missed_edge_sweep(benchmark):
+    rows = []
+    points = []
+    for miss in (0.0, 0.05, 0.15, 0.30):
+        point = run_sensing_study(miss_prob=miss, false_prob=0.0, seed=730)
+        points.append(point)
+        rows.append(
+            [
+                miss,
+                point.nominal_welfare,
+                point.effective_welfare,
+                point.violating_pairs,
+                point.victim_buyers,
+            ]
+        )
+    print()
+    print("== Missed-detection sweep (false-alarm rate 0) ==")
+    print(
+        format_table(
+            ["miss prob", "nominal", "effective", "bad pairs", "victims"],
+            rows,
+        )
+    )
+
+    # Perfect sensing: nominal == effective, no violations.
+    assert points[0].violating_pairs == 0.0
+    assert points[0].nominal_welfare == pytest.approx(
+        points[0].effective_welfare
+    )
+    # Misses create violations and an over-confidence gap that widens.
+    assert points[-1].violating_pairs > 0.0
+    gaps = [p.nominal_welfare - p.effective_welfare for p in points]
+    assert gaps[-1] > gaps[0]
+    # Effective welfare degrades monotonically (tolerate small noise).
+    assert points[-1].effective_welfare < points[0].effective_welfare
+
+    benchmark.pedantic(
+        lambda: run_sensing_study(
+            miss_prob=0.15, false_prob=0.0, repetitions=2, seed=731
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_false_alarm_sweep(benchmark):
+    rows = []
+    points = []
+    for false in (0.0, 0.05, 0.15, 0.30):
+        point = run_sensing_study(miss_prob=0.0, false_prob=false, seed=732)
+        points.append(point)
+        rows.append(
+            [
+                false,
+                point.clean_welfare,
+                point.effective_welfare,
+                point.violating_pairs,
+            ]
+        )
+    print()
+    print("== False-alarm sweep (miss rate 0) ==")
+    print(
+        format_table(
+            ["false prob", "clean welfare", "effective", "bad pairs"], rows
+        )
+    )
+
+    # False alarms never create violations...
+    for point in points:
+        assert point.violating_pairs == 0.0
+        # ...and never make nominal overstate reality.
+        assert point.nominal_welfare == pytest.approx(point.effective_welfare)
+    # ...but they do shrink capacity and thus welfare.
+    assert points[-1].effective_welfare < points[0].effective_welfare
+
+    benchmark.pedantic(
+        lambda: run_sensing_study(
+            miss_prob=0.0, false_prob=0.15, repetitions=2, seed=733
+        ),
+        rounds=3,
+        iterations=1,
+    )

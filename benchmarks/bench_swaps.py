@@ -1,0 +1,100 @@
+"""Stage III (coordinated swaps) ablation -- Section III-D future work.
+
+Measures what the swap extension recovers over the paper's two-stage
+algorithm:
+
+* on the frozen counterexample, it must reach the buyer-optimal /
+  welfare-optimal matching the paper proves unreachable without
+  coordination;
+* on random paper workloads it quantifies how often improving swaps
+  exist at all (rarely -- consistent with finding [D2] in
+  EXPERIMENTS.md) and verifies the price of Nash stability on small
+  instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.stability import is_pairwise_stable, pairwise_blocking_pairs
+from repro.core.swap_extension import coordinated_swaps
+from repro.core.two_stage import run_two_stage
+from repro.optimal.nash_enumeration import price_of_nash_stability
+from repro.workloads.scenarios import counterexample_market, paper_simulation_market
+
+
+def test_swap_extension(benchmark):
+    # --- counterexample repair ------------------------------------------
+    market = counterexample_market()
+    two_stage = run_two_stage(market, record_trace=False)
+    stage3 = coordinated_swaps(market, two_stage.matching)
+
+    # --- random workloads -------------------------------------------------
+    num_markets = 20
+    improving = 0
+    blocked_before = 0
+    blocked_after = 0
+    welfare_gain = 0.0
+    for seed in range(num_markets):
+        rand = paper_simulation_market(14, 4, np.random.default_rng([660, seed]))
+        result = run_two_stage(rand, record_trace=False)
+        before_pairs = sum(1 for _ in pairwise_blocking_pairs(rand, result.matching))
+        out = coordinated_swaps(rand, result.matching)
+        after_pairs = sum(1 for _ in pairwise_blocking_pairs(rand, out.matching))
+        blocked_before += before_pairs
+        blocked_after += after_pairs
+        if out.num_swaps:
+            improving += 1
+        welfare_gain += out.welfare_after - out.welfare_before
+
+    rows = [
+        ["counterexample welfare", f"{stage3.welfare_before:g} -> {stage3.welfare_after:g}"],
+        ["counterexample pairwise-stable after", is_pairwise_stable(market, stage3.matching)],
+        [f"random markets with improving swaps", f"{improving}/{num_markets}"],
+        ["mean blocking pairs before -> after", f"{blocked_before / num_markets:.2f} -> {blocked_after / num_markets:.2f}"],
+        ["mean welfare gain (random)", welfare_gain / num_markets],
+    ]
+    print()
+    print("== Stage III coordinated swaps ==")
+    print(format_table(["metric", "value"], rows))
+
+    assert stage3.welfare_after == pytest.approx(27.0)
+    assert is_pairwise_stable(market, stage3.matching)
+    assert blocked_after <= blocked_before
+    assert welfare_gain >= -1e-9
+
+    benchmark.pedantic(
+        lambda: coordinated_swaps(market, two_stage.matching),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_price_of_nash_stability(benchmark):
+    """How much welfare Nash stability itself costs on small markets."""
+    ratios = []
+    for seed in range(12):
+        market = paper_simulation_market(7, 3, np.random.default_rng([661, seed]))
+        ratio, _ = price_of_nash_stability(market)
+        ratios.append(ratio)
+    print()
+    print("== Price of Nash stability (N=7, M=3, exhaustive) ==")
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["mean best-stable / optimal", float(np.mean(ratios))],
+                ["min over instances", float(np.min(ratios))],
+            ],
+        )
+    )
+    # Stability is cheap on these workloads -- and can never exceed 1.
+    assert all(r <= 1.0 + 1e-9 for r in ratios)
+    assert float(np.mean(ratios)) > 0.95
+
+    market = paper_simulation_market(7, 3, np.random.default_rng(662))
+    benchmark.pedantic(
+        lambda: price_of_nash_stability(market), rounds=3, iterations=1
+    )

@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+The benchmark modules reproduce the *series* behind every figure in the
+paper's evaluation (Section V): each test executes the experiment once,
+prints the same rows the paper plots (so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the reproduction script), and registers a
+representative timed unit with pytest-benchmark.
+
+Repetition counts are chosen so the full benchmark suite finishes in a few
+minutes; the canonical (larger) repetition counts live in
+``repro.analysis.paper_figures`` and are used by the CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Monte-Carlo repetitions per sweep point used by the benches (the CLI
+#: default is larger; see FigureSpec.default_repetitions).
+BENCH_REPETITIONS_FIG6 = 40
+BENCH_REPETITIONS_FIG78 = 5
+
+
+@pytest.fixture(scope="session")
+def fig6_reps() -> int:
+    return BENCH_REPETITIONS_FIG6
+
+
+@pytest.fixture(scope="session")
+def fig78_reps() -> int:
+    return BENCH_REPETITIONS_FIG78

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""A spectrum market that lives through time.
+
+The "dynamic" in dynamic spectrum access: service providers' demand
+changes, newcomers arrive, others leave.  This example runs 15 epochs of
+an evolving market and compares two re-matching policies:
+
+* COLD -- re-run the full two-stage algorithm each epoch (a fresh market
+  every time);
+* WARM -- incumbents keep their channels; only Stage II runs (newcomers
+  transfer in, improvements are voluntary), iterated to a Nash-stable
+  fixed point.
+
+Watch the churn column: warm re-matching keeps almost everyone in place
+while staying within a few percent of cold-start welfare.
+
+Run:  python examples/dynamic_market.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.stability import is_nash_stable
+from repro.dynamic.generator import DynamicMarketGenerator
+from repro.dynamic.online import OnlineMatcher, RematchStrategy
+
+EPOCHS = 15
+
+
+def run(strategy: RematchStrategy, seed: int = 2026):
+    generator = DynamicMarketGenerator(
+        num_channels=5,
+        initial_buyers=35,
+        arrival_rate=4.0,
+        departure_prob=0.10,
+        drift_sigma=0.04,
+        rng=np.random.default_rng(seed),
+    )
+    epochs = generator.epochs(EPOCHS)
+    matcher = OnlineMatcher(strategy)
+    outcomes = matcher.run(epochs)
+    return epochs, outcomes
+
+
+def main() -> None:
+    epochs, cold = run(RematchStrategy.COLD)
+    _, warm = run(RematchStrategy.WARM)
+
+    rows = []
+    for epoch, c, w in zip(epochs, cold, warm):
+        rows.append(
+            [
+                epoch.index,
+                epoch.market.num_buyers,
+                len(epoch.arrived),
+                len(epoch.departed),
+                c.social_welfare,
+                w.social_welfare,
+                c.churned,
+                w.churned,
+            ]
+        )
+    print(f"{EPOCHS} epochs, M=5 channels, ~10% departures, drift 0.04")
+    print(
+        format_table(
+            [
+                "epoch", "buyers", "in", "out",
+                "cold welfare", "warm welfare",
+                "cold moved", "warm moved",
+            ],
+            rows,
+        )
+    )
+
+    cold_welfare = sum(o.social_welfare for o in cold[1:])
+    warm_welfare = sum(o.social_welfare for o in warm[1:])
+    cold_moved = sum(o.churned for o in cold[1:])
+    warm_moved = sum(o.churned for o in warm[1:])
+    print(f"\ntotals after epoch 0: welfare cold {cold_welfare:.2f} vs "
+          f"warm {warm_welfare:.2f} ({warm_welfare / cold_welfare:.1%})")
+    print(f"incumbents moved:      cold {cold_moved} vs warm {warm_moved}")
+    stable = all(
+        is_nash_stable(e.market, o.matching) for e, o in zip(epochs, warm)
+    )
+    print(f"warm matchings Nash-stable at every epoch: {stable}")
+
+
+if __name__ == "__main__":
+    main()

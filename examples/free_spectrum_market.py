@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""A free spectrum market between carriers and regional ISPs.
+
+The scenario the paper's introduction motivates: wireless service
+providers with spare channels sell to providers whose demand spiked --
+with no auctioneer.  Two carriers supply 2 + 2 channels; four regional
+ISPs demand 1-3 channels each.  The dummy expansion of Section II-A turns
+this into a virtual market (each virtual buyer wants exactly one channel,
+clones of one ISP never share a channel), which the two-stage algorithm
+then matches.
+
+Run:  python examples/free_spectrum_market.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    PhysicalBuyer,
+    PhysicalSeller,
+    SpectrumMarket,
+    is_nash_stable,
+    run_two_stage,
+)
+from repro.workloads.deployment import random_deployment
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    sellers = [
+        PhysicalSeller(name="carrier-east", num_channels=2),
+        PhysicalSeller(name="carrier-west", num_channels=2),
+    ]
+    num_channels = sum(s.num_channels for s in sellers)
+
+    # Each ISP values channels according to how well they cover its region;
+    # here: random valuations, scaled by how much it wants spectrum at all.
+    demands = {"isp-metro": 3, "isp-rural": 1, "isp-campus": 2, "isp-port": 1}
+    buyers = []
+    for name, demand in demands.items():
+        appetite = 0.5 + rng.random() / 2.0
+        valuations = tuple(float(appetite * rng.random()) for _ in range(num_channels))
+        buyers.append(
+            PhysicalBuyer(name=name, num_requested=demand, utilities=valuations)
+        )
+    num_virtual = sum(demands.values())
+
+    # Geometric interference between the ISPs' deployment sites.
+    deployment = random_deployment(num_virtual, num_channels, rng)
+    market = SpectrumMarket.from_physical(
+        sellers, buyers, deployment.interference_map()
+    )
+    market.validate()
+    print(f"virtual market: {market.num_buyers} buyers x "
+          f"{market.num_channels} channels")
+    print(f"virtual buyers: {market.buyer_names}")
+    print(f"channels:       {market.channel_names}")
+
+    result = run_two_stage(market)
+    matching = result.matching
+
+    print(f"\nsocial welfare: {result.social_welfare:.4f} "
+          f"(Stage I: {result.welfare_stage1:.4f})")
+    print(f"Nash-stable:    {is_nash_stable(market, matching)}")
+
+    print("\nper-seller outcome:")
+    for channel in range(market.num_channels):
+        members = sorted(matching.coalition(channel))
+        revenue = matching.seller_revenue(channel, market.utilities)
+        print(
+            f"  {market.channel_names[channel]:>14}: "
+            f"{[market.buyer_names[j] for j in members]} "
+            f"revenue {revenue:.4f}"
+        )
+
+    print("\nper-ISP outcome (channels won / demanded):")
+    for owner, buyer in enumerate(buyers):
+        won = [
+            market.channel_names[matching.channel_of(v)]
+            for v in range(market.num_buyers)
+            if market.buyer_owner[v] == owner and matching.is_matched(v)
+        ]
+        print(f"  {buyer.name:>10}: {len(won)}/{buyer.num_requested} -> {won}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Study: how utility-vector similarity shapes the matching outcome.
+
+Reproduces the paper's Section V-B observation in miniature: when buyers'
+utility vectors are similar (everyone ranks the channels identically),
+they all compete for the same channels and fewer are satisfied; diverse
+preferences spread demand and lift welfare.  Uses the paper's sort +
+m-permutation manoeuvre with common random numbers so the comparison
+isolates the similarity effect.
+
+Run:  python examples/similarity_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import paper_simulation_market, run_two_stage
+from repro.analysis.reporting import format_table
+from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
+from repro.workloads.similarity import average_pairwise_srcc
+
+NUM_BUYERS = 8
+NUM_CHANNELS = 5
+REPETITIONS = 60
+
+
+def main() -> None:
+    rows = []
+    for level in range(NUM_CHANNELS + 1):  # m = 0 (similar) .. M (diverse)
+        srccs, proposed, optimal, ratios, matched = [], [], [], [], []
+        for rep in range(REPETITIONS):
+            # Common random numbers: same deployment per rep across levels.
+            rng = np.random.default_rng([42, rep])
+            market = paper_simulation_market(
+                NUM_BUYERS, NUM_CHANNELS, rng, permutation_level=level
+            )
+            srccs.append(average_pairwise_srcc(market.utilities))
+            result = run_two_stage(market, record_trace=False)
+            best = optimal_matching_branch_and_bound(market)
+            best_welfare = best.social_welfare(market.utilities)
+            proposed.append(result.social_welfare)
+            optimal.append(best_welfare)
+            ratios.append(
+                result.social_welfare / best_welfare if best_welfare else 1.0
+            )
+            matched.append(result.matching.num_matched())
+        rows.append(
+            [
+                level,
+                float(np.mean(srccs)),
+                float(np.mean(proposed)),
+                float(np.mean(optimal)),
+                float(np.mean(ratios)),
+                float(np.mean(matched)),
+            ]
+        )
+
+    print(
+        f"similarity sweep: N={NUM_BUYERS}, M={NUM_CHANNELS}, "
+        f"{REPETITIONS} repetitions, common random numbers"
+    )
+    print(
+        format_table(
+            ["m-perm", "srcc", "proposed", "optimal", "ratio", "matched"],
+            rows,
+        )
+    )
+    print(
+        "\nreading: m-perm = 0 keeps all buyers' rankings identical "
+        "(SRCC 1); larger m decorrelates them.  Diverse utilities "
+        "(low SRCC) yield higher welfare -- the paper's 'interesting "
+        "finding' -- while the >90%-of-optimal ratio holds throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

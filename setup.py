@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file only exists so the package
+can be installed editable in offline environments whose tooling lacks the
+``wheel`` package required by the PEP 517 editable path
+(``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

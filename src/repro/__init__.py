@@ -1,0 +1,142 @@
+"""Spectrum Matching: distributed spectrum exchange via stable matching.
+
+A production-quality reproduction of **"Spectrum Matching"** (Yanjiao
+Chen, Linshan Jiang, Haofan Cai, Jin Zhang, Baochun Li -- IEEE ICDCS
+2016): many-to-one matching with peer effects as the economic mechanism
+for dynamic spectrum access in free markets without an auctioneer.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import paper_simulation_market, run_two_stage, is_nash_stable
+>>> market = paper_simulation_market(30, 5, np.random.default_rng(0))
+>>> result = run_two_stage(market)
+>>> result.social_welfare > 0
+True
+>>> is_nash_stable(market, result.matching)
+True
+
+Package map
+-----------
+* :mod:`repro.core` -- market model, the two-stage matching algorithm
+  (Algorithms 1-2), stability checkers.
+* :mod:`repro.interference` -- per-channel conflict graphs and MWIS
+  solvers.
+* :mod:`repro.optimal` -- exact optimal-matching solvers and baselines.
+* :mod:`repro.distributed` -- the Section IV message-passing
+  implementation with local stage-transition rules.
+* :mod:`repro.workloads` -- the paper's simulation workloads and named
+  scenarios.
+* :mod:`repro.analysis` -- experiment harness regenerating Figs. 6-8.
+"""
+
+from repro.core.market import PhysicalBuyer, PhysicalSeller, SpectrumMarket
+from repro.core.matching import Matching
+from repro.core.coalition import Coalition
+from repro.core.deferred_acceptance import StageOneResult, deferred_acceptance
+from repro.core.transfer_invitation import StageTwoResult, transfer_and_invitation
+from repro.core.two_stage import TwoStageResult, run_two_stage
+from repro.core.stability import (
+    is_individually_rational,
+    is_nash_stable,
+    is_pairwise_stable,
+    nash_blocking_moves,
+    pairwise_blocking_pairs,
+)
+from repro.interference.graph import InterferenceGraph, InterferenceMap
+from repro.interference.mwis import MwisAlgorithm
+from repro.optimal.bruteforce import optimal_matching_bruteforce
+from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
+from repro.optimal.lp_relaxation import lp_relaxation_bound
+from repro.distributed.protocol import DistributedResult, run_distributed_matching
+from repro.distributed.transition import (
+    TransitionPolicy,
+    adaptive_policy,
+    default_policy,
+)
+from repro.core.swap_extension import StageThreeResult, coordinated_swaps
+from repro.core.valuations import (
+    AdditiveValuation,
+    ComplementsValuation,
+    SubstitutesValuation,
+    physical_welfare,
+)
+from repro.auction.mcafee import McAfeeOutcome, mcafee_double_auction
+from repro.auction.trust import TrustOutcome, trust_spectrum_auction
+from repro.optimal.nash_enumeration import (
+    buyer_optimal_nash_stable,
+    price_of_nash_stability,
+)
+from repro.dynamic.generator import DynamicMarketGenerator, Epoch
+from repro.dynamic.online import OnlineMatcher, RematchStrategy
+from repro.workloads.scenarios import (
+    counterexample_market,
+    homogeneous_market,
+    paper_simulation_market,
+    physical_market_example,
+    toy_example_market,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # market / matching
+    "SpectrumMarket",
+    "PhysicalBuyer",
+    "PhysicalSeller",
+    "Matching",
+    "Coalition",
+    # algorithms
+    "deferred_acceptance",
+    "StageOneResult",
+    "transfer_and_invitation",
+    "StageTwoResult",
+    "run_two_stage",
+    "TwoStageResult",
+    # stability
+    "is_individually_rational",
+    "is_nash_stable",
+    "is_pairwise_stable",
+    "nash_blocking_moves",
+    "pairwise_blocking_pairs",
+    # interference
+    "InterferenceGraph",
+    "InterferenceMap",
+    "MwisAlgorithm",
+    # optimal / baselines
+    "optimal_matching_bruteforce",
+    "optimal_matching_branch_and_bound",
+    "lp_relaxation_bound",
+    # distributed
+    "run_distributed_matching",
+    "DistributedResult",
+    "TransitionPolicy",
+    "default_policy",
+    "adaptive_policy",
+    # extensions (paper future work)
+    "coordinated_swaps",
+    "StageThreeResult",
+    "AdditiveValuation",
+    "SubstitutesValuation",
+    "ComplementsValuation",
+    "physical_welfare",
+    "buyer_optimal_nash_stable",
+    "price_of_nash_stability",
+    # auction comparators
+    "mcafee_double_auction",
+    "McAfeeOutcome",
+    "trust_spectrum_auction",
+    "TrustOutcome",
+    # dynamic markets
+    "DynamicMarketGenerator",
+    "Epoch",
+    "OnlineMatcher",
+    "RematchStrategy",
+    # workloads
+    "toy_example_market",
+    "counterexample_market",
+    "paper_simulation_market",
+    "physical_market_example",
+    "homogeneous_market",
+]

@@ -1,0 +1,160 @@
+"""Fairness metrics for spectrum matchings.
+
+Social welfare (the paper's only outcome metric) says nothing about how
+utility is *distributed* over buyers.  This module adds the two standard
+lenses:
+
+* **Jain's fairness index** over realised buyer utilities:
+  ``(sum u)^2 / (n * sum u^2)`` -- 1 when everyone realises the same
+  utility, ``1/n`` when one buyer takes everything.
+* **Justified envy**: buyer ``j`` justifiably envies buyer ``k`` on
+  channel ``i`` when ``k`` occupies a seat ``j`` contends for (they
+  interfere on ``i``), ``j`` could feasibly replace her (no interference
+  with the rest of the coalition), ``j`` would be strictly better off,
+  and the seller would earn strictly more.  This is exactly a
+  Definition-4 blocking pair whose eviction set is the single buyer
+  ``k``, so the count doubles as a fine-grained instability census: the
+  matching-theory classic "stability = no justified envy" appears here in
+  its peer-effects form.
+
+``benchmarks/bench_fairness.py`` compares the mechanisms in this
+repository along these axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.market import SpectrumMarket
+from repro.core.matching import Matching
+from repro.errors import SpectrumMatchingError
+
+__all__ = [
+    "jain_fairness_index",
+    "buyer_utilities",
+    "JustifiedEnvy",
+    "justified_envy_pairs",
+    "fairness_report",
+    "FairnessReport",
+]
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain, Chiu & Hawe's fairness index of a non-negative allocation.
+
+    Returns 1.0 for an empty or all-zero allocation by convention (nobody
+    is treated worse than anybody else).
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return 1.0
+    if np.any(array < 0):
+        raise SpectrumMatchingError("fairness index needs non-negative values")
+    total = float(array.sum())
+    if total == 0.0:
+        return 1.0
+    return total * total / (array.size * float((array * array).sum()))
+
+
+def buyer_utilities(market: SpectrumMarket, matching: Matching) -> List[float]:
+    """Realised utility of every buyer (zero when unmatched)."""
+    return [
+        matching.buyer_utility(j, market.utilities)
+        for j in range(market.num_buyers)
+    ]
+
+
+@dataclass(frozen=True)
+class JustifiedEnvy:
+    """One justified-envy triple: ``envier`` would replace ``envied``.
+
+    ``envier`` gains (``new_utility > current_utility``) and the seller of
+    ``channel`` gains (``new_utility > envied_price``), and the swap is
+    interference-feasible.
+    """
+
+    envier: int
+    envied: int
+    channel: int
+    current_utility: float
+    new_utility: float
+    envied_price: float
+
+
+def justified_envy_pairs(
+    market: SpectrumMarket, matching: Matching
+) -> Iterator[JustifiedEnvy]:
+    """Yield all justified-envy triples of a matching (lazy)."""
+    utilities = market.utilities
+    for channel in range(market.num_channels):
+        graph = market.graph(channel)
+        coalition = matching.coalition(channel)
+        for envied in coalition:
+            others = coalition - {envied}
+            envied_price = float(utilities[envied, channel])
+            for envier in range(market.num_buyers):
+                if envier in coalition:
+                    continue
+                if not graph.interferes(envier, envied):
+                    continue  # no seat contention: joining needs no swap
+                new_utility = float(utilities[envier, channel])
+                if new_utility <= envied_price:
+                    continue  # the seller would not prefer the swap
+                current = matching.buyer_utility(envier, utilities)
+                if new_utility <= current:
+                    continue  # the envier would not prefer the swap
+                if graph.conflicts_with_set(envier, others):
+                    continue  # infeasible replacement
+                yield JustifiedEnvy(
+                    envier=envier,
+                    envied=envied,
+                    channel=channel,
+                    current_utility=current,
+                    new_utility=new_utility,
+                    envied_price=envied_price,
+                )
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Distribution summary of one matching.
+
+    Attributes
+    ----------
+    jain_index:
+        Jain fairness over ALL buyers (unmatched count as zero).
+    jain_index_matched:
+        Jain fairness over matched buyers only.
+    min_utility / median_utility / max_utility:
+        Realised-utility order statistics over all buyers.
+    envy_count:
+        Number of justified-envy triples.
+    """
+
+    jain_index: float
+    jain_index_matched: float
+    min_utility: float
+    median_utility: float
+    max_utility: float
+    envy_count: int
+
+
+def fairness_report(market: SpectrumMarket, matching: Matching) -> FairnessReport:
+    """Compute the full fairness summary for one matching."""
+    values = buyer_utilities(market, matching)
+    matched = [
+        matching.buyer_utility(j, market.utilities)
+        for j in range(market.num_buyers)
+        if matching.is_matched(j)
+    ]
+    return FairnessReport(
+        jain_index=jain_fairness_index(values),
+        jain_index_matched=jain_fairness_index(matched),
+        min_utility=float(np.min(values)) if values else 0.0,
+        median_utility=float(np.median(values)) if values else 0.0,
+        max_utility=float(np.max(values)) if values else 0.0,
+        envy_count=sum(1 for _ in justified_envy_pairs(market, matching)),
+    )

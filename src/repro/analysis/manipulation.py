@@ -1,0 +1,241 @@
+"""Strategic-behaviour analysis: is the matching mechanism truthful?
+
+The paper treats ``b_{i,j}`` both as buyer ``j``'s *true* utility and as
+her *reported* price, implicitly assuming truthful reporting.  Unlike the
+double auctions it replaces (McAfee / TRUST, dominant-strategy truthful
+-- see :mod:`repro.auction`), the two-stage matching offers no such
+guarantee: a buyer's report steers both her proposal order and her
+priority in sellers' coalition choices, so a strategic misreport can land
+her a better channel.
+
+This module quantifies that:
+
+* :func:`evaluate_report` -- run the mechanism with one buyer's report
+  replaced and score her outcome by her TRUE utilities;
+* :func:`candidate_misreports` -- a standard lie portfolio (scalings,
+  single-channel concentration, rank swaps, random vectors);
+* :func:`find_profitable_misreport` -- search the portfolio for a
+  strictly profitable lie;
+* :func:`manipulability_rate` -- fraction of (market, buyer) pairs where
+  one exists.
+
+Finding: manipulation opportunities exist (``demonstration_instance``
+constructs one deterministically) but are rare on the paper's random
+workloads -- the mechanism is "usually truthful in practice", which is
+the honest footnote to the paper's implicit assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.market import SpectrumMarket
+from repro.core.two_stage import run_two_stage
+from repro.errors import MarketConfigurationError
+
+__all__ = [
+    "ManipulationResult",
+    "evaluate_report",
+    "candidate_misreports",
+    "find_profitable_misreport",
+    "manipulability_rate",
+    "demonstration_instance",
+]
+
+
+@dataclass(frozen=True)
+class ManipulationResult:
+    """Outcome of a misreport search for one buyer.
+
+    Attributes
+    ----------
+    buyer:
+        The strategic buyer.
+    truthful_utility:
+        Her TRUE utility under truthful reporting.
+    best_utility:
+        Best TRUE utility achieved by any candidate report.
+    best_report:
+        The report achieving it (``None`` if truth is already best).
+    profitable:
+        Whether a strictly profitable lie was found.
+    """
+
+    buyer: int
+    truthful_utility: float
+    best_utility: float
+    best_report: Optional[Tuple[float, ...]]
+
+    @property
+    def profitable(self) -> bool:
+        return self.best_utility > self.truthful_utility + 1e-9
+
+    @property
+    def gain(self) -> float:
+        return max(0.0, self.best_utility - self.truthful_utility)
+
+
+def _with_report(
+    market: SpectrumMarket, buyer: int, report: Sequence[float]
+) -> SpectrumMarket:
+    """Market copy where ``buyer``'s utility row is replaced by ``report``."""
+    report = np.asarray(report, dtype=float)
+    if report.shape != (market.num_channels,):
+        raise MarketConfigurationError(
+            f"report must have length M={market.num_channels}, "
+            f"got shape {report.shape}"
+        )
+    utilities = np.array(market.utilities)
+    utilities[buyer, :] = report
+    return SpectrumMarket(
+        utilities,
+        market.interference,
+        mwis_algorithm=market.mwis_algorithm,
+        buyer_names=market.buyer_names,
+        channel_names=market.channel_names,
+        buyer_owner=market.buyer_owner,
+        channel_owner=market.channel_owner,
+    )
+
+
+def evaluate_report(
+    market: SpectrumMarket,
+    buyer: int,
+    report: Sequence[float],
+    mechanism: Callable[[SpectrumMarket], "object"] = None,
+) -> float:
+    """Run the mechanism under a report; return the buyer's TRUE utility.
+
+    ``mechanism`` maps a market to an object with a ``matching``
+    attribute; the default is the two-stage algorithm.
+    """
+    if mechanism is None:
+        mechanism = lambda m: run_two_stage(m, record_trace=False)
+    manipulated = _with_report(market, buyer, report)
+    outcome = mechanism(manipulated)
+    channel = outcome.matching.channel_of(buyer)
+    if channel is None:
+        return 0.0
+    # Score with the TRUE utilities, not the reported ones.
+    return float(market.utilities[buyer, channel])
+
+
+def candidate_misreports(
+    market: SpectrumMarket,
+    buyer: int,
+    rng: np.random.Generator,
+    num_random: int = 10,
+) -> List[np.ndarray]:
+    """A portfolio of candidate lies for one buyer.
+
+    Deterministic families: global up/down scalings (prices are also
+    priority, so inflation buys seniority), concentrating the full budget
+    on each single channel, swapping the top two channels' reports, and
+    zeroing the top channel (skip-my-favourite).  Plus ``num_random``
+    uniform random vectors.
+    """
+    truth = np.array(market.buyer_vector(buyer))
+    candidates: List[np.ndarray] = []
+    for factor in (0.25, 0.5, 2.0, 4.0):
+        candidates.append(np.clip(truth * factor, 0.0, None))
+    order = np.argsort(-truth)
+    if truth[order[0]] > 0:
+        for channel in range(market.num_channels):
+            concentrated = np.zeros_like(truth)
+            concentrated[channel] = float(truth.max() * 2.0)
+            candidates.append(concentrated)
+        if market.num_channels >= 2:
+            swapped = truth.copy()
+            swapped[order[0]], swapped[order[1]] = (
+                truth[order[1]],
+                truth[order[0]],
+            )
+            candidates.append(swapped)
+            skip_top = truth.copy()
+            skip_top[order[0]] = 0.0
+            candidates.append(skip_top)
+    for _ in range(num_random):
+        candidates.append(rng.random(market.num_channels) * max(truth.max(), 1.0))
+    return candidates
+
+
+def find_profitable_misreport(
+    market: SpectrumMarket,
+    buyer: int,
+    rng: np.random.Generator,
+    num_random: int = 10,
+    mechanism: Callable[[SpectrumMarket], "object"] = None,
+) -> ManipulationResult:
+    """Search the candidate portfolio for a strictly profitable lie."""
+    truthful = evaluate_report(
+        market, buyer, market.buyer_vector(buyer), mechanism
+    )
+    best_utility = truthful
+    best_report: Optional[Tuple[float, ...]] = None
+    for report in candidate_misreports(market, buyer, rng, num_random):
+        utility = evaluate_report(market, buyer, report, mechanism)
+        if utility > best_utility + 1e-9:
+            best_utility = utility
+            best_report = tuple(float(x) for x in report)
+    return ManipulationResult(
+        buyer=buyer,
+        truthful_utility=truthful,
+        best_utility=best_utility,
+        best_report=best_report,
+    )
+
+
+def manipulability_rate(
+    markets: Sequence[SpectrumMarket],
+    rng: np.random.Generator,
+    num_random: int = 10,
+) -> Tuple[float, int, int]:
+    """Fraction of (market, buyer) pairs with a profitable lie found.
+
+    Returns ``(rate, manipulable_pairs, total_pairs)``.  A lower bound on
+    true manipulability: the search is a finite portfolio, not an
+    optimiser.
+    """
+    manipulable = 0
+    total = 0
+    for market in markets:
+        for buyer in range(market.num_buyers):
+            total += 1
+            result = find_profitable_misreport(
+                market, buyer, rng, num_random=num_random
+            )
+            if result.profitable:
+                manipulable += 1
+    return (manipulable / total if total else 0.0), manipulable, total
+
+
+def demonstration_instance() -> Tuple[SpectrumMarket, int, Tuple[float, ...]]:
+    """A deterministic instance where lying strictly pays.
+
+    Returns ``(market, strategic_buyer, profitable_report)``.
+
+    The canonical manipulation is **price inflation**: the reported
+    ``b_{i,j}`` doubles as the buyer's priority in sellers' coalition
+    choices, and the matching collects no actual payment, so overstating
+    is free.  Here buyer 0 truly values channel 0 at 5 but loses it to a
+    rival reporting 6 (they interfere); she settles for channel 1 (true
+    value 4).  Reporting 20 for channel 0 evicts the rival and wins her
+    the true-value-5 channel.  Verified in
+    ``tests/analysis/test_manipulation.py``.
+    """
+    from repro.interference.generators import interference_map_from_edge_lists
+
+    # Channels: 0, 1.  Buyers: 0 (strategic), 1 (rival on ch0).
+    utilities = np.array(
+        [
+            [5.0, 4.0],  # buyer 0: truth, loses ch0 to the rival
+            [6.0, 0.0],  # buyer 1: wants only channel 0
+        ]
+    )
+    interference = interference_map_from_edge_lists(2, [[(0, 1)], []])
+    market = SpectrumMarket(utilities, interference)
+    lie = (20.0, 4.0)  # inflate the contested channel's price
+    return market, 0, lie

@@ -1,0 +1,189 @@
+"""Canonical parameterisations of the paper's figures.
+
+One :class:`FigureSpec` per panel, with exactly the sweep ranges and fixed
+parameters printed in the paper's captions:
+
+* Fig. 6(a): ``M = 4``, N = 6..10 -- optimal vs proposed welfare.
+* Fig. 6(b): ``N = 8``, M = 2..6.
+* Fig. 6(c): ``M = 5, N = 8``, similarity 0..1.
+* Fig. 7/8(a): ``M = 10``, N = 200..320.
+* Fig. 7/8(b): ``N = 500``, M = 4..16.
+* Fig. 7/8(c): ``M = 8, N = 300``, similarity 0..1.
+
+(The paper plots Figs. 7 and 8 from the same runs -- welfare and rounds
+respectively -- so their specs coincide and the harness reuses results.)
+
+The benchmark modules and the CLI both resolve panels through
+:func:`figure_spec`, so the numbers printed by ``pytest benchmarks`` and
+``spectrum-matching fig7 --panel b`` can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import (
+    ExperimentRow,
+    SweepAxis,
+    optimal_comparison_series,
+    stage_breakdown_series,
+)
+from repro.errors import SpectrumMatchingError
+
+__all__ = ["FigureSpec", "figure_spec", "run_figure", "FIGURE_SPECS"]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One figure panel's experiment description.
+
+    Attributes
+    ----------
+    figure:
+        ``6``, ``7`` or ``8`` (7 and 8 share specs).
+    panel:
+        ``"a"``, ``"b"`` or ``"c"``.
+    axis / values:
+        Sweep axis and x-values.
+    num_buyers / num_channels:
+        The fixed dimensions (``None`` for the swept one).
+    kind:
+        ``"optimal_comparison"`` (Fig. 6) or ``"stage_breakdown"``
+        (Figs. 7/8).
+    default_repetitions:
+        Repetitions used when the caller does not override.
+    """
+
+    figure: int
+    panel: str
+    axis: SweepAxis
+    values: Tuple[float, ...]
+    num_buyers: Optional[int]
+    num_channels: Optional[int]
+    kind: str
+    default_repetitions: int
+
+
+_SIMILARITY_VALUES = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+FIGURE_SPECS: Dict[Tuple[int, str], FigureSpec] = {
+    (6, "a"): FigureSpec(
+        figure=6,
+        panel="a",
+        axis=SweepAxis.BUYERS,
+        values=(6, 7, 8, 9, 10),
+        num_buyers=None,
+        num_channels=4,
+        kind="optimal_comparison",
+        default_repetitions=100,
+    ),
+    (6, "b"): FigureSpec(
+        figure=6,
+        panel="b",
+        axis=SweepAxis.SELLERS,
+        values=(2, 3, 4, 5, 6),
+        num_buyers=8,
+        num_channels=None,
+        kind="optimal_comparison",
+        default_repetitions=100,
+    ),
+    (6, "c"): FigureSpec(
+        figure=6,
+        panel="c",
+        axis=SweepAxis.SIMILARITY,
+        values=_SIMILARITY_VALUES,
+        num_buyers=8,
+        num_channels=5,
+        kind="optimal_comparison",
+        default_repetitions=100,
+    ),
+    (7, "a"): FigureSpec(
+        figure=7,
+        panel="a",
+        axis=SweepAxis.BUYERS,
+        values=(200, 220, 240, 260, 280, 300, 320),
+        num_buyers=None,
+        num_channels=10,
+        kind="stage_breakdown",
+        default_repetitions=10,
+    ),
+    (7, "b"): FigureSpec(
+        figure=7,
+        panel="b",
+        axis=SweepAxis.SELLERS,
+        values=(4, 6, 8, 10, 12, 14, 16),
+        num_buyers=500,
+        num_channels=None,
+        kind="stage_breakdown",
+        default_repetitions=10,
+    ),
+    (7, "c"): FigureSpec(
+        figure=7,
+        panel="c",
+        axis=SweepAxis.SIMILARITY,
+        values=_SIMILARITY_VALUES,
+        num_buyers=300,
+        num_channels=8,
+        kind="stage_breakdown",
+        default_repetitions=10,
+    ),
+}
+# Fig. 8 reuses the Fig. 7 runs (same experiment, different columns).
+for _panel in ("a", "b", "c"):
+    _spec = FIGURE_SPECS[(7, _panel)]
+    FIGURE_SPECS[(8, _panel)] = FigureSpec(
+        figure=8,
+        panel=_panel,
+        axis=_spec.axis,
+        values=_spec.values,
+        num_buyers=_spec.num_buyers,
+        num_channels=_spec.num_channels,
+        kind=_spec.kind,
+        default_repetitions=_spec.default_repetitions,
+    )
+
+
+def figure_spec(figure: int, panel: str) -> FigureSpec:
+    """Look up a panel's spec (raises for unknown panels)."""
+    try:
+        return FIGURE_SPECS[(figure, panel)]
+    except KeyError:
+        raise SpectrumMatchingError(
+            f"no spec for figure {figure} panel {panel!r}"
+        ) from None
+
+
+def run_figure(
+    spec: FigureSpec,
+    repetitions: Optional[int] = None,
+    seed: int = 0,
+    values: Optional[Sequence[float]] = None,
+) -> List[ExperimentRow]:
+    """Execute a panel's experiment and return its rows.
+
+    ``repetitions`` and ``values`` allow scaled-down runs (used by the
+    test suite and quick CLI invocations) without changing the canonical
+    spec.
+    """
+    reps = spec.default_repetitions if repetitions is None else repetitions
+    xs = tuple(spec.values if values is None else values)
+    if spec.kind == "optimal_comparison":
+        return optimal_comparison_series(
+            spec.axis,
+            xs,
+            num_buyers=spec.num_buyers,
+            num_channels=spec.num_channels,
+            repetitions=reps,
+            seed=seed,
+        )
+    if spec.kind == "stage_breakdown":
+        return stage_breakdown_series(
+            spec.axis,
+            xs,
+            num_buyers=spec.num_buyers,
+            num_channels=spec.num_channels,
+            repetitions=reps,
+            seed=seed,
+        )
+    raise SpectrumMatchingError(f"unknown experiment kind {spec.kind!r}")

@@ -1,0 +1,92 @@
+"""Persistence of experiment results.
+
+Figure regenerations can take minutes at paper-quality repetition counts;
+these helpers serialise :class:`~repro.analysis.experiments.ExperimentRow`
+series to JSON (with enough metadata to know what produced them) and load
+them back, so results can be archived, diffed between code versions, and
+post-processed without re-running.  The CLI's ``--json`` flag uses them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.experiments import ExperimentRow
+from repro.analysis.stats import SeriesStats
+from repro.errors import SpectrumMatchingError
+
+__all__ = ["experiment_rows_to_dict", "dict_to_experiment_rows", "save_rows", "load_rows"]
+
+#: Format marker so future layout changes can stay loadable.
+_FORMAT_VERSION = 1
+
+
+def experiment_rows_to_dict(
+    rows: Sequence[ExperimentRow],
+    metadata: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Serialise rows (plus free-form metadata) to a JSON-ready dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "metadata": dict(metadata or {}),
+        "rows": [
+            {
+                "x": row.x,
+                "measured_srcc": row.measured_srcc,
+                "series": {
+                    name: asdict(stats) for name, stats in row.series.items()
+                },
+            }
+            for row in rows
+        ],
+    }
+
+
+def dict_to_experiment_rows(payload: Dict[str, object]) -> List[ExperimentRow]:
+    """Inverse of :func:`experiment_rows_to_dict` (validates the format)."""
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise SpectrumMatchingError("not an experiment-results payload")
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise SpectrumMatchingError(
+            f"unsupported results format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    rows: List[ExperimentRow] = []
+    for record in payload["rows"]:
+        series = {
+            name: SeriesStats(**stats)
+            for name, stats in record["series"].items()
+        }
+        rows.append(
+            ExperimentRow(
+                x=float(record["x"]),
+                series=series,
+                measured_srcc=record.get("measured_srcc"),
+            )
+        )
+    return rows
+
+
+def save_rows(
+    path: Union[str, Path],
+    rows: Sequence[ExperimentRow],
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write rows to ``path`` as indented JSON."""
+    payload = experiment_rows_to_dict(rows, metadata)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_rows(path: Union[str, Path]) -> List[ExperimentRow]:
+    """Load rows previously written by :func:`save_rows`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SpectrumMatchingError(
+            f"cannot load experiment results from {path}: {error}"
+        ) from error
+    return dict_to_experiment_rows(payload)

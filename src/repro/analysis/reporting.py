@@ -1,0 +1,83 @@
+"""Plain-text and CSV rendering of experiment series.
+
+The benchmarks print the same rows the paper plots; these helpers keep the
+formatting consistent between the pytest benches, the CLI and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import ExperimentRow
+
+__all__ = ["format_table", "rows_to_csv", "format_experiment_rows"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with four significant decimals; everything else via
+    ``str``.  Column widths adapt to content.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4f}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def format_experiment_rows(
+    rows: Sequence[ExperimentRow],
+    series_names: Sequence[str],
+    x_label: str = "x",
+    include_srcc: bool = False,
+) -> str:
+    """Render experiment rows as a table of means (one column per series)."""
+    headers: List[str] = [x_label]
+    if include_srcc:
+        headers.append("srcc")
+    headers.extend(series_names)
+    table_rows: List[List[object]] = []
+    for row in rows:
+        cells: List[object] = [row.x]
+        if include_srcc:
+            cells.append(row.measured_srcc if row.measured_srcc is not None else "-")
+        cells.extend(row.series[name].mean for name in series_names)
+        table_rows.append(cells)
+    return format_table(headers, table_rows)
+
+
+def rows_to_csv(
+    rows: Sequence[ExperimentRow],
+    series_names: Sequence[str],
+    x_label: str = "x",
+) -> str:
+    """Serialise rows (mean and std per series) as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    header = [x_label, "measured_srcc"]
+    for name in series_names:
+        header.extend([f"{name}_mean", f"{name}_std"])
+    writer.writerow(header)
+    for row in rows:
+        record: List[object] = [row.x, row.measured_srcc]
+        for name in series_names:
+            stats = row.series[name]
+            record.extend([stats.mean, stats.std])
+        writer.writerow(record)
+    return buffer.getvalue()

@@ -1,0 +1,190 @@
+"""Sensing-noise robustness: matching under a mis-estimated graph.
+
+The paper (like the auction literature it builds on) assumes the
+per-channel interference graphs are known exactly.  In practice they come
+from spectrum sensing, which both *misses* real conflicts (miss
+probability) and *hallucinates* absent ones (false-alarm probability).
+The two error types hurt differently:
+
+* a **missed edge** lets the algorithm co-locate truly interfering
+  buyers: per the paper's utility model both victims realise ZERO utility
+  -- nominal welfare overstates reality;
+* a **false edge** merely forbids a reuse opportunity: feasibility is
+  untouched but capacity (and welfare) shrinks.
+
+This module perturbs a true interference map, runs the matching on the
+*estimate*, and scores the result against the *truth*:
+
+* :func:`perturb_interference` -- flip edges with given miss/false-alarm
+  probabilities;
+* :func:`effective_welfare` -- realised welfare under the true graphs
+  (victims of real interference contribute nothing) plus the violation
+  census;
+* :func:`run_sensing_study` -- the full Monte-Carlo sweep used by
+  ``benchmarks/bench_sensing.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.market import SpectrumMarket
+from repro.core.matching import Matching
+from repro.core.two_stage import run_two_stage
+from repro.errors import MarketConfigurationError
+from repro.interference.graph import InterferenceGraph, InterferenceMap
+from repro.workloads.scenarios import paper_simulation_market
+
+__all__ = [
+    "perturb_interference",
+    "effective_welfare",
+    "SensingStudyPoint",
+    "run_sensing_study",
+]
+
+
+def perturb_interference(
+    interference: InterferenceMap,
+    miss_prob: float,
+    false_prob: float,
+    rng: np.random.Generator,
+) -> InterferenceMap:
+    """Simulate imperfect sensing of an interference map.
+
+    Every true edge is independently *missed* with probability
+    ``miss_prob``; every absent pair is independently *reported* with
+    probability ``false_prob``.  Each channel is perturbed independently.
+    """
+    if not 0.0 <= miss_prob <= 1.0 or not 0.0 <= false_prob <= 1.0:
+        raise MarketConfigurationError(
+            f"probabilities must lie in [0, 1], got miss={miss_prob}, "
+            f"false={false_prob}"
+        )
+    n = interference.num_buyers
+    estimated: List[InterferenceGraph] = []
+    for channel in range(interference.num_channels):
+        graph = interference.graph(channel)
+        edges = []
+        for j in range(n):
+            for k in range(j + 1, n):
+                if graph.interferes(j, k):
+                    if rng.random() >= miss_prob:
+                        edges.append((j, k))
+                else:
+                    if rng.random() < false_prob:
+                        edges.append((j, k))
+        estimated.append(InterferenceGraph(n, edges))
+    return InterferenceMap(estimated)
+
+
+def effective_welfare(
+    true_market: SpectrumMarket, matching: Matching
+) -> Tuple[float, int, int]:
+    """Score a matching against the TRUE interference.
+
+    Returns ``(welfare, violating_pairs, victim_buyers)``: a matched buyer
+    sharing her channel with a truly interfering neighbour realises zero
+    utility (the paper's peer-effect model); others realise ``b``.
+    """
+    utilities = true_market.utilities
+    welfare = 0.0
+    violating_pairs = 0
+    victims = 0
+    for channel in range(true_market.num_channels):
+        graph = true_market.graph(channel)
+        members = sorted(matching.coalition(channel))
+        harmed = set()
+        for idx, j in enumerate(members):
+            for k in members[idx + 1 :]:
+                if graph.interferes(j, k):
+                    violating_pairs += 1
+                    harmed.add(j)
+                    harmed.add(k)
+        victims += len(harmed)
+        for j in members:
+            if j not in harmed:
+                welfare += float(utilities[j, channel])
+    return welfare, violating_pairs, victims
+
+
+@dataclass(frozen=True)
+class SensingStudyPoint:
+    """Aggregated outcome of one (miss, false-alarm) setting.
+
+    Attributes
+    ----------
+    miss_prob / false_prob:
+        The sensing-error setting.
+    nominal_welfare:
+        Mean welfare the algorithm *believes* it achieved (scored on the
+        estimated graphs).
+    effective_welfare:
+        Mean welfare actually realised under the true graphs.
+    violating_pairs / victim_buyers:
+        Mean per-run counts of truly interfering co-located pairs and of
+        buyers whose utility they destroy.
+    clean_welfare:
+        Mean welfare of matching with perfect sensing on the same
+        markets (the common-random-numbers baseline).
+    """
+
+    miss_prob: float
+    false_prob: float
+    nominal_welfare: float
+    effective_welfare: float
+    violating_pairs: float
+    victim_buyers: float
+    clean_welfare: float
+
+
+def run_sensing_study(
+    miss_prob: float,
+    false_prob: float,
+    num_buyers: int = 40,
+    num_channels: int = 5,
+    repetitions: int = 8,
+    seed: int = 0,
+) -> SensingStudyPoint:
+    """Monte-Carlo estimate of the cost of imperfect sensing.
+
+    Uses common random numbers: each repetition builds one true market
+    and evaluates both perfect-sensing and noisy-sensing matchings on it.
+    """
+    nominal = effective = pairs = victims = clean = 0.0
+    for rep in range(repetitions):
+        market_rng = np.random.default_rng([seed, rep])
+        true_market = paper_simulation_market(
+            num_buyers, num_channels, market_rng
+        )
+        clean_result = run_two_stage(true_market, record_trace=False)
+        clean += clean_result.social_welfare
+
+        noise_rng = np.random.default_rng([seed, rep, 1])
+        estimated = perturb_interference(
+            true_market.interference, miss_prob, false_prob, noise_rng
+        )
+        estimated_market = SpectrumMarket(
+            np.array(true_market.utilities),
+            estimated,
+            mwis_algorithm=true_market.mwis_algorithm,
+        )
+        result = run_two_stage(estimated_market, record_trace=False)
+        nominal += result.social_welfare
+        welfare, violating, harmed = effective_welfare(
+            true_market, result.matching
+        )
+        effective += welfare
+        pairs += violating
+        victims += harmed
+    return SensingStudyPoint(
+        miss_prob=miss_prob,
+        false_prob=false_prob,
+        nominal_welfare=nominal / repetitions,
+        effective_welfare=effective / repetitions,
+        violating_pairs=pairs / repetitions,
+        victim_buyers=victims / repetitions,
+        clean_welfare=clean / repetitions,
+    )

@@ -1,0 +1,79 @@
+"""Small statistics helpers for repeated-trial aggregation.
+
+Every experiment point in the paper's figures is a Monte-Carlo average;
+:class:`SeriesStats` carries the mean together with dispersion and a
+t-based confidence interval so EXPERIMENTS.md can report uncertainty, not
+just point estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import SpectrumMatchingError
+
+__all__ = ["SeriesStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary of one repeated measurement.
+
+    Attributes
+    ----------
+    mean / std:
+        Sample mean and (ddof=1) standard deviation (std is 0 for a single
+        sample).
+    count:
+        Number of repetitions.
+    ci_low / ci_high:
+        95 % t-interval for the mean (equal to the mean when ``count < 2``
+        or the dispersion is zero).
+    """
+
+    mean: float
+    std: float
+    count: int
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ci_halfwidth(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> SeriesStats:
+    """Summarise a sample of repeated measurements.
+
+    Raises on an empty sample -- an experiment that produced no data
+    should fail loudly rather than propagate NaNs into reports.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise SpectrumMatchingError("cannot summarise an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise SpectrumMatchingError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    mean = float(values.mean())
+    if values.size < 2:
+        return SeriesStats(mean=mean, std=0.0, count=1, ci_low=mean, ci_high=mean)
+    std = float(values.std(ddof=1))
+    if std == 0.0:
+        return SeriesStats(
+            mean=mean, std=0.0, count=int(values.size), ci_low=mean, ci_high=mean
+        )
+    sem = std / np.sqrt(values.size)
+    t_crit = float(scipy_stats.t.ppf((1.0 + confidence) / 2.0, df=values.size - 1))
+    half = t_crit * sem
+    return SeriesStats(
+        mean=mean,
+        std=std,
+        count=int(values.size),
+        ci_low=mean - half,
+        ci_high=mean + half,
+    )

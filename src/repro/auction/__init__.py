@@ -1,0 +1,31 @@
+"""Double-auction comparators: the mechanism family the paper replaces.
+
+The paper's pitch is that *matching* can redistribute spectrum in a free
+market, whereas prior work relied on *double auctions* run by a trusted
+auctioneer (Section I, Section VI).  To make that comparison executable,
+this subpackage implements the canonical double-auction machinery:
+
+* :mod:`~repro.auction.mcafee` -- McAfee's 1992 dominant-strategy
+  truthful, individually rational, weakly budget-balanced double auction
+  for unit supply/demand (the engine underneath TRUST [16]).
+* :mod:`~repro.auction.trust` -- a faithful TRUST-style spectrum double
+  auction for homogeneous channels: bid-independent buyer grouping on the
+  interference graph, McAfee between group bids and seller asks, uniform
+  clearing-price sharing inside winning groups.
+
+The ``bench_auction`` benchmark and ``examples/matching_vs_auction.py``
+compare these against the two-stage matching algorithm on the same
+markets: the auction buys truthfulness with sacrificed trades (lower
+welfare and fewer matched buyers) *and* still needs the auctioneer, which
+is exactly the trade-off the paper's introduction describes.
+"""
+
+from repro.auction.mcafee import McAfeeOutcome, mcafee_double_auction
+from repro.auction.trust import TrustOutcome, trust_spectrum_auction
+
+__all__ = [
+    "McAfeeOutcome",
+    "mcafee_double_auction",
+    "TrustOutcome",
+    "trust_spectrum_auction",
+]

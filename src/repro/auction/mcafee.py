@@ -1,0 +1,133 @@
+"""McAfee's double auction (J. Economic Theory, 1992).
+
+The canonical mechanism for two-sided markets with unit supply and
+demand, and the engine under the spectrum double auctions the paper cites
+(TRUST [16] and descendants).  Properties, all enforced by the tests:
+
+* **dominant-strategy truthfulness** for every buyer and seller;
+* **individual rationality** -- no trader pays more / receives less than
+  her report;
+* **weak budget balance** -- the auctioneer never subsidises trade;
+* **asymptotic efficiency** -- at most one efficient trade is sacrificed.
+
+Mechanism.  Sort bids descending (``b_1 >= b_2 >= ...``) and asks
+ascending; let ``k`` be the largest index with ``b_k >= s_k`` (the
+efficient trade count).  Try the mid-price ``p0 = (b_{k+1} + s_{k+1})/2``:
+if it clears the first ``k`` pairs (``s_k <= p0 <= b_k``), all ``k``
+trade at ``p0`` with exact budget balance.  Otherwise the ``k``-th pair is
+sacrificed: ``k - 1`` pairs trade, buyers pay ``b_k``, sellers receive
+``s_k``, and the auctioneer keeps the non-negative spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import SolverError
+
+__all__ = ["McAfeeOutcome", "mcafee_double_auction"]
+
+
+@dataclass(frozen=True)
+class McAfeeOutcome:
+    """Result of one McAfee double auction.
+
+    Attributes
+    ----------
+    winning_buyers / winning_sellers:
+        Original indices of the traders, matched positionally (the i-th
+        winning buyer trades with the i-th winning seller).
+    buyer_price / seller_price:
+        Uniform prices: every winning buyer pays ``buyer_price``; every
+        winning seller receives ``seller_price``.  ``buyer_price >=
+        seller_price`` always (weak budget balance).
+    sacrificed:
+        ``True`` when the k-th efficient trade was dropped to keep the
+        mechanism truthful.
+    """
+
+    winning_buyers: Tuple[int, ...]
+    winning_sellers: Tuple[int, ...]
+    buyer_price: float
+    seller_price: float
+    sacrificed: bool
+
+    @property
+    def num_trades(self) -> int:
+        return len(self.winning_buyers)
+
+    @property
+    def auctioneer_surplus(self) -> float:
+        """Total spread kept by the market maker (>= 0)."""
+        return self.num_trades * (self.buyer_price - self.seller_price)
+
+    def buyer_utility(self, buyer: int, value: float) -> float:
+        """Realised utility of a buyer with true ``value``."""
+        if buyer in self.winning_buyers:
+            return value - self.buyer_price
+        return 0.0
+
+    def seller_utility(self, seller: int, cost: float) -> float:
+        """Realised utility of a seller with true ``cost``."""
+        if seller in self.winning_sellers:
+            return self.seller_price - cost
+        return 0.0
+
+
+def mcafee_double_auction(
+    bids: Sequence[float], asks: Sequence[float]
+) -> McAfeeOutcome:
+    """Run the McAfee double auction on unit bids and asks.
+
+    Parameters
+    ----------
+    bids:
+        One bid per buyer (non-negative).
+    asks:
+        One ask per seller (non-negative).
+
+    Ties are broken deterministically by trader index (earlier index wins
+    among equal bids; earlier index trades first among equal asks).
+    """
+    if any(b < 0 for b in bids) or any(a < 0 for a in asks):
+        raise SolverError("bids and asks must be non-negative")
+
+    buyer_order = sorted(range(len(bids)), key=lambda j: (-bids[j], j))
+    seller_order = sorted(range(len(asks)), key=lambda i: (asks[i], i))
+    sorted_bids = [bids[j] for j in buyer_order]
+    sorted_asks = [asks[i] for i in seller_order]
+
+    max_pairs = min(len(sorted_bids), len(sorted_asks))
+    k = 0
+    while k < max_pairs and sorted_bids[k] >= sorted_asks[k]:
+        k += 1
+    if k == 0:
+        return McAfeeOutcome(
+            winning_buyers=(),
+            winning_sellers=(),
+            buyer_price=0.0,
+            seller_price=0.0,
+            sacrificed=False,
+        )
+
+    if k < max_pairs:
+        mid = (sorted_bids[k] + sorted_asks[k]) / 2.0
+        if sorted_asks[k - 1] <= mid <= sorted_bids[k - 1]:
+            return McAfeeOutcome(
+                winning_buyers=tuple(buyer_order[:k]),
+                winning_sellers=tuple(seller_order[:k]),
+                buyer_price=mid,
+                seller_price=mid,
+                sacrificed=False,
+            )
+
+    # Sacrifice the k-th efficient trade: k-1 pairs trade at (b_k, s_k).
+    trades = k - 1
+    return McAfeeOutcome(
+        winning_buyers=tuple(buyer_order[:trades]),
+        winning_sellers=tuple(seller_order[:trades]),
+        buyer_price=sorted_bids[k - 1] if trades else 0.0,
+        seller_price=sorted_asks[k - 1] if trades else 0.0,
+        sacrificed=True,
+    )

@@ -1,0 +1,168 @@
+"""TRUST-style truthful double auction for spectrum (Zhou & Zheng [16]).
+
+TRUST extends McAfee's double auction to spectrum markets where
+non-interfering buyers may *share* one channel.  This implementation
+covers homogeneous channels (one interference graph -- TRUST's own
+setting; the paper's reference [16]):
+
+1. **Bid-independent grouping.**  Buyers are partitioned into
+   independent sets of the interference graph using a deterministic
+   first-fit rule over buyer ids.  Using anything bid-dependent here
+   would break truthfulness, which is why the groups can be (and often
+   are) smaller than the best weighted independent sets a matching
+   mechanism can form -- the root of the welfare gap this repository
+   quantifies.
+2. **Group bidding.**  Group ``g`` bids ``pi_g = |g| * min bid in g``
+   (the uniform price all members are willing to pay, scaled by size).
+3. **McAfee between groups and sellers.**  Group bids play the buyer
+   side, channel asks the seller side, of
+   :func:`~repro.auction.mcafee.mcafee_double_auction`.
+4. **Sharing.**  Every member of a winning group gets access to the
+   group's channel and pays an equal share of the group's clearing
+   price; the channel's seller receives the McAfee seller price.
+
+Properties (tested): truthful for buyers and sellers, individually
+rational (a member's share never exceeds her group's minimum bid), and
+weakly budget balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.auction.mcafee import McAfeeOutcome, mcafee_double_auction
+from repro.errors import SolverError
+from repro.interference.graph import InterferenceGraph
+
+__all__ = ["TrustOutcome", "form_groups_first_fit", "trust_spectrum_auction"]
+
+
+@dataclass(frozen=True)
+class TrustOutcome:
+    """Result of one TRUST spectrum auction.
+
+    Attributes
+    ----------
+    groups:
+        The bid-independent buyer partition (tuples of buyer ids).
+    group_bids:
+        ``pi_g`` for each group, aligned with ``groups``.
+    winning_groups:
+        Indices into ``groups`` of the groups that won a channel.
+    channel_of_group:
+        ``{group_index: channel}`` for the winners.
+    buyer_payment:
+        Per-buyer payment (zero for losers).
+    seller_revenue:
+        Per-channel revenue (zero for unsold channels).
+    mcafee:
+        The underlying group-level McAfee outcome.
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+    group_bids: Tuple[float, ...]
+    winning_groups: Tuple[int, ...]
+    channel_of_group: Dict[int, int]
+    buyer_payment: Tuple[float, ...]
+    seller_revenue: Tuple[float, ...]
+    mcafee: McAfeeOutcome
+
+    def winning_buyers(self) -> List[int]:
+        """All buyers granted channel access, ascending."""
+        winners: List[int] = []
+        for group_index in self.winning_groups:
+            winners.extend(self.groups[group_index])
+        return sorted(winners)
+
+    def buyer_welfare(self, values: Sequence[float]) -> float:
+        """Sum of winning buyers' true values (the paper's welfare)."""
+        return sum(values[j] for j in self.winning_buyers())
+
+    def buyer_utility(self, buyer: int, value: float) -> float:
+        """Realised quasi-linear utility of one buyer."""
+        if buyer in self.winning_buyers():
+            return value - self.buyer_payment[buyer]
+        return 0.0
+
+    def seller_utility(self, channel: int, cost: float) -> float:
+        """Realised utility of one channel's seller."""
+        if self.seller_revenue[channel] > 0.0:
+            return self.seller_revenue[channel] - cost
+        return 0.0
+
+
+def form_groups_first_fit(graph: InterferenceGraph) -> List[List[int]]:
+    """Partition buyers into independent sets, bid-independently.
+
+    First-fit over ascending buyer ids: each buyer joins the earliest
+    group she does not conflict with, else opens a new group.  This is
+    exactly greedy graph colouring, so the number of groups is at most
+    ``max_degree + 1``.
+    """
+    groups: List[List[int]] = []
+    for buyer in range(graph.num_buyers):
+        placed = False
+        for group in groups:
+            if not graph.conflicts_with_set(buyer, group):
+                group.append(buyer)
+                placed = True
+                break
+        if not placed:
+            groups.append([buyer])
+    return groups
+
+
+def trust_spectrum_auction(
+    values: Sequence[float],
+    graph: InterferenceGraph,
+    asks: Sequence[float],
+) -> TrustOutcome:
+    """Run the TRUST auction.
+
+    Parameters
+    ----------
+    values:
+        Reported per-buyer valuations (bids), length ``N``; under
+        truthfulness these equal true values.
+    graph:
+        The (homogeneous) interference graph over the ``N`` buyers.
+    asks:
+        Reported per-channel seller asks, length ``M``.
+    """
+    if len(values) != graph.num_buyers:
+        raise SolverError(
+            f"got {len(values)} bids for {graph.num_buyers} buyers"
+        )
+    if any(v < 0 for v in values) or any(a < 0 for a in asks):
+        raise SolverError("bids and asks must be non-negative")
+
+    groups = [tuple(g) for g in form_groups_first_fit(graph)]
+    group_bids = tuple(
+        len(group) * min(values[j] for j in group) for group in groups
+    )
+
+    mcafee = mcafee_double_auction(group_bids, asks)
+
+    channel_of_group: Dict[int, int] = {}
+    for group_index, channel in zip(mcafee.winning_buyers, mcafee.winning_sellers):
+        channel_of_group[group_index] = channel
+
+    buyer_payment = [0.0] * len(values)
+    seller_revenue = [0.0] * len(asks)
+    for group_index, channel in channel_of_group.items():
+        members = groups[group_index]
+        share = mcafee.buyer_price / len(members)
+        for j in members:
+            buyer_payment[j] = share
+        seller_revenue[channel] = mcafee.seller_price
+
+    return TrustOutcome(
+        groups=groups,
+        group_bids=group_bids,
+        winning_groups=tuple(sorted(channel_of_group)),
+        channel_of_group=channel_of_group,
+        buyer_payment=tuple(buyer_payment),
+        seller_revenue=tuple(seller_revenue),
+        mcafee=mcafee,
+    )

@@ -1,0 +1,421 @@
+"""Command-line interface: ``spectrum-matching <command>``.
+
+Commands
+--------
+``fig6`` / ``fig7`` / ``fig8``
+    Regenerate one panel of the corresponding paper figure and print the
+    series as a table (optionally CSV).
+``toy``
+    Replay the paper's toy example (Figs. 1-2) with the full
+    round-by-round trace.
+``counterexample``
+    Demonstrate Section III-D: a Nash-stable output that is
+    pairwise-blocked and not buyer-optimal.
+``distributed``
+    Run the message-level protocol (Section IV) on a random market and
+    compare transition policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.paper_figures import figure_spec, run_figure
+from repro.analysis.reporting import format_experiment_rows, rows_to_csv
+from repro.core.stability import (
+    is_nash_stable,
+    is_pairwise_stable,
+    pairwise_blocking_pairs,
+)
+from repro.core.two_stage import run_two_stage
+from repro.distributed.protocol import run_distributed_matching
+from repro.distributed.transition import adaptive_policy, default_policy
+from repro.workloads.scenarios import (
+    counterexample_market,
+    paper_simulation_market,
+    toy_example_market,
+)
+
+__all__ = ["main", "build_parser"]
+
+_FIG6_SERIES = ["welfare_proposed", "welfare_optimal", "welfare_ratio"]
+_FIG7_SERIES = ["welfare_stage1", "welfare_phase1", "welfare_phase2"]
+_FIG8_SERIES = ["rounds_stage1", "rounds_phase1", "rounds_phase2"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="spectrum-matching",
+        description="Spectrum Matching (ICDCS 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for figure in (6, 7, 8):
+        fig_parser = sub.add_parser(
+            f"fig{figure}", help=f"regenerate a panel of the paper's Fig. {figure}"
+        )
+        fig_parser.add_argument(
+            "--panel", choices=["a", "b", "c"], default="a", help="figure panel"
+        )
+        fig_parser.add_argument(
+            "--repetitions",
+            type=int,
+            default=None,
+            help="Monte-Carlo repetitions per point (default: panel spec)",
+        )
+        fig_parser.add_argument("--seed", type=int, default=0)
+        fig_parser.add_argument(
+            "--csv", action="store_true", help="emit CSV instead of a table"
+        )
+        fig_parser.add_argument(
+            "--json",
+            metavar="PATH",
+            default=None,
+            help="also save the full series (mean/std/CI) as JSON",
+        )
+
+    sub.add_parser("toy", help="replay the paper's toy example (Figs. 1-2)")
+    sub.add_parser(
+        "counterexample",
+        help="show the Section III-D pairwise-instability counterexample",
+    )
+
+    dist = sub.add_parser(
+        "distributed", help="run the Section IV message-level protocol"
+    )
+    dist.add_argument("--buyers", type=int, default=30)
+    dist.add_argument("--sellers", type=int, default=5)
+    dist.add_argument("--seed", type=int, default=0)
+    dist.add_argument(
+        "--policy", choices=["default", "adaptive", "both"], default="both"
+    )
+    dist.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="message loss rate in [0, 1); enables the ARQ transport",
+    )
+
+    swaps = sub.add_parser(
+        "swaps", help="run Stage III coordinated swaps (Section III-D future work)"
+    )
+    swaps.add_argument("--buyers", type=int, default=14)
+    swaps.add_argument("--sellers", type=int, default=4)
+    swaps.add_argument("--seed", type=int, default=0)
+    swaps.add_argument(
+        "--counterexample",
+        action="store_true",
+        help="use the frozen Section III-D instance instead of a random market",
+    )
+
+    dyn = sub.add_parser(
+        "dynamic", help="simulate an evolving market (warm vs cold re-matching)"
+    )
+    dyn.add_argument("--epochs", type=int, default=12)
+    dyn.add_argument("--buyers", type=int, default=40)
+    dyn.add_argument("--sellers", type=int, default=5)
+    dyn.add_argument("--arrival-rate", type=float, default=5.0)
+    dyn.add_argument("--departure-prob", type=float, default=0.12)
+    dyn.add_argument("--drift", type=float, default=0.05)
+    dyn.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report",
+        help="fast one-page replication check of the paper's headline claims",
+    )
+    report.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_figure(figure: int, args: argparse.Namespace) -> int:
+    spec = figure_spec(figure, args.panel)
+    rows = run_figure(spec, repetitions=args.repetitions, seed=args.seed)
+    series = {6: _FIG6_SERIES, 7: _FIG7_SERIES, 8: _FIG8_SERIES}[figure]
+    x_label = spec.axis.value
+    include_srcc = spec.axis.value == "similarity"
+    if args.csv:
+        print(rows_to_csv(rows, series, x_label=x_label), end="")
+    else:
+        print(f"Fig. {figure}({args.panel}) -- sweep over {x_label}")
+        print(format_experiment_rows(rows, series, x_label, include_srcc))
+    if args.json:
+        from repro.analysis.persistence import save_rows
+
+        save_rows(
+            args.json,
+            rows,
+            metadata={
+                "figure": figure,
+                "panel": args.panel,
+                "seed": args.seed,
+                "repetitions": args.repetitions or spec.default_repetitions,
+            },
+        )
+        print(f"saved series to {args.json}")
+    return 0
+
+
+def _cmd_toy(_args: argparse.Namespace) -> int:
+    market = toy_example_market()
+    result = run_two_stage(market)
+    print("Paper toy example (5 buyers, sellers a/b/c)")
+    print("-- Stage I (adapted deferred acceptance) --")
+    for record in result.stage_one.rounds:
+        proposals = {
+            market.channel_names[ch]: [market.buyer_names[j] for j in buyers]
+            for ch, buyers in sorted(record.proposals.items())
+        }
+        waitlists = {
+            market.channel_names[ch]: [market.buyer_names[j] for j in members]
+            for ch, members in sorted(record.waitlists.items())
+        }
+        print(f"round {record.round_index}: proposals={proposals}")
+        print(f"          waitlists={waitlists}")
+    print(f"Stage I welfare: {result.welfare_stage1:g} (paper: 27)")
+    print("-- Stage II (transfer and invitation) --")
+    for record in result.stage_two.transfer_rounds:
+        print(
+            f"transfer round {record.round_index}: "
+            f"accepted={record.accepted} rejected={record.rejected}"
+        )
+    for record in result.stage_two.invitation_rounds:
+        print(
+            f"invitation round {record.round_index}: "
+            f"accepted={record.accepted} declined={record.declined}"
+        )
+    print(f"Final welfare: {result.social_welfare:g} (paper: 30)")
+    coalitions = {
+        market.channel_names[ch]: sorted(
+            market.buyer_names[j] for j in result.matching.coalition(ch)
+        )
+        for ch in range(market.num_channels)
+    }
+    print(f"Final matching: {coalitions}")
+    return 0
+
+
+def _cmd_counterexample(_args: argparse.Namespace) -> int:
+    market = counterexample_market()
+    result = run_two_stage(market)
+    matching = result.matching
+    print("Section III-D counterexample")
+    coalitions = {
+        market.channel_names[ch]: sorted(
+            market.buyer_names[j] for j in matching.coalition(ch)
+        )
+        for ch in range(market.num_channels)
+    }
+    print(f"algorithm output: {coalitions} (welfare {result.social_welfare:g})")
+    print(f"Nash-stable:      {is_nash_stable(market, matching)}")
+    print(f"pairwise-stable:  {is_pairwise_stable(market, matching)}")
+    for pair in pairwise_blocking_pairs(market, matching):
+        print(
+            f"  blocking pair: seller {market.channel_names[pair.channel]} + "
+            f"buyer {market.buyer_names[pair.buyer]} "
+            f"(evicting {[market.buyer_names[k] for k in pair.evicted]}; "
+            f"seller +{pair.seller_gain:g}, buyer "
+            f"{pair.buyer_current:g} -> {pair.buyer_new:g})"
+        )
+    return 0
+
+
+def _cmd_distributed(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    market = paper_simulation_market(args.buyers, args.sellers, rng)
+    centralized = run_two_stage(market, record_trace=False)
+    print(
+        f"market: N={args.buyers} buyers, M={args.sellers} channels "
+        f"(seed {args.seed}); centralized welfare "
+        f"{centralized.social_welfare:.4f}"
+    )
+    network = None
+    reliable = False
+    if args.loss > 0.0:
+        from repro.distributed.network import LossyNetwork
+
+        network = LossyNetwork(args.loss)
+        reliable = True
+        print(f"network: {args.loss:.0%} message loss, ARQ transport enabled")
+    policies = []
+    if args.policy in ("default", "both"):
+        policies.append(("default", default_policy()))
+    if args.policy in ("adaptive", "both"):
+        policies.append(("adaptive", adaptive_policy()))
+    for name, policy in policies:
+        run = run_distributed_matching(
+            market,
+            policy=policy,
+            network=network,
+            seed=args.seed,
+            reliable_transport=reliable,
+        )
+        print(
+            f"{name:>8}: slots={run.slots} messages={run.messages_sent} "
+            f"dropped={run.messages_dropped} "
+            f"welfare={run.social_welfare:.4f} "
+            f"(matches centralized: {run.matching == centralized.matching})"
+        )
+    return 0
+
+
+def _cmd_swaps(args: argparse.Namespace) -> int:
+    from repro.core.swap_extension import coordinated_swaps
+
+    if args.counterexample:
+        market = counterexample_market()
+        print("instance: Section III-D counterexample")
+    else:
+        market = paper_simulation_market(
+            args.buyers, args.sellers, np.random.default_rng(args.seed)
+        )
+        print(
+            f"instance: random market N={args.buyers}, M={args.sellers} "
+            f"(seed {args.seed})"
+        )
+    result = run_two_stage(market, record_trace=False)
+    stage3 = coordinated_swaps(market, result.matching)
+    print(f"two-stage welfare: {stage3.welfare_before:.4f}")
+    print(f"after Stage III:   {stage3.welfare_after:.4f} "
+          f"({stage3.num_swaps} swap(s) executed)")
+    for swap in stage3.swaps:
+        print(
+            f"  swap: buyer {market.buyer_names[swap.buyer]} -> channel "
+            f"{market.channel_names[swap.channel]}, evicting "
+            f"{[market.buyer_names[k] for k in swap.evicted]} "
+            f"(welfare {swap.welfare_before:g} -> {swap.welfare_after:g})"
+        )
+    print(f"pairwise-stable after: {is_pairwise_stable(market, stage3.matching)}")
+    return 0
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    from repro.dynamic.generator import DynamicMarketGenerator
+    from repro.dynamic.online import OnlineMatcher, RematchStrategy
+
+    results = {}
+    for strategy in RematchStrategy:
+        generator = DynamicMarketGenerator(
+            num_channels=args.sellers,
+            initial_buyers=args.buyers,
+            arrival_rate=args.arrival_rate,
+            departure_prob=args.departure_prob,
+            drift_sigma=args.drift,
+            rng=np.random.default_rng(args.seed),
+        )
+        matcher = OnlineMatcher(strategy)
+        results[strategy] = matcher.run(generator.epochs(args.epochs))
+    print(
+        f"{args.epochs} epochs, N0={args.buyers}, M={args.sellers}, "
+        f"arrivals~Poisson({args.arrival_rate}), departures "
+        f"{args.departure_prob:.0%}, drift {args.drift}"
+    )
+    for strategy, outcomes in results.items():
+        welfare = sum(o.social_welfare for o in outcomes[1:])
+        moved = sum(o.churned for o in outcomes[1:])
+        rounds = sum(o.rounds for o in outcomes[1:])
+        print(
+            f"{strategy.value:>5}: total welfare {welfare:.2f}, "
+            f"incumbents moved {moved}, protocol rounds {rounds}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Quick replication report: each headline claim, checked live."""
+    import repro
+    from repro.core.swap_extension import coordinated_swaps
+    from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
+
+    def line(ok: bool, text: str) -> None:
+        print(f"  [{'PASS' if ok else 'FAIL'}] {text}")
+
+    print(f"spectrum-matching {repro.__version__} -- replication report")
+    print("paper: Chen et al., 'Spectrum Matching', IEEE ICDCS 2016\n")
+
+    print("Toy example (Figs. 1-3):")
+    toy = toy_example_market()
+    toy_result = run_two_stage(toy, record_trace=False)
+    line(
+        toy_result.welfare_stage1 == 27.0,
+        f"Stage I welfare 27 (measured {toy_result.welfare_stage1:g})",
+    )
+    line(
+        toy_result.social_welfare == 30.0,
+        f"final welfare 30 (measured {toy_result.social_welfare:g})",
+    )
+
+    print("Stability (Propositions 3-4, Section III-D):")
+    ce = counterexample_market()
+    ce_result = run_two_stage(ce, record_trace=False)
+    line(is_nash_stable(ce, ce_result.matching), "output Nash-stable")
+    line(
+        not is_pairwise_stable(ce, ce_result.matching),
+        "counterexample pairwise-blocked (negative result reproduced)",
+    )
+    stage3 = coordinated_swaps(ce, ce_result.matching)
+    line(
+        stage3.welfare_after == 27.0,
+        f"Stage III repairs it to the optimum "
+        f"({stage3.welfare_before:g} -> {stage3.welfare_after:g})",
+    )
+
+    print("Headline (>90% of optimal, Fig. 6 regime):")
+    ratios = []
+    for rep in range(20):
+        market = paper_simulation_market(
+            8, 4, np.random.default_rng([args.seed, rep])
+        )
+        result = run_two_stage(market, record_trace=False)
+        best = optimal_matching_branch_and_bound(market).social_welfare(
+            market.utilities
+        )
+        ratios.append(result.social_welfare / best if best > 0 else 1.0)
+    mean_ratio = float(np.mean(ratios))
+    line(mean_ratio > 0.9, f"mean welfare ratio {mean_ratio:.3f} (20 markets)")
+
+    print("Distributed implementation (Section IV):")
+    market = paper_simulation_market(12, 3, np.random.default_rng(args.seed))
+    centralized = run_two_stage(market, record_trace=False)
+    distributed = run_distributed_matching(market, policy=default_policy())
+    line(
+        distributed.matching == centralized.matching,
+        "default-rule protocol replays the centralised algorithm exactly",
+    )
+    adaptive = run_distributed_matching(toy, policy=adaptive_policy())
+    default_run = run_distributed_matching(toy, policy=default_policy())
+    line(
+        adaptive.slots < default_run.slots,
+        f"adaptive transition rules beat the default deadline "
+        f"({adaptive.slots} vs {default_run.slots} slots on the toy)",
+    )
+    print("\nfull evaluation: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command in ("fig6", "fig7", "fig8"):
+        return _cmd_figure(int(args.command[3]), args)
+    if args.command == "toy":
+        return _cmd_toy(args)
+    if args.command == "counterexample":
+        return _cmd_counterexample(args)
+    if args.command == "distributed":
+        return _cmd_distributed(args)
+    if args.command == "swaps":
+        return _cmd_swaps(args)
+    if args.command == "dynamic":
+        return _cmd_dynamic(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Core spectrum-matching machinery: the paper's primary contribution.
+
+Contents map directly onto the paper's sections:
+
+* :mod:`~repro.core.market` -- the free spectrum market of Section II-A,
+  including the dummy expansion of multi-channel sellers and multi-demand
+  buyers into virtual one-channel participants.
+* :mod:`~repro.core.matching` -- the matching function ``mu`` of
+  Definition 1, kept bidirectionally consistent at all times.
+* :mod:`~repro.core.coalition` / :mod:`~repro.core.preferences` -- spectrum
+  coalitions and the preference relations of eqs. (5) and (6).
+* :mod:`~repro.core.deferred_acceptance` -- Stage I, the adapted deferred
+  acceptance of Algorithm 1.
+* :mod:`~repro.core.transfer_invitation` -- Stage II, the transfer and
+  invitation procedure of Algorithm 2.
+* :mod:`~repro.core.two_stage` -- the complete two-stage pipeline with
+  per-stage welfare/round accounting (used by the Fig. 7 / Fig. 8 benches).
+* :mod:`~repro.core.stability` -- individual rationality, Nash stability
+  (Definitions 2-3, Propositions 3-4) and the *negative* results of
+  Section III-D (pairwise stability, buyer optimality).
+"""
+
+from repro.core.market import SpectrumMarket, PhysicalBuyer, PhysicalSeller
+from repro.core.matching import Matching
+from repro.core.coalition import Coalition, buyer_utility_in_coalition, seller_revenue
+from repro.core.preferences import (
+    buyer_prefers,
+    seller_prefers,
+    buyer_preference_order,
+)
+from repro.core.deferred_acceptance import deferred_acceptance, StageOneResult
+from repro.core.transfer_invitation import transfer_and_invitation, StageTwoResult
+from repro.core.two_stage import run_two_stage, TwoStageResult
+from repro.core.stability import (
+    is_individually_rational,
+    is_nash_stable,
+    nash_blocking_moves,
+    pairwise_blocking_pairs,
+    is_pairwise_stable,
+    pareto_dominates_for_buyers,
+)
+
+__all__ = [
+    "SpectrumMarket",
+    "PhysicalBuyer",
+    "PhysicalSeller",
+    "Matching",
+    "Coalition",
+    "buyer_utility_in_coalition",
+    "seller_revenue",
+    "buyer_prefers",
+    "seller_prefers",
+    "buyer_preference_order",
+    "deferred_acceptance",
+    "StageOneResult",
+    "transfer_and_invitation",
+    "StageTwoResult",
+    "run_two_stage",
+    "TwoStageResult",
+    "is_individually_rational",
+    "is_nash_stable",
+    "nash_blocking_moves",
+    "pairwise_blocking_pairs",
+    "is_pairwise_stable",
+    "pareto_dominates_for_buyers",
+]

@@ -1,0 +1,82 @@
+"""Spectrum coalitions (Section III-A).
+
+A *spectrum coalition* is a seller together with the buyers matched to her
+(or a lone unmatched participant).  Preference relations in the paper are
+defined over coalitions rather than individual partners because of the peer
+effect: a buyer's utility inside a coalition depends on whether any of her
+interfering neighbours are in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.core.market import SpectrumMarket
+
+__all__ = ["Coalition", "buyer_utility_in_coalition", "seller_revenue"]
+
+
+@dataclass(frozen=True)
+class Coalition:
+    """One seller's coalition: the channel id plus its buyer set.
+
+    Attributes
+    ----------
+    channel:
+        The seller/channel id.
+    buyers:
+        Frozen set of virtual-buyer ids matched to the channel.
+    """
+
+    channel: int
+    buyers: FrozenSet[int]
+
+    @classmethod
+    def of(cls, channel: int, buyers: Iterable[int]) -> "Coalition":
+        """Convenience constructor accepting any iterable of buyer ids."""
+        return cls(channel=channel, buyers=frozenset(buyers))
+
+    def with_buyer(self, buyer: int) -> "Coalition":
+        """Coalition obtained by adding one buyer (used in deviation tests)."""
+        return Coalition(self.channel, self.buyers | {buyer})
+
+    def without_buyer(self, buyer: int) -> "Coalition":
+        """Coalition obtained by removing one buyer."""
+        return Coalition(self.channel, self.buyers - {buyer})
+
+    def is_interference_free(self, market: SpectrumMarket) -> bool:
+        """Whether no two member buyers interfere on this channel."""
+        return market.interference.is_independent(self.channel, self.buyers)
+
+    def __len__(self) -> int:
+        return len(self.buyers)
+
+
+def buyer_utility_in_coalition(
+    market: SpectrumMarket, buyer: int, coalition: Coalition
+) -> float:
+    """Buyer ``buyer``'s realised utility as a member of ``coalition``.
+
+    Per Section III-A: full utility ``b_{i,j}`` if none of her interfering
+    neighbours (on channel ``i``) is in the coalition, zero otherwise.  A
+    buyer not in the coalition has zero utility from it by convention
+    (matching the "unmatched" baseline of the preference relation).
+    """
+    if buyer not in coalition.buyers:
+        return 0.0
+    graph = market.graph(coalition.channel)
+    others = coalition.buyers - {buyer}
+    if graph.conflicts_with_set(buyer, others):
+        return 0.0
+    return market.price(coalition.channel, buyer)
+
+
+def seller_revenue(market: SpectrumMarket, coalition: Coalition) -> float:
+    """Total offered price of the coalition's buyers (the seller's utility).
+
+    Note this is the raw sum ``sum b_{i,j}`` regardless of interference --
+    interference instead enters the seller's *preference relation* (eq. 6),
+    under which any coalition containing interfering buyers is bottom-ranked.
+    """
+    return sum(market.price(coalition.channel, j) for j in coalition.buyers)

@@ -1,0 +1,238 @@
+"""The matching function ``mu`` of Definition 1, kept consistent by design.
+
+A spectrum matching maps every buyer to at most one channel and every
+channel to a set of buyers, with the bidirectional requirement that
+``mu(j) == {i}`` iff ``j in mu(i)``.  :class:`Matching` maintains both
+directions under every mutation, so the algorithms can never observe an
+inconsistent ``mu`` -- attempts to double-match a buyer raise
+:class:`~repro.errors.MatchingConsistencyError` instead.
+
+The class is deliberately independent of utilities; welfare computations
+take the market (or its utility matrix) as an argument so the same matching
+object can be scored under different valuations (useful in the similarity
+experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import MatchingConsistencyError
+from repro.interference.graph import InterferenceMap
+
+__all__ = ["Matching"]
+
+
+class Matching:
+    """A mutable, always-consistent many-to-one spectrum matching.
+
+    Parameters
+    ----------
+    num_channels:
+        Number of channels ``M`` (channel ids ``0..M-1``).
+    num_buyers:
+        Number of virtual buyers ``N`` (buyer ids ``0..N-1``).
+    """
+
+    __slots__ = ("_num_channels", "_num_buyers", "_buyer_to_channel", "_coalitions")
+
+    def __init__(self, num_channels: int, num_buyers: int) -> None:
+        if num_channels < 1 or num_buyers < 1:
+            raise MatchingConsistencyError(
+                "a matching needs at least one channel and one buyer"
+            )
+        self._num_channels = num_channels
+        self._num_buyers = num_buyers
+        self._buyer_to_channel: List[Optional[int]] = [None] * num_buyers
+        self._coalitions: List[Set[int]] = [set() for _ in range(num_channels)]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_channels(self) -> int:
+        return self._num_channels
+
+    @property
+    def num_buyers(self) -> int:
+        return self._num_buyers
+
+    def channel_of(self, buyer: int) -> Optional[int]:
+        """Return ``mu(j)`` as a channel id, or ``None`` if unmatched."""
+        self._check_buyer(buyer)
+        return self._buyer_to_channel[buyer]
+
+    def is_matched(self, buyer: int) -> bool:
+        """Whether buyer ``buyer`` currently holds a channel."""
+        return self.channel_of(buyer) is not None
+
+    def coalition(self, channel: int) -> FrozenSet[int]:
+        """Return ``mu(i)`` -- the buyers matched to ``channel``."""
+        self._check_channel(channel)
+        return frozenset(self._coalitions[channel])
+
+    def matched_buyers(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(buyer, channel)`` pairs for all matched buyers."""
+        for buyer, channel in enumerate(self._buyer_to_channel):
+            if channel is not None:
+                yield buyer, channel
+
+    def num_matched(self) -> int:
+        """Count of currently matched buyers."""
+        return sum(1 for channel in self._buyer_to_channel if channel is not None)
+
+    def as_assignment(self) -> Tuple[Optional[int], ...]:
+        """Immutable snapshot: tuple of each buyer's channel (or ``None``)."""
+        return tuple(self._buyer_to_channel)
+
+    # ------------------------------------------------------------------
+    # Mutations (consistency-preserving)
+    # ------------------------------------------------------------------
+    def match(self, buyer: int, channel: int) -> None:
+        """Match an *unmatched* buyer to a channel.
+
+        Raises :class:`MatchingConsistencyError` if the buyer is already
+        matched -- callers must :meth:`unmatch` or :meth:`move` explicitly,
+        which keeps accidental double-assignments loud.
+        """
+        self._check_buyer(buyer)
+        self._check_channel(channel)
+        current = self._buyer_to_channel[buyer]
+        if current is not None:
+            raise MatchingConsistencyError(
+                f"buyer {buyer} is already matched to channel {current}; "
+                f"use move() or unmatch() first"
+            )
+        self._buyer_to_channel[buyer] = channel
+        self._coalitions[channel].add(buyer)
+
+    def unmatch(self, buyer: int) -> Optional[int]:
+        """Detach a buyer from her channel; returns the old channel or ``None``."""
+        self._check_buyer(buyer)
+        channel = self._buyer_to_channel[buyer]
+        if channel is not None:
+            self._coalitions[channel].discard(buyer)
+            self._buyer_to_channel[buyer] = None
+        return channel
+
+    def move(self, buyer: int, channel: int) -> Optional[int]:
+        """Re-match a buyer to ``channel``; returns her previous channel.
+
+        Equivalent to :meth:`unmatch` followed by :meth:`match`, as a single
+        operation so traces can record transfers atomically.
+        """
+        previous = self.unmatch(buyer)
+        self.match(buyer, channel)
+        return previous
+
+    def set_coalition(self, channel: int, buyers: Iterable[int]) -> None:
+        """Replace ``mu(channel)`` wholesale (used by Stage I waitlists).
+
+        Buyers leaving the coalition become unmatched; buyers entering must
+        not be matched elsewhere (raise instead of silently stealing).
+        """
+        self._check_channel(channel)
+        new_set = set(buyers)
+        for buyer in new_set:
+            self._check_buyer(buyer)
+            other = self._buyer_to_channel[buyer]
+            if other is not None and other != channel:
+                raise MatchingConsistencyError(
+                    f"buyer {buyer} is matched to channel {other}, cannot be "
+                    f"placed into channel {channel}'s coalition"
+                )
+        for buyer in self._coalitions[channel] - new_set:
+            self._buyer_to_channel[buyer] = None
+        for buyer in new_set:
+            self._buyer_to_channel[buyer] = channel
+        self._coalitions[channel] = new_set
+
+    def copy(self) -> "Matching":
+        """Deep copy (coalition sets are not shared)."""
+        clone = Matching(self._num_channels, self._num_buyers)
+        clone._buyer_to_channel = list(self._buyer_to_channel)
+        clone._coalitions = [set(c) for c in self._coalitions]
+        return clone
+
+    # ------------------------------------------------------------------
+    # Scoring and invariants
+    # ------------------------------------------------------------------
+    def social_welfare(self, utilities: np.ndarray) -> float:
+        """Social welfare ``sum b_{i,j} x_{i,j}`` (paper, eq. 1 objective).
+
+        ``utilities`` is the ``(N, M)`` matrix with ``utilities[j, i] =
+        b_{i,j}``.  Note the paper's welfare counts the raw ``b_{i,j}`` of
+        every matched pair; for interference-free matchings (everything the
+        algorithms produce) that equals the sum of realised buyer utilities.
+        """
+        total = 0.0
+        for buyer, channel in self.matched_buyers():
+            total += float(utilities[buyer, channel])
+        return total
+
+    def buyer_utility(self, buyer: int, utilities: np.ndarray) -> float:
+        """Realised utility of one buyer: ``b_{mu(j),j}`` or 0 if unmatched."""
+        channel = self.channel_of(buyer)
+        if channel is None:
+            return 0.0
+        return float(utilities[buyer, channel])
+
+    def seller_revenue(self, channel: int, utilities: np.ndarray) -> float:
+        """Total offered price collected by one channel's seller."""
+        return sum(float(utilities[j, channel]) for j in self._coalitions[channel])
+
+    def is_interference_free(self, interference: InterferenceMap) -> bool:
+        """Check constraint (3): no coalition contains an interfering pair."""
+        for channel in range(self._num_channels):
+            if not interference.is_independent(channel, self._coalitions[channel]):
+                return False
+        return True
+
+    def assert_consistent(self) -> None:
+        """Verify the two internal directions agree (debug/test hook)."""
+        for buyer, channel in enumerate(self._buyer_to_channel):
+            if channel is not None and buyer not in self._coalitions[channel]:
+                raise MatchingConsistencyError(
+                    f"buyer {buyer} points to channel {channel} but is missing "
+                    f"from its coalition"
+                )
+        for channel, coalition in enumerate(self._coalitions):
+            for buyer in coalition:
+                if self._buyer_to_channel[buyer] != channel:
+                    raise MatchingConsistencyError(
+                        f"channel {channel} lists buyer {buyer} whose pointer "
+                        f"is {self._buyer_to_channel[buyer]}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Helpers / dunder
+    # ------------------------------------------------------------------
+    def _check_buyer(self, buyer: int) -> None:
+        if not 0 <= buyer < self._num_buyers:
+            raise MatchingConsistencyError(
+                f"buyer index {buyer} out of range [0, {self._num_buyers})"
+            )
+
+    def _check_channel(self, channel: int) -> None:
+        if not 0 <= channel < self._num_channels:
+            raise MatchingConsistencyError(
+                f"channel index {channel} out of range [0, {self._num_channels})"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matching):
+            return NotImplemented
+        return (
+            self._num_channels == other._num_channels
+            and self._buyer_to_channel == other._buyer_to_channel
+        )
+
+    def __repr__(self) -> str:
+        coalitions = {
+            channel: sorted(members)
+            for channel, members in enumerate(self._coalitions)
+            if members
+        }
+        return f"Matching(matched={self.num_matched()}, coalitions={coalitions})"

@@ -1,0 +1,119 @@
+"""Preference relations over spectrum coalitions (eqs. 5 and 6).
+
+The paper defines, for every buyer and every seller, a complete, reflexive,
+transitive preference relation over coalitions.  Both relations collapse to
+comparisons of *realised value*:
+
+* a buyer's realised value of a coalition she belongs to is ``b_{i,j}`` if
+  none of her interfering neighbours is a co-member and ``0`` otherwise
+  (eq. 5 plus the stated indifference assumptions);
+* a seller's realised value of a coalition is its total offered price if
+  the coalition is interference-free and ``0`` otherwise (eq. 6 plus the
+  stated indifference assumptions).
+
+Strict preference is then simply "strictly larger realised value", which is
+what this module implements; the equivalence is exercised by the unit tests
+case-by-case against the raw eq. 5/6 definitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.coalition import Coalition, buyer_utility_in_coalition, seller_revenue
+from repro.core.market import SpectrumMarket
+
+__all__ = [
+    "buyer_coalition_value",
+    "seller_coalition_value",
+    "buyer_prefers",
+    "seller_prefers",
+    "buyer_preference_order",
+    "preferred_channels_above",
+]
+
+
+def buyer_coalition_value(
+    market: SpectrumMarket, buyer: int, coalition: Optional[Coalition]
+) -> float:
+    """Realised value of a coalition to a buyer (``None`` = unmatched = 0)."""
+    if coalition is None:
+        return 0.0
+    return buyer_utility_in_coalition(market, buyer, coalition)
+
+
+def seller_coalition_value(market: SpectrumMarket, coalition: Coalition) -> float:
+    """Realised value of a coalition to its seller.
+
+    Total offered price when interference-free; zero otherwise (a seller is
+    indifferent between being unmatched and holding an interfering -- hence
+    unusable -- coalition).
+    """
+    if not coalition.is_interference_free(market):
+        return 0.0
+    return seller_revenue(market, coalition)
+
+
+def buyer_prefers(
+    market: SpectrumMarket,
+    buyer: int,
+    first: Optional[Coalition],
+    second: Optional[Coalition],
+) -> bool:
+    """Strict buyer preference ``first > second`` (eq. 5).
+
+    ``None`` stands for the unmatched singleton coalition ``{j}``.
+    """
+    return buyer_coalition_value(market, buyer, first) > buyer_coalition_value(
+        market, buyer, second
+    )
+
+
+def seller_prefers(
+    market: SpectrumMarket, first: Coalition, second: Coalition
+) -> bool:
+    """Strict seller preference ``first > second`` (eq. 6).
+
+    Both coalitions must belong to the same channel (a seller only ever
+    compares her own coalitions).
+    """
+    if first.channel != second.channel:
+        raise ValueError(
+            f"seller preference compares coalitions of one channel, got "
+            f"{first.channel} vs {second.channel}"
+        )
+    return seller_coalition_value(market, first) > seller_coalition_value(
+        market, second
+    )
+
+
+def buyer_preference_order(market: SpectrumMarket, buyer: int) -> List[int]:
+    """Buyer ``buyer``'s proposal order over channels.
+
+    Channels with strictly positive utility, sorted by descending
+    ``b_{i,j}`` with ties broken by ascending channel id (deterministic
+    runs).  Zero-utility channels are excluded: winning one would leave the
+    buyer exactly as well off as unmatched, so she never spends a proposal
+    on it.
+    """
+    vector = market.buyer_vector(buyer)
+    candidates = [i for i in range(market.num_channels) if vector[i] > 0.0]
+    candidates.sort(key=lambda i: (-vector[i], i))
+    return candidates
+
+
+def preferred_channels_above(
+    market: SpectrumMarket, buyer: int, baseline_utility: float
+) -> List[int]:
+    """Channels strictly better for ``buyer`` than ``baseline_utility``.
+
+    This is the unapplied-seller list ``T_j = {i | b_{i,j} > b_{mu(j),j}}``
+    initialised at the start of Stage II (Algorithm 2, line 3), ordered by
+    descending utility.
+    """
+    vector = market.buyer_vector(buyer)
+    candidates = [
+        i for i in range(market.num_channels) if vector[i] > baseline_utility
+    ]
+    candidates.sort(key=lambda i: (-vector[i], i))
+    return candidates

@@ -1,0 +1,210 @@
+"""Stage III: coordinated swaps (the paper's Section III-D future work).
+
+The two-stage algorithm stops at Nash stability.  Section III-D shows
+what it leaves on the table: a seller-buyer pair may be *pairwise
+blocking* -- the seller would gladly evict part of her coalition to admit
+a higher-paying outsider -- but executing that deal requires coordination
+("seller b is not aware that buyer 4 can transfer to seller c ... How to
+enable such a swap ... is an interesting topic for future works").
+
+This module implements that future work as an optional third stage:
+
+1. scan for pairwise blocking pairs (Definition 4);
+2. for each candidate, *plan* the full move -- admit the blocking buyer,
+   evict her interfering neighbours, and relocate each evicted buyer to
+   her best channel that still has room (possibly the blocker's vacated
+   channel, exactly the paper's swap);
+3. execute the plan only if it increases total social welfare (strictly),
+   which both keeps every step globally beneficial and guarantees
+   termination (welfare strictly increases along a finite lattice);
+4. repeat until no welfare-improving blocking swap remains.
+
+The result remains interference-free and individually rational; it is
+Nash-stable again after a closing Stage II pass (the executor runs one
+automatically by default).  Pairwise stability is still not guaranteed --
+remaining blocking pairs are exactly those whose execution would hurt
+total welfare through their relocation fallout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.market import SpectrumMarket
+from repro.core.matching import Matching
+from repro.core.stability import PairwiseBlockingPair, pairwise_blocking_pairs
+from repro.core.transfer_invitation import transfer_and_invitation
+
+__all__ = ["SwapRecord", "StageThreeResult", "coordinated_swaps"]
+
+
+@dataclass(frozen=True)
+class SwapRecord:
+    """One executed swap.
+
+    Attributes
+    ----------
+    channel / buyer:
+        The blocking pair that triggered the swap: ``buyer`` joined
+        ``channel``.
+    evicted:
+        Buyers evicted from ``channel`` to make room.
+    relocations:
+        ``(buyer, new_channel_or_minus_1)`` for each evicted buyer;
+        ``-1`` means the buyer could not be relocated and ended unmatched.
+    welfare_before / welfare_after:
+        Total social welfare around the swap (strictly increasing).
+    """
+
+    channel: int
+    buyer: int
+    evicted: Tuple[int, ...]
+    relocations: Tuple[Tuple[int, int], ...]
+    welfare_before: float
+    welfare_after: float
+
+
+@dataclass(frozen=True)
+class StageThreeResult:
+    """Outcome of the coordinated-swap stage.
+
+    Attributes
+    ----------
+    matching:
+        Final matching (after the closing Stage II pass when enabled).
+    swaps:
+        Executed swaps in order.
+    welfare_before / welfare_after:
+        Social welfare entering and leaving Stage III.
+    """
+
+    matching: Matching
+    swaps: Tuple[SwapRecord, ...]
+    welfare_before: float
+    welfare_after: float
+
+    @property
+    def num_swaps(self) -> int:
+        return len(self.swaps)
+
+
+def _best_relocation(
+    market: SpectrumMarket, matching: Matching, buyer: int
+) -> Optional[int]:
+    """Best channel where ``buyer`` fits without interference, or None."""
+    utilities = market.utilities
+    candidates = [
+        i
+        for i in range(market.num_channels)
+        if utilities[buyer, i] > 0.0
+        and not market.graph(i).conflicts_with_set(buyer, matching.coalition(i))
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda i: (utilities[buyer, i], -i))
+
+
+def _plan_swap(
+    market: SpectrumMarket, matching: Matching, pair: PairwiseBlockingPair
+) -> Optional[Tuple[Matching, SwapRecord]]:
+    """Simulate executing ``pair``; return the new matching if welfare rises."""
+    utilities = market.utilities
+    trial = matching.copy()
+    welfare_before = trial.social_welfare(utilities)
+
+    for evictee in pair.evicted:
+        trial.unmatch(evictee)
+    trial.move(pair.buyer, pair.channel)
+
+    relocations: List[Tuple[int, int]] = []
+    # Relocate higher-priced evictees first (they have the most to lose).
+    for evictee in sorted(
+        pair.evicted,
+        key=lambda k: (-utilities[k, pair.channel], k),
+    ):
+        target = _best_relocation(market, trial, evictee)
+        if target is not None:
+            trial.match(evictee, target)
+            relocations.append((evictee, target))
+        else:
+            relocations.append((evictee, -1))
+
+    welfare_after = trial.social_welfare(utilities)
+    if welfare_after <= welfare_before + 1e-12:
+        return None
+    record = SwapRecord(
+        channel=pair.channel,
+        buyer=pair.buyer,
+        evicted=pair.evicted,
+        relocations=tuple(relocations),
+        welfare_before=welfare_before,
+        welfare_after=welfare_after,
+    )
+    return trial, record
+
+
+def coordinated_swaps(
+    market: SpectrumMarket,
+    matching: Matching,
+    max_swaps: int = 10_000,
+    closing_stage_two: bool = True,
+) -> StageThreeResult:
+    """Run Stage III on a (typically two-stage) matching.
+
+    Parameters
+    ----------
+    market:
+        The market instance.
+    matching:
+        Starting matching (not mutated).
+    max_swaps:
+        Safety bound; welfare-strict improvement already guarantees
+        termination, so hitting this indicates a bug rather than a big
+        instance.
+    closing_stage_two:
+        Re-run transfer-and-invitation after the swaps settle, restoring
+        Nash stability (a swap can strand an evicted buyer whose best
+        channel frees up later).
+
+    Returns
+    -------
+    StageThreeResult
+        Final matching and the executed swap log.  ``welfare_after >=
+        welfare_before`` always; strict whenever any swap executed.
+    """
+    current = matching.copy()
+    utilities = market.utilities
+    welfare_before = current.social_welfare(utilities)
+    swaps: List[SwapRecord] = []
+
+    while len(swaps) < max_swaps:
+        # Deterministic choice: among welfare-improving blocking swaps,
+        # execute the one with the largest welfare gain (ties: lowest
+        # channel, then buyer id, via the scan order).
+        best_plan: Optional[Tuple[Matching, SwapRecord]] = None
+        for pair in pairwise_blocking_pairs(market, current):
+            plan = _plan_swap(market, current, pair)
+            if plan is None:
+                continue
+            if (
+                best_plan is None
+                or plan[1].welfare_after > best_plan[1].welfare_after + 1e-12
+            ):
+                best_plan = plan
+        if best_plan is None:
+            break
+        current, record = best_plan
+        swaps.append(record)
+
+    if closing_stage_two:
+        current = transfer_and_invitation(
+            market, current, record_trace=False
+        ).matching
+
+    return StageThreeResult(
+        matching=current,
+        swaps=tuple(swaps),
+        welfare_before=welfare_before,
+        welfare_after=current.social_welfare(utilities),
+    )

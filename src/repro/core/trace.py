@@ -1,0 +1,93 @@
+"""Round-by-round trace records for the matching algorithms.
+
+Both stages of the algorithm (and the message-passing runtime built on top
+of them) emit structured per-round records rather than log strings, so
+tests can assert exact intermediate states -- e.g. the paper's toy example
+(Figs. 1-2) is verified round by round -- and the analysis layer can count
+rounds per stage for the Fig. 8 reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "StageOneRound",
+    "TransferRound",
+    "InvitationRound",
+]
+
+
+@dataclass(frozen=True)
+class StageOneRound:
+    """One proposal round of Stage I (Algorithm 1).
+
+    Attributes
+    ----------
+    round_index:
+        1-based round counter (one round = one time slot, Section IV).
+    proposals:
+        ``{channel: [proposing buyers]}`` for this round, buyer ids sorted.
+    waitlists:
+        ``{channel: (waitlisted buyers,)}`` *after* the sellers' selections,
+        for channels whose waitlist is non-empty.
+    evictions:
+        ``(buyer, channel)`` pairs evicted from a waitlist this round.
+    rejections:
+        ``(buyer, channel)`` pairs whose fresh proposal was declined this
+        round (never waitlisted).
+    """
+
+    round_index: int
+    proposals: Dict[int, Tuple[int, ...]]
+    waitlists: Dict[int, Tuple[int, ...]]
+    evictions: Tuple[Tuple[int, int], ...]
+    rejections: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class TransferRound:
+    """One round of Stage II Phase 1 (transfer applications).
+
+    Attributes
+    ----------
+    round_index:
+        1-based round counter within Phase 1.
+    applications:
+        ``{channel: (applying buyers,)}`` sent this round.
+    accepted:
+        ``(buyer, from_channel_or_minus_1, to_channel)`` transfers granted;
+        ``-1`` marks a previously unmatched buyer.
+    rejected:
+        ``(buyer, channel)`` applications declined (buyer enters the
+        seller's invitation list).
+    """
+
+    round_index: int
+    applications: Dict[int, Tuple[int, ...]]
+    accepted: Tuple[Tuple[int, int, int], ...]
+    rejected: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class InvitationRound:
+    """One round of Stage II Phase 2 (invitations).
+
+    Attributes
+    ----------
+    round_index:
+        1-based round counter within Phase 2.
+    invitations:
+        ``(channel, buyer)`` invitations sent this round.
+    accepted:
+        ``(buyer, from_channel_or_minus_1, to_channel)`` accepted invites.
+    declined:
+        ``(channel, buyer)`` invitations turned down (current match at
+        least as good).
+    """
+
+    round_index: int
+    invitations: Tuple[Tuple[int, int], ...]
+    accepted: Tuple[Tuple[int, int, int], ...]
+    declined: Tuple[Tuple[int, int], ...]

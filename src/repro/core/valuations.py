@@ -1,0 +1,191 @@
+"""Combinatorial channel valuations (the paper's footnote-1 future work).
+
+The matching framework prices channels *additively*: a multi-demand
+buyer's value for a bundle is the sum of per-channel values (footnote 1:
+"We will consider that channels may be complementary or substitute goods
+(e.g., in a combinatorial auction) in the future").  This module supplies
+that future work's modelling side:
+
+* :class:`AdditiveValuation` -- the paper's baseline;
+* :class:`SubstitutesValuation` -- diminishing returns: the k-th best
+  channel in a bundle is discounted by ``factor**k`` (sub-additive);
+* :class:`ComplementsValuation` -- synergy: a bundle of ``b`` channels is
+  worth ``synergy**(b-1)`` times its additive value (super-additive);
+
+plus the evaluation utilities that let the repository *measure* what the
+additive dummy-expansion proxy costs under non-additive truth:
+
+* :func:`physical_bundles` -- which channels each physical buyer's clones
+  won;
+* :func:`physical_welfare` -- total true welfare of a matching under
+  per-physical-buyer valuations;
+* :func:`combinatorial_optimal_welfare` -- the exact optimum of the
+  non-additive objective by exhaustive search (small instances).
+
+The ``bench_valuations`` ablation shows the proxy is exact for additive
+truth (by definition), mildly wasteful under substitutes (it over-buys),
+and leaves synergy on the table under complements -- quantifying the open
+problem rather than solving it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.core.market import SpectrumMarket
+from repro.core.matching import Matching
+from repro.errors import MarketConfigurationError, SolverLimitExceeded
+from repro.optimal.bruteforce import DEFAULT_BRUTEFORCE_STATE_LIMIT
+
+__all__ = [
+    "Valuation",
+    "AdditiveValuation",
+    "SubstitutesValuation",
+    "ComplementsValuation",
+    "physical_bundles",
+    "physical_welfare",
+    "combinatorial_optimal_welfare",
+]
+
+
+class Valuation:
+    """A physical buyer's value function over channel bundles."""
+
+    def value(self, bundle: Iterable[int]) -> float:
+        """True value of holding exactly the channels in ``bundle``."""
+        raise NotImplementedError
+
+    def marginal(self, channel: int, bundle: Iterable[int]) -> float:
+        """Marginal value of adding ``channel`` to ``bundle``."""
+        base = frozenset(bundle)
+        if channel in base:
+            return 0.0
+        return self.value(base | {channel}) - self.value(base)
+
+
+@dataclass(frozen=True)
+class AdditiveValuation(Valuation):
+    """The paper's baseline: bundle value is the sum of channel values."""
+
+    channel_values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if any(v < 0 for v in self.channel_values):
+            raise MarketConfigurationError("channel values must be >= 0")
+
+    def value(self, bundle: Iterable[int]) -> float:
+        return sum(self.channel_values[i] for i in set(bundle))
+
+
+@dataclass(frozen=True)
+class SubstitutesValuation(Valuation):
+    """Sub-additive bundles: each further channel is worth less.
+
+    The bundle's channels are sorted by descending standalone value and
+    the k-th (0-indexed) contributes ``value * factor**k``; ``factor=1``
+    recovers additivity, ``factor=0`` makes channels perfect substitutes
+    (only the best one counts).
+    """
+
+    channel_values: Tuple[float, ...]
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.factor <= 1.0:
+            raise MarketConfigurationError(
+                f"substitutes factor must lie in [0, 1], got {self.factor}"
+            )
+        if any(v < 0 for v in self.channel_values):
+            raise MarketConfigurationError("channel values must be >= 0")
+
+    def value(self, bundle: Iterable[int]) -> float:
+        standalone = sorted(
+            (self.channel_values[i] for i in set(bundle)), reverse=True
+        )
+        return sum(v * self.factor**k for k, v in enumerate(standalone))
+
+
+@dataclass(frozen=True)
+class ComplementsValuation(Valuation):
+    """Super-additive bundles: channels are worth more together.
+
+    A bundle of ``b >= 1`` channels is worth ``synergy**(b-1)`` times its
+    additive value; ``synergy=1`` recovers additivity.  (Think channel
+    bonding: contiguous spectrum unlocks wider radio configurations.)
+    """
+
+    channel_values: Tuple[float, ...]
+    synergy: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.synergy < 1.0:
+            raise MarketConfigurationError(
+                f"synergy must be >= 1 (use SubstitutesValuation below 1), "
+                f"got {self.synergy}"
+            )
+        if any(v < 0 for v in self.channel_values):
+            raise MarketConfigurationError("channel values must be >= 0")
+
+    def value(self, bundle: Iterable[int]) -> float:
+        channels = set(bundle)
+        if not channels:
+            return 0.0
+        additive = sum(self.channel_values[i] for i in channels)
+        return additive * self.synergy ** (len(channels) - 1)
+
+
+def physical_bundles(
+    market: SpectrumMarket, matching: Matching
+) -> Dict[int, FrozenSet[int]]:
+    """Map each physical buyer to the set of channels her clones won."""
+    bundles: Dict[int, set] = {owner: set() for owner in set(market.buyer_owner)}
+    for virtual, channel in matching.matched_buyers():
+        bundles[market.buyer_owner[virtual]].add(channel)
+    return {owner: frozenset(chs) for owner, chs in bundles.items()}
+
+
+def physical_welfare(
+    market: SpectrumMarket,
+    matching: Matching,
+    valuations: Sequence[Valuation],
+) -> float:
+    """True (possibly non-additive) welfare of a matching.
+
+    ``valuations[p]`` is physical buyer ``p``'s value function; the number
+    of valuations must cover every owner index in the market.
+    """
+    owners = set(market.buyer_owner)
+    if owners and max(owners) >= len(valuations):
+        raise MarketConfigurationError(
+            f"need a valuation for every physical buyer "
+            f"(max owner {max(owners)}, got {len(valuations)})"
+        )
+    total = 0.0
+    for owner, bundle in physical_bundles(market, matching).items():
+        total += valuations[owner].value(bundle)
+    return total
+
+
+def combinatorial_optimal_welfare(
+    market: SpectrumMarket,
+    valuations: Sequence[Valuation],
+    state_limit: int = DEFAULT_BRUTEFORCE_STATE_LIMIT,
+) -> Tuple[float, Matching]:
+    """Exact optimum of the non-additive welfare objective.
+
+    Exhausts every interference-free matching (guarded by the same
+    ``(M+1)^N`` limit as the brute-force solver) and scores each with the
+    true valuations.  Returns ``(welfare, argmax matching)``.
+    """
+    from repro.optimal.nash_enumeration import enumerate_feasible_matchings
+
+    best_value = -1.0
+    best_matching: Matching | None = None
+    for matching in enumerate_feasible_matchings(market, state_limit):
+        value = physical_welfare(market, matching, valuations)
+        if value > best_value:
+            best_value = value
+            best_matching = matching
+    assert best_matching is not None
+    return best_value, best_matching

@@ -1,0 +1,71 @@
+"""Distributed implementation of spectrum matching (Section IV).
+
+The centralised loops in :mod:`repro.core` assume an oracle that tells all
+participants when Stage I ends and Stage II begins.  Section IV of the
+paper removes that assumption: buyers and sellers run as independent
+agents exchanging messages in a time-slotted network, each deciding
+*locally* when to transition between stages using the paper's transition
+rules (buyer rules I-III driven by the eviction-probability estimate
+``P^k`` of eqs. 7-8, the seller rule driven by the better-proposal
+estimate ``Q^k`` of eq. 9, or the conservative default rule that waits
+``MN`` / ``M`` / ``N`` slots).
+
+Subpackage layout:
+
+* :mod:`~repro.distributed.simulator` -- generic time-slotted simulation
+  kernel with deterministic agent scheduling and termination detection.
+* :mod:`~repro.distributed.network` -- message-delivery models (reliable,
+  fixed/random delay, lossy).
+* :mod:`~repro.distributed.messages` -- the protocol's message types.
+* :mod:`~repro.distributed.buyer_agent` / ``seller_agent`` -- the agent
+  state machines.
+* :mod:`~repro.distributed.probability` -- eqs. (7)-(9).
+* :mod:`~repro.distributed.transition` -- the transition-rule policies.
+* :mod:`~repro.distributed.protocol` -- end-to-end runner returning the
+  final matching plus slot/message accounting.
+"""
+
+from repro.distributed.simulator import TimeSlottedSimulator, Agent, SlotContext
+from repro.distributed.network import (
+    ReliableNetwork,
+    DelayedNetwork,
+    LossyNetwork,
+    Network,
+)
+from repro.distributed.probability import (
+    eviction_probability_single_round,
+    eviction_probability,
+    better_proposal_probability_single_round,
+    better_proposal_probability,
+    uniform_price_cdf,
+)
+from repro.distributed.transition import (
+    BuyerTransitionRule,
+    SellerTransitionRule,
+    TransitionPolicy,
+    default_policy,
+    adaptive_policy,
+)
+from repro.distributed.protocol import run_distributed_matching, DistributedResult
+
+__all__ = [
+    "TimeSlottedSimulator",
+    "Agent",
+    "SlotContext",
+    "Network",
+    "ReliableNetwork",
+    "DelayedNetwork",
+    "LossyNetwork",
+    "eviction_probability_single_round",
+    "eviction_probability",
+    "better_proposal_probability_single_round",
+    "better_proposal_probability",
+    "uniform_price_cdf",
+    "BuyerTransitionRule",
+    "SellerTransitionRule",
+    "TransitionPolicy",
+    "default_policy",
+    "adaptive_policy",
+    "run_distributed_matching",
+    "DistributedResult",
+]

@@ -1,0 +1,295 @@
+"""Buyer agent: the buyer-side protocol state machine.
+
+A buyer runs through two stages mirroring Algorithms 1 and 2, but drives
+every step off received messages and local knowledge only:
+
+* her own utility vector (private valuation);
+* her interference neighbourhoods per channel (obtainable by spectrum
+  sensing, as assumed throughout the paper);
+* the coalition/proposer digests her current seller includes in
+  ``WaitlistUpdate`` messages (what makes transition rules I/II evaluable).
+
+Stage I: propose down the preference list, one outstanding proposal at a
+time; on eviction resume proposing.  Transition to Stage II per the
+configured rule, on the seller's notification (rule III), or when the
+proposal list is exhausted.
+
+Stage II: send transfer applications down ``T_j`` (one outstanding at a
+time, skipping channels no longer strictly better than the current match),
+confirm or decline the resulting offers, and answer invitations at any
+time.  On every move the buyer explicitly informs her previous seller with
+a ``Leave`` message.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.core.market import SpectrumMarket
+from repro.core.preferences import buyer_preference_order
+from repro.distributed.messages import (
+    Evict,
+    Invite,
+    InviteAccept,
+    InviteDecline,
+    Leave,
+    Message,
+    ProposalReject,
+    Propose,
+    SellerStageNotify,
+    TransferApply,
+    TransferConfirm,
+    TransferDecline,
+    TransferOffer,
+    TransferReject,
+    WaitlistUpdate,
+)
+from repro.distributed.probability import eviction_probability
+from repro.distributed.simulator import Agent, SlotContext
+from repro.distributed.transition import BuyerTransitionRule, TransitionPolicy
+from repro.errors import ProtocolError
+
+__all__ = ["BuyerAgent", "buyer_agent_id", "seller_agent_id"]
+
+
+def buyer_agent_id(buyer: int) -> str:
+    """Wire id of buyer ``buyer``."""
+    return f"buyer:{buyer}"
+
+
+def seller_agent_id(channel: int) -> str:
+    """Wire id of the seller owning ``channel``."""
+    return f"seller:{channel}"
+
+
+class BuyerAgent(Agent):
+    """One virtual buyer of the distributed protocol.
+
+    Parameters
+    ----------
+    buyer:
+        The buyer's id ``j``.
+    market:
+        Market instance (utilities + interference neighbourhoods are the
+        buyer's local knowledge).
+    policy:
+        The transition policy in force.
+    """
+
+    #: Buyers step before sellers so a slot carries a full propose/decide round.
+    PRIORITY = 0
+
+    def __init__(
+        self,
+        buyer: int,
+        market: SpectrumMarket,
+        policy: TransitionPolicy,
+        initial_channel: Optional[int] = None,
+    ) -> None:
+        super().__init__(buyer_agent_id(buyer), priority=self.PRIORITY)
+        self.buyer = buyer
+        self._market = market
+        self._policy = policy
+        self._utilities = market.utilities[buyer, :]
+
+        # Stage I state.
+        self.stage = 1
+        self._unproposed: List[int] = buyer_preference_order(market, buyer)
+        self._outstanding_proposal: Optional[int] = None
+        self.current_channel: Optional[int] = None
+        #: Cumulative proposer set reported by the current seller.
+        self._proposers_at_current: Set[int] = set()
+
+        # Stage II state.
+        self._unapplied: List[int] = []
+        self._applied: Set[int] = set()
+        self._outstanding_application: Optional[int] = None
+
+        self._default_slot = policy.default_stage2_slot(
+            market.num_channels, market.num_buyers
+        )
+
+        if initial_channel is not None:
+            # Warm start (dynamic re-matching): the buyer already holds a
+            # channel from the previous epoch and begins directly in
+            # Stage II, trying to transfer upward.
+            self.current_channel = initial_channel
+            self._enter_stage2()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def current_utility(self) -> float:
+        """Realised utility of the current match (0 when unmatched)."""
+        if self.current_channel is None:
+            return 0.0
+        return float(self._utilities[self.current_channel])
+
+    def _become_unmatched(self) -> None:
+        self.current_channel = None
+        self._proposers_at_current = set()
+        if self.stage == 2:
+            # Evicted after an early transition (the risk Section IV-A
+            # quantifies): rebuild the transfer list against a baseline of
+            # zero, minus channels already applied to.
+            self._rebuild_unapplied()
+
+    def _rebuild_unapplied(self) -> None:
+        baseline = self.current_utility()
+        candidates = [
+            i
+            for i in range(self._market.num_channels)
+            if self._utilities[i] > baseline and i not in self._applied
+        ]
+        candidates.sort(key=lambda i: (-self._utilities[i], i))
+        self._unapplied = candidates
+
+    def _enter_stage2(self) -> None:
+        if self.stage == 2:
+            return
+        self.stage = 2
+        self._outstanding_proposal = None
+        self._rebuild_unapplied()
+
+    def _move_to(self, channel: int, ctx: SlotContext) -> None:
+        """Commit a move (transfer confirm or invite accept)."""
+        previous = self.current_channel
+        if previous is not None and previous != channel:
+            ctx.send(seller_agent_id(previous), Leave(self.agent_id, self.buyer))
+        self.current_channel = channel
+        self._proposers_at_current = set()
+
+    # ------------------------------------------------------------------
+    # Transition rules
+    # ------------------------------------------------------------------
+    def _stage1_transition_due(self, now: int) -> bool:
+        """Evaluate the configured buyer rule (matched buyers only)."""
+        if now >= self._default_slot:
+            return True  # default rule / fallback of the adaptive rules
+        rule = self._policy.buyer_rule
+        if rule is BuyerTransitionRule.DEFAULT:
+            return False
+        if self.current_channel is None:
+            return False
+        channel = self.current_channel
+        neighbors = self._market.graph(channel).neighbors(self.buyer)
+        unseen = [k for k in neighbors if k not in self._proposers_at_current]
+        if rule is BuyerTransitionRule.NEIGHBORS_PROPOSED:
+            return not unseen
+        if rule is BuyerTransitionRule.EVICTION_PROBABILITY:
+            risk = eviction_probability(
+                round_index=now + 1,
+                num_unseen_neighbors=len(unseen),
+                num_channels=self._market.num_channels,
+                num_buyers=self._market.num_buyers,
+                own_price=float(self._utilities[channel]),
+                cdf=self._policy.price_cdf,
+            )
+            return risk < self._policy.buyer_threshold
+        raise ProtocolError(f"unknown buyer rule {rule!r}")
+
+    # ------------------------------------------------------------------
+    # Agent interface
+    # ------------------------------------------------------------------
+    def step(self, inbox: List[Message], ctx: SlotContext) -> None:
+        for message in inbox:
+            self._handle(message, ctx)
+
+        if self.stage == 1:
+            self._act_stage1(ctx)
+        if self.stage == 2:
+            self._act_stage2(ctx)
+
+    def _handle(self, message: Message, ctx: SlotContext) -> None:
+        if isinstance(message, WaitlistUpdate):
+            if self._outstanding_proposal == message.channel:
+                self._outstanding_proposal = None
+            self.current_channel = message.channel
+            self._proposers_at_current = set(message.proposers_so_far)
+        elif isinstance(message, Evict):
+            if self.current_channel == message.channel:
+                self._become_unmatched()
+        elif isinstance(message, ProposalReject):
+            if self._outstanding_proposal == message.channel:
+                self._outstanding_proposal = None
+        elif isinstance(message, SellerStageNotify):
+            if self.current_channel == message.channel and self.stage == 1:
+                self._enter_stage2()  # rule III
+        elif isinstance(message, TransferOffer):
+            if self._outstanding_application == message.channel:
+                self._outstanding_application = None
+            if float(self._utilities[message.channel]) > self.current_utility():
+                ctx.send(
+                    seller_agent_id(message.channel),
+                    TransferConfirm(self.agent_id, self.buyer),
+                )
+                self._move_to(message.channel, ctx)
+            else:
+                ctx.send(
+                    seller_agent_id(message.channel),
+                    TransferDecline(self.agent_id, self.buyer),
+                )
+        elif isinstance(message, TransferReject):
+            if self._outstanding_application == message.channel:
+                self._outstanding_application = None
+        elif isinstance(message, Invite):
+            if float(self._utilities[message.channel]) > self.current_utility():
+                ctx.send(
+                    seller_agent_id(message.channel),
+                    InviteAccept(self.agent_id, self.buyer),
+                )
+                self._move_to(message.channel, ctx)
+            else:
+                ctx.send(
+                    seller_agent_id(message.channel),
+                    InviteDecline(self.agent_id, self.buyer),
+                )
+        else:
+            raise ProtocolError(
+                f"buyer {self.buyer} cannot handle message {message!r}"
+            )
+
+    def _act_stage1(self, ctx: SlotContext) -> None:
+        if self.current_channel is None:
+            if self._outstanding_proposal is not None:
+                return  # stop-and-wait: a proposal is in flight
+            if self._unproposed:
+                channel = self._unproposed.pop(0)
+                self._outstanding_proposal = channel
+                ctx.send(
+                    seller_agent_id(channel), Propose(self.agent_id, self.buyer)
+                )
+                return
+            # Exhausted all proposals: nothing left to try in Stage I.
+            self._enter_stage2()
+            return
+        if self._stage1_transition_due(ctx.now):
+            self._enter_stage2()
+
+    def _act_stage2(self, ctx: SlotContext) -> None:
+        if self._outstanding_application is not None:
+            return
+        current = self.current_utility()
+        while self._unapplied and float(
+            self._utilities[self._unapplied[0]]
+        ) <= current:
+            self._unapplied.pop(0)  # stale: no longer strictly better
+        if not self._unapplied:
+            return
+        channel = self._unapplied.pop(0)
+        self._applied.add(channel)
+        self._outstanding_application = channel
+        ctx.send(seller_agent_id(channel), TransferApply(self.agent_id, self.buyer))
+
+    def is_done(self) -> bool:
+        return (
+            self.stage == 2
+            and self._outstanding_application is None
+            and not self._has_live_applications()
+        )
+
+    def _has_live_applications(self) -> bool:
+        current = self.current_utility()
+        return any(float(self._utilities[i]) > current for i in self._unapplied)

@@ -1,0 +1,186 @@
+"""Protocol messages exchanged by buyer and seller agents.
+
+All messages are immutable dataclasses carrying integer buyer/channel ids.
+Agent identifiers on the wire are strings (``"buyer:<j>"`` /
+``"seller:<i>"``, see :mod:`repro.distributed.protocol`); the payloads use
+raw ids so messages stay trivially serialisable.
+
+Handshakes
+----------
+Stage I proposals are single-shot: ``Propose`` is answered by
+``WaitlistUpdate`` (the buyer is in the coalition), ``ProposalReject``
+(never admitted) or a later ``Evict``.  Stage II acceptances are
+*offer/confirm* handshakes (``TransferOffer`` -> ``TransferConfirm`` /
+``TransferDecline``), because an asynchronous buyer may have found a
+better match between applying and being accepted; the seller only commits
+a buyer on confirmation, so coalitions never go stale.  Invitations are
+also two-step (``Invite`` -> ``InviteAccept`` / ``InviteDecline``) with at
+most one invitation outstanding per seller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+__all__ = [
+    "Message",
+    "Propose",
+    "WaitlistUpdate",
+    "Evict",
+    "ProposalReject",
+    "SellerStageNotify",
+    "TransferApply",
+    "TransferOffer",
+    "TransferReject",
+    "TransferConfirm",
+    "TransferDecline",
+    "Invite",
+    "InviteAccept",
+    "InviteDecline",
+    "Leave",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; ``sender`` is the wire id of the originating agent."""
+
+    sender: str
+
+
+# ----------------------------------------------------------------------
+# Stage I
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Propose(Message):
+    """Buyer -> seller: Stage I proposal (Algorithm 1, line 7)."""
+
+    buyer: int
+
+
+@dataclass(frozen=True)
+class WaitlistUpdate(Message):
+    """Seller -> waitlisted buyer: you are (still) in my coalition.
+
+    Carries the current coalition and the cumulative set of buyers who have
+    ever proposed to this seller.  The extra context is what lets buyers
+    evaluate transition rules I and II locally (Section IV-A): rule I needs
+    to know which interfering neighbours have already proposed; rule II
+    needs the count of those who have not.
+    """
+
+    channel: int
+    coalition: FrozenSet[int]
+    proposers_so_far: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class Evict(Message):
+    """Seller -> buyer: you were removed from my waitlist (Stage I only)."""
+
+    channel: int
+
+
+@dataclass(frozen=True)
+class ProposalReject(Message):
+    """Seller -> buyer: proposal declined (not waitlisted).
+
+    Also sent when a proposal reaches a seller who has already transitioned
+    to Stage II ("after stage transition, a seller cannot grant proposals
+    anymore", Section IV-B).
+    """
+
+    channel: int
+
+
+@dataclass(frozen=True)
+class SellerStageNotify(Message):
+    """Seller -> her matched buyers: I transitioned to Stage II.
+
+    Receiving this guarantees the buyer will never be evicted, triggering
+    buyer transition rule III (Section IV-A).
+    """
+
+    channel: int
+
+
+# ----------------------------------------------------------------------
+# Stage II Phase 1: transfer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TransferApply(Message):
+    """Buyer -> seller: transfer application (Algorithm 2, line 8)."""
+
+    buyer: int
+
+
+@dataclass(frozen=True)
+class TransferOffer(Message):
+    """Seller -> buyer: your transfer application is acceptable.
+
+    The coalition slot is reserved until the buyer confirms or declines in
+    the next slot; offers are mutually non-interfering by construction.
+    """
+
+    channel: int
+
+
+@dataclass(frozen=True)
+class TransferReject(Message):
+    """Seller -> buyer: application declined (buyer joins invitation list)."""
+
+    channel: int
+
+
+@dataclass(frozen=True)
+class TransferConfirm(Message):
+    """Buyer -> seller: I take the offered slot (commits the transfer)."""
+
+    buyer: int
+
+
+@dataclass(frozen=True)
+class TransferDecline(Message):
+    """Buyer -> seller: I no longer want the offered slot."""
+
+    buyer: int
+
+
+# ----------------------------------------------------------------------
+# Stage II Phase 2: invitation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Invite(Message):
+    """Seller -> previously rejected buyer (Algorithm 2, line 25)."""
+
+    channel: int
+
+
+@dataclass(frozen=True)
+class InviteAccept(Message):
+    """Buyer -> seller: invitation accepted (buyer also Leaves old seller)."""
+
+    buyer: int
+
+
+@dataclass(frozen=True)
+class InviteDecline(Message):
+    """Buyer -> seller: current match is at least as good; no move."""
+
+    buyer: int
+
+
+# ----------------------------------------------------------------------
+# Bookkeeping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Leave(Message):
+    """Buyer -> her previous seller: I moved elsewhere; drop me.
+
+    Implicit in the paper's centralised formulation (updating ``mu`` removes
+    the buyer from the old coalition); the distributed protocol needs an
+    explicit message so the old seller's local coalition view stays correct.
+    """
+
+    buyer: int

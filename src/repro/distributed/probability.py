@@ -1,0 +1,179 @@
+"""Transition-probability estimates: eqs. (7)-(9) of the paper.
+
+Buyers and sellers decide locally when to move from Stage I to Stage II by
+estimating how risky an early transition is:
+
+* A buyer matched to seller ``i`` risks being **evicted** after she stops
+  proposing.  Eq. (7) gives the single-round probability ``p^k`` that some
+  of her ``n`` not-yet-proposed interfering neighbours both propose to her
+  seller this round and outbid her; eq. (8) compounds it over the at most
+  ``MN - k + 1`` remaining rounds into ``P^k``.
+
+* A seller risks forgoing a **better proposal** by refusing to evict.
+  Eq. (9) gives the analogous single-round probability ``q^k`` that an
+  unseen buyer proposes, outbids her cheapest member ``j``, and interferes
+  with nobody else in the coalition (the empirical compatibility
+  probability ``theta``); the same geometric compounding yields ``Q^k``.
+
+All prices are assumed i.i.d. with a known CDF ``F`` (uniform on [0, 1] in
+the paper's simulations; any callable CDF is accepted).
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Callable
+
+from repro.errors import SpectrumMatchingError
+
+__all__ = [
+    "uniform_price_cdf",
+    "eviction_probability_single_round",
+    "eviction_probability",
+    "better_proposal_probability_single_round",
+    "better_proposal_probability",
+]
+
+PriceCdf = Callable[[float], float]
+
+
+def uniform_price_cdf(price: float) -> float:
+    """CDF of U[0, 1] prices (the paper's simulation distribution)."""
+    if price <= 0.0:
+        return 0.0
+    if price >= 1.0:
+        return 1.0
+    return float(price)
+
+
+def _check_common(num_unseen: int, num_channels: int) -> None:
+    if num_unseen < 0:
+        raise SpectrumMatchingError(
+            f"number of not-yet-proposed buyers must be >= 0, got {num_unseen}"
+        )
+    if num_channels < 1:
+        raise SpectrumMatchingError(
+            f"number of channels must be >= 1, got {num_channels}"
+        )
+
+
+def eviction_probability_single_round(
+    num_unseen_neighbors: int,
+    num_channels: int,
+    own_price: float,
+    cdf: PriceCdf = uniform_price_cdf,
+) -> float:
+    """``p^k`` of eq. (7): probability of losing the slot in one round.
+
+    Parameters
+    ----------
+    num_unseen_neighbors:
+        ``n`` -- interfering neighbours who have not proposed to the
+        buyer's current seller yet.
+    num_channels:
+        ``M`` -- each unseen neighbour proposes to this seller with
+        probability ``1/M`` in a round.
+    own_price:
+        ``b_{i,j}`` -- the buyer's own offered price on the channel.
+    cdf:
+        Price distribution ``F``.
+    """
+    _check_common(num_unseen_neighbors, num_channels)
+    n = num_unseen_neighbors
+    m = num_channels
+    f_value = cdf(own_price)
+    total = 0.0
+    for x in range(1, n + 1):
+        binomial = comb(n, x) * (1.0 / m) ** x * (1.0 - 1.0 / m) ** (n - x)
+        total += binomial * (1.0 - f_value**x)
+    return total
+
+
+def eviction_probability(
+    round_index: int,
+    num_unseen_neighbors: int,
+    num_channels: int,
+    num_buyers: int,
+    own_price: float,
+    cdf: PriceCdf = uniform_price_cdf,
+) -> float:
+    """``P^k`` of eq. (8): probability of eviction any time from round ``k`` on.
+
+    ``P^k = 1 - (1 - p^k)^(MN - k + 1)`` -- the compounded risk over the
+    remaining Stage-I horizon.  Decreases in ``k``: the later a buyer
+    waits, the safer the transition (Section IV-A).
+    """
+    if round_index < 1:
+        raise SpectrumMatchingError(f"round index must be >= 1, got {round_index}")
+    single = eviction_probability_single_round(
+        num_unseen_neighbors, num_channels, own_price, cdf
+    )
+    horizon = num_channels * num_buyers - round_index + 1
+    if horizon <= 0:
+        return 0.0
+    return 1.0 - (1.0 - single) ** horizon
+
+
+def better_proposal_probability_single_round(
+    num_unseen_buyers: int,
+    num_channels: int,
+    lowest_price: float,
+    theta: float,
+    cdf: PriceCdf = uniform_price_cdf,
+) -> float:
+    """``q^k`` of eq. (9): chance of a strictly better proposal in one round.
+
+    Parameters
+    ----------
+    num_unseen_buyers:
+        ``n`` -- buyers who have not proposed to this seller yet.
+    num_channels:
+        ``M``.
+    lowest_price:
+        ``b_{i,j}`` -- the lowest offered price in the current coalition.
+    theta:
+        Probability that an unseen buyer does not interfere with anyone in
+        the coalition except the cheapest member ``j`` (an empirical value
+        the seller estimates from her interference graph).
+    cdf:
+        Price distribution ``F``.
+    """
+    _check_common(num_unseen_buyers, num_channels)
+    if not 0.0 <= theta <= 1.0:
+        raise SpectrumMatchingError(f"theta must lie in [0, 1], got {theta}")
+    n = num_unseen_buyers
+    m = num_channels
+    f_value = cdf(lowest_price)
+    # Probability that one proposing buyer is NOT an improvement: either
+    # her price is no better (F(b)) or it is better but she interferes
+    # with someone besides j ((1 - theta)(1 - F(b))).
+    not_improving = f_value + (1.0 - theta) * (1.0 - f_value)
+    total = 0.0
+    for y in range(1, n + 1):
+        binomial = comb(n, y) * (1.0 / m) ** y * ((m - 1.0) / m) ** (n - y)
+        total += binomial * (1.0 - not_improving**y)
+    return total
+
+
+def better_proposal_probability(
+    round_index: int,
+    num_unseen_buyers: int,
+    num_channels: int,
+    num_buyers: int,
+    lowest_price: float,
+    theta: float,
+    cdf: PriceCdf = uniform_price_cdf,
+) -> float:
+    """``Q^k``: compounded better-proposal probability from round ``k`` on.
+
+    ``Q^k = 1 - (1 - q^k)^(MN - k + 1)``; decreases in ``k`` like ``P^k``.
+    """
+    if round_index < 1:
+        raise SpectrumMatchingError(f"round index must be >= 1, got {round_index}")
+    single = better_proposal_probability_single_round(
+        num_unseen_buyers, num_channels, lowest_price, theta, cdf
+    )
+    horizon = num_channels * num_buyers - round_index + 1
+    if horizon <= 0:
+        return 0.0
+    return 1.0 - (1.0 - single) ** horizon

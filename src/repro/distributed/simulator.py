@@ -1,0 +1,287 @@
+"""Generic time-slotted simulation kernel.
+
+The paper's implementation model (Section IV) is a synchronous,
+slot-structured network: "assume that each round in the proposed algorithm
+takes one time slot".  The kernel here makes that executable:
+
+* Agents are stepped once per slot in deterministic ``(priority, agent_id)``
+  order.  Buyer agents use a lower priority number than seller agents, so
+  within a single slot buyers act first and sellers react to the same
+  slot's proposals -- exactly the paper's one-round-per-slot accounting.
+* Messages travel through a pluggable :class:`~repro.distributed.network.
+  Network` which assigns each message a delivery slot (and may drop it).
+  A message delivered "at slot t" is visible to its recipient when the
+  recipient is stepped in slot t; messages that arrive after the recipient
+  was already stepped this slot are seen next slot.
+* The simulation terminates when every agent reports ``is_done()`` and no
+  message is in flight, or when ``max_slots`` is hit (which raises --
+  a protocol that fails to quiesce is a bug, not a result).
+
+The kernel knows nothing about spectrum matching; it is reused by the
+tests for unrelated toy protocols, which is the usual sign the abstraction
+is cut in the right place.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distributed.messages import Message
+from repro.distributed.network import Network, ReliableNetwork
+from repro.errors import SimulationError
+
+__all__ = ["Agent", "SlotContext", "TimeSlottedSimulator"]
+
+
+class Agent:
+    """Base class for simulation agents.
+
+    Subclasses implement :meth:`step` (called once per slot with the
+    drained inbox) and :meth:`is_done` (quiescence flag used for
+    termination detection).
+
+    Attributes
+    ----------
+    agent_id:
+        Unique wire identifier (e.g. ``"buyer:3"``).
+    priority:
+        Scheduling key; lower numbers step earlier within a slot.
+    """
+
+    def __init__(self, agent_id: str, priority: int = 0) -> None:
+        self.agent_id = agent_id
+        self.priority = priority
+
+    def step(self, inbox: List[Message], ctx: "SlotContext") -> None:
+        """Handle this slot: consume ``inbox``, optionally send messages."""
+        raise NotImplementedError
+
+    def is_done(self) -> bool:
+        """Return ``True`` when the agent has nothing left to do."""
+        raise NotImplementedError
+
+
+@dataclass
+class SlotContext:
+    """Per-step facade handed to agents.
+
+    Provides the current slot number, a ``send`` function, and a seeded RNG
+    shared by the whole simulation (deterministic runs).
+    """
+
+    now: int
+    rng: np.random.Generator
+    _send: Callable[[str, Message], None]
+
+    def send(self, destination: str, message: Message) -> None:
+        """Send ``message`` to the agent with id ``destination``."""
+        self._send(destination, message)
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One sent message, as recorded by the kernel's optional tracer.
+
+    Attributes
+    ----------
+    slot:
+        Slot in which the message was sent.
+    sender / destination:
+        Wire ids of the endpoints.
+    message_type:
+        Class name of the message (payload bodies are not retained --
+        traces of long runs stay small).
+    dropped:
+        ``True`` when the network dropped the message.
+    """
+
+    slot: int
+    sender: str
+    destination: str
+    message_type: str
+    dropped: bool
+
+
+@dataclass(frozen=True)
+class _QueuedMessage:
+    delivery_slot: int
+    sequence: int
+    destination: str
+    message: Message
+
+    def __lt__(self, other: "_QueuedMessage") -> bool:
+        return (self.delivery_slot, self.sequence) < (
+            other.delivery_slot,
+            other.sequence,
+        )
+
+
+class TimeSlottedSimulator:
+    """Deterministic synchronous-round simulator.
+
+    Parameters
+    ----------
+    agents:
+        The agent population; ids must be unique.
+    network:
+        Message-delivery model; defaults to :class:`ReliableNetwork`
+        (delivery in the sending slot, so a lower-priority recipient sees
+        the message within the same slot).
+    seed:
+        Seed for the shared RNG handed to agents and the network.
+    """
+
+    def __init__(
+        self,
+        agents: Iterable[Agent],
+        network: Optional[Network] = None,
+        seed: int = 0,
+        record_events: bool = False,
+    ) -> None:
+        self._agents: Dict[str, Agent] = {}
+        for agent in agents:
+            if agent.agent_id in self._agents:
+                raise SimulationError(f"duplicate agent id {agent.agent_id!r}")
+            self._agents[agent.agent_id] = agent
+        if not self._agents:
+            raise SimulationError("a simulation needs at least one agent")
+        self._order = sorted(
+            self._agents.values(), key=lambda a: (a.priority, a.agent_id)
+        )
+        self._network = network if network is not None else ReliableNetwork()
+        self._rng = np.random.default_rng(seed)
+        self._queue: List[_QueuedMessage] = []
+        self._sequence = 0
+        self._now = 0
+        self._stepped_this_slot: set = set()
+        self._messages_sent = 0
+        self._messages_delivered = 0
+        self._messages_dropped = 0
+        self._finished = False
+        self._record_events = record_events
+        self._events: List[MessageEvent] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current slot index (0 before the first slot runs)."""
+        return self._now
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered
+
+    @property
+    def messages_dropped(self) -> int:
+        return self._messages_dropped
+
+    @property
+    def events(self) -> Tuple[MessageEvent, ...]:
+        """Recorded message events (empty unless ``record_events=True``)."""
+        return tuple(self._events)
+
+    def agent(self, agent_id: str) -> Agent:
+        """Look up an agent by id (raises for unknown ids)."""
+        try:
+            return self._agents[agent_id]
+        except KeyError:
+            raise SimulationError(f"unknown agent {agent_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Core loop
+    # ------------------------------------------------------------------
+    def _enqueue(self, destination: str, message: Message) -> None:
+        if destination not in self._agents:
+            raise SimulationError(
+                f"message to unknown agent {destination!r}: {message!r}"
+            )
+        self._messages_sent += 1
+        verdict = self._network.route(self._now, self._rng)
+        if self._record_events:
+            self._events.append(
+                MessageEvent(
+                    slot=self._now,
+                    sender=message.sender,
+                    destination=destination,
+                    message_type=type(message).__name__,
+                    dropped=verdict is None,
+                )
+            )
+        if verdict is None:
+            self._messages_dropped += 1
+            return
+        delivery_slot = verdict
+        if delivery_slot < self._now:
+            raise SimulationError(
+                f"network produced delivery slot {delivery_slot} in the past "
+                f"(now={self._now})"
+            )
+        # A message "delivered" in the current slot to an agent that has
+        # already been stepped is effectively a next-slot delivery.
+        if delivery_slot == self._now and destination in self._stepped_this_slot:
+            delivery_slot += 1
+        heapq.heappush(
+            self._queue,
+            _QueuedMessage(delivery_slot, self._sequence, destination, message),
+        )
+        self._sequence += 1
+
+    def _drain_inbox(self, agent_id: str) -> List[Message]:
+        inbox: List[Message] = []
+        remainder: List[_QueuedMessage] = []
+        while self._queue and self._queue[0].delivery_slot <= self._now:
+            item = heapq.heappop(self._queue)
+            if item.destination == agent_id:
+                inbox.append(item.message)
+                self._messages_delivered += 1
+            else:
+                remainder.append(item)
+        for item in remainder:
+            heapq.heappush(self._queue, item)
+        return inbox
+
+    def run_slot(self) -> None:
+        """Execute one time slot (all agents, in scheduling order)."""
+        if self._finished:
+            raise SimulationError("simulation already finished")
+        self._stepped_this_slot = set()
+        ctx = SlotContext(now=self._now, rng=self._rng, _send=self._enqueue)
+        for agent in self._order:
+            inbox = self._drain_inbox(agent.agent_id)
+            agent.step(inbox, ctx)
+            self._stepped_this_slot.add(agent.agent_id)
+        self._now += 1
+
+    def is_quiescent(self) -> bool:
+        """All agents done and no messages in flight."""
+        return not self._queue and all(a.is_done() for a in self._order)
+
+    def run(self, max_slots: int = 100_000) -> int:
+        """Run until quiescence; returns the number of slots executed.
+
+        Raises
+        ------
+        SimulationError
+            If the protocol fails to quiesce within ``max_slots`` slots.
+        """
+        while not self.is_quiescent():
+            if self._now >= max_slots:
+                busy = [a.agent_id for a in self._order if not a.is_done()]
+                raise SimulationError(
+                    f"no quiescence after {max_slots} slots; "
+                    f"{len(self._queue)} messages in flight, busy agents: "
+                    f"{busy[:10]}"
+                )
+            self.run_slot()
+        self._finished = True
+        return self._now

@@ -1,0 +1,185 @@
+"""Reliable in-order transport over unreliable networks.
+
+The matching protocol's handshakes assume reliable delivery (Section IV;
+see ``tests/distributed/test_failure_injection.py`` for how they deadlock
+under loss).  This module supplies the classic remedy: a per-agent
+transport layer providing **at-least-once delivery with deduplication and
+per-sender FIFO ordering** -- i.e. the protocol-visible semantics of the
+reliable network -- on top of an arbitrary lossy/delaying
+:class:`~repro.distributed.network.Network`.
+
+Mechanics (positive-acknowledgement ARQ):
+
+* every application message is wrapped in a :class:`DataFrame` carrying a
+  per-(sender, receiver) sequence number and buffered until acknowledged;
+* receivers acknowledge every data frame (including duplicates, covering
+  lost acks), deduplicate by sequence number, and release payloads to the
+  wrapped agent strictly in sequence order (a hold-back queue reorders
+  late frames);
+* unacknowledged frames are retransmitted every ``retransmit_interval``
+  slots.
+
+Wrap a whole agent population with :func:`wrap_reliable` and run it on a
+:class:`LossyNetwork`; the end-to-end test shows the matching protocol
+then terminates with the same matching as over a perfect network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.distributed.messages import Message
+from repro.distributed.simulator import Agent, SlotContext
+from repro.errors import SimulationError
+
+__all__ = ["DataFrame", "AckFrame", "ReliableAgent", "wrap_reliable"]
+
+
+@dataclass(frozen=True)
+class DataFrame(Message):
+    """Transport envelope: ``payload`` is the application message."""
+
+    seq: int
+    payload: Message
+
+
+@dataclass(frozen=True)
+class AckFrame(Message):
+    """Acknowledgement of the data frame with sequence number ``seq``."""
+
+    seq: int
+
+
+@dataclass
+class _PendingFrame:
+    destination: str
+    frame: DataFrame
+    last_sent: int
+
+
+class ReliableAgent(Agent):
+    """Decorator agent adding ARQ semantics around an inner agent.
+
+    The wrapper keeps the inner agent's id and priority, so populations
+    can be wrapped transparently.  The inner agent never sees transport
+    frames -- only deduplicated, in-order application messages -- and its
+    outgoing sends are transparently wrapped and buffered.
+
+    Parameters
+    ----------
+    inner:
+        The application agent.
+    retransmit_interval:
+        Slots between retransmissions of an unacknowledged frame.
+    """
+
+    def __init__(self, inner: Agent, retransmit_interval: int = 4) -> None:
+        super().__init__(inner.agent_id, priority=inner.priority)
+        if retransmit_interval < 1:
+            raise SimulationError(
+                f"retransmit_interval must be >= 1, got {retransmit_interval}"
+            )
+        self.inner = inner
+        self._interval = retransmit_interval
+        self._next_seq: Dict[str, int] = {}
+        self._pending: List[_PendingFrame] = []
+        #: Highest contiguously delivered sequence number per sender.
+        self._delivered_up_to: Dict[str, int] = {}
+        #: Out-of-order frames held back per sender: seq -> payload.
+        self._holdback: Dict[str, Dict[int, Message]] = {}
+        self._retransmissions = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and traffic accounting)
+    # ------------------------------------------------------------------
+    @property
+    def retransmissions(self) -> int:
+        """Total frames retransmitted so far."""
+        return self._retransmissions
+
+    @property
+    def unacknowledged(self) -> int:
+        """Frames currently awaiting acknowledgement."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Agent interface
+    # ------------------------------------------------------------------
+    def step(self, inbox: List[Message], ctx: SlotContext) -> None:
+        deliverable: List[Message] = []
+        for message in inbox:
+            if isinstance(message, AckFrame):
+                self._pending = [
+                    p
+                    for p in self._pending
+                    if not (
+                        p.destination == message.sender
+                        and p.frame.seq == message.seq
+                    )
+                ]
+            elif isinstance(message, DataFrame):
+                # Always ack, even duplicates: the previous ack may be lost.
+                ctx.send(message.sender, AckFrame(self.agent_id, message.seq))
+                deliverable.extend(self._accept(message))
+            else:
+                raise SimulationError(
+                    f"reliable agent {self.agent_id} received a bare "
+                    f"application message {message!r}; wrap ALL agents"
+                )
+
+        shim = SlotContext(
+            now=ctx.now,
+            rng=ctx.rng,
+            _send=lambda destination, payload: self._buffer_send(
+                destination, payload, ctx
+            ),
+        )
+        self.inner.step(deliverable, shim)
+
+        # Retransmit anything that has been in flight too long.
+        for pending in self._pending:
+            if ctx.now - pending.last_sent >= self._interval:
+                pending.last_sent = ctx.now
+                self._retransmissions += 1
+                ctx.send(pending.destination, pending.frame)
+
+    def _accept(self, frame: DataFrame) -> List[Message]:
+        """Dedup + reorder; return payloads now deliverable in order."""
+        sender = frame.sender
+        delivered = self._delivered_up_to.get(sender, -1)
+        if frame.seq <= delivered:
+            return []  # duplicate
+        held = self._holdback.setdefault(sender, {})
+        held[frame.seq] = frame.payload
+        released: List[Message] = []
+        while delivered + 1 in held:
+            delivered += 1
+            released.append(held.pop(delivered))
+        self._delivered_up_to[sender] = delivered
+        return released
+
+    def _buffer_send(
+        self, destination: str, payload: Message, ctx: SlotContext
+    ) -> None:
+        seq = self._next_seq.get(destination, 0)
+        self._next_seq[destination] = seq + 1
+        frame = DataFrame(self.agent_id, seq, payload)
+        self._pending.append(
+            _PendingFrame(destination=destination, frame=frame, last_sent=ctx.now)
+        )
+        ctx.send(destination, frame)
+
+    def is_done(self) -> bool:
+        return (
+            self.inner.is_done()
+            and not self._pending
+            and not any(self._holdback.values())
+        )
+
+
+def wrap_reliable(
+    agents: List[Agent], retransmit_interval: int = 4
+) -> List[ReliableAgent]:
+    """Wrap an agent population for ARQ transport (all or nothing)."""
+    return [ReliableAgent(agent, retransmit_interval) for agent in agents]

@@ -1,0 +1,35 @@
+"""Dynamic spectrum markets: the "dynamic" in dynamic spectrum access.
+
+The paper motivates spectrum matching with time-varying demand ("a
+wireless service provider can sell spare spectrum to others when her
+traffic demand is light, and buy additional spectrum when her demand
+becomes heavy") but evaluates a single static snapshot.  This subpackage
+supplies the temporal substrate a deployed system needs:
+
+* :mod:`~repro.dynamic.generator` -- an evolving buyer population:
+  Poisson arrivals, geometric lifetimes, bounded utility drift, fixed
+  channel plant.  Each epoch materialises as an ordinary
+  :class:`~repro.core.market.SpectrumMarket` plus the persistent identity
+  of every row.
+* :mod:`~repro.dynamic.online` -- re-matching strategies across epochs:
+  **cold start** (re-run the full two-stage algorithm from scratch) and
+  **warm start** (carry the previous assignment of surviving buyers and
+  run only Stage II, letting newcomers transfer in).  Warm starts trade a
+  little welfare for far less *churn* -- matched buyers keep their
+  channels -- which is what a real provider cares about between epochs.
+"""
+
+from repro.dynamic.generator import DynamicMarketGenerator, Epoch
+from repro.dynamic.online import (
+    EpochOutcome,
+    OnlineMatcher,
+    RematchStrategy,
+)
+
+__all__ = [
+    "DynamicMarketGenerator",
+    "Epoch",
+    "OnlineMatcher",
+    "RematchStrategy",
+    "EpochOutcome",
+]

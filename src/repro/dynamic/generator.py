@@ -1,0 +1,203 @@
+"""Evolving spectrum-market generator.
+
+Models a region served by a fixed channel plant (``M`` channels with
+fixed transmission ranges) and a churning buyer population:
+
+* **arrivals** -- ``Poisson(arrival_rate)`` new buyers per epoch, placed
+  uniformly in the area with fresh U[0,1] utility vectors;
+* **departures** -- each present buyer leaves independently with
+  probability ``departure_prob`` per epoch (geometric lifetimes);
+* **drift** -- surviving buyers' utilities random-walk with Gaussian
+  steps of scale ``drift_sigma``, clipped to [0, 1] (traffic load and
+  channel conditions change, locations do not).
+
+Because locations are immutable, the interference subgraph among
+surviving buyers is stable across epochs -- which is exactly what makes
+warm-start re-matching (:mod:`repro.dynamic.online`) sound: a carried
+assignment can never become interference-infeasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.market import SpectrumMarket
+from repro.errors import MarketConfigurationError
+from repro.interference.geometric import build_geometric_interference_map
+from repro.workloads.deployment import (
+    DEFAULT_AREA_SIDE,
+    DEFAULT_MAX_RANGE,
+    random_transmission_ranges,
+)
+
+__all__ = ["Epoch", "DynamicMarketGenerator"]
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One epoch's materialised market.
+
+    Attributes
+    ----------
+    index:
+        Epoch number (0-based).
+    market:
+        The epoch's static :class:`SpectrumMarket` (rows = present buyers).
+    buyer_ids:
+        Persistent global id of each market row; ``buyer_ids[row]`` is
+        stable across epochs for surviving buyers.
+    arrived / departed:
+        Global ids that appeared / disappeared relative to the previous
+        epoch.
+    """
+
+    index: int
+    market: SpectrumMarket
+    buyer_ids: Tuple[int, ...]
+    arrived: Tuple[int, ...]
+    departed: Tuple[int, ...]
+
+    def row_of(self, global_id: int) -> Optional[int]:
+        """Market row of a global buyer id, or ``None`` if absent."""
+        try:
+            return self.buyer_ids.index(global_id)
+        except ValueError:
+            return None
+
+
+class DynamicMarketGenerator:
+    """Stateful epoch generator (see module docstring for the model).
+
+    Parameters
+    ----------
+    num_channels:
+        Size of the fixed channel plant.
+    initial_buyers:
+        Population size at epoch 0.
+    arrival_rate:
+        Mean Poisson arrivals per subsequent epoch.
+    departure_prob:
+        Per-buyer, per-epoch departure probability in [0, 1).
+    drift_sigma:
+        Standard deviation of the per-epoch utility random walk
+        (0 disables drift).
+    rng:
+        Seeded generator; the full epoch sequence is a deterministic
+        function of it.
+    area_side / max_range:
+        Geometry (paper defaults).
+    """
+
+    def __init__(
+        self,
+        num_channels: int,
+        initial_buyers: int,
+        arrival_rate: float,
+        departure_prob: float,
+        drift_sigma: float,
+        rng: np.random.Generator,
+        area_side: float = DEFAULT_AREA_SIDE,
+        max_range: float = DEFAULT_MAX_RANGE,
+    ) -> None:
+        if num_channels < 1:
+            raise MarketConfigurationError("need at least one channel")
+        if initial_buyers < 1:
+            raise MarketConfigurationError("need at least one initial buyer")
+        if arrival_rate < 0:
+            raise MarketConfigurationError("arrival_rate must be >= 0")
+        if not 0.0 <= departure_prob < 1.0:
+            raise MarketConfigurationError(
+                f"departure_prob must lie in [0, 1), got {departure_prob}"
+            )
+        if drift_sigma < 0:
+            raise MarketConfigurationError("drift_sigma must be >= 0")
+        self._num_channels = num_channels
+        self._arrival_rate = float(arrival_rate)
+        self._departure_prob = float(departure_prob)
+        self._drift_sigma = float(drift_sigma)
+        self._rng = rng
+        self._area_side = float(area_side)
+        self._ranges = random_transmission_ranges(
+            num_channels, rng, max_range=max_range
+        )
+
+        self._next_id = 0
+        self._locations: Dict[int, np.ndarray] = {}
+        self._utilities: Dict[int, np.ndarray] = {}
+        self._epoch_index = -1
+        for _ in range(initial_buyers):
+            self._spawn_buyer()
+
+    # ------------------------------------------------------------------
+    # Internal population updates
+    # ------------------------------------------------------------------
+    def _spawn_buyer(self) -> int:
+        buyer_id = self._next_id
+        self._next_id += 1
+        self._locations[buyer_id] = self._rng.uniform(
+            0.0, self._area_side, size=2
+        )
+        self._utilities[buyer_id] = self._rng.random(self._num_channels)
+        return buyer_id
+
+    def _drift(self) -> None:
+        if self._drift_sigma == 0.0:
+            return
+        for buyer_id in self._utilities:
+            noise = self._rng.normal(0.0, self._drift_sigma, self._num_channels)
+            self._utilities[buyer_id] = np.clip(
+                self._utilities[buyer_id] + noise, 0.0, 1.0
+            )
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    @property
+    def population(self) -> int:
+        """Current number of present buyers."""
+        return len(self._locations)
+
+    def next_epoch(self) -> Epoch:
+        """Advance the population one epoch and materialise its market.
+
+        Epoch 0 returns the initial population unchanged; subsequent
+        calls apply departures, arrivals and drift first.  If everyone
+        departs and nobody arrives, one replacement buyer is spawned (an
+        empty market is not representable and not interesting).
+        """
+        self._epoch_index += 1
+        arrived: List[int] = []
+        departed: List[int] = []
+        if self._epoch_index > 0:
+            for buyer_id in sorted(self._locations):
+                if self._rng.random() < self._departure_prob:
+                    departed.append(buyer_id)
+            for buyer_id in departed:
+                del self._locations[buyer_id]
+                del self._utilities[buyer_id]
+            arrivals = int(self._rng.poisson(self._arrival_rate))
+            for _ in range(arrivals):
+                arrived.append(self._spawn_buyer())
+            if not self._locations:
+                arrived.append(self._spawn_buyer())
+            self._drift()
+
+        buyer_ids = tuple(sorted(self._locations))
+        locations = np.stack([self._locations[b] for b in buyer_ids])
+        utilities = np.stack([self._utilities[b] for b in buyer_ids])
+        interference = build_geometric_interference_map(locations, self._ranges)
+        market = SpectrumMarket(utilities, interference)
+        return Epoch(
+            index=self._epoch_index,
+            market=market,
+            buyer_ids=buyer_ids,
+            arrived=tuple(arrived),
+            departed=tuple(departed),
+        )
+
+    def epochs(self, count: int) -> List[Epoch]:
+        """Generate the next ``count`` epochs as a list."""
+        return [self.next_epoch() for _ in range(count)]

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the spectrum-matching library.
+
+Every error deliberately raised by this package derives from
+:class:`SpectrumMatchingError`, so callers can catch library failures with a
+single ``except`` clause while still distinguishing configuration problems
+from algorithmic invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class SpectrumMatchingError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class MarketConfigurationError(SpectrumMatchingError):
+    """A market instance is malformed.
+
+    Raised when buyer/seller counts, utility matrices, or interference
+    graphs are mutually inconsistent (e.g. a utility matrix whose shape does
+    not match the number of channels, or an interference graph that refers
+    to unknown buyers).
+    """
+
+
+class MatchingConsistencyError(SpectrumMatchingError):
+    """A matching violates the bidirectional consistency of ``mu``.
+
+    The matching function of Definition 1 in the paper requires that
+    ``mu(j) == {i}`` if and only if ``j in mu(i)``.  Operations that would
+    break this invariant raise this error instead of silently corrupting
+    state.
+    """
+
+
+class InterferenceViolationError(SpectrumMatchingError):
+    """An operation would co-locate interfering buyers on one channel."""
+
+
+class SolverError(SpectrumMatchingError):
+    """An exact or approximate solver failed or was given bad input."""
+
+
+class SolverLimitExceeded(SolverError):
+    """An exact solver refused an instance larger than its safety limit.
+
+    The optimal-matching problem (eqs. 1-4 of the paper) is NP-hard; the
+    brute-force and branch-and-bound solvers enforce explicit instance-size
+    ceilings so a caller cannot accidentally launch an intractable search.
+    """
+
+
+class ProtocolError(SpectrumMatchingError):
+    """The distributed protocol reached an invalid state.
+
+    Examples: a seller receiving a proposal after announcing her stage
+    transition, or an agent asked to handle a message type it does not
+    understand.
+    """
+
+
+class SimulationError(SpectrumMatchingError):
+    """The discrete-time simulation kernel was misused.
+
+    Raised for duplicate agent identifiers, messages addressed to unknown
+    agents, or stepping a simulator that already terminated.
+    """

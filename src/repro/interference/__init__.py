@@ -1,0 +1,62 @@
+"""Interference substrate: per-channel conflict graphs and MWIS solvers.
+
+Spectrum reuse is governed by *interference graphs* (paper, Section II-A):
+for every channel ``i`` there is a graph ``G_i`` over the virtual buyers,
+and two buyers joined by an edge must not be matched to channel ``i``
+simultaneously.  This subpackage provides:
+
+* :class:`~repro.interference.graph.InterferenceGraph` -- one channel's
+  conflict graph with independence queries.
+* :class:`~repro.interference.graph.InterferenceMap` -- the per-channel
+  family ``{G_i}``.
+* :mod:`~repro.interference.geometric` -- the paper's disk-model graph
+  construction from buyer locations and channel transmission ranges.
+* :mod:`~repro.interference.generators` -- synthetic graph families used in
+  tests and ablations.
+* :mod:`~repro.interference.mwis` -- greedy (Sakai et al. [8]) and exact
+  maximum-weight-independent-set solvers used by sellers to form their
+  most-preferred coalitions.
+"""
+
+from repro.interference.graph import InterferenceGraph, InterferenceMap
+from repro.interference.geometric import (
+    disk_interference_graph,
+    build_geometric_interference_map,
+)
+from repro.interference.generators import (
+    empty_graph,
+    complete_graph,
+    random_gnp_graph,
+    ring_graph,
+    star_graph,
+    interference_map_from_edge_lists,
+)
+from repro.interference.mwis import (
+    mwis_greedy_gwmin,
+    mwis_greedy_gwmin2,
+    mwis_greedy_gwmax,
+    mwis_exact,
+    mwis_solve,
+    is_independent_set,
+    MwisAlgorithm,
+)
+
+__all__ = [
+    "InterferenceGraph",
+    "InterferenceMap",
+    "disk_interference_graph",
+    "build_geometric_interference_map",
+    "empty_graph",
+    "complete_graph",
+    "random_gnp_graph",
+    "ring_graph",
+    "star_graph",
+    "interference_map_from_edge_lists",
+    "mwis_greedy_gwmin",
+    "mwis_greedy_gwmin2",
+    "mwis_greedy_gwmax",
+    "mwis_exact",
+    "mwis_solve",
+    "is_independent_set",
+    "MwisAlgorithm",
+]

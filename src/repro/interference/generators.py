@@ -1,0 +1,114 @@
+"""Synthetic interference-graph families.
+
+These generators back the test suite, the ablation benchmarks, and any user
+who wants to exercise the matching algorithms on structured rather than
+geometric interference.  The two degenerate families are analytically
+interesting:
+
+* :func:`empty_graph` -- no interference: every channel has infinite
+  "quota", every buyer can win her favourite channel, and the proposed
+  algorithm is trivially optimal.
+* :func:`complete_graph` -- total interference: each channel serves at most
+  one buyer, and the problem degenerates to the classic one-to-one stable
+  marriage setting (paper, proof of Proposition 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MarketConfigurationError
+from repro.interference.graph import InterferenceGraph, InterferenceMap
+
+__all__ = [
+    "empty_graph",
+    "complete_graph",
+    "random_gnp_graph",
+    "ring_graph",
+    "star_graph",
+    "interference_map_from_edge_lists",
+]
+
+
+def empty_graph(num_buyers: int) -> InterferenceGraph:
+    """Graph with no interference edges (unlimited spectrum reuse)."""
+    return InterferenceGraph(num_buyers)
+
+
+def complete_graph(num_buyers: int) -> InterferenceGraph:
+    """Graph where every pair of buyers interferes (no spectrum reuse)."""
+    edges = [
+        (j, k) for j in range(num_buyers) for k in range(j + 1, num_buyers)
+    ]
+    return InterferenceGraph(num_buyers, edges)
+
+
+def random_gnp_graph(
+    num_buyers: int,
+    edge_probability: float,
+    rng: np.random.Generator,
+) -> InterferenceGraph:
+    """Erdos-Renyi ``G(n, p)`` interference graph.
+
+    Parameters
+    ----------
+    num_buyers:
+        Node count.
+    edge_probability:
+        Independent probability of each potential edge, in ``[0, 1]``.
+    rng:
+        NumPy random generator; passing it explicitly keeps every workload
+        reproducible from a single seed.
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise MarketConfigurationError(
+            f"edge_probability must lie in [0, 1], got {edge_probability}"
+        )
+    edges: List[Tuple[int, int]] = []
+    for j in range(num_buyers):
+        for k in range(j + 1, num_buyers):
+            if rng.random() < edge_probability:
+                edges.append((j, k))
+    return InterferenceGraph(num_buyers, edges)
+
+
+def ring_graph(num_buyers: int) -> InterferenceGraph:
+    """Cycle graph: buyer ``j`` interferes with ``j±1 (mod n)``.
+
+    With ``n >= 3`` the MWIS is non-trivial but known in closed form for
+    unit weights, which makes the ring a good ground-truth fixture for the
+    greedy solvers.
+    """
+    if num_buyers < 3:
+        raise MarketConfigurationError("a ring needs at least 3 buyers")
+    edges = [(j, (j + 1) % num_buyers) for j in range(num_buyers)]
+    return InterferenceGraph(num_buyers, edges)
+
+
+def star_graph(num_buyers: int, center: int = 0) -> InterferenceGraph:
+    """Star graph: one hub buyer interferes with every other buyer."""
+    if num_buyers < 1:
+        raise MarketConfigurationError("a star needs at least 1 buyer")
+    if not 0 <= center < num_buyers:
+        raise MarketConfigurationError(
+            f"center {center} out of range [0, {num_buyers})"
+        )
+    edges = [(center, j) for j in range(num_buyers) if j != center]
+    return InterferenceGraph(num_buyers, edges)
+
+
+def interference_map_from_edge_lists(
+    num_buyers: int,
+    per_channel_edges: Sequence[Sequence[Tuple[int, int]]],
+) -> InterferenceMap:
+    """Build an :class:`InterferenceMap` from explicit per-channel edge lists.
+
+    Convenient for hand-crafted fixtures such as the paper's toy example
+    (Fig. 3) where each channel's conflicts are enumerated directly.
+    """
+    if not per_channel_edges:
+        raise MarketConfigurationError("need edge lists for at least one channel")
+    graphs = [InterferenceGraph(num_buyers, edges) for edges in per_channel_edges]
+    return InterferenceMap(graphs)

@@ -1,0 +1,278 @@
+"""Maximum-weight-independent-set (MWIS) solvers.
+
+When a seller forms her most-preferred spectrum coalition (Algorithm 1,
+line 12), she must pick a set of mutually non-interfering buyers with
+maximum total offered price -- an MWIS on her channel's interference graph
+restricted to the waitlist plus current proposers.  MWIS is NP-hard, so the
+paper adopts the linear-time greedy algorithms of Sakai, Togasaki and
+Yamazaki, "A note on greedy algorithms for the maximum weighted independent
+set problem" (Discrete Applied Mathematics, 2003) -- reference [8].
+
+This module implements the three greedy variants from that paper plus an
+exact branch-and-bound solver used as ground truth in tests and in the
+MWIS-ablation benchmark:
+
+* **GWMIN** -- repeatedly take the vertex maximising ``w(v) / (deg(v)+1)``
+  in the current graph, then delete it and its neighbours.  Guarantees a
+  solution of weight at least ``sum_v w(v)/(deg_G(v)+1)``.
+* **GWMIN2** -- same loop but scores ``w(v) / sum_{u in N+(v)} w(u)`` where
+  ``N+(v)`` is the closed neighbourhood; never worse than GWMIN's bound.
+* **GWMAX** -- repeatedly *delete* the vertex minimising
+  ``w(v) / (deg(v) * (deg(v)+1))`` until no edges remain; the survivors form
+  an independent set.
+* **exact** -- branch and bound with a sum-of-remaining-weights bound.
+
+All solvers operate on an induced subset of an
+:class:`~repro.interference.graph.InterferenceGraph` so sellers can restrict
+the search to their current candidate pool, and all break ties
+deterministically (by buyer index) so simulation runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import SolverError, SolverLimitExceeded
+from repro.interference.graph import InterferenceGraph
+
+__all__ = [
+    "MwisAlgorithm",
+    "mwis_greedy_gwmin",
+    "mwis_greedy_gwmin2",
+    "mwis_greedy_gwmax",
+    "mwis_exact",
+    "mwis_solve",
+    "is_independent_set",
+    "gwmin_lower_bound",
+]
+
+#: Exact solver refuses candidate pools larger than this unless overridden;
+#: 2^60 branch nodes would be intractable, and the matching core only ever
+#: needs exact answers on small pools (tests, toy examples, optimal solver).
+DEFAULT_EXACT_NODE_LIMIT = 60
+
+
+class MwisAlgorithm(str, enum.Enum):
+    """Selector for :func:`mwis_solve` (used by sellers and ablations)."""
+
+    GWMIN = "gwmin"
+    GWMIN2 = "gwmin2"
+    GWMAX = "gwmax"
+    EXACT = "exact"
+
+
+def _induced_adjacency(
+    graph: InterferenceGraph, nodes: Iterable[int]
+) -> Dict[int, Set[int]]:
+    """Adjacency of the subgraph induced by ``nodes`` (validates indices)."""
+    node_set = set(nodes)
+    adjacency: Dict[int, Set[int]] = {}
+    for j in node_set:
+        adjacency[j] = set(graph.neighbors(j)) & node_set
+    return adjacency
+
+
+def _validate_weights(weights: Mapping[int, float], nodes: Iterable[int]) -> None:
+    for j in nodes:
+        if j not in weights:
+            raise SolverError(f"missing weight for buyer {j}")
+        if weights[j] < 0:
+            raise SolverError(
+                f"negative weight {weights[j]} for buyer {j}; prices must be >= 0"
+            )
+
+
+def is_independent_set(graph: InterferenceGraph, nodes: Iterable[int]) -> bool:
+    """Check that ``nodes`` form an independent set of ``graph``."""
+    return graph.is_independent(nodes)
+
+
+def gwmin_lower_bound(
+    graph: InterferenceGraph,
+    weights: Mapping[int, float],
+    nodes: Iterable[int],
+) -> float:
+    """Sakai et al.'s GWMIN guarantee ``sum w(v) / (deg(v)+1)`` on the pool.
+
+    Any GWMIN output is guaranteed to weigh at least this much; the property
+    tests assert it.
+    """
+    adjacency = _induced_adjacency(graph, nodes)
+    _validate_weights(weights, adjacency)
+    return sum(weights[j] / (len(adjacency[j]) + 1.0) for j in adjacency)
+
+
+def _greedy_select(
+    graph: InterferenceGraph,
+    weights: Mapping[int, float],
+    nodes: Iterable[int],
+    score: Callable[[int, Dict[int, Set[int]]], float],
+) -> List[int]:
+    """Shared select-and-remove loop for GWMIN / GWMIN2."""
+    adjacency = _induced_adjacency(graph, nodes)
+    _validate_weights(weights, adjacency)
+    chosen: List[int] = []
+    remaining = set(adjacency)
+    while remaining:
+        # Highest score wins; ties broken by smallest buyer index for
+        # reproducibility across runs and platforms.
+        best = max(remaining, key=lambda j: (score(j, adjacency), -j))
+        chosen.append(best)
+        removed = {best} | adjacency[best]
+        remaining -= removed
+        for j in removed:
+            for k in adjacency[j]:
+                adjacency[k].discard(j)
+            del adjacency[j]
+    chosen.sort()
+    return chosen
+
+
+def mwis_greedy_gwmin(
+    graph: InterferenceGraph,
+    weights: Mapping[int, float],
+    nodes: Iterable[int],
+) -> List[int]:
+    """GWMIN greedy MWIS on the subgraph induced by ``nodes``.
+
+    Returns the selected buyers in ascending index order.
+    """
+
+    def score(j: int, adjacency: Dict[int, Set[int]]) -> float:
+        return weights[j] / (len(adjacency[j]) + 1.0)
+
+    return _greedy_select(graph, weights, nodes, score)
+
+
+def mwis_greedy_gwmin2(
+    graph: InterferenceGraph,
+    weights: Mapping[int, float],
+    nodes: Iterable[int],
+) -> List[int]:
+    """GWMIN2 greedy MWIS (closed-neighbourhood weight ratio scoring)."""
+
+    def score(j: int, adjacency: Dict[int, Set[int]]) -> float:
+        closed_weight = weights[j] + sum(weights[k] for k in adjacency[j])
+        if closed_weight <= 0.0:
+            # All weights in the closed neighbourhood are zero: the choice
+            # is welfare-neutral, any deterministic value works.
+            return 0.0
+        return weights[j] / closed_weight
+
+    return _greedy_select(graph, weights, nodes, score)
+
+
+def mwis_greedy_gwmax(
+    graph: InterferenceGraph,
+    weights: Mapping[int, float],
+    nodes: Iterable[int],
+) -> List[int]:
+    """GWMAX greedy MWIS: delete lowest-value vertices until edge-free."""
+    adjacency = _induced_adjacency(graph, nodes)
+    _validate_weights(weights, adjacency)
+
+    def score(j: int) -> float:
+        degree = len(adjacency[j])
+        # Vertices that are already isolated are never deleted.
+        return weights[j] / (degree * (degree + 1.0))
+
+    while True:
+        with_edges = [j for j in adjacency if adjacency[j]]
+        if not with_edges:
+            break
+        # Delete the vertex with the smallest score; ties broken by largest
+        # index so the *kept* set is biased toward small indices, matching
+        # the other solvers' tie-break direction.
+        victim = min(with_edges, key=lambda j: (score(j), j))
+        for k in adjacency[victim]:
+            adjacency[k].discard(victim)
+        del adjacency[victim]
+    return sorted(adjacency)
+
+
+def mwis_exact(
+    graph: InterferenceGraph,
+    weights: Mapping[int, float],
+    nodes: Iterable[int],
+    node_limit: int = DEFAULT_EXACT_NODE_LIMIT,
+) -> List[int]:
+    """Exact MWIS via branch and bound.
+
+    Vertices are branched in descending-weight order; the search prunes with
+    the trivial bound ``current + sum(remaining weights)``.  Ties between
+    equal-weight optima are broken toward the lexicographically smallest
+    buyer-index set, so results are deterministic.
+
+    Raises
+    ------
+    SolverLimitExceeded
+        If the candidate pool exceeds ``node_limit`` vertices.
+    """
+    adjacency = _induced_adjacency(graph, nodes)
+    _validate_weights(weights, adjacency)
+    pool = sorted(adjacency, key=lambda j: (-weights[j], j))
+    if len(pool) > node_limit:
+        raise SolverLimitExceeded(
+            f"exact MWIS limited to {node_limit} nodes, got {len(pool)}"
+        )
+
+    suffix_weight = [0.0] * (len(pool) + 1)
+    for idx in range(len(pool) - 1, -1, -1):
+        suffix_weight[idx] = suffix_weight[idx + 1] + weights[pool[idx]]
+
+    best_weight = -1.0
+    best_set: List[int] = []
+
+    def consider(candidate: List[int], weight: float) -> None:
+        nonlocal best_weight, best_set
+        key = sorted(candidate)
+        # Strict improvement wins; exact ties go to the lexicographically
+        # smallest index set (deterministic, and never discards a strictly
+        # positive improvement however small).
+        if weight > best_weight or (weight == best_weight and key < best_set):
+            best_weight = weight
+            best_set = key
+
+    def branch(idx: int, chosen: List[int], blocked: Set[int], weight: float) -> None:
+        if weight + suffix_weight[idx] < best_weight - 1e-12:
+            return
+        if idx == len(pool):
+            consider(chosen, weight)
+            return
+        vertex = pool[idx]
+        if vertex not in blocked:
+            newly_blocked = adjacency[vertex] - blocked
+            chosen.append(vertex)
+            branch(idx + 1, chosen, blocked | newly_blocked, weight + weights[vertex])
+            chosen.pop()
+        branch(idx + 1, chosen, blocked, weight)
+
+    branch(0, [], set(), 0.0)
+    return best_set
+
+
+_DISPATCH: Dict[MwisAlgorithm, Callable[..., List[int]]] = {
+    MwisAlgorithm.GWMIN: mwis_greedy_gwmin,
+    MwisAlgorithm.GWMIN2: mwis_greedy_gwmin2,
+    MwisAlgorithm.GWMAX: mwis_greedy_gwmax,
+    MwisAlgorithm.EXACT: mwis_exact,
+}
+
+
+def mwis_solve(
+    graph: InterferenceGraph,
+    weights: Mapping[int, float],
+    nodes: Iterable[int],
+    algorithm: MwisAlgorithm = MwisAlgorithm.GWMIN,
+) -> List[int]:
+    """Solve MWIS on the induced subgraph with the selected algorithm.
+
+    This is the entry point used by sellers when forming coalitions; the
+    algorithm choice is a market-level configuration knob (see
+    :class:`~repro.core.market.SpectrumMarket`) and the subject of the
+    ``bench_mwis`` ablation.
+    """
+    algorithm = MwisAlgorithm(algorithm)
+    solver = _DISPATCH[algorithm]
+    return solver(graph, weights, nodes)

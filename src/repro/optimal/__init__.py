@@ -1,0 +1,33 @@
+"""Centralised solvers and baselines for the optimal-matching benchmark.
+
+The paper compares its distributed algorithm against the *optimal matching*
+of Section II-B -- the NP-hard integer program (1)-(4) maximising social
+welfare subject to one-channel-per-buyer and interference-freedom.  The
+paper solves it by brute force on small markets (footnote 4); we provide:
+
+* :func:`~repro.optimal.bruteforce.optimal_matching_bruteforce` -- the
+  paper's approach, with an explicit instance-size guard;
+* :func:`~repro.optimal.branch_and_bound.optimal_matching_branch_and_bound`
+  -- an exact solver that scales noticeably further via pruning;
+* :func:`~repro.optimal.lp_relaxation.lp_relaxation_bound` -- a polynomial
+  upper bound on the optimum (scipy linprog), useful for sanity-checking
+  the exact solvers and for larger instances;
+* greedy / random / fixed-quota-deferred-acceptance baselines for the
+  ablation benchmarks.
+"""
+
+from repro.optimal.bruteforce import optimal_matching_bruteforce
+from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
+from repro.optimal.lp_relaxation import lp_relaxation_bound
+from repro.optimal.greedy import greedy_centralized_matching
+from repro.optimal.random_baseline import random_matching
+from repro.optimal.college_admission import fixed_quota_deferred_acceptance
+
+__all__ = [
+    "optimal_matching_bruteforce",
+    "optimal_matching_branch_and_bound",
+    "lp_relaxation_bound",
+    "greedy_centralized_matching",
+    "random_matching",
+    "fixed_quota_deferred_acceptance",
+]

@@ -1,0 +1,88 @@
+"""Brute-force optimal matching (the paper's benchmark, footnote 4).
+
+Enumerates every assignment of buyers to {channel 0, ..., channel M-1,
+unmatched}, keeps the interference-feasible ones, and returns the welfare
+maximiser.  The search space is ``(M+1)^N``, so this is only usable on the
+small markets of Fig. 6 (``M <= 6``, ``N <= 10``) -- exactly the regime the
+paper itself brute-forces ("we can only simulate small-scale spectrum
+markets").  An explicit guard refuses anything larger.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.market import SpectrumMarket
+from repro.core.matching import Matching
+from repro.errors import SolverLimitExceeded
+
+__all__ = ["optimal_matching_bruteforce", "DEFAULT_BRUTEFORCE_STATE_LIMIT"]
+
+#: Refuse instances whose raw search space exceeds this many assignments.
+DEFAULT_BRUTEFORCE_STATE_LIMIT = 5_000_000
+
+
+def optimal_matching_bruteforce(
+    market: SpectrumMarket,
+    state_limit: int = DEFAULT_BRUTEFORCE_STATE_LIMIT,
+) -> Matching:
+    """Solve the integer program (1)-(4) exhaustively.
+
+    Parameters
+    ----------
+    market:
+        The market instance.
+    state_limit:
+        Maximum allowed ``(M+1)^N``; exceeded instances raise
+        :class:`~repro.errors.SolverLimitExceeded` rather than hanging.
+
+    Returns
+    -------
+    Matching
+        A welfare-maximising interference-free matching.  Among equal-value
+        optima the first one in depth-first order (buyers assigned in index
+        order, channels tried in ascending order, unmatched last) is
+        returned, which makes results deterministic.
+    """
+    num_buyers = market.num_buyers
+    num_channels = market.num_channels
+    space = float(num_channels + 1) ** num_buyers
+    if space > state_limit:
+        raise SolverLimitExceeded(
+            f"brute force would enumerate (M+1)^N = {space:.3g} assignments, "
+            f"over the limit of {state_limit}; use branch and bound instead"
+        )
+
+    utilities = market.utilities
+    graphs = [market.graph(i) for i in range(num_channels)]
+
+    best_value = -1.0
+    best_assignment: Optional[List[Optional[int]]] = None
+    assignment: List[Optional[int]] = [None] * num_buyers
+    coalitions: List[List[int]] = [[] for _ in range(num_channels)]
+
+    def recurse(buyer: int, value: float) -> None:
+        nonlocal best_value, best_assignment
+        if buyer == num_buyers:
+            if value > best_value:
+                best_value = value
+                best_assignment = list(assignment)
+            return
+        for channel in range(num_channels):
+            if graphs[channel].conflicts_with_set(buyer, coalitions[channel]):
+                continue
+            assignment[buyer] = channel
+            coalitions[channel].append(buyer)
+            recurse(buyer + 1, value + float(utilities[buyer, channel]))
+            coalitions[channel].pop()
+            assignment[buyer] = None
+        recurse(buyer + 1, value)  # leave the buyer unmatched
+
+    recurse(0, 0.0)
+
+    matching = Matching(num_channels, num_buyers)
+    assert best_assignment is not None  # the all-unmatched assignment always exists
+    for buyer, channel in enumerate(best_assignment):
+        if channel is not None:
+            matching.match(buyer, channel)
+    return matching

@@ -1,0 +1,187 @@
+"""Exhaustive enumeration of Nash-stable matchings (small markets).
+
+Definition 5 of the paper compares Nash-stable matchings by buyer-Pareto
+dominance, and Section III-D shows the algorithm's output need not be
+buyer-optimal among them.  For small markets we can make those statements
+computational:
+
+* :func:`enumerate_feasible_matchings` -- every interference-free
+  matching (the search space of program (1)-(4));
+* :func:`enumerate_nash_stable_matchings` -- the Nash-stable subset;
+* :func:`buyer_optimal_nash_stable` -- the Pareto frontier of Definition
+  5 (matchings not dominated by any other Nash-stable matching);
+* :func:`price_of_nash_stability` -- best Nash-stable welfare divided by
+  the unconstrained optimum, quantifying what stability costs.
+
+All functions guard against combinatorial blow-up with the same
+``(M+1)^N`` limit as the brute-force solver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.market import SpectrumMarket
+from repro.core.matching import Matching
+from repro.core.stability import is_nash_stable, pareto_dominates_for_buyers
+from repro.errors import SolverLimitExceeded
+from repro.optimal.bruteforce import (
+    DEFAULT_BRUTEFORCE_STATE_LIMIT,
+    optimal_matching_bruteforce,
+)
+
+__all__ = [
+    "enumerate_feasible_matchings",
+    "enumerate_nash_stable_matchings",
+    "enumerate_pairwise_stable_matchings",
+    "find_pairwise_stable_matching",
+    "buyer_optimal_nash_stable",
+    "price_of_nash_stability",
+]
+
+
+def _check_size(market: SpectrumMarket, state_limit: int) -> None:
+    space = float(market.num_channels + 1) ** market.num_buyers
+    if space > state_limit:
+        raise SolverLimitExceeded(
+            f"enumeration would visit (M+1)^N = {space:.3g} assignments, "
+            f"over the limit of {state_limit}"
+        )
+
+
+def enumerate_feasible_matchings(
+    market: SpectrumMarket,
+    state_limit: int = DEFAULT_BRUTEFORCE_STATE_LIMIT,
+) -> Iterator[Matching]:
+    """Yield every interference-free matching of the market.
+
+    Matchings are yielded in depth-first assignment order (buyer 0's
+    channel varies slowest; ``unmatched`` is tried last for each buyer),
+    so iteration order is deterministic.  The yielded objects are
+    independent copies safe to store.
+    """
+    _check_size(market, state_limit)
+    num_buyers = market.num_buyers
+    num_channels = market.num_channels
+    graphs = [market.graph(i) for i in range(num_channels)]
+    assignment: List[Optional[int]] = [None] * num_buyers
+    coalitions: List[List[int]] = [[] for _ in range(num_channels)]
+
+    def recurse(buyer: int) -> Iterator[Matching]:
+        if buyer == num_buyers:
+            matching = Matching(num_channels, num_buyers)
+            for j, channel in enumerate(assignment):
+                if channel is not None:
+                    matching.match(j, channel)
+            yield matching
+            return
+        for channel in range(num_channels):
+            if graphs[channel].conflicts_with_set(buyer, coalitions[channel]):
+                continue
+            assignment[buyer] = channel
+            coalitions[channel].append(buyer)
+            yield from recurse(buyer + 1)
+            coalitions[channel].pop()
+            assignment[buyer] = None
+        yield from recurse(buyer + 1)  # unmatched branch
+
+    return recurse(0)
+
+
+def enumerate_nash_stable_matchings(
+    market: SpectrumMarket,
+    state_limit: int = DEFAULT_BRUTEFORCE_STATE_LIMIT,
+) -> Iterator[Matching]:
+    """Yield every Nash-stable (Definition 3) feasible matching."""
+    for matching in enumerate_feasible_matchings(market, state_limit):
+        if is_nash_stable(market, matching):
+            yield matching
+
+
+def enumerate_pairwise_stable_matchings(
+    market: SpectrumMarket,
+    state_limit: int = DEFAULT_BRUTEFORCE_STATE_LIMIT,
+) -> Iterator[Matching]:
+    """Yield every pairwise-stable (Definition 4) feasible matching.
+
+    The paper proves its algorithm does not always *find* a pairwise
+    stable matching; whether one always *exists* is left open.  This
+    enumerator makes the question decidable per instance.  (On every
+    Section V-A workload we have enumerated, at least one exists --
+    the welfare-optimal matching is often but not always among them.)
+    """
+    from repro.core.stability import is_pairwise_stable
+
+    for matching in enumerate_feasible_matchings(market, state_limit):
+        if is_pairwise_stable(market, matching):
+            yield matching
+
+
+def find_pairwise_stable_matching(
+    market: SpectrumMarket,
+    state_limit: int = DEFAULT_BRUTEFORCE_STATE_LIMIT,
+) -> Optional[Matching]:
+    """Return a welfare-maximal pairwise-stable matching, or ``None``.
+
+    ``None`` would witness an instance of the spectrum-matching model
+    with an *empty core-like set* -- none has been observed on the
+    paper's workloads, but the checker keeps the question honest.
+    """
+    best: Optional[Matching] = None
+    best_value = -1.0
+    for matching in enumerate_pairwise_stable_matchings(market, state_limit):
+        value = matching.social_welfare(market.utilities)
+        if value > best_value:
+            best_value = value
+            best = matching
+    return best
+
+
+def buyer_optimal_nash_stable(
+    market: SpectrumMarket,
+    state_limit: int = DEFAULT_BRUTEFORCE_STATE_LIMIT,
+) -> List[Matching]:
+    """Return the buyer-Pareto frontier of the Nash-stable set.
+
+    These are exactly the matchings that are *buyer-optimal* in the sense
+    of Definition 5: no other Nash-stable matching makes some buyer
+    better off and none worse off.  The list is empty only if the market
+    has no Nash-stable matching at all (which cannot happen: the
+    algorithm's own output is one).
+    """
+    stable = list(enumerate_nash_stable_matchings(market, state_limit))
+    frontier: List[Matching] = []
+    for candidate in stable:
+        dominated = any(
+            pareto_dominates_for_buyers(market, other, candidate)
+            for other in stable
+            if other is not candidate
+        )
+        if not dominated:
+            frontier.append(candidate)
+    return frontier
+
+
+def price_of_nash_stability(
+    market: SpectrumMarket,
+    state_limit: int = DEFAULT_BRUTEFORCE_STATE_LIMIT,
+) -> Tuple[float, Matching]:
+    """Best Nash-stable welfare over the unconstrained optimum.
+
+    Returns ``(ratio, best_stable_matching)``.  A ratio of 1 means
+    stability is free on this instance; the Section III-D counterexample
+    has ratio 1 as well (its optimum happens to be Nash-stable), while
+    instances exist where every Nash-stable matching loses welfare.
+    """
+    best_stable: Optional[Matching] = None
+    best_value = -1.0
+    for matching in enumerate_nash_stable_matchings(market, state_limit):
+        value = matching.social_welfare(market.utilities)
+        if value > best_value:
+            best_value = value
+            best_stable = matching
+    assert best_stable is not None  # the empty matching is checked too
+    optimum = optimal_matching_bruteforce(market, state_limit)
+    optimum_value = optimum.social_welfare(market.utilities)
+    ratio = best_value / optimum_value if optimum_value > 0 else 1.0
+    return ratio, best_stable

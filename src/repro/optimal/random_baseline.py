@@ -1,0 +1,47 @@
+"""Random feasible matching baseline.
+
+Buyers arrive in random order and each takes a uniformly random channel
+among those still feasible for her (positive utility, no interference with
+the channel's current coalition); a buyer with no feasible channel stays
+unmatched.  The weakest sensible baseline -- it respects feasibility but
+ignores preferences entirely -- used to lower-bound the welfare axis in the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.market import SpectrumMarket
+from repro.core.matching import Matching
+
+__all__ = ["random_matching"]
+
+
+def random_matching(market: SpectrumMarket, rng: np.random.Generator) -> Matching:
+    """Sample one random feasible matching.
+
+    Parameters
+    ----------
+    market:
+        The market instance.
+    rng:
+        NumPy generator controlling both the arrival order and the channel
+        choices (pass a seeded generator for reproducibility).
+    """
+    matching = Matching(market.num_channels, market.num_buyers)
+    order = rng.permutation(market.num_buyers)
+    for buyer in order:
+        buyer = int(buyer)
+        feasible = []
+        for channel in range(market.num_channels):
+            if market.price(channel, buyer) <= 0.0:
+                continue
+            graph = market.graph(channel)
+            if graph.conflicts_with_set(buyer, matching.coalition(channel)):
+                continue
+            feasible.append(channel)
+        if feasible:
+            choice = feasible[int(rng.integers(len(feasible)))]
+            matching.match(buyer, choice)
+    return matching

@@ -1,0 +1,57 @@
+"""Workload generation: the paper's simulation settings (Section V-A).
+
+* :mod:`~repro.workloads.deployment` -- buyers uniform in a 10x10 area,
+  per-channel transmission ranges uniform in (0, 5].
+* :mod:`~repro.workloads.utilities` -- i.i.d. U[0,1] utility vectors and
+  the sort + random m-permutation manoeuvre that controls their similarity.
+* :mod:`~repro.workloads.similarity` -- Spearman's rank correlation
+  coefficient (SRCC) machinery that quantifies that similarity.
+* :mod:`~repro.workloads.scenarios` -- named, fully reproducible market
+  builders: the paper's toy example (Figs. 1-3), a pairwise-instability
+  counterexample (Section III-D), and the paper's randomized simulation
+  setup.
+"""
+
+from repro.workloads.deployment import (
+    random_deployment,
+    clustered_deployment,
+    random_transmission_ranges,
+    Deployment,
+)
+from repro.workloads.utilities import (
+    iid_uniform_utilities,
+    sorted_base_utilities,
+    apply_m_permutation,
+    utilities_with_permutation_level,
+    permutation_level_for_similarity,
+)
+from repro.workloads.similarity import (
+    spearman_rank_correlation,
+    average_pairwise_srcc,
+)
+from repro.workloads.scenarios import (
+    toy_example_market,
+    counterexample_market,
+    paper_simulation_market,
+    physical_market_example,
+)
+from repro.workloads.physical import random_physical_market
+
+__all__ = [
+    "random_deployment",
+    "clustered_deployment",
+    "random_transmission_ranges",
+    "Deployment",
+    "iid_uniform_utilities",
+    "sorted_base_utilities",
+    "apply_m_permutation",
+    "utilities_with_permutation_level",
+    "permutation_level_for_similarity",
+    "spearman_rank_correlation",
+    "average_pairwise_srcc",
+    "toy_example_market",
+    "counterexample_market",
+    "paper_simulation_market",
+    "physical_market_example",
+    "random_physical_market",
+]

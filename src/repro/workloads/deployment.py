@@ -1,0 +1,140 @@
+"""Geometric deployments: buyer locations and channel transmission ranges.
+
+Section V-A of the paper: "buyers are randomly located in a 10 x 10 area.
+The transmission range of each channel is randomly chosen in the range
+(0, 5]."  The interference graph of each channel then follows from the disk
+model (see :mod:`repro.interference.geometric`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MarketConfigurationError
+from repro.interference.geometric import build_geometric_interference_map
+from repro.interference.graph import InterferenceMap
+
+__all__ = [
+    "Deployment",
+    "random_deployment",
+    "clustered_deployment",
+    "random_transmission_ranges",
+]
+
+#: Paper defaults (Section V-A).
+DEFAULT_AREA_SIDE = 10.0
+DEFAULT_MAX_RANGE = 5.0
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A concrete geometric scenario: locations plus channel ranges.
+
+    Attributes
+    ----------
+    locations:
+        ``(N, 2)`` buyer coordinates.
+    transmission_ranges:
+        One interference radius per channel.
+    area_side:
+        Side length of the square deployment area (metadata for reports).
+    """
+
+    locations: np.ndarray
+    transmission_ranges: Tuple[float, ...]
+    area_side: float
+
+    def interference_map(self) -> InterferenceMap:
+        """Materialise the per-channel disk-model interference graphs."""
+        return build_geometric_interference_map(
+            self.locations, self.transmission_ranges
+        )
+
+
+def random_deployment(
+    num_buyers: int,
+    num_channels: int,
+    rng: np.random.Generator,
+    area_side: float = DEFAULT_AREA_SIDE,
+    max_range: float = DEFAULT_MAX_RANGE,
+) -> Deployment:
+    """Sample a deployment with the paper's distributions.
+
+    Buyer locations are uniform on ``[0, area_side]^2``; each channel's
+    transmission range is uniform on ``(0, max_range]``.
+    """
+    if num_buyers < 1:
+        raise MarketConfigurationError("need at least one buyer")
+    if num_channels < 1:
+        raise MarketConfigurationError("need at least one channel")
+    if area_side <= 0 or max_range <= 0:
+        raise MarketConfigurationError("area_side and max_range must be positive")
+    locations = rng.uniform(0.0, area_side, size=(num_buyers, 2))
+    ranges = random_transmission_ranges(num_channels, rng, max_range=max_range)
+    return Deployment(
+        locations=locations,
+        transmission_ranges=ranges,
+        area_side=float(area_side),
+    )
+
+
+def clustered_deployment(
+    num_buyers: int,
+    num_channels: int,
+    rng: np.random.Generator,
+    num_clusters: int = 3,
+    cluster_spread: float = 1.0,
+    area_side: float = DEFAULT_AREA_SIDE,
+    max_range: float = DEFAULT_MAX_RANGE,
+) -> Deployment:
+    """Sample a hotspot deployment (Matern-like cluster process).
+
+    Real wireless demand concentrates around hotspots (campuses, malls,
+    stadiums) rather than spreading uniformly.  ``num_clusters`` centres
+    are placed uniformly in the area; each buyer picks a centre uniformly
+    and lands at a Gaussian offset of scale ``cluster_spread``, clipped
+    to the area.  Clustered buyers interfere far more, so per-channel
+    capacity drops sharply -- the deployment-sensitivity ablation
+    (``bench_deployments``) quantifies what that does to the matching.
+    """
+    if num_buyers < 1:
+        raise MarketConfigurationError("need at least one buyer")
+    if num_channels < 1:
+        raise MarketConfigurationError("need at least one channel")
+    if num_clusters < 1:
+        raise MarketConfigurationError("need at least one cluster")
+    if cluster_spread < 0:
+        raise MarketConfigurationError("cluster_spread must be >= 0")
+    if area_side <= 0 or max_range <= 0:
+        raise MarketConfigurationError("area_side and max_range must be positive")
+
+    centres = rng.uniform(0.0, area_side, size=(num_clusters, 2))
+    assignments = rng.integers(0, num_clusters, size=num_buyers)
+    offsets = rng.normal(0.0, cluster_spread, size=(num_buyers, 2))
+    locations = np.clip(centres[assignments] + offsets, 0.0, area_side)
+    ranges = random_transmission_ranges(num_channels, rng, max_range=max_range)
+    return Deployment(
+        locations=locations,
+        transmission_ranges=ranges,
+        area_side=float(area_side),
+    )
+
+
+def random_transmission_ranges(
+    num_channels: int,
+    rng: np.random.Generator,
+    max_range: float = DEFAULT_MAX_RANGE,
+) -> Tuple[float, ...]:
+    """Per-channel ranges uniform on ``(0, max_range]``.
+
+    Implemented as ``max_range * (1 - U)`` with ``U ~ U[0, 1)`` so the
+    interval is half-open at zero, exactly as the paper specifies (a radius
+    of zero would make a channel's graph trivially empty).
+    """
+    if num_channels < 1:
+        raise MarketConfigurationError("need at least one channel")
+    uniforms = rng.random(num_channels)
+    return tuple(float(max_range * (1.0 - u)) for u in uniforms)

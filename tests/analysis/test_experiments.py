@@ -1,0 +1,121 @@
+"""Tests for the experiment harness (scaled-down figure sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    SweepAxis,
+    optimal_comparison_series,
+    stage_breakdown_series,
+)
+from repro.analysis.metrics import evaluate_matching
+from repro.core.two_stage import run_two_stage
+from repro.errors import SpectrumMatchingError
+from repro.workloads.scenarios import toy_example_market
+
+
+class TestOptimalComparison:
+    def test_buyer_sweep_structure(self):
+        rows = optimal_comparison_series(
+            SweepAxis.BUYERS, [4, 6], num_channels=3, repetitions=4, seed=1
+        )
+        assert [row.x for row in rows] == [4.0, 6.0]
+        for row in rows:
+            assert set(row.series) == {
+                "welfare_proposed",
+                "welfare_optimal",
+                "welfare_ratio",
+            }
+            assert row.measured_srcc is None
+            assert row.series["welfare_ratio"].mean <= 1.0 + 1e-9
+            assert (
+                row.series["welfare_proposed"].mean
+                <= row.series["welfare_optimal"].mean + 1e-9
+            )
+
+    def test_similarity_sweep_reports_srcc(self):
+        rows = optimal_comparison_series(
+            SweepAxis.SIMILARITY,
+            [0.0, 1.0],
+            num_buyers=6,
+            num_channels=3,
+            repetitions=4,
+            seed=2,
+        )
+        low, high = rows
+        assert low.measured_srcc is not None
+        assert high.measured_srcc == pytest.approx(1.0)
+        assert low.measured_srcc < high.measured_srcc
+
+    def test_bruteforce_and_bnb_agree(self):
+        kwargs = dict(num_channels=3, repetitions=3, seed=3)
+        bnb = optimal_comparison_series(SweepAxis.BUYERS, [5], **kwargs)
+        bf = optimal_comparison_series(
+            SweepAxis.BUYERS, [5], use_bruteforce=True, **kwargs
+        )
+        assert bnb[0].series["welfare_optimal"].mean == pytest.approx(
+            bf[0].series["welfare_optimal"].mean
+        )
+
+    def test_seed_determinism(self):
+        kwargs = dict(num_channels=3, repetitions=3, seed=9)
+        a = optimal_comparison_series(SweepAxis.BUYERS, [5], **kwargs)
+        b = optimal_comparison_series(SweepAxis.BUYERS, [5], **kwargs)
+        assert a[0].series["welfare_proposed"].mean == pytest.approx(
+            b[0].series["welfare_proposed"].mean
+        )
+
+    def test_missing_fixed_dimension_rejected(self):
+        with pytest.raises(SpectrumMatchingError):
+            optimal_comparison_series(SweepAxis.BUYERS, [5], repetitions=1)
+        with pytest.raises(SpectrumMatchingError):
+            optimal_comparison_series(SweepAxis.SELLERS, [3], repetitions=1)
+        with pytest.raises(SpectrumMatchingError):
+            optimal_comparison_series(
+                SweepAxis.SIMILARITY, [0.5], num_buyers=5, repetitions=1
+            )
+
+
+class TestStageBreakdown:
+    def test_series_and_monotone_welfare(self):
+        rows = stage_breakdown_series(
+            SweepAxis.BUYERS, [20, 30], num_channels=4, repetitions=3, seed=4
+        )
+        for row in rows:
+            w1 = row.series["welfare_stage1"].mean
+            w2 = row.series["welfare_phase1"].mean
+            w3 = row.series["welfare_phase2"].mean
+            assert w1 <= w2 + 1e-9 <= w3 + 2e-9
+            assert row.series["rounds_stage1"].mean >= 1
+
+    def test_seller_sweep(self):
+        rows = stage_breakdown_series(
+            SweepAxis.SELLERS, [2, 4], num_buyers=25, repetitions=3, seed=5
+        )
+        # More sellers -> more welfare (paper Fig. 7(b) trend).
+        assert (
+            rows[1].series["welfare_phase2"].mean
+            > rows[0].series["welfare_phase2"].mean
+        )
+
+
+class TestEvaluateMatching:
+    def test_full_report_on_toy_example(self):
+        market = toy_example_market()
+        result = run_two_stage(market)
+        report = evaluate_matching(market, result.matching)
+        assert report.social_welfare == pytest.approx(30.0)
+        assert report.num_matched == 5
+        assert report.matched_fraction == 1.0
+        assert report.interference_free
+        assert report.individually_rational
+        assert report.nash_stable
+        assert sum(report.seller_revenue) == pytest.approx(30.0)
+
+    def test_stability_skip_flag(self):
+        market = toy_example_market()
+        result = run_two_stage(market)
+        report = evaluate_matching(market, result.matching, check_stability=False)
+        assert report.interference_free  # always computed
+        assert not report.nash_stable  # skipped -> conservative False

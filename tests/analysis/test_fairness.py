@@ -1,0 +1,144 @@
+"""Tests for the fairness metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import (
+    FairnessReport,
+    buyer_utilities,
+    fairness_report,
+    jain_fairness_index,
+    justified_envy_pairs,
+)
+from repro.core.market import SpectrumMarket
+from repro.core.matching import Matching
+from repro.core.stability import pairwise_blocking_pairs
+from repro.core.two_stage import run_two_stage
+from repro.errors import SpectrumMatchingError
+from repro.interference.generators import interference_map_from_edge_lists
+from repro.workloads.scenarios import paper_simulation_market
+
+
+def market_of(utilities, per_channel_edges):
+    utilities = np.asarray(utilities, dtype=float)
+    imap = interference_map_from_edge_lists(utilities.shape[0], per_channel_edges)
+    return SpectrumMarket(utilities, imap)
+
+
+class TestJainIndex:
+    def test_equal_allocation_is_one(self):
+        assert jain_fairness_index([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_single_winner_is_one_over_n(self):
+        assert jain_fairness_index([5.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero_conventions(self):
+        assert jain_fairness_index([]) == 1.0
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariance(self):
+        values = [1.0, 3.0, 2.0]
+        assert jain_fairness_index(values) == pytest.approx(
+            jain_fairness_index([10 * v for v in values])
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(SpectrumMatchingError):
+            jain_fairness_index([-1.0])
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            values = rng.random(8)
+            index = jain_fairness_index(values)
+            assert 1 / 8 - 1e-12 <= index <= 1.0 + 1e-12
+
+
+class TestJustifiedEnvy:
+    def test_envy_found_in_crafted_instance(self):
+        # Buyer 1 (price 5) justifiably envies buyer 0 (price 3) on the
+        # single channel: feasible swap, both she and the seller gain.
+        market = market_of([[3.0], [5.0]], [[(0, 1)]])
+        matching = Matching(1, 2)
+        matching.match(0, 0)
+        pairs = list(justified_envy_pairs(market, matching))
+        assert len(pairs) == 1
+        envy = pairs[0]
+        assert (envy.envier, envy.envied) == (1, 0)
+        assert envy.new_utility == 5.0
+        assert envy.envied_price == 3.0
+
+    def test_no_envy_when_seller_would_lose(self):
+        market = market_of([[5.0], [3.0]], [[(0, 1)]])
+        matching = Matching(1, 2)
+        matching.match(0, 0)  # the higher-priced buyer already holds it
+        assert list(justified_envy_pairs(market, matching)) == []
+
+    def test_no_envy_when_swap_infeasible(self):
+        # Buyer 2 blocks: envier conflicts with the REST of the coalition.
+        market = market_of(
+            [[3.0], [5.0], [1.0]],
+            [[(0, 1), (1, 2)]],
+        )
+        matching = Matching(1, 3)
+        matching.match(0, 0)
+        matching.match(2, 0)  # 0 and 2 are compatible
+        # Buyer 1 would replace 0 but conflicts with 2 as well.
+        assert list(justified_envy_pairs(market, matching)) == []
+
+    def test_envy_is_single_eviction_blocking(self, market_factory):
+        """Every justified-envy triple is a Def.-4 blocking pair whose
+        eviction set is exactly the envied buyer."""
+        market = market_factory(num_buyers=12, num_channels=4, seed=6)
+        matching = Matching(market.num_channels, market.num_buyers)
+        # A deliberately bad matching: everyone crammed greedily by index.
+        for j in range(market.num_buyers):
+            for channel in range(market.num_channels):
+                if market.price(channel, j) > 0 and not market.graph(
+                    channel
+                ).conflicts_with_set(j, matching.coalition(channel)):
+                    matching.match(j, channel)
+                    break
+        blocking = {
+            (pair.channel, pair.buyer, pair.evicted)
+            for pair in pairwise_blocking_pairs(market, matching)
+        }
+        for envy in justified_envy_pairs(market, matching):
+            assert (envy.channel, envy.envier, (envy.envied,)) in blocking
+
+
+class TestFairnessReport:
+    def test_report_fields(self, market_factory):
+        market = market_factory(num_buyers=15, num_channels=4, seed=2)
+        result = run_two_stage(market, record_trace=False)
+        report = fairness_report(market, result.matching)
+        assert isinstance(report, FairnessReport)
+        assert 0.0 < report.jain_index <= 1.0
+        assert report.jain_index <= report.jain_index_matched + 1e-12
+        assert report.min_utility <= report.median_utility <= report.max_utility
+        assert report.envy_count >= 0
+
+    def test_buyer_utilities_vector(self, market_factory):
+        market = market_factory(num_buyers=10, num_channels=3, seed=3)
+        result = run_two_stage(market, record_trace=False)
+        values = buyer_utilities(market, result.matching)
+        assert len(values) == 10
+        assert sum(values) == pytest.approx(result.social_welfare)
+
+    def test_stable_output_envy_equals_single_eviction_blocks(self):
+        """On the algorithm's output, justified envy = the pairwise
+        blocking pairs with singleton eviction sets."""
+        market = paper_simulation_market(14, 4, np.random.default_rng(777))
+        result = run_two_stage(market, record_trace=False)
+        envies = {
+            (e.channel, e.envier, (e.envied,))
+            for e in justified_envy_pairs(market, result.matching)
+        }
+        singleton_blocks = {
+            (p.channel, p.buyer, p.evicted)
+            for p in pairwise_blocking_pairs(market, result.matching)
+            if len(p.evicted) == 1
+        }
+        assert envies == singleton_blocks

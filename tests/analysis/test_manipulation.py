@@ -1,0 +1,113 @@
+"""Tests for the strategic-behaviour (manipulation) analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.manipulation import (
+    candidate_misreports,
+    demonstration_instance,
+    evaluate_report,
+    find_profitable_misreport,
+    manipulability_rate,
+)
+from repro.core.two_stage import run_two_stage
+from repro.errors import MarketConfigurationError
+from repro.workloads.scenarios import paper_simulation_market
+
+
+class TestEvaluateReport:
+    def test_truthful_report_reproduces_mechanism(self, market_factory):
+        market = market_factory(num_buyers=8, num_channels=3, seed=0)
+        baseline = run_two_stage(market, record_trace=False)
+        for buyer in range(market.num_buyers):
+            utility = evaluate_report(market, buyer, market.buyer_vector(buyer))
+            assert utility == pytest.approx(
+                baseline.matching.buyer_utility(buyer, market.utilities)
+            )
+
+    def test_scores_with_true_not_reported_utilities(self):
+        market, buyer, lie = demonstration_instance()
+        # Under the lie the buyer wins channel 0; her score must be the
+        # TRUE 5.0, not the reported 20.0.
+        assert evaluate_report(market, buyer, lie) == pytest.approx(5.0)
+
+    def test_wrong_report_shape_rejected(self, market_factory):
+        market = market_factory()
+        with pytest.raises(MarketConfigurationError):
+            evaluate_report(market, 0, [1.0])
+
+
+class TestDemonstration:
+    def test_inflation_manipulation_pays(self):
+        market, buyer, lie = demonstration_instance()
+        truthful = evaluate_report(market, buyer, market.buyer_vector(buyer))
+        lied = evaluate_report(market, buyer, lie)
+        assert truthful == pytest.approx(4.0)  # settles for channel 1
+        assert lied == pytest.approx(5.0)  # inflation wins channel 0
+        assert lied > truthful
+
+    def test_search_finds_the_manipulation(self):
+        market, buyer, _ = demonstration_instance()
+        result = find_profitable_misreport(
+            market, buyer, np.random.default_rng(0), num_random=0
+        )
+        assert result.profitable
+        assert result.gain == pytest.approx(1.0)
+        assert result.best_report is not None
+
+
+class TestCandidatePortfolio:
+    def test_portfolio_is_nonempty_and_well_shaped(self, market_factory):
+        market = market_factory(num_buyers=6, num_channels=3, seed=1)
+        candidates = candidate_misreports(
+            market, 0, np.random.default_rng(0), num_random=3
+        )
+        assert len(candidates) >= 8
+        for report in candidates:
+            assert report.shape == (market.num_channels,)
+            assert np.all(report >= 0.0)
+
+    def test_random_candidates_respect_count(self, market_factory):
+        market = market_factory(num_buyers=6, num_channels=3, seed=1)
+        few = candidate_misreports(market, 0, np.random.default_rng(0), 0)
+        more = candidate_misreports(market, 0, np.random.default_rng(0), 7)
+        assert len(more) == len(few) + 7
+
+
+class TestManipulabilityRate:
+    def test_rate_bounds_and_counts(self):
+        markets = [
+            paper_simulation_market(8, 3, np.random.default_rng([222, s]))
+            for s in range(3)
+        ]
+        rate, found, total = manipulability_rate(
+            markets, np.random.default_rng(5), num_random=3
+        )
+        assert total == 24
+        assert 0.0 <= rate <= 1.0
+        assert found == round(rate * total)
+
+    def test_mechanism_is_not_truthful(self):
+        """The headline: unlike TRUST, matching IS manipulable."""
+        markets = [
+            paper_simulation_market(10, 3, np.random.default_rng([111, s]))
+            for s in range(5)
+        ]
+        rate, found, _ = manipulability_rate(
+            markets, np.random.default_rng(1), num_random=5
+        )
+        assert found > 0  # profitable lies exist on plain random markets
+
+    def test_no_false_positives(self):
+        """Every 'profitable' report must actually beat the truth when
+        re-evaluated independently."""
+        market = paper_simulation_market(10, 3, np.random.default_rng(333))
+        rng = np.random.default_rng(2)
+        for buyer in range(market.num_buyers):
+            result = find_profitable_misreport(market, buyer, rng, num_random=4)
+            if result.profitable:
+                recheck = evaluate_report(market, buyer, result.best_report)
+                assert recheck == pytest.approx(result.best_utility)
+                assert recheck > result.truthful_utility

@@ -1,0 +1,101 @@
+"""Tests for experiment-result persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import SweepAxis, optimal_comparison_series
+from repro.analysis.persistence import (
+    dict_to_experiment_rows,
+    experiment_rows_to_dict,
+    load_rows,
+    save_rows,
+)
+from repro.errors import SpectrumMatchingError
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return optimal_comparison_series(
+        SweepAxis.BUYERS, [4, 5], num_channels=3, repetitions=3, seed=0
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, rows):
+        payload = experiment_rows_to_dict(rows, metadata={"note": "test"})
+        restored = dict_to_experiment_rows(payload)
+        assert len(restored) == len(rows)
+        for original, loaded in zip(rows, restored):
+            assert loaded.x == original.x
+            assert loaded.measured_srcc == original.measured_srcc
+            assert set(loaded.series) == set(original.series)
+            for name in original.series:
+                assert loaded.series[name] == original.series[name]
+
+    def test_file_round_trip(self, rows, tmp_path):
+        path = tmp_path / "results.json"
+        save_rows(path, rows, metadata={"figure": 6})
+        restored = load_rows(path)
+        assert restored[0].series["welfare_ratio"].mean == pytest.approx(
+            rows[0].series["welfare_ratio"].mean
+        )
+
+    def test_metadata_preserved_on_disk(self, rows, tmp_path):
+        path = tmp_path / "results.json"
+        save_rows(path, rows, metadata={"figure": 6, "panel": "a"})
+        payload = json.loads(path.read_text())
+        assert payload["metadata"] == {"figure": 6, "panel": "a"}
+        assert payload["format_version"] == 1
+
+    def test_json_is_valid_and_sorted(self, rows, tmp_path):
+        path = tmp_path / "results.json"
+        save_rows(path, rows)
+        payload = json.loads(path.read_text())  # must parse
+        assert "rows" in payload
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SpectrumMatchingError):
+            load_rows(tmp_path / "nope.json")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json {{{")
+        with pytest.raises(SpectrumMatchingError):
+            load_rows(path)
+
+    def test_wrong_payload_shape(self):
+        with pytest.raises(SpectrumMatchingError):
+            dict_to_experiment_rows({"something": "else"})
+
+    def test_wrong_version(self, rows):
+        payload = experiment_rows_to_dict(rows)
+        payload["format_version"] = 999
+        with pytest.raises(SpectrumMatchingError):
+            dict_to_experiment_rows(payload)
+
+
+class TestCliIntegration:
+    def test_figure_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "fig6a.json"
+        assert (
+            main(
+                [
+                    "fig6",
+                    "--panel", "a",
+                    "--repetitions", "2",
+                    "--json", str(path),
+                ]
+            )
+            == 0
+        )
+        restored = load_rows(path)
+        assert len(restored) == 5  # fig 6(a) has five sweep points
+        out = capsys.readouterr().out
+        assert "saved series to" in out

@@ -1,0 +1,67 @@
+"""Tests for table/CSV rendering."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.analysis.experiments import SweepAxis, optimal_comparison_series
+from repro.analysis.reporting import (
+    format_experiment_rows,
+    format_table,
+    rows_to_csv,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        table = format_table(["name", "value"], [["alpha", 1.23456], ["b", 2.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "1.2346" in lines[2]
+        assert "2.0000" in lines[3]
+        # All rows share the same width.
+        assert len(set(map(len, lines))) == 1
+
+    def test_wide_cells_stretch_columns(self):
+        table = format_table(["h"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in table
+
+
+class TestExperimentRendering:
+    def make_rows(self):
+        return optimal_comparison_series(
+            SweepAxis.BUYERS, [4, 5], num_channels=3, repetitions=2, seed=0
+        )
+
+    def test_format_experiment_rows(self):
+        text = format_experiment_rows(
+            self.make_rows(),
+            ["welfare_proposed", "welfare_ratio"],
+            x_label="buyers",
+        )
+        assert "buyers" in text
+        assert "welfare_ratio" in text
+        assert len(text.splitlines()) == 4  # header, rule, 2 data rows
+
+    def test_srcc_column_optional(self):
+        rows = self.make_rows()
+        with_srcc = format_experiment_rows(
+            rows, ["welfare_ratio"], include_srcc=True
+        )
+        assert "srcc" in with_srcc
+        assert "-" in with_srcc  # buyer sweep has no SRCC -> placeholder
+
+    def test_csv_round_trip(self):
+        rows = self.make_rows()
+        text = rows_to_csv(rows, ["welfare_proposed"], x_label="buyers")
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == [
+            "buyers",
+            "measured_srcc",
+            "welfare_proposed_mean",
+            "welfare_proposed_std",
+        ]
+        assert len(parsed) == 3
+        assert float(parsed[1][0]) == 4.0
+        assert float(parsed[1][2]) > 0.0

@@ -1,0 +1,123 @@
+"""Tests for the sensing-noise robustness study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensing import (
+    effective_welfare,
+    perturb_interference,
+    run_sensing_study,
+)
+from repro.core.matching import Matching
+from repro.errors import MarketConfigurationError
+from repro.interference.generators import (
+    complete_graph,
+    empty_graph,
+    interference_map_from_edge_lists,
+)
+from repro.interference.graph import InterferenceMap
+from repro.core.market import SpectrumMarket
+
+
+class TestPerturbation:
+    def test_zero_noise_is_identity(self, rng):
+        imap = interference_map_from_edge_lists(4, [[(0, 1)], [(2, 3)]])
+        estimated = perturb_interference(imap, 0.0, 0.0, rng)
+        assert all(estimated[i] == imap[i] for i in range(2))
+
+    def test_full_miss_erases_all_edges(self, rng):
+        imap = InterferenceMap([complete_graph(5)])
+        estimated = perturb_interference(imap, 1.0, 0.0, rng)
+        assert estimated[0].num_edges == 0
+
+    def test_full_false_alarm_completes_the_graph(self, rng):
+        imap = InterferenceMap([empty_graph(5)])
+        estimated = perturb_interference(imap, 0.0, 1.0, rng)
+        assert estimated[0].num_edges == 10
+
+    def test_probability_validation(self, rng):
+        imap = InterferenceMap([empty_graph(3)])
+        with pytest.raises(MarketConfigurationError):
+            perturb_interference(imap, -0.1, 0.0, rng)
+        with pytest.raises(MarketConfigurationError):
+            perturb_interference(imap, 0.0, 1.5, rng)
+
+    def test_miss_rate_statistics(self):
+        imap = InterferenceMap([complete_graph(30)])  # 435 edges
+        rng = np.random.default_rng(0)
+        estimated = perturb_interference(imap, 0.2, 0.0, rng)
+        kept = estimated[0].num_edges
+        assert 0.7 * 435 < kept < 0.9 * 435
+
+    def test_channels_perturbed_independently(self):
+        imap = InterferenceMap([complete_graph(10), complete_graph(10)])
+        rng = np.random.default_rng(1)
+        estimated = perturb_interference(imap, 0.5, 0.0, rng)
+        assert estimated[0] != estimated[1]  # astronomically unlikely to tie
+
+
+class TestEffectiveWelfare:
+    def make_market(self):
+        utilities = np.array([[3.0], [2.0], [1.0]])
+        imap = interference_map_from_edge_lists(3, [[(0, 1)]])
+        return SpectrumMarket(utilities, imap)
+
+    def test_clean_matching_scores_fully(self):
+        market = self.make_market()
+        matching = Matching(1, 3)
+        matching.match(0, 0)
+        matching.match(2, 0)  # 0 and 2 don't interfere
+        welfare, pairs, victims = effective_welfare(market, matching)
+        assert welfare == pytest.approx(4.0)
+        assert pairs == 0
+        assert victims == 0
+
+    def test_violating_pair_zeroes_both_victims(self):
+        market = self.make_market()
+        matching = Matching(1, 3)
+        matching.match(0, 0)
+        matching.match(1, 0)  # truly interfering pair
+        matching.match(2, 0)
+        welfare, pairs, victims = effective_welfare(market, matching)
+        assert pairs == 1
+        assert victims == 2
+        assert welfare == pytest.approx(1.0)  # only buyer 2 realises value
+
+    def test_unmatched_buyers_contribute_nothing(self):
+        market = self.make_market()
+        matching = Matching(1, 3)
+        welfare, pairs, victims = effective_welfare(market, matching)
+        assert welfare == 0.0 and pairs == 0 and victims == 0
+
+
+class TestStudy:
+    def test_perfect_sensing_point(self):
+        point = run_sensing_study(
+            0.0, 0.0, num_buyers=12, num_channels=3, repetitions=3, seed=9
+        )
+        assert point.violating_pairs == 0.0
+        assert point.nominal_welfare == pytest.approx(point.effective_welfare)
+        assert point.nominal_welfare == pytest.approx(point.clean_welfare)
+
+    def test_misses_create_overconfidence(self):
+        point = run_sensing_study(
+            0.4, 0.0, num_buyers=15, num_channels=3, repetitions=4, seed=10
+        )
+        assert point.violating_pairs > 0
+        assert point.nominal_welfare > point.effective_welfare
+
+    def test_false_alarms_never_violate(self):
+        point = run_sensing_study(
+            0.0, 0.4, num_buyers=15, num_channels=3, repetitions=4, seed=11
+        )
+        assert point.violating_pairs == 0.0
+        assert point.effective_welfare < point.clean_welfare
+
+    def test_determinism(self):
+        a = run_sensing_study(0.1, 0.1, num_buyers=10, num_channels=3,
+                              repetitions=2, seed=12)
+        b = run_sensing_study(0.1, 0.1, num_buyers=10, num_channels=3,
+                              repetitions=2, seed=12)
+        assert a == b

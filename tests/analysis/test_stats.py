@@ -1,0 +1,55 @@
+"""Tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.errors import SpectrumMatchingError
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        stats = summarize([3.0])
+        assert stats.mean == 3.0
+        assert stats.std == 0.0
+        assert stats.count == 1
+        assert stats.ci_low == stats.ci_high == 3.0
+
+    def test_constant_sample(self):
+        stats = summarize([2.0, 2.0, 2.0])
+        assert stats.mean == 2.0
+        assert stats.std == 0.0
+        assert stats.ci_halfwidth == 0.0
+
+    def test_known_values(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert stats.count == 4
+        assert stats.ci_low < 2.5 < stats.ci_high
+
+    def test_interval_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = summarize(rng.normal(size=10))
+        large = summarize(rng.normal(size=1000))
+        assert large.ci_halfwidth < small.ci_halfwidth
+
+    def test_interval_contains_mean_roughly_95_percent(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            stats = summarize(rng.normal(loc=5.0, size=15))
+            if stats.ci_low <= 5.0 <= stats.ci_high:
+                hits += 1
+        assert hits / trials > 0.88  # 95% nominal, generous slack
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(SpectrumMatchingError):
+            summarize([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(SpectrumMatchingError):
+            summarize([1.0, 2.0], confidence=1.0)

@@ -1,0 +1,98 @@
+"""Tests for the ASCII visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.visualization import (
+    render_deployment_map,
+    render_interference_summary,
+    render_matching_table,
+)
+from repro.core.matching import Matching
+from repro.core.two_stage import run_two_stage
+from repro.errors import MarketConfigurationError
+from repro.workloads.scenarios import paper_simulation_market, toy_example_market
+
+
+class TestDeploymentMap:
+    def test_dimensions_and_border(self):
+        locations = np.array([[5.0, 5.0]])
+        art = render_deployment_map(locations, 10.0, width=20, height=8)
+        lines = art.splitlines()
+        assert len(lines) == 10  # border + 8 rows + border
+        assert lines[0] == "+" + "-" * 20 + "+"
+        assert all(line.startswith("|") and line.endswith("|") for line in lines[1:-1])
+
+    def test_unmatched_marker(self):
+        locations = np.array([[5.0, 5.0]])
+        art = render_deployment_map(locations, 10.0)
+        assert "." in art
+
+    def test_channel_letters_and_legend(self):
+        locations = np.array([[2.0, 2.0], [8.0, 8.0]])
+        matching = Matching(2, 2)
+        matching.match(0, 0)
+        matching.match(1, 1)
+        art = render_deployment_map(locations, 10.0, matching=matching)
+        assert "A" in art and "B" in art
+        assert "A=ch0" in art and "B=ch1" in art
+
+    def test_collision_marker(self):
+        locations = np.array([[5.0, 5.0], [5.0, 5.0]])
+        art = render_deployment_map(locations, 10.0, width=10, height=5)
+        assert "*" in art
+
+    def test_corner_points_stay_in_bounds(self):
+        locations = np.array([[0.0, 0.0], [10.0, 10.0]])
+        art = render_deployment_map(locations, 10.0, width=12, height=6)
+        assert art.count(".") == 2
+
+    def test_validation(self):
+        with pytest.raises(MarketConfigurationError):
+            render_deployment_map(np.ones(3), 10.0)
+        with pytest.raises(MarketConfigurationError):
+            render_deployment_map(np.ones((2, 2)), 10.0, width=1)
+
+
+class TestInterferenceSummary:
+    def test_rows_per_channel(self):
+        market = toy_example_market()
+        summary = render_interference_summary(market.interference)
+        lines = summary.splitlines()
+        assert len(lines) == 1 + market.num_channels
+        assert "density" in lines[0]
+
+    def test_edge_counts_rendered(self):
+        market = toy_example_market()
+        summary = render_interference_summary(market.interference)
+        # channel a (0) has 2 edges, channel b (1) has 3, channel c (2) has 1
+        rows = summary.splitlines()[1:]
+        assert "2" in rows[0].split()[1]
+        assert rows[1].split()[1] == "3"
+        assert rows[2].split()[1] == "1"
+
+
+class TestMatchingTable:
+    def test_toy_example_table(self):
+        market = toy_example_market()
+        result = run_two_stage(market, record_trace=False)
+        table = render_matching_table(market, result.matching)
+        assert "buyer3" in table
+        assert "unmatched (0): -" in table
+        # Welfare pieces appear as per-channel revenues.
+        assert "10.0000" in table  # seller b's revenue (buyer3 alone)
+
+    def test_unmatched_listing(self, market_factory):
+        market = market_factory(num_buyers=6, num_channels=2, seed=3)
+        empty = Matching(market.num_channels, market.num_buyers)
+        table = render_matching_table(market, empty)
+        assert "unmatched (6):" in table
+
+    def test_long_member_lists_truncated(self):
+        market = paper_simulation_market(40, 2, np.random.default_rng(0))
+        result = run_two_stage(market, record_trace=False)
+        table = render_matching_table(market, result.matching)
+        for line in table.splitlines():
+            assert len(line) < 100

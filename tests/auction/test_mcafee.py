@@ -1,0 +1,144 @@
+"""Tests for the McAfee double auction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auction.mcafee import mcafee_double_auction
+from repro.errors import SolverError
+
+prices = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+class TestKnownOutcomes:
+    def test_no_trade_when_bids_below_asks(self):
+        outcome = mcafee_double_auction([1.0, 2.0], [5.0, 6.0])
+        assert outcome.num_trades == 0
+        assert outcome.buyer_price == outcome.seller_price == 0.0
+
+    def test_mid_price_clears_all_efficient_trades(self):
+        # b = (9, 7), s = (1, 8): k = 1; p0 = (7 + 8)/2 = 7.5 -- NOT within
+        # [s_1, b_1] = [1, 9]? It is (1 <= 7.5 <= 9): all 1 pair trades at 7.5.
+        outcome = mcafee_double_auction([9.0, 7.0], [1.0, 8.0])
+        assert outcome.num_trades == 1
+        assert not outcome.sacrificed
+        assert outcome.buyer_price == pytest.approx(7.5)
+        assert outcome.seller_price == pytest.approx(7.5)
+        assert outcome.auctioneer_surplus == pytest.approx(0.0)
+
+    def test_sacrifice_branch(self):
+        # b = (9, 8), s = (1, 2), plus next pair (3, 7): k = 2 with
+        # b_3/s_3 = (3, 7) -> p0 = 5, but 5 > b_2? b_2 = 8 >= 5 and
+        # s_2 = 2 <= 5, so mid clears... craft a real sacrifice instead:
+        # b = (9, 4), s = (1, 3), next (2, 8) -> p0 = 5; need p0 outside
+        # [s_2, b_2] = [3, 4]: 5 > 4 -> sacrifice. One pair trades at
+        # (b_2, s_2) = (4, 3).
+        outcome = mcafee_double_auction([9.0, 4.0, 2.0], [1.0, 3.0, 8.0])
+        assert outcome.sacrificed
+        assert outcome.num_trades == 1
+        assert outcome.buyer_price == pytest.approx(4.0)
+        assert outcome.seller_price == pytest.approx(3.0)
+        assert outcome.auctioneer_surplus == pytest.approx(1.0)
+
+    def test_all_pairs_efficient_forces_sacrifice(self):
+        # k == min(nB, nS): no (k+1)-th pair exists, so one trade is dropped.
+        outcome = mcafee_double_auction([9.0, 8.0], [1.0, 2.0])
+        assert outcome.sacrificed
+        assert outcome.num_trades == 1
+        assert outcome.winning_buyers == (0,)
+        assert outcome.winning_sellers == (0,)
+
+    def test_single_efficient_pair_sacrificed_to_nothing(self):
+        outcome = mcafee_double_auction([5.0], [1.0])
+        assert outcome.num_trades == 0  # k=1, no k+1 -> k-1 = 0 trades
+
+    def test_original_indices_preserved(self):
+        # Highest bid is at index 2; cheapest ask at index 1.
+        outcome = mcafee_double_auction([2.0, 9.0, 8.0], [4.0, 0.5, 6.0])
+        assert set(outcome.winning_buyers) <= {1, 2}
+        assert 1 in outcome.winning_sellers or outcome.num_trades == 0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(SolverError):
+            mcafee_double_auction([-1.0], [0.0])
+        with pytest.raises(SolverError):
+            mcafee_double_auction([1.0], [-0.5])
+
+    def test_empty_sides(self):
+        assert mcafee_double_auction([], [1.0]).num_trades == 0
+        assert mcafee_double_auction([1.0], []).num_trades == 0
+
+
+class TestMechanismProperties:
+    @given(
+        st.lists(prices, min_size=0, max_size=8),
+        st.lists(prices, min_size=0, max_size=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_ir_and_budget_balance(self, bids, asks):
+        outcome = mcafee_double_auction(bids, asks)
+        # Weak budget balance.
+        assert outcome.buyer_price >= outcome.seller_price - 1e-12
+        assert outcome.auctioneer_surplus >= -1e-12
+        # Individual rationality under truthful reports.
+        for j in outcome.winning_buyers:
+            assert bids[j] >= outcome.buyer_price - 1e-12
+        for i in outcome.winning_sellers:
+            assert asks[i] <= outcome.seller_price + 1e-12
+
+    @given(
+        st.lists(prices, min_size=1, max_size=6),
+        st.lists(prices, min_size=1, max_size=6),
+        st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_buyer_truthfulness(self, bids, asks, data):
+        """No unilateral buyer misreport strictly improves her utility."""
+        truthful = mcafee_double_auction(bids, asks)
+        buyer = data.draw(st.integers(min_value=0, max_value=len(bids) - 1))
+        lie = data.draw(prices)
+        misreported = list(bids)
+        misreported[buyer] = lie
+        deviated = mcafee_double_auction(misreported, asks)
+        true_value = bids[buyer]
+        assert deviated.buyer_utility(buyer, true_value) <= (
+            truthful.buyer_utility(buyer, true_value) + 1e-9
+        )
+
+    @given(
+        st.lists(prices, min_size=1, max_size=6),
+        st.lists(prices, min_size=1, max_size=6),
+        st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_seller_truthfulness(self, bids, asks, data):
+        """No unilateral seller misreport strictly improves her utility."""
+        truthful = mcafee_double_auction(bids, asks)
+        seller = data.draw(st.integers(min_value=0, max_value=len(asks) - 1))
+        lie = data.draw(prices)
+        misreported = list(asks)
+        misreported[seller] = lie
+        deviated = mcafee_double_auction(bids, misreported)
+        true_cost = asks[seller]
+        assert deviated.seller_utility(seller, true_cost) <= (
+            truthful.seller_utility(seller, true_cost) + 1e-9
+        )
+
+    @given(
+        st.lists(prices, min_size=1, max_size=8),
+        st.lists(prices, min_size=1, max_size=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_at_most_one_trade_sacrificed(self, bids, asks):
+        outcome = mcafee_double_auction(bids, asks)
+        sorted_bids = sorted(bids, reverse=True)
+        sorted_asks = sorted(asks)
+        efficient = 0
+        for b, s in zip(sorted_bids, sorted_asks):
+            if b >= s:
+                efficient += 1
+        assert outcome.num_trades >= efficient - 1
+        assert outcome.num_trades <= efficient

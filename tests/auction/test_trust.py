@@ -1,0 +1,171 @@
+"""Tests for the TRUST-style spectrum double auction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auction.trust import (
+    form_groups_first_fit,
+    trust_spectrum_auction,
+)
+from repro.errors import SolverError
+from repro.interference.generators import complete_graph, empty_graph, ring_graph
+from repro.interference.graph import InterferenceGraph
+
+values_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+asks_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    min_size=1,
+    max_size=4,
+)
+
+
+@st.composite
+def trust_instances(draw):
+    values = draw(values_strategy)
+    n = len(values)
+    possible = [(j, k) for j in range(n) for k in range(j + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+        if possible
+        else st.just([])
+    )
+    asks = draw(asks_strategy)
+    return values, InterferenceGraph(n, edges), asks
+
+
+class TestGrouping:
+    def test_groups_partition_all_buyers(self):
+        graph = ring_graph(7)
+        groups = form_groups_first_fit(graph)
+        flattened = sorted(j for g in groups for j in g)
+        assert flattened == list(range(7))
+
+    def test_groups_are_independent_sets(self):
+        graph = ring_graph(7)
+        for group in form_groups_first_fit(graph):
+            assert graph.is_independent(group)
+
+    def test_empty_graph_gives_one_group(self):
+        assert len(form_groups_first_fit(empty_graph(5))) == 1
+
+    def test_complete_graph_gives_singletons(self):
+        groups = form_groups_first_fit(complete_graph(4))
+        assert len(groups) == 4
+        assert all(len(g) == 1 for g in groups)
+
+    def test_grouping_is_bid_independent_by_construction(self):
+        # Same graph, different values -> same groups (the function does
+        # not even receive values).
+        graph = ring_graph(6)
+        assert form_groups_first_fit(graph) == form_groups_first_fit(graph)
+
+
+class TestAuctionOutcomes:
+    def test_single_group_market_sacrifices_its_only_trade(self):
+        # With one group McAfee cannot price without the (k+1)-th bid, so
+        # the lone efficient trade is sacrificed -- the truthfulness tax.
+        values = [1.0, 2.0, 3.0]
+        outcome = trust_spectrum_auction(values, empty_graph(3), [0.0, 4.0])
+        assert outcome.group_bids == (3.0,)  # |g| * min = 3 * 1
+        assert outcome.winning_buyers() == []
+        assert outcome.mcafee.sacrificed
+
+    def test_winning_group_shares_channel_and_price(self):
+        # Groups (first-fit): {0, 2} and {1} (edge 0-1).  Group bids:
+        # 2 * min(9, 8) = 16 and 7.  Asks (1, 8): k = 1, mid price
+        # (7 + 8)/2 = 7.5 clears -> group {0, 2} wins the ask-1 channel
+        # and the two members split the 7.5 payment.
+        values = [9.0, 7.0, 8.0]
+        graph = InterferenceGraph(3, [(0, 1)])
+        outcome = trust_spectrum_auction(values, graph, [1.0, 8.0])
+        assert outcome.winning_buyers() == [0, 2]
+        assert outcome.buyer_welfare(values) == pytest.approx(17.0)
+        assert outcome.buyer_payment[0] == pytest.approx(3.75)
+        assert outcome.buyer_payment[2] == pytest.approx(3.75)
+        assert outcome.buyer_payment[1] == 0.0
+        assert outcome.seller_revenue[0] == pytest.approx(7.5)
+        assert outcome.seller_revenue[1] == 0.0
+
+    def test_losing_when_ask_exceeds_group_bid(self):
+        values = [0.5, 0.5]
+        outcome = trust_spectrum_auction(values, empty_graph(2), [9.0])
+        assert outcome.winning_buyers() == []
+        assert all(p == 0.0 for p in outcome.buyer_payment)
+
+    def test_input_validation(self):
+        with pytest.raises(SolverError):
+            trust_spectrum_auction([1.0], empty_graph(2), [0.0])
+        with pytest.raises(SolverError):
+            trust_spectrum_auction([-1.0], empty_graph(1), [0.0])
+
+    def test_interference_splits_buyers_across_channels(self):
+        # Two cliques of compatible buyers: ring of 4 -> groups {0,2},{1,3}.
+        values = [2.0, 2.0, 2.0, 2.0]
+        graph = ring_graph(4)
+        outcome = trust_spectrum_auction(values, graph, [0.0, 0.0, 5.0])
+        for group_index in outcome.winning_groups:
+            group = outcome.groups[group_index]
+            assert graph.is_independent(group)
+        # Winning groups sit on distinct channels.
+        channels = list(outcome.channel_of_group.values())
+        assert len(channels) == len(set(channels))
+
+
+class TestMechanismProperties:
+    @given(trust_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_individual_rationality(self, instance):
+        values, graph, asks = instance
+        outcome = trust_spectrum_auction(values, graph, asks)
+        for j in outcome.winning_buyers():
+            assert outcome.buyer_payment[j] <= values[j] + 1e-9
+        total_paid = sum(outcome.buyer_payment)
+        total_received = sum(outcome.seller_revenue)
+        assert total_paid >= total_received - 1e-9  # weak budget balance
+
+    @given(trust_instances(), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_buyer_truthfulness(self, instance, data):
+        values, graph, asks = instance
+        truthful = trust_spectrum_auction(values, graph, asks)
+        buyer = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+        lie = data.draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        misreported = list(values)
+        misreported[buyer] = lie
+        deviated = trust_spectrum_auction(misreported, graph, asks)
+        true_value = values[buyer]
+        assert deviated.buyer_utility(buyer, true_value) <= (
+            truthful.buyer_utility(buyer, true_value) + 1e-9
+        )
+
+    @given(trust_instances(), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_seller_truthfulness(self, instance, data):
+        values, graph, asks = instance
+        truthful = trust_spectrum_auction(values, graph, asks)
+        seller = data.draw(st.integers(min_value=0, max_value=len(asks) - 1))
+        lie = data.draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        misreported = list(asks)
+        misreported[seller] = lie
+        deviated = trust_spectrum_auction(values, graph, misreported)
+        true_cost = asks[seller]
+        # Seller utility: revenue - cost if her channel sold.
+        assert deviated.seller_utility(seller, true_cost) <= (
+            truthful.seller_utility(seller, true_cost) + 1e-9
+        )
+
+    @given(trust_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_winners_form_feasible_allocation(self, instance):
+        values, graph, asks = instance
+        outcome = trust_spectrum_auction(values, graph, asks)
+        for group_index in outcome.winning_groups:
+            assert graph.is_independent(outcome.groups[group_index])

@@ -1,0 +1,42 @@
+"""Shared fixtures for the spectrum-matching test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.scenarios import (
+    counterexample_market,
+    paper_simulation_market,
+    toy_example_market,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for individual tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def toy_market():
+    """The paper's Fig. 1-3 toy example."""
+    return toy_example_market()
+
+
+@pytest.fixture
+def ce_market():
+    """The Section III-D counterexample instance."""
+    return counterexample_market()
+
+
+@pytest.fixture
+def market_factory():
+    """Factory producing seeded paper-workload markets on demand."""
+
+    def make(num_buyers: int = 10, num_channels: int = 4, seed: int = 0, **kwargs):
+        return paper_simulation_market(
+            num_buyers, num_channels, np.random.default_rng(seed), **kwargs
+        )
+
+    return make

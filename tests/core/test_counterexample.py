@@ -1,0 +1,107 @@
+"""Section III-D negative results, demonstrated on the frozen instance.
+
+The paper proves (by counterexample, Figs. 4-5) that the two-stage
+algorithm guarantees Nash stability but NOT pairwise stability and NOT
+buyer optimality.  ``counterexample_market()`` is a compact instance with
+the same structure; these tests pin down every claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matching import Matching
+from repro.core.stability import (
+    is_individually_rational,
+    is_nash_stable,
+    is_pairwise_stable,
+    pairwise_blocking_pairs,
+    pareto_dominates_for_buyers,
+)
+from repro.core.two_stage import run_two_stage
+from repro.optimal.bruteforce import optimal_matching_bruteforce
+from repro.workloads.scenarios import counterexample_market
+
+# Buyer ids in the scenario: z=0, w=1, x=2, y=3, j=4; channels A=0, B=1, C=2.
+Z, W, X, Y, J = range(5)
+A, B, C = range(3)
+
+
+@pytest.fixture(scope="module")
+def market():
+    return counterexample_market()
+
+
+@pytest.fixture(scope="module")
+def result(market):
+    return run_two_stage(market)
+
+
+class TestAlgorithmOutcome:
+    def test_final_matching(self, result):
+        matching = result.matching
+        assert matching.coalition(A) == frozenset({Z, Y})
+        assert matching.coalition(B) == frozenset({W, X})
+        assert matching.coalition(C) == frozenset({J})
+
+    def test_final_welfare(self, result):
+        assert result.social_welfare == pytest.approx(23.0)
+
+    def test_y_was_evicted_from_b(self, result):
+        evictions = [
+            e for record in result.stage_one.rounds for e in record.evictions
+        ]
+        assert (Y, B) in evictions
+
+    def test_j_rejected_in_both_stages(self, result):
+        stage1_rejections = [
+            r for record in result.stage_one.rounds for r in record.rejections
+        ]
+        assert (J, B) in stage1_rejections
+        stage2_rejections = [
+            r
+            for record in result.stage_two.transfer_rounds
+            for r in record.rejected
+        ]
+        assert (J, B) in stage2_rejections
+
+
+class TestPositiveProperties:
+    def test_individually_rational(self, market, result):
+        assert is_individually_rational(market, result.matching)
+
+    def test_nash_stable(self, market, result):
+        assert is_nash_stable(market, result.matching)
+
+
+class TestNegativeProperties:
+    def test_not_pairwise_stable(self, market, result):
+        assert not is_pairwise_stable(market, result.matching)
+
+    def test_the_blocking_pair_is_seller_b_buyer_j(self, market, result):
+        pairs = list(pairwise_blocking_pairs(market, result.matching))
+        assert len(pairs) == 1
+        pair = pairs[0]
+        assert pair.channel == B
+        assert pair.buyer == J
+        assert pair.evicted == (X,)
+        assert pair.seller_gain == pytest.approx(2.0)  # 5 - 3
+        assert pair.buyer_current == pytest.approx(1.0)
+        assert pair.buyer_new == pytest.approx(5.0)
+
+    def test_not_buyer_optimal(self, market, result):
+        """Another Nash-stable matching Pareto-dominates the output."""
+        alternative = Matching(3, 5)
+        alternative.match(Z, A)
+        alternative.match(Y, A)
+        alternative.match(J, B)
+        alternative.match(W, B)
+        alternative.match(X, C)
+        assert alternative.is_interference_free(market.interference)
+        assert is_nash_stable(market, alternative)
+        assert pareto_dominates_for_buyers(market, alternative, result.matching)
+
+    def test_alternative_is_also_the_optimum(self, market, result):
+        optimal = optimal_matching_bruteforce(market)
+        assert optimal.social_welfare(market.utilities) == pytest.approx(27.0)
+        assert result.social_welfare < 27.0

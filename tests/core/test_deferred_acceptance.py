@@ -1,0 +1,160 @@
+"""Tests for Stage I: adapted deferred acceptance (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deferred_acceptance import (
+    deferred_acceptance,
+    seller_select_coalition,
+)
+from repro.core.market import SpectrumMarket
+from repro.interference.generators import (
+    complete_graph,
+    empty_graph,
+    interference_map_from_edge_lists,
+)
+from repro.interference.graph import InterferenceMap
+from repro.interference.mwis import MwisAlgorithm
+
+
+def market_of(utilities, per_channel_edges, **kwargs):
+    utilities = np.asarray(utilities, dtype=float)
+    imap = interference_map_from_edge_lists(utilities.shape[0], per_channel_edges)
+    return SpectrumMarket(utilities, imap, **kwargs)
+
+
+class TestSellerSelectCoalition:
+    def test_selects_mwis_from_pool(self):
+        market = market_of([[5.0], [4.0], [3.0]], [[(0, 1)]])
+        selected = seller_select_coalition(market, 0, pool=[0, 1, 2])
+        assert selected == [0, 2]
+
+    def test_monotone_guard_never_worse_than_incumbent(self):
+        # Construct a case where plain GWMIN on the pool is worse than the
+        # incumbent: a triangle-free trap. Pool: incumbent {0, 1} (weights
+        # 4, 4); newcomer 2 (weight 5) interferes with both.
+        market = market_of(
+            [[4.0], [4.0], [5.0]],
+            [[(0, 2), (1, 2)]],
+        )
+        selected = seller_select_coalition(
+            market, 0, pool=[0, 1, 2], incumbent=[0, 1], monotone_guard=True
+        )
+        # Keeping {0,1} (8) beats switching to {2} (5).
+        assert selected == [0, 1]
+
+    def test_guard_accepts_strict_improvement(self):
+        market = market_of([[4.0], [9.0]], [[(0, 1)]])
+        selected = seller_select_coalition(
+            market, 0, pool=[0, 1], incumbent=[0], monotone_guard=True
+        )
+        assert selected == [1]
+
+    def test_guard_extends_incumbent_with_compatible_newcomers(self):
+        market = market_of([[4.0], [3.0], [2.0]], [[(1, 2)]])
+        selected = seller_select_coalition(
+            market, 0, pool=[0, 1, 2], incumbent=[0], monotone_guard=True
+        )
+        assert selected == [0, 1]  # 0 kept, 1 added (beats 2)
+
+
+class TestStageOneSmallMarkets:
+    def test_single_buyer_single_channel(self):
+        market = market_of([[1.0]], [[]])
+        result = deferred_acceptance(market)
+        assert result.matching.channel_of(0) == 0
+        assert result.num_rounds == 1
+        assert result.total_proposals == 1
+
+    def test_zero_utility_buyer_stays_unmatched(self):
+        market = market_of([[0.0]], [[]])
+        result = deferred_acceptance(market)
+        assert result.matching.channel_of(0) is None
+        assert result.num_rounds == 0
+
+    def test_no_interference_everyone_gets_favorite(self):
+        utilities = [[0.9, 0.1], [0.2, 0.8], [0.6, 0.5]]
+        market = market_of(utilities, [[], []])
+        result = deferred_acceptance(market)
+        assert result.matching.channel_of(0) == 0
+        assert result.matching.channel_of(1) == 1
+        assert result.matching.channel_of(2) == 0
+        assert result.num_rounds == 1
+
+    def test_complete_interference_reduces_to_one_to_one(self):
+        """Proof of Proposition 1: complete graphs = classic DA."""
+        utilities = [[5.0, 1.0], [4.0, 3.0], [2.0, 2.5]]
+        imap = InterferenceMap([complete_graph(3), complete_graph(3)])
+        market = SpectrumMarket(np.asarray(utilities), imap)
+        result = deferred_acceptance(market)
+        # Each channel holds at most one buyer.
+        for channel in range(2):
+            assert len(result.matching.coalition(channel)) <= 1
+        # Classic DA outcome: buyer 0 -> ch0 (5 beats 4), buyer 1 -> ch1,
+        # buyer 2 unmatched (rejected everywhere).
+        assert result.matching.channel_of(0) == 0
+        assert result.matching.channel_of(1) == 1
+        assert result.matching.channel_of(2) is None
+
+    def test_eviction_and_recovery(self):
+        # Round 1: buyer 0 takes channel 0; buyer 1 loses channel 1 to
+        # buyer 2.  Round 2: buyer 1 falls back to channel 0 and EVICTS the
+        # waitlisted buyer 0 (6 > 5), who recovers on channel 1.
+        utilities = [[5.0, 2.0], [6.0, 7.0], [0.0, 9.0]]
+        market = market_of(utilities, [[(0, 1)], [(1, 2)]])
+        result = deferred_acceptance(market)
+        assert result.matching.channel_of(1) == 0
+        assert result.matching.channel_of(2) == 1
+        assert result.matching.channel_of(0) == 1
+        evictions = [e for record in result.rounds for e in record.evictions]
+        assert (0, 0) in evictions
+
+
+class TestStageOneInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_output_is_interference_free(self, market_factory, seed):
+        market = market_factory(num_buyers=20, num_channels=5, seed=seed)
+        result = deferred_acceptance(market)
+        assert result.matching.is_interference_free(market.interference)
+        result.matching.assert_consistent()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_proposal_budget_respected(self, market_factory, seed):
+        """Proposition 1: at most N*M proposals in total."""
+        market = market_factory(num_buyers=15, num_channels=4, seed=seed)
+        result = deferred_acceptance(market)
+        assert result.total_proposals <= market.num_buyers * market.num_channels
+
+    def test_deterministic_across_runs(self, market_factory):
+        market = market_factory(num_buyers=25, num_channels=6, seed=3)
+        first = deferred_acceptance(market)
+        second = deferred_acceptance(market)
+        assert first.matching == second.matching
+        assert first.num_rounds == second.num_rounds
+
+    def test_trace_disabled(self, market_factory):
+        market = market_factory(num_buyers=10, num_channels=3, seed=1)
+        result = deferred_acceptance(market, record_trace=False)
+        assert result.rounds == ()
+        assert result.num_rounds > 0
+
+    def test_exact_mwis_gives_no_worse_stage1_welfare_on_fixture(self):
+        utilities = [[4.0, 0.0], [4.0, 0.0], [5.0, 0.0]]
+        edges = [[(0, 2), (1, 2)], []]
+        greedy_market = market_of(utilities, edges)
+        exact_market = market_of(
+            utilities, edges, mwis_algorithm=MwisAlgorithm.EXACT
+        )
+        greedy = deferred_acceptance(greedy_market)
+        exact = deferred_acceptance(exact_market)
+        assert exact.matching.social_welfare(
+            exact_market.utilities
+        ) >= greedy.matching.social_welfare(greedy_market.utilities)
+
+    def test_matched_buyers_hold_positive_utility(self, market_factory):
+        market = market_factory(num_buyers=30, num_channels=5, seed=9)
+        result = deferred_acceptance(market)
+        for buyer, channel in result.matching.matched_buyers():
+            assert market.price(channel, buyer) > 0.0

@@ -1,0 +1,146 @@
+"""Unit tests for the Matching structure (Definition 1 consistency)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.matching import Matching
+from repro.errors import MatchingConsistencyError
+from repro.interference.graph import InterferenceGraph, InterferenceMap
+
+
+@pytest.fixture
+def matching():
+    return Matching(num_channels=3, num_buyers=5)
+
+
+class TestBasicOperations:
+    def test_initially_everyone_unmatched(self, matching):
+        assert matching.num_matched() == 0
+        assert all(matching.channel_of(j) is None for j in range(5))
+        assert all(matching.coalition(i) == frozenset() for i in range(3))
+
+    def test_match_updates_both_directions(self, matching):
+        matching.match(2, 1)
+        assert matching.channel_of(2) == 1
+        assert matching.coalition(1) == frozenset({2})
+        assert matching.is_matched(2)
+        matching.assert_consistent()
+
+    def test_double_match_raises(self, matching):
+        matching.match(0, 0)
+        with pytest.raises(MatchingConsistencyError):
+            matching.match(0, 1)
+
+    def test_unmatch_returns_old_channel(self, matching):
+        matching.match(1, 2)
+        assert matching.unmatch(1) == 2
+        assert matching.channel_of(1) is None
+        assert matching.unmatch(1) is None  # idempotent
+
+    def test_move(self, matching):
+        matching.match(3, 0)
+        assert matching.move(3, 2) == 0
+        assert matching.channel_of(3) == 2
+        assert matching.coalition(0) == frozenset()
+        matching.assert_consistent()
+
+    def test_move_of_unmatched_buyer(self, matching):
+        assert matching.move(4, 1) is None
+        assert matching.channel_of(4) == 1
+
+    def test_index_validation(self, matching):
+        with pytest.raises(MatchingConsistencyError):
+            matching.match(9, 0)
+        with pytest.raises(MatchingConsistencyError):
+            matching.match(0, 9)
+        with pytest.raises(MatchingConsistencyError):
+            matching.channel_of(-1)
+
+    def test_needs_nonempty_dimensions(self):
+        with pytest.raises(MatchingConsistencyError):
+            Matching(0, 5)
+
+
+class TestSetCoalition:
+    def test_replaces_wholesale(self, matching):
+        matching.set_coalition(0, [1, 2])
+        matching.set_coalition(0, [2, 3])
+        assert matching.coalition(0) == frozenset({2, 3})
+        assert matching.channel_of(1) is None
+        matching.assert_consistent()
+
+    def test_cannot_steal_from_other_channel(self, matching):
+        matching.match(1, 2)
+        with pytest.raises(MatchingConsistencyError):
+            matching.set_coalition(0, [1])
+
+    def test_keeping_member_on_same_channel_is_fine(self, matching):
+        matching.set_coalition(1, [0, 4])
+        matching.set_coalition(1, [4])  # 4 stays, 0 released
+        assert matching.channel_of(4) == 1
+        assert matching.channel_of(0) is None
+
+
+class TestScoring:
+    @pytest.fixture
+    def utilities(self):
+        # (N=5, M=3)
+        return np.arange(15, dtype=float).reshape(5, 3)
+
+    def test_social_welfare(self, matching, utilities):
+        matching.match(0, 1)  # b=utilities[0,1]=1
+        matching.match(4, 2)  # utilities[4,2]=14
+        assert matching.social_welfare(utilities) == 15.0
+
+    def test_buyer_utility(self, matching, utilities):
+        matching.match(2, 0)
+        assert matching.buyer_utility(2, utilities) == 6.0
+        assert matching.buyer_utility(3, utilities) == 0.0
+
+    def test_seller_revenue(self, matching, utilities):
+        matching.match(0, 1)
+        matching.match(3, 1)
+        assert matching.seller_revenue(1, utilities) == 1.0 + 10.0
+        assert matching.seller_revenue(0, utilities) == 0.0
+
+    def test_interference_free_check(self, matching):
+        imap = InterferenceMap(
+            [InterferenceGraph(5, [(0, 1)]), InterferenceGraph(5), InterferenceGraph(5)]
+        )
+        matching.match(0, 0)
+        matching.match(1, 0)
+        assert not matching.is_interference_free(imap)
+        matching.move(1, 1)  # channel 1 has no conflicts
+        assert matching.is_interference_free(imap)
+
+
+class TestCopyAndEquality:
+    def test_copy_is_deep(self, matching):
+        matching.match(0, 0)
+        clone = matching.copy()
+        clone.match(1, 0)
+        assert matching.coalition(0) == frozenset({0})
+        assert clone.coalition(0) == frozenset({0, 1})
+
+    def test_equality_by_assignment(self, matching):
+        other = Matching(3, 5)
+        assert matching == other
+        matching.match(0, 0)
+        assert matching != other
+        other.match(0, 0)
+        assert matching == other
+        assert matching != "something else"
+
+    def test_as_assignment_snapshot(self, matching):
+        matching.match(1, 2)
+        snapshot = matching.as_assignment()
+        assert snapshot == (None, 2, None, None, None)
+        matching.unmatch(1)
+        assert snapshot == (None, 2, None, None, None)  # snapshot unaffected
+
+    def test_matched_buyers_iteration(self, matching):
+        matching.match(4, 0)
+        matching.match(2, 1)
+        assert sorted(matching.matched_buyers()) == [(2, 1), (4, 0)]

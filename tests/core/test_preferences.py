@@ -1,0 +1,151 @@
+"""Tests for coalition utilities and preference relations (eqs. 5-6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coalition import (
+    Coalition,
+    buyer_utility_in_coalition,
+    seller_revenue,
+)
+from repro.core.market import SpectrumMarket
+from repro.core.preferences import (
+    buyer_coalition_value,
+    buyer_preference_order,
+    buyer_prefers,
+    preferred_channels_above,
+    seller_coalition_value,
+    seller_prefers,
+)
+from repro.interference.generators import interference_map_from_edge_lists
+
+
+@pytest.fixture
+def market():
+    """3 buyers, 2 channels; buyers 0 and 1 interfere on channel 0 only."""
+    utilities = np.array(
+        [
+            [4.0, 2.0],
+            [3.0, 5.0],
+            [1.0, 0.0],
+        ]
+    )
+    imap = interference_map_from_edge_lists(3, [[(0, 1)], []])
+    return SpectrumMarket(utilities, imap)
+
+
+class TestCoalition:
+    def test_constructors(self):
+        c = Coalition.of(1, [2, 0])
+        assert c.channel == 1
+        assert c.buyers == frozenset({0, 2})
+        assert len(c) == 2
+
+    def test_with_and_without_buyer(self):
+        c = Coalition.of(0, [1])
+        assert c.with_buyer(2).buyers == frozenset({1, 2})
+        assert c.without_buyer(1).buyers == frozenset()
+
+    def test_interference_free(self, market):
+        assert Coalition.of(0, [0, 2]).is_interference_free(market)
+        assert not Coalition.of(0, [0, 1]).is_interference_free(market)
+        assert Coalition.of(1, [0, 1]).is_interference_free(market)
+
+
+class TestBuyerUtility:
+    def test_full_utility_without_neighbours(self, market):
+        c = Coalition.of(0, [0, 2])  # 0 and 2 don't interfere
+        assert buyer_utility_in_coalition(market, 0, c) == 4.0
+
+    def test_zero_with_interfering_neighbour(self, market):
+        c = Coalition.of(0, [0, 1])
+        assert buyer_utility_in_coalition(market, 0, c) == 0.0
+        assert buyer_utility_in_coalition(market, 1, c) == 0.0
+
+    def test_nonmember_gets_zero(self, market):
+        c = Coalition.of(0, [1])
+        assert buyer_utility_in_coalition(market, 0, c) == 0.0
+
+    def test_same_pair_on_clean_channel(self, market):
+        c = Coalition.of(1, [0, 1])  # no conflict on channel 1
+        assert buyer_utility_in_coalition(market, 0, c) == 2.0
+        assert buyer_utility_in_coalition(market, 1, c) == 5.0
+
+
+class TestSellerValue:
+    def test_revenue_sums_prices(self, market):
+        c = Coalition.of(0, [0, 2])
+        assert seller_revenue(market, c) == 5.0
+
+    def test_value_zero_when_interfering(self, market):
+        c = Coalition.of(0, [0, 1])
+        assert seller_revenue(market, c) == 7.0  # raw sum
+        assert seller_coalition_value(market, c) == 0.0  # realised value
+
+    def test_empty_coalition_value(self, market):
+        assert seller_coalition_value(market, Coalition.of(0, [])) == 0.0
+
+
+class TestPreferenceRelations:
+    def test_buyer_prefers_higher_utility_channel(self, market):
+        a = Coalition.of(0, [0])
+        b = Coalition.of(1, [0])
+        assert buyer_prefers(market, 0, a, b)  # 4 > 2
+        assert not buyer_prefers(market, 0, b, a)
+
+    def test_buyer_prefers_anything_over_interference(self, market):
+        clean = Coalition.of(1, [0])  # value 2
+        dirty = Coalition.of(0, [0, 1])  # value 0
+        assert buyer_prefers(market, 0, clean, dirty)
+
+    def test_buyer_indifferent_between_two_interfering(self, market):
+        dirty = Coalition.of(0, [0, 1])
+        assert not buyer_prefers(market, 0, dirty, dirty)
+
+    def test_unmatched_vs_interfering_is_indifference(self, market):
+        dirty = Coalition.of(0, [0, 1])
+        assert not buyer_prefers(market, 0, None, dirty)
+        assert not buyer_prefers(market, 0, dirty, None)
+
+    def test_buyer_prefers_match_over_unmatched(self, market):
+        assert buyer_prefers(market, 0, Coalition.of(1, [0]), None)
+
+    def test_seller_prefers_higher_revenue(self, market):
+        big = Coalition.of(0, [0, 2])  # 5, interference-free
+        small = Coalition.of(0, [2])  # 1
+        assert seller_prefers(market, big, small)
+        assert not seller_prefers(market, small, big)
+
+    def test_seller_prefers_clean_over_dirty(self, market):
+        clean = Coalition.of(0, [2])  # value 1
+        dirty = Coalition.of(0, [0, 1])  # raw 7 but value 0
+        assert seller_prefers(market, clean, dirty)
+
+    def test_seller_cross_channel_comparison_rejected(self, market):
+        with pytest.raises(ValueError):
+            seller_prefers(market, Coalition.of(0, [0]), Coalition.of(1, [0]))
+
+    def test_buyer_coalition_value_none_is_zero(self, market):
+        assert buyer_coalition_value(market, 0, None) == 0.0
+
+
+class TestPreferenceOrders:
+    def test_order_descending_by_utility(self, market):
+        assert buyer_preference_order(market, 0) == [0, 1]
+        assert buyer_preference_order(market, 1) == [1, 0]
+
+    def test_zero_utility_channels_excluded(self, market):
+        assert buyer_preference_order(market, 2) == [0]
+
+    def test_ties_break_by_channel_index(self):
+        utilities = np.array([[2.0, 2.0, 1.0]])
+        imap = interference_map_from_edge_lists(1, [[], [], []])
+        market = SpectrumMarket(utilities, imap)
+        assert buyer_preference_order(market, 0) == [0, 1, 2]
+
+    def test_preferred_channels_above(self, market):
+        assert preferred_channels_above(market, 0, 2.0) == [0]
+        assert preferred_channels_above(market, 0, 0.0) == [0, 1]
+        assert preferred_channels_above(market, 0, 4.0) == []

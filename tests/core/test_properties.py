@@ -1,0 +1,112 @@
+"""Hypothesis property tests: the paper's theorems on random markets.
+
+Propositions 1-4 claim convergence, individual rationality and Nash
+stability for every market.  These tests generate arbitrary small markets
+(random interference, random utilities, including degenerate cases like
+all-zero prices or complete conflict graphs) and check each claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deferred_acceptance import deferred_acceptance
+from repro.core.market import SpectrumMarket
+from repro.core.stability import (
+    is_individually_rational,
+    is_nash_stable,
+)
+from repro.core.two_stage import run_two_stage
+from repro.interference.graph import InterferenceGraph, InterferenceMap
+from repro.interference.mwis import MwisAlgorithm
+
+
+@st.composite
+def markets(draw, max_buyers: int = 7, max_channels: int = 4):
+    """Arbitrary small spectrum markets."""
+    n = draw(st.integers(min_value=1, max_value=max_buyers))
+    m = draw(st.integers(min_value=1, max_value=max_channels))
+    utilities = np.array(
+        [
+            [
+                draw(
+                    st.one_of(
+                        st.just(0.0),
+                        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+                    )
+                )
+                for _ in range(m)
+            ]
+            for _ in range(n)
+        ]
+    )
+    graphs = []
+    possible_edges = [(j, k) for j in range(n) for k in range(j + 1, n)]
+    for _ in range(m):
+        if possible_edges:
+            edges = draw(
+                st.lists(
+                    st.sampled_from(possible_edges),
+                    unique=True,
+                    max_size=len(possible_edges),
+                )
+            )
+        else:
+            edges = []
+        graphs.append(InterferenceGraph(n, edges))
+    algorithm = draw(st.sampled_from([MwisAlgorithm.GWMIN, MwisAlgorithm.EXACT]))
+    return SpectrumMarket(utilities, InterferenceMap(graphs), mwis_algorithm=algorithm)
+
+
+@given(markets())
+@settings(max_examples=200, deadline=None)
+def test_stage_one_converges_within_budget(market):
+    """Proposition 1: Stage I ends within N*M proposals."""
+    result = deferred_acceptance(market)
+    assert result.total_proposals <= market.num_buyers * market.num_channels
+    assert result.num_rounds <= market.num_buyers * market.num_channels
+
+
+@given(markets())
+@settings(max_examples=200, deadline=None)
+def test_stage_one_output_feasible(market):
+    result = deferred_acceptance(market)
+    assert result.matching.is_interference_free(market.interference)
+    result.matching.assert_consistent()
+
+
+@given(markets())
+@settings(max_examples=200, deadline=None)
+def test_two_stage_individually_rational(market):
+    """Proposition 3."""
+    result = run_two_stage(market, record_trace=False)
+    assert is_individually_rational(market, result.matching)
+
+
+@given(markets())
+@settings(max_examples=200, deadline=None)
+def test_two_stage_nash_stable(market):
+    """Proposition 4."""
+    result = run_two_stage(market, record_trace=False)
+    assert is_nash_stable(market, result.matching)
+
+
+@given(markets())
+@settings(max_examples=150, deadline=None)
+def test_stage_two_weakly_improves_every_buyer(market):
+    result = run_two_stage(market, record_trace=False)
+    for j in range(market.num_buyers):
+        before = result.stage_one.matching.buyer_utility(j, market.utilities)
+        after = result.matching.buyer_utility(j, market.utilities)
+        assert after >= before - 1e-12
+
+
+@given(markets())
+@settings(max_examples=150, deadline=None)
+def test_determinism(market):
+    first = run_two_stage(market, record_trace=False)
+    second = run_two_stage(market, record_trace=False)
+    assert first.matching == second.matching
+    assert first.total_rounds == second.total_rounds

@@ -1,0 +1,159 @@
+"""Tests for the stability checkers (Definitions 2-5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.market import SpectrumMarket
+from repro.core.matching import Matching
+from repro.core.stability import (
+    is_individually_rational,
+    is_nash_stable,
+    is_pairwise_stable,
+    nash_blocking_moves,
+    pairwise_blocking_pairs,
+    pareto_dominates_for_buyers,
+)
+from repro.interference.generators import interference_map_from_edge_lists
+
+
+def market_of(utilities, per_channel_edges):
+    utilities = np.asarray(utilities, dtype=float)
+    imap = interference_map_from_edge_lists(utilities.shape[0], per_channel_edges)
+    return SpectrumMarket(utilities, imap)
+
+
+@pytest.fixture
+def market():
+    """3 buyers, 2 channels; 0-1 interfere on channel 0."""
+    return market_of(
+        [[4.0, 2.0], [3.0, 5.0], [1.0, 2.5]],
+        [[(0, 1)], []],
+    )
+
+
+class TestIndividualRationality:
+    def test_empty_matching_is_rational(self, market):
+        assert is_individually_rational(market, Matching(2, 3))
+
+    def test_clean_matching_is_rational(self, market):
+        mu = Matching(2, 3)
+        mu.match(0, 0)
+        mu.match(1, 1)
+        assert is_individually_rational(market, mu)
+
+    def test_interfering_matching_is_irrational(self, market):
+        mu = Matching(2, 3)
+        mu.match(0, 0)
+        mu.match(1, 0)  # conflicts with 0 on channel 0
+        assert not is_individually_rational(market, mu)
+
+
+class TestNashStability:
+    def test_everyone_on_favorite_is_stable(self, market):
+        mu = Matching(2, 3)
+        mu.match(0, 0)  # 4 is buyer 0's max
+        mu.match(1, 1)  # 5 is buyer 1's max
+        mu.match(2, 1)  # 2.5 is buyer 2's max
+        assert is_nash_stable(market, mu)
+
+    def test_detects_open_better_channel(self, market):
+        mu = Matching(2, 3)
+        mu.match(0, 1)  # buyer 0 gets 2, but channel 0 is free and worth 4
+        moves = list(nash_blocking_moves(market, mu))
+        assert any(m.buyer == 0 and m.channel == 0 for m in moves)
+        assert not is_nash_stable(market, mu)
+
+    def test_interference_blocks_deviation(self, market):
+        mu = Matching(2, 3)
+        mu.match(1, 0)  # buyer 1 parks on channel 0 (value 3 < her 5)...
+        mu.match(0, 1)
+        # Buyer 0 would love channel 0 (4 > 2) but interferes with buyer 1.
+        moves = list(nash_blocking_moves(market, mu))
+        assert not any(m.buyer == 0 and m.channel == 0 for m in moves)
+        # Buyer 1 deviating to channel 1 (5 > 3) IS a blocking move.
+        assert any(m.buyer == 1 and m.channel == 1 for m in moves)
+
+    def test_unmatched_buyer_with_open_channel_blocks(self, market):
+        mu = Matching(2, 3)  # everyone unmatched; channel space wide open
+        assert not is_nash_stable(market, mu)
+        moves = list(nash_blocking_moves(market, mu))
+        assert any(m.buyer == 2 for m in moves)
+
+    def test_blocking_move_reports_utilities(self, market):
+        mu = Matching(2, 3)
+        mu.match(0, 1)
+        move = next(m for m in nash_blocking_moves(market, mu) if m.buyer == 0)
+        assert move.current_utility == pytest.approx(2.0)
+        assert move.deviation_utility == pytest.approx(4.0)
+
+
+class TestPairwiseStability:
+    def test_blocking_pair_with_eviction(self):
+        # Buyer 1 (price 5) would displace buyer 0 (price 3) on channel 0;
+        # they interfere, and buyer 1 currently sits on a worse channel.
+        market = market_of(
+            [[3.0, 0.0], [5.0, 1.0]],
+            [[(0, 1)], []],
+        )
+        mu = Matching(2, 2)
+        mu.match(0, 0)
+        mu.match(1, 1)
+        pairs = list(pairwise_blocking_pairs(market, mu))
+        assert len(pairs) == 1
+        pair = pairs[0]
+        assert (pair.channel, pair.buyer) == (0, 1)
+        assert pair.evicted == (0,)
+        assert pair.seller_gain == pytest.approx(2.0)
+        assert not is_pairwise_stable(market, mu)
+
+    def test_no_block_when_eviction_too_expensive(self):
+        market = market_of(
+            [[6.0, 0.0], [5.0, 1.0]],
+            [[(0, 1)], []],
+        )
+        mu = Matching(2, 2)
+        mu.match(0, 0)  # price 6 > buyer 1's 5: seller won't swap
+        mu.match(1, 1)
+        assert is_pairwise_stable(market, mu)
+
+    def test_no_block_when_buyer_already_happy(self):
+        market = market_of(
+            [[3.0, 0.0], [5.0, 9.0]],
+            [[(0, 1)], []],
+        )
+        mu = Matching(2, 2)
+        mu.match(0, 0)
+        mu.match(1, 1)  # buyer 1 earns 9 > 5: no desire to move
+        assert is_pairwise_stable(market, mu)
+
+    def test_nash_blocking_implies_pairwise_blocking(self, market):
+        # An open better channel blocks in both senses (S = empty set).
+        mu = Matching(2, 3)
+        mu.match(0, 1)
+        assert not is_nash_stable(market, mu)
+        assert not is_pairwise_stable(market, mu)
+
+
+class TestParetoDomination:
+    def test_detects_strict_improvement(self, market):
+        base = Matching(2, 3)
+        base.match(0, 1)
+        better = Matching(2, 3)
+        better.match(0, 0)
+        assert pareto_dominates_for_buyers(market, better, base)
+
+    def test_rejects_when_someone_loses(self, market):
+        base = Matching(2, 3)
+        base.match(0, 0)
+        base.match(1, 1)
+        swap = Matching(2, 3)
+        swap.match(0, 1)  # 0 drops from 4 to 2
+        swap.match(1, 0)
+        assert not pareto_dominates_for_buyers(market, swap, base)
+
+    def test_identical_matchings_do_not_dominate(self, market):
+        base = Matching(2, 3)
+        base.match(0, 0)
+        assert not pareto_dominates_for_buyers(market, base.copy(), base)

@@ -1,0 +1,108 @@
+"""Tests for Stage III: coordinated swaps (Section III-D future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stability import (
+    is_individually_rational,
+    is_nash_stable,
+    is_pairwise_stable,
+)
+from repro.core.swap_extension import coordinated_swaps
+from repro.core.two_stage import run_two_stage
+from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
+from repro.workloads.scenarios import counterexample_market, paper_simulation_market
+
+
+class TestCounterexampleRepair:
+    """The exact scenario the paper flags as unreachable without
+    coordination: Stage III must reach it."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        market = counterexample_market()
+        two_stage = run_two_stage(market, record_trace=False)
+        return market, two_stage, coordinated_swaps(market, two_stage.matching)
+
+    def test_welfare_lifted_to_optimum(self, outcome):
+        market, two_stage, stage3 = outcome
+        assert two_stage.social_welfare == pytest.approx(23.0)
+        assert stage3.welfare_after == pytest.approx(27.0)
+        optimum = optimal_matching_branch_and_bound(market)
+        assert stage3.welfare_after == pytest.approx(
+            optimum.social_welfare(market.utilities)
+        )
+
+    def test_exactly_one_swap(self, outcome):
+        _, _, stage3 = outcome
+        assert stage3.num_swaps == 1
+        swap = stage3.swaps[0]
+        assert swap.channel == 1  # seller B
+        assert swap.buyer == 4  # buyer j
+        assert swap.evicted == (2,)  # buyer x
+        # x relocates to channel C (the paper's coordinated move).
+        assert swap.relocations == ((2, 2),)
+
+    def test_result_gains_pairwise_stability_here(self, outcome):
+        market, _, stage3 = outcome
+        assert is_nash_stable(market, stage3.matching)
+        assert is_pairwise_stable(market, stage3.matching)
+
+    def test_input_not_mutated(self):
+        market = counterexample_market()
+        two_stage = run_two_stage(market, record_trace=False)
+        before = two_stage.matching.as_assignment()
+        coordinated_swaps(market, two_stage.matching)
+        assert two_stage.matching.as_assignment() == before
+
+
+class TestSwapInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_welfare_never_decreases(self, seed):
+        market = paper_simulation_market(
+            14, 4, np.random.default_rng([950, seed])
+        )
+        result = run_two_stage(market, record_trace=False)
+        stage3 = coordinated_swaps(market, result.matching)
+        assert stage3.welfare_after >= stage3.welfare_before - 1e-9
+        if stage3.num_swaps:
+            assert stage3.welfare_after > stage3.welfare_before
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_output_feasible_rational_stable(self, seed):
+        market = paper_simulation_market(
+            14, 4, np.random.default_rng([951, seed])
+        )
+        result = run_two_stage(market, record_trace=False)
+        stage3 = coordinated_swaps(market, result.matching)
+        matching = stage3.matching
+        assert matching.is_interference_free(market.interference)
+        matching.assert_consistent()
+        assert is_individually_rational(market, matching)
+        assert is_nash_stable(market, matching)
+
+    def test_swap_records_are_strictly_improving(self):
+        market = counterexample_market()
+        result = run_two_stage(market, record_trace=False)
+        stage3 = coordinated_swaps(market, result.matching)
+        for record in stage3.swaps:
+            assert record.welfare_after > record.welfare_before
+
+    def test_without_closing_stage_two(self):
+        market = counterexample_market()
+        result = run_two_stage(market, record_trace=False)
+        stage3 = coordinated_swaps(
+            market, result.matching, closing_stage_two=False
+        )
+        # The raw swap already reaches 27 here; closing pass is a no-op.
+        assert stage3.welfare_after == pytest.approx(27.0)
+
+    def test_idempotent_once_settled(self):
+        market = counterexample_market()
+        result = run_two_stage(market, record_trace=False)
+        first = coordinated_swaps(market, result.matching)
+        second = coordinated_swaps(market, first.matching)
+        assert second.num_swaps == 0
+        assert second.matching == first.matching

@@ -1,0 +1,115 @@
+"""Round-by-round verification of the paper's toy example (Figs. 1-2).
+
+Buyer/seller ids are 0-indexed: paper buyers 1-5 are 0-4, sellers a/b/c
+are channels 0/1/2.  Every assertion below corresponds to a subfigure of
+Fig. 1 (Stage I) or Fig. 2 (Stage II).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deferred_acceptance import deferred_acceptance
+from repro.core.two_stage import run_two_stage
+from repro.core.stability import is_individually_rational, is_nash_stable
+from repro.workloads.scenarios import toy_example_market
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_two_stage(toy_example_market())
+
+
+class TestStageOneTrace:
+    def test_round1_first_proposals(self, result):
+        """Fig. 1(a): 1,2 -> a; 3,4 -> b; 5 -> c."""
+        r1 = result.stage_one.rounds[0]
+        assert r1.proposals == {0: (0, 1), 1: (2, 3), 2: (4,)}
+
+    def test_round1_waitlists(self, result):
+        """Fig. 1(b): a:{1}, b:{3}, c:{5}."""
+        r1 = result.stage_one.rounds[0]
+        assert r1.waitlists == {0: (0,), 1: (2,), 2: (4,)}
+
+    def test_round2_eviction_of_buyer1(self, result):
+        """Fig. 1(c): buyer 4 displaces buyer 1 at seller a."""
+        r2 = result.stage_one.rounds[1]
+        assert r2.proposals == {0: (3,), 1: (1,)}
+        assert (0, 0) in r2.evictions  # buyer 1 (id 0) evicted from a
+        assert r2.waitlists == {0: (3,), 1: (2,), 2: (4,)}
+
+    def test_round3_buyer5_evicted_from_c(self, result):
+        """Fig. 1(d): buyer 2 displaces buyer 5 at seller c."""
+        r3 = result.stage_one.rounds[2]
+        assert r3.proposals == {1: (0,), 2: (1,)}
+        assert (4, 2) in r3.evictions
+        assert r3.waitlists == {0: (3,), 1: (2,), 2: (1,)}
+
+    def test_round4_final_waitlists(self, result):
+        """Fig. 1(e): a:{4}, b:{3,5}, c:{1,2}."""
+        r4 = result.stage_one.rounds[3]
+        assert r4.waitlists == {0: (3,), 1: (2, 4), 2: (0, 1)}
+
+    def test_stage1_takes_four_rounds(self, result):
+        assert result.rounds_stage1 == 4
+
+    def test_stage1_welfare_is_27(self, result):
+        assert result.welfare_stage1 == pytest.approx(27.0)
+
+
+class TestStageTwoTrace:
+    def test_transfer_round1_applications(self, result):
+        """Fig. 2(a): 1,2 apply to a; 4 applies to b; 5 applies to c."""
+        t1 = result.stage_two.transfer_rounds[0]
+        assert t1.applications == {0: (0, 1), 1: (3,), 2: (4,)}
+
+    def test_transfer_round1_decisions(self, result):
+        """Fig. 2(b): only buyer 2's transfer (c -> a) is granted."""
+        t1 = result.stage_two.transfer_rounds[0]
+        assert t1.accepted == ((1, 2, 0),)
+        assert set(t1.rejected) == {(0, 0), (3, 1), (4, 2)}
+
+    def test_transfer_round2_buyer1_tries_b(self, result):
+        t2 = result.stage_two.transfer_rounds[1]
+        assert t2.applications == {1: (0,)}
+        assert t2.accepted == ()
+        assert t2.rejected == ((0, 1),)
+
+    def test_phase1_takes_two_rounds(self, result):
+        assert result.rounds_phase1 == 2
+
+    def test_invitation_seller_c_invites_buyer5(self, result):
+        """Fig. 2(c)/(d): c invites buyer 5, who moves from b to c."""
+        inv = result.stage_two.invitation_rounds[0]
+        assert inv.invitations == ((2, 4),)
+        assert inv.accepted == ((4, 1, 2),)
+
+    def test_phase2_takes_one_round(self, result):
+        assert result.rounds_phase2 == 1
+
+    def test_welfare_after_phase1_is_29(self, result):
+        # 27 - (buyer2's 4 on c) + (buyer2's 6 on a) = 29.
+        assert result.welfare_phase1 == pytest.approx(29.0)
+
+
+class TestFinalOutcome:
+    def test_final_matching_matches_fig2d(self, result):
+        """Fig. 2(d): a:{2,4}, b:{3}, c:{1,5}."""
+        matching = result.matching
+        assert matching.coalition(0) == frozenset({1, 3})
+        assert matching.coalition(1) == frozenset({2})
+        assert matching.coalition(2) == frozenset({0, 4})
+
+    def test_final_welfare_is_30(self, result):
+        assert result.social_welfare == pytest.approx(30.0)
+
+    def test_result_is_stable(self, result):
+        market = toy_example_market()
+        assert is_individually_rational(market, result.matching)
+        assert is_nash_stable(market, result.matching)
+
+    def test_stage_one_alone_is_not_nash_stable(self):
+        """The instability motivating Stage II: buyer 2 can join seller a."""
+        market = toy_example_market()
+        stage_one = deferred_acceptance(market)
+        assert not is_nash_stable(market, stage_one.matching)

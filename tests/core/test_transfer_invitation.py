@@ -1,0 +1,175 @@
+"""Tests for Stage II: transfer and invitation (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deferred_acceptance import deferred_acceptance
+from repro.core.market import SpectrumMarket
+from repro.core.matching import Matching
+from repro.core.transfer_invitation import transfer_and_invitation
+from repro.interference.generators import interference_map_from_edge_lists
+
+
+def market_of(utilities, per_channel_edges, **kwargs):
+    utilities = np.asarray(utilities, dtype=float)
+    imap = interference_map_from_edge_lists(utilities.shape[0], per_channel_edges)
+    return SpectrumMarket(utilities, imap, **kwargs)
+
+
+class TestTransferPhase:
+    def test_transfer_to_better_channel(self):
+        # Buyer 0 starts on channel 1 but channel 0 is better and free.
+        market = market_of([[5.0, 2.0]], [[], []])
+        start = Matching(2, 1)
+        start.match(0, 1)
+        result = transfer_and_invitation(market, start)
+        assert result.matching.channel_of(0) == 0
+        assert result.num_transfer_rounds == 1
+
+    def test_unmatched_buyer_participates(self):
+        market = market_of([[3.0]], [[]])
+        start = Matching(1, 1)  # buyer unmatched
+        result = transfer_and_invitation(market, start)
+        assert result.matching.channel_of(0) == 0
+        accepted = [a for r in result.transfer_rounds for a in r.accepted]
+        assert (0, -1, 0) in accepted  # -1 marks "was unmatched"
+
+    def test_no_eviction_on_transfer(self):
+        # Buyer 1 holds channel 0; buyer 0 would pay more but interferes.
+        # Stage II must NOT evict buyer 1.
+        market = market_of([[9.0, 1.0], [5.0, 0.0]], [[(0, 1)], []])
+        start = Matching(2, 2)
+        start.match(1, 0)
+        start.match(0, 1)
+        result = transfer_and_invitation(market, start)
+        assert result.matching.channel_of(1) == 0
+        assert result.matching.channel_of(0) == 1  # application rejected
+
+    def test_input_matching_not_mutated(self):
+        market = market_of([[5.0, 2.0]], [[], []])
+        start = Matching(2, 1)
+        start.match(0, 1)
+        transfer_and_invitation(market, start)
+        assert start.channel_of(0) == 1
+
+    def test_simultaneous_decisions_use_round_start_snapshot(self):
+        """A seller decides against her coalition BEFORE same-round leavers.
+
+        Buyer 0 transfers from channel 1 to 0; buyer 1 applies to channel 1
+        in the same round and interferes with buyer 0 there.  Snapshot
+        semantics reject buyer 1 this round (the paper's Fig. 2 behaviour:
+        seller c rejects buyer 5 while buyer 2 leaves).
+        """
+        market = market_of(
+            [[9.0, 5.0], [0.0, 4.0]],
+            [[], [(0, 1)]],
+        )
+        start = Matching(2, 2)
+        start.match(0, 1)  # buyer 0 on channel 1
+        result = transfer_and_invitation(market, start)
+        first = result.transfer_rounds[0]
+        assert (0, 1, 0) in first.accepted  # 0 moves to channel 0
+        assert (1, 1) in first.rejected  # 1 rejected against the snapshot
+        # ... but invited afterwards, once 0 is gone (Phase 2).
+        assert result.matching.channel_of(1) == 1
+
+    def test_stale_applications_are_skipped(self):
+        # Buyer 0 on channel 2 (value 1); prefers 0 (5) then 1 (3).  After
+        # winning channel 0 she must NOT "transfer" down to channel 1.
+        market = market_of([[5.0, 3.0, 1.0]], [[], [], []])
+        start = Matching(3, 1)
+        start.match(0, 2)
+        result = transfer_and_invitation(market, start)
+        assert result.matching.channel_of(0) == 0
+        applications = [
+            (ch, b)
+            for r in result.transfer_rounds
+            for ch, buyers in r.applications.items()
+            for b in buyers
+        ]
+        assert (1, 0) not in applications
+
+
+class TestInvitationPhase:
+    def build_invitation_case(self):
+        """Buyer 1 is rejected by channel 0 (blocked by buyer 0), buyer 0
+        transfers away, channel 0's seller then invites buyer 1."""
+        market = market_of(
+            [[6.0, 7.0], [3.0, 0.0]],
+            [[(0, 1)], []],
+        )
+        start = Matching(2, 2)
+        start.match(0, 0)  # buyer 0 holds channel 0
+        # buyer 1 unmatched
+        return market, start
+
+    def test_invitation_repairs_rejection(self):
+        market, start = self.build_invitation_case()
+        result = transfer_and_invitation(market, start)
+        # Buyer 0 transferred to channel 1 (7 > 6); buyer 1 was rejected on
+        # channel 0 against the snapshot, then invited.
+        assert result.matching.channel_of(0) == 1
+        assert result.matching.channel_of(1) == 0
+        assert result.num_invitation_rounds >= 1
+        invited = [
+            inv for r in result.invitation_rounds for inv in r.invitations
+        ]
+        assert (0, 1) in invited
+
+    def test_invitation_declined_when_not_strictly_better(self):
+        # Buyer 0 rejected at channel 0 in phase 1 (conflict with buyer 1);
+        # buyer 1 then leaves; but meanwhile buyer 0 matched channel 1 at
+        # equal value, so she declines the invitation.
+        market = market_of(
+            [[4.0, 4.0], [9.0, 8.9]],
+            [[(0, 1)], []],
+        )
+        start = Matching(2, 2)
+        start.match(1, 0)
+        start.match(0, 1)
+        result = transfer_and_invitation(market, start)
+        # buyer 1 stays on 0 (her best); buyer 0 applies to 0? No: 4 == 4
+        # not strictly better -> no application, no invitation at all.
+        assert result.matching.channel_of(0) == 1
+        assert result.num_invitation_rounds == 0
+
+    def test_welfare_snapshot_between_phases(self):
+        market, start = self.build_invitation_case()
+        result = transfer_and_invitation(market, start)
+        w1 = result.matching_after_phase1.social_welfare(market.utilities)
+        w2 = result.matching.social_welfare(market.utilities)
+        assert w1 == pytest.approx(7.0)  # only buyer 0 on channel 1
+        assert w2 == pytest.approx(10.0)  # + buyer 1 invited onto channel 0
+
+
+class TestStageTwoInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_decreases_any_buyer(self, market_factory, seed):
+        """Transfers/invitations are voluntary: nobody ends up worse."""
+        market = market_factory(num_buyers=20, num_channels=5, seed=seed)
+        stage_one = deferred_acceptance(market)
+        result = transfer_and_invitation(market, stage_one.matching)
+        for j in range(market.num_buyers):
+            before = stage_one.matching.buyer_utility(j, market.utilities)
+            after = result.matching.buyer_utility(j, market.utilities)
+            assert after >= before - 1e-12
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_welfare_monotone_across_phases(self, market_factory, seed):
+        market = market_factory(num_buyers=20, num_channels=5, seed=seed)
+        stage_one = deferred_acceptance(market)
+        result = transfer_and_invitation(market, stage_one.matching)
+        w0 = stage_one.matching.social_welfare(market.utilities)
+        w1 = result.matching_after_phase1.social_welfare(market.utilities)
+        w2 = result.matching.social_welfare(market.utilities)
+        assert w0 <= w1 + 1e-12 <= w2 + 2e-12
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_output_interference_free_and_consistent(self, market_factory, seed):
+        market = market_factory(num_buyers=20, num_channels=5, seed=seed)
+        stage_one = deferred_acceptance(market)
+        result = transfer_and_invitation(market, stage_one.matching)
+        assert result.matching.is_interference_free(market.interference)
+        result.matching.assert_consistent()

@@ -1,0 +1,144 @@
+"""Integration tests for the complete two-stage pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stability import is_individually_rational, is_nash_stable
+from repro.core.two_stage import run_two_stage
+from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
+from repro.workloads.scenarios import paper_simulation_market, physical_market_example
+
+
+class TestResultAccounting:
+    def test_welfare_fields_match_matchings(self, market_factory):
+        market = market_factory(num_buyers=15, num_channels=4, seed=2)
+        result = run_two_stage(market)
+        assert result.welfare_stage1 == pytest.approx(
+            result.stage_one.matching.social_welfare(market.utilities)
+        )
+        assert result.welfare_phase1 == pytest.approx(
+            result.stage_two.matching_after_phase1.social_welfare(market.utilities)
+        )
+        assert result.social_welfare == pytest.approx(
+            result.matching.social_welfare(market.utilities)
+        )
+
+    def test_round_fields_match_stage_results(self, market_factory):
+        market = market_factory(num_buyers=15, num_channels=4, seed=2)
+        result = run_two_stage(market)
+        assert result.rounds_stage1 == result.stage_one.num_rounds
+        assert result.rounds_phase1 == result.stage_two.num_transfer_rounds
+        assert result.rounds_phase2 == result.stage_two.num_invitation_rounds
+        assert result.total_rounds == (
+            result.rounds_stage1 + result.rounds_phase1 + result.rounds_phase2
+        )
+
+    def test_trace_flag_propagates(self, market_factory):
+        market = market_factory(num_buyers=10, num_channels=3, seed=5)
+        result = run_two_stage(market, record_trace=False)
+        assert result.stage_one.rounds == ()
+        assert result.stage_two.transfer_rounds == ()
+
+
+class TestEndToEndInvariants:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_output_stable_on_random_markets(self, seed):
+        market = paper_simulation_market(
+            18, 5, np.random.default_rng([77, seed])
+        )
+        result = run_two_stage(market, record_trace=False)
+        assert result.matching.is_interference_free(market.interference)
+        assert is_individually_rational(market, result.matching)
+        assert is_nash_stable(market, result.matching)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_welfare_within_optimal(self, seed):
+        market = paper_simulation_market(9, 4, np.random.default_rng([78, seed]))
+        result = run_two_stage(market, record_trace=False)
+        optimum = optimal_matching_branch_and_bound(market)
+        best = optimum.social_welfare(market.utilities)
+        assert result.social_welfare <= best + 1e-9
+
+    def test_headline_claim_90_percent(self):
+        """Paper Section V-B: proposed >= 90% of optimal (on average)."""
+        ratios = []
+        for seed in range(40):
+            market = paper_simulation_market(
+                8, 4, np.random.default_rng([79, seed])
+            )
+            result = run_two_stage(market, record_trace=False)
+            best = optimal_matching_branch_and_bound(market).social_welfare(
+                market.utilities
+            )
+            ratios.append(result.social_welfare / best if best > 0 else 1.0)
+        assert float(np.mean(ratios)) > 0.90
+
+    def test_physical_market_end_to_end(self, rng):
+        """Dummy-expanded multi-demand market runs clean end to end."""
+        market = physical_market_example(rng)
+        result = run_two_stage(market)
+        matching = result.matching
+        assert matching.is_interference_free(market.interference)
+        assert is_nash_stable(market, matching)
+        # No physical buyer may hold the same channel twice -- guaranteed
+        # by the clone cliques, but assert it explicitly end to end.
+        held = {}
+        for virtual, channel in matching.matched_buyers():
+            owner = market.buyer_owner[virtual]
+            held.setdefault(owner, []).append(channel)
+        for owner, channels in held.items():
+            assert len(channels) == len(set(channels))
+
+
+class TestIterateStageTwo:
+    def test_fixed_point_from_toy_stage_one(self):
+        from repro.core.deferred_acceptance import deferred_acceptance
+        from repro.core.two_stage import iterate_stage_two
+        from repro.workloads.scenarios import toy_example_market
+
+        market = toy_example_market()
+        stage_one = deferred_acceptance(market)
+        matching, rounds, iterations = iterate_stage_two(
+            market, stage_one.matching
+        )
+        assert matching.social_welfare(market.utilities) == pytest.approx(30.0)
+        assert iterations >= 1
+        assert rounds >= 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fixed_point_is_nash_stable_from_random_seeds(self, seed):
+        """Stage II iterated from an ARBITRARY feasible seed must end
+        Nash-stable -- the property a single pass does not guarantee."""
+        from repro.core.two_stage import iterate_stage_two
+        from repro.core.matching import Matching
+        from repro.optimal.random_baseline import random_matching
+
+        market = paper_simulation_market(
+            16, 4, np.random.default_rng([321, seed])
+        )
+        seed_matching = random_matching(market, np.random.default_rng(seed))
+        matching, _rounds, _iterations = iterate_stage_two(market, seed_matching)
+        assert matching.is_interference_free(market.interference)
+        assert is_nash_stable(market, matching)
+
+    def test_regression_warm_start_gap(self):
+        """The exact dynamic-market scenario where one Stage-II pass left a
+        profitable deviation (buyer could jump to a vacated channel); the
+        fixed-point iteration must close it."""
+        from repro.dynamic.generator import DynamicMarketGenerator
+        from repro.dynamic.online import OnlineMatcher, RematchStrategy
+
+        generator = DynamicMarketGenerator(
+            num_channels=5,
+            initial_buyers=40,
+            arrival_rate=5.0,
+            departure_prob=0.12,
+            drift_sigma=0.05,
+            rng=np.random.default_rng([680, 2]),
+        )
+        matcher = OnlineMatcher(RematchStrategy.WARM)
+        for epoch in generator.epochs(12):
+            outcome = matcher.step(epoch)
+            assert is_nash_stable(epoch.market, outcome.matching), epoch.index

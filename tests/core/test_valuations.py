@@ -1,0 +1,173 @@
+"""Tests for combinatorial valuations (footnote-1 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.market import PhysicalBuyer, PhysicalSeller, SpectrumMarket
+from repro.core.two_stage import run_two_stage
+from repro.core.valuations import (
+    AdditiveValuation,
+    ComplementsValuation,
+    SubstitutesValuation,
+    combinatorial_optimal_welfare,
+    physical_bundles,
+    physical_welfare,
+)
+from repro.errors import MarketConfigurationError
+from repro.interference.generators import interference_map_from_edge_lists
+
+VALUES = (3.0, 2.0, 1.0)
+
+
+class TestAdditive:
+    def test_bundle_value_is_sum(self):
+        valuation = AdditiveValuation(VALUES)
+        assert valuation.value([]) == 0.0
+        assert valuation.value([0]) == 3.0
+        assert valuation.value([0, 2]) == 4.0
+        assert valuation.value([0, 1, 2]) == 6.0
+
+    def test_duplicates_counted_once(self):
+        assert AdditiveValuation(VALUES).value([1, 1]) == 2.0
+
+    def test_marginal(self):
+        valuation = AdditiveValuation(VALUES)
+        assert valuation.marginal(1, [0]) == 2.0
+        assert valuation.marginal(0, [0]) == 0.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(MarketConfigurationError):
+            AdditiveValuation((1.0, -1.0))
+
+
+class TestSubstitutes:
+    def test_discount_by_rank(self):
+        valuation = SubstitutesValuation(VALUES, factor=0.5)
+        # sorted desc: 3, 2, 1 -> 3 + 2*0.5 + 1*0.25 = 4.25
+        assert valuation.value([0, 1, 2]) == pytest.approx(4.25)
+
+    def test_factor_one_is_additive(self):
+        sub = SubstitutesValuation(VALUES, factor=1.0)
+        add = AdditiveValuation(VALUES)
+        assert sub.value([0, 2]) == add.value([0, 2])
+
+    def test_factor_zero_keeps_only_best(self):
+        valuation = SubstitutesValuation(VALUES, factor=0.0)
+        assert valuation.value([0, 1, 2]) == 3.0
+
+    def test_subadditive(self):
+        valuation = SubstitutesValuation(VALUES, factor=0.5)
+        assert valuation.value([0, 1]) <= (
+            valuation.value([0]) + valuation.value([1])
+        )
+
+    def test_factor_validation(self):
+        with pytest.raises(MarketConfigurationError):
+            SubstitutesValuation(VALUES, factor=1.5)
+
+
+class TestComplements:
+    def test_synergy_multiplier(self):
+        valuation = ComplementsValuation(VALUES, synergy=1.5)
+        # (3 + 2) * 1.5^(2-1) = 7.5
+        assert valuation.value([0, 1]) == pytest.approx(7.5)
+
+    def test_synergy_one_is_additive(self):
+        comp = ComplementsValuation(VALUES, synergy=1.0)
+        assert comp.value([0, 1, 2]) == 6.0
+
+    def test_superadditive(self):
+        valuation = ComplementsValuation(VALUES, synergy=1.3)
+        assert valuation.value([0, 1]) >= (
+            valuation.value([0]) + valuation.value([1])
+        ) - 1e-12
+
+    def test_empty_bundle(self):
+        assert ComplementsValuation(VALUES).value([]) == 0.0
+
+    def test_synergy_validation(self):
+        with pytest.raises(MarketConfigurationError):
+            ComplementsValuation(VALUES, synergy=0.8)
+
+
+@st.composite
+def bundles(draw):
+    return draw(st.sets(st.integers(min_value=0, max_value=2)))
+
+
+@given(bundles(), bundles())
+@settings(max_examples=100, deadline=None)
+def test_monotonicity_of_all_valuations(a, b):
+    """Bigger bundles are never worth less (free disposal)."""
+    union = a | b
+    for valuation in (
+        AdditiveValuation(VALUES),
+        SubstitutesValuation(VALUES, factor=0.6),
+        ComplementsValuation(VALUES, synergy=1.4),
+    ):
+        assert valuation.value(union) >= valuation.value(a) - 1e-12
+
+
+class TestPhysicalEvaluation:
+    def build_market(self):
+        sellers = [PhysicalSeller(name="s", num_channels=3)]
+        buyers = [
+            PhysicalBuyer(name="b0", num_requested=2, utilities=VALUES),
+            PhysicalBuyer(name="b1", num_requested=1, utilities=(1.0, 2.0, 3.0)),
+        ]
+        imap = interference_map_from_edge_lists(3, [[], [], []])
+        return SpectrumMarket.from_physical(sellers, buyers, imap)
+
+    def test_bundles_collect_clone_wins(self):
+        market = self.build_market()
+        result = run_two_stage(market, record_trace=False)
+        bundles_by_owner = physical_bundles(market, result.matching)
+        assert set(bundles_by_owner) == {0, 1}
+        # b0's two clones hold two distinct channels.
+        assert len(bundles_by_owner[0]) == 2
+
+    def test_additive_physical_welfare_matches_virtual(self):
+        market = self.build_market()
+        result = run_two_stage(market, record_trace=False)
+        valuations = [
+            AdditiveValuation(VALUES),
+            AdditiveValuation((1.0, 2.0, 3.0)),
+        ]
+        assert physical_welfare(market, result.matching, valuations) == (
+            pytest.approx(result.social_welfare)
+        )
+
+    def test_missing_valuation_rejected(self):
+        market = self.build_market()
+        result = run_two_stage(market, record_trace=False)
+        with pytest.raises(MarketConfigurationError):
+            physical_welfare(market, result.matching, [AdditiveValuation(VALUES)])
+
+    def test_combinatorial_optimum_bounds_proxy(self):
+        market = self.build_market()
+        result = run_two_stage(market, record_trace=False)
+        valuations = [
+            ComplementsValuation(VALUES, synergy=1.5),
+            AdditiveValuation((1.0, 2.0, 3.0)),
+        ]
+        truth = physical_welfare(market, result.matching, valuations)
+        best, best_matching = combinatorial_optimal_welfare(market, valuations)
+        assert best >= truth - 1e-9
+        assert best_matching.is_interference_free(market.interference)
+
+    def test_additive_truth_makes_proxy_optimal(self):
+        market = self.build_market()
+        result = run_two_stage(market, record_trace=False)
+        valuations = [
+            AdditiveValuation(VALUES),
+            AdditiveValuation((1.0, 2.0, 3.0)),
+        ]
+        best, _ = combinatorial_optimal_welfare(market, valuations)
+        # No interference here: additive truth -> the proxy IS optimal.
+        assert physical_welfare(market, result.matching, valuations) == (
+            pytest.approx(best)
+        )

@@ -1,0 +1,139 @@
+"""Tests for the transition-probability estimates (eqs. 7-9)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.distributed.probability import (
+    better_proposal_probability,
+    better_proposal_probability_single_round,
+    eviction_probability,
+    eviction_probability_single_round,
+    uniform_price_cdf,
+)
+from repro.errors import SpectrumMatchingError
+
+
+class TestUniformCdf:
+    def test_clamps(self):
+        assert uniform_price_cdf(-0.5) == 0.0
+        assert uniform_price_cdf(0.0) == 0.0
+        assert uniform_price_cdf(0.25) == 0.25
+        assert uniform_price_cdf(1.0) == 1.0
+        assert uniform_price_cdf(7.0) == 1.0
+
+
+class TestEvictionSingleRound:
+    def test_no_unseen_neighbours_means_no_risk(self):
+        assert eviction_probability_single_round(0, 5, 0.5) == 0.0
+
+    def test_unbeatable_price_means_no_risk(self):
+        # F(b)=1: no rival can strictly outbid.
+        assert eviction_probability_single_round(4, 5, 1.0) == pytest.approx(0.0)
+
+    def test_closed_form_single_neighbour(self):
+        # n=1: p = (1/M) * (1 - F(b)).
+        p = eviction_probability_single_round(1, 4, 0.3)
+        assert p == pytest.approx((1 / 4) * (1 - 0.3))
+
+    def test_closed_form_two_neighbours(self):
+        n, m, b = 2, 3, 0.5
+        expected = 0.0
+        for x in (1, 2):
+            binom = math.comb(n, x) * (1 / m) ** x * (1 - 1 / m) ** (n - x)
+            expected += binom * (1 - uniform_price_cdf(b) ** x)
+        assert eviction_probability_single_round(n, m, b) == pytest.approx(expected)
+
+    def test_monotone_in_neighbours(self):
+        values = [
+            eviction_probability_single_round(n, 5, 0.4) for n in range(0, 6)
+        ]
+        assert values == sorted(values)
+
+    def test_monotone_in_price(self):
+        lo = eviction_probability_single_round(3, 5, 0.2)
+        hi = eviction_probability_single_round(3, 5, 0.9)
+        assert hi < lo
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SpectrumMatchingError):
+            eviction_probability_single_round(-1, 5, 0.5)
+        with pytest.raises(SpectrumMatchingError):
+            eviction_probability_single_round(1, 0, 0.5)
+
+
+class TestEvictionCompounded:
+    def test_decreases_with_round_index(self):
+        """The paper: 'P^k decreases with k, so it is more secure for a
+        buyer to commence Stage II at a later round.'"""
+        values = [
+            eviction_probability(k, 3, 4, 10, 0.5) for k in (1, 10, 20, 39)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_horizon_exhausted_is_zero(self):
+        # k beyond MN: no rounds left to be evicted in.
+        assert eviction_probability(41, 3, 4, 10, 0.5) == 0.0
+
+    def test_round_one_matches_formula(self):
+        p = eviction_probability_single_round(2, 4, 0.5)
+        expected = 1.0 - (1.0 - p) ** (4 * 10)
+        assert eviction_probability(1, 2, 4, 10, 0.5) == pytest.approx(expected)
+
+    def test_bad_round_index(self):
+        with pytest.raises(SpectrumMatchingError):
+            eviction_probability(0, 2, 4, 10, 0.5)
+
+    def test_probability_range(self):
+        for k in (1, 5, 20):
+            value = eviction_probability(k, 4, 5, 8, 0.3)
+            assert 0.0 <= value <= 1.0
+
+
+class TestBetterProposal:
+    def test_theta_zero_means_no_improvement_possible(self):
+        # Every better-priced newcomer necessarily interferes.
+        assert better_proposal_probability_single_round(
+            5, 4, 0.5, theta=0.0
+        ) == pytest.approx(0.0)
+
+    def test_theta_one_reduces_to_eviction_form(self):
+        # With theta=1 the bracket becomes 1 - F(b)^y, i.e. the buyer-side
+        # formula with the (M-1)/M complement convention of eq. (9).
+        n, m, b = 3, 4, 0.5
+        expected = 0.0
+        for y in range(1, n + 1):
+            binom = math.comb(n, y) * (1 / m) ** y * ((m - 1) / m) ** (n - y)
+            expected += binom * (1 - uniform_price_cdf(b) ** y)
+        value = better_proposal_probability_single_round(n, m, b, theta=1.0)
+        assert value == pytest.approx(expected)
+
+    def test_monotone_in_theta(self):
+        values = [
+            better_proposal_probability_single_round(4, 5, 0.5, theta=t)
+            for t in (0.0, 0.3, 0.7, 1.0)
+        ]
+        assert values == sorted(values)
+
+    def test_invalid_theta(self):
+        with pytest.raises(SpectrumMatchingError):
+            better_proposal_probability_single_round(2, 3, 0.5, theta=1.5)
+
+    def test_compounded_decreases_with_k(self):
+        """Q^k also decreases with k (Section IV-B)."""
+        values = [
+            better_proposal_probability(k, 5, 4, 10, 0.4, 0.5)
+            for k in (1, 10, 25, 40)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_compounded_range(self):
+        for k in (1, 7, 30):
+            value = better_proposal_probability(k, 6, 4, 12, 0.6, 0.4)
+            assert 0.0 <= value <= 1.0
+
+    def test_bad_round_index(self):
+        with pytest.raises(SpectrumMatchingError):
+            better_proposal_probability(0, 2, 3, 5, 0.5, 0.5)

@@ -1,0 +1,320 @@
+"""End-to-end tests of the message-level protocol (Section IV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stability import is_individually_rational, is_nash_stable
+from repro.core.two_stage import run_two_stage
+from repro.distributed.network import DelayedNetwork
+from repro.distributed.protocol import run_distributed_matching
+from repro.distributed.transition import (
+    BuyerTransitionRule,
+    SellerTransitionRule,
+    TransitionPolicy,
+    adaptive_policy,
+    default_policy,
+    neighbor_rule_policy,
+)
+from repro.errors import SpectrumMatchingError
+from repro.workloads.scenarios import (
+    counterexample_market,
+    paper_simulation_market,
+    toy_example_market,
+)
+
+ALL_POLICIES = [default_policy(), adaptive_policy(), neighbor_rule_policy()]
+
+
+class TestToyExample:
+    def test_default_rule_reaches_paper_outcome(self):
+        market = toy_example_market()
+        result = run_distributed_matching(market, policy=default_policy())
+        assert result.social_welfare == pytest.approx(30.0)
+        assert result.matching.coalition(0) == frozenset({1, 3})
+        assert result.matching.coalition(1) == frozenset({2})
+        assert result.matching.coalition(2) == frozenset({0, 4})
+
+    def test_default_rule_pays_the_mn_wait(self):
+        """The paper: the default rule needs ~MN + M + N slots (23 here)."""
+        market = toy_example_market()
+        result = run_distributed_matching(market, policy=default_policy())
+        assert result.slots >= market.num_buyers * market.num_channels
+
+    def test_adaptive_rules_finish_much_earlier(self):
+        market = toy_example_market()
+        default = run_distributed_matching(market, policy=default_policy())
+        adaptive = run_distributed_matching(market, policy=adaptive_policy())
+        assert adaptive.slots < default.slots
+        assert adaptive.social_welfare == pytest.approx(default.social_welfare)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_all_policies_reach_welfare_30(self, policy):
+        market = toy_example_market()
+        result = run_distributed_matching(market, policy=policy)
+        assert result.social_welfare == pytest.approx(30.0)
+
+
+class TestEquivalenceWithCentralized:
+    """With the default rule the async run must replay Algorithm 1+2."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_default_rule_equals_centralized(self, seed):
+        market = paper_simulation_market(
+            14, 4, np.random.default_rng([201, seed])
+        )
+        centralized = run_two_stage(market, record_trace=False)
+        distributed = run_distributed_matching(market, policy=default_policy())
+        assert distributed.matching == centralized.matching
+
+    def test_counterexample_market_equivalence(self):
+        market = counterexample_market()
+        centralized = run_two_stage(market)
+        distributed = run_distributed_matching(market, policy=default_policy())
+        assert distributed.matching == centralized.matching
+
+
+class TestAdaptivePolicies:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_outcome_feasible_and_rational(self, seed):
+        market = paper_simulation_market(
+            16, 4, np.random.default_rng([202, seed])
+        )
+        result = run_distributed_matching(market, policy=adaptive_policy())
+        assert result.matching.is_interference_free(market.interference)
+        assert is_individually_rational(market, result.matching)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_adaptive_never_slower_than_default(self, seed):
+        market = paper_simulation_market(
+            12, 3, np.random.default_rng([203, seed])
+        )
+        default = run_distributed_matching(market, policy=default_policy())
+        adaptive = run_distributed_matching(market, policy=adaptive_policy())
+        assert adaptive.slots <= default.slots
+
+    def test_conservative_threshold_recovers_centralized_result(self):
+        market = paper_simulation_market(10, 3, np.random.default_rng(204))
+        centralized = run_two_stage(market, record_trace=False)
+        # A tiny threshold means "almost never transition early": the
+        # default slot fallback fires and the outcome matches exactly.
+        policy = adaptive_policy(buyer_threshold=1e-9, seller_threshold=1e-9)
+        result = run_distributed_matching(market, policy=policy)
+        assert result.matching == centralized.matching
+
+    def test_aggressive_threshold_is_still_safe(self):
+        market = paper_simulation_market(15, 4, np.random.default_rng(205))
+        policy = adaptive_policy(buyer_threshold=0.9, seller_threshold=0.9)
+        result = run_distributed_matching(market, policy=policy)
+        assert result.matching.is_interference_free(market.interference)
+        assert is_individually_rational(market, result.matching)
+
+
+class TestMessageDelays:
+    @pytest.mark.parametrize("delay", [1, 2])
+    def test_fixed_delays_preserve_outcome_welfare(self, delay):
+        market = toy_example_market()
+        baseline = run_distributed_matching(market, policy=default_policy())
+        delayed = run_distributed_matching(
+            market,
+            policy=default_policy(),
+            network=DelayedNetwork(delay, delay),
+        )
+        assert delayed.matching.is_interference_free(market.interference)
+        # Fixed uniform delays only stretch time; they cannot reorder the
+        # lockstep rounds, so the outcome welfare is unchanged.
+        assert delayed.social_welfare == pytest.approx(baseline.social_welfare)
+        assert delayed.slots >= baseline.slots
+
+    def test_random_delays_remain_feasible(self):
+        market = paper_simulation_market(12, 3, np.random.default_rng(206))
+        result = run_distributed_matching(
+            market,
+            policy=default_policy(),
+            network=DelayedNetwork(1, 3),
+            seed=11,
+        )
+        assert result.matching.is_interference_free(market.interference)
+        assert is_individually_rational(market, result.matching)
+
+
+class TestAccounting:
+    def test_message_counters_consistent(self):
+        market = toy_example_market()
+        result = run_distributed_matching(market, policy=default_policy())
+        assert result.messages_delivered == result.messages_sent
+        assert result.messages_dropped == 0
+
+    def test_nash_stability_with_default_rule(self):
+        market = paper_simulation_market(14, 4, np.random.default_rng(207))
+        result = run_distributed_matching(market, policy=default_policy())
+        assert is_nash_stable(market, result.matching)
+
+
+class TestPolicyValidation:
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(SpectrumMatchingError):
+            TransitionPolicy(buyer_threshold=0.0)
+        with pytest.raises(SpectrumMatchingError):
+            TransitionPolicy(seller_threshold=1.0)
+        with pytest.raises(SpectrumMatchingError):
+            TransitionPolicy(phase1_grace_slots=-1)
+
+    def test_policy_constructors(self):
+        assert default_policy().buyer_rule is BuyerTransitionRule.DEFAULT
+        assert (
+            adaptive_policy().seller_rule
+            is SellerTransitionRule.BETTER_PROPOSAL_PROBABILITY
+        )
+        assert (
+            neighbor_rule_policy().buyer_rule
+            is BuyerTransitionRule.NEIGHBORS_PROPOSED
+        )
+
+
+class TestWarmStart:
+    """Warm-seeded runs: the protocol as a Stage-II-only re-matcher."""
+
+    def test_toy_example_from_stage_one_seed(self):
+        from repro.core.deferred_acceptance import deferred_acceptance
+        from repro.core.transfer_invitation import transfer_and_invitation
+
+        market = toy_example_market()
+        stage_one = deferred_acceptance(market)
+        centralized = transfer_and_invitation(
+            market, stage_one.matching, record_trace=False
+        )
+        warm = run_distributed_matching(
+            market, policy=default_policy(), initial_matching=stage_one.matching
+        )
+        assert warm.matching == centralized.matching
+        assert warm.social_welfare == pytest.approx(30.0)
+
+    def test_warm_run_is_much_shorter_than_cold(self):
+        from repro.core.deferred_acceptance import deferred_acceptance
+
+        market = toy_example_market()
+        stage_one = deferred_acceptance(market)
+        cold = run_distributed_matching(market, policy=default_policy())
+        warm = run_distributed_matching(
+            market, policy=default_policy(), initial_matching=stage_one.matching
+        )
+        assert warm.slots < cold.slots / 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_centralized_stage_two(self, seed):
+        from repro.core.deferred_acceptance import deferred_acceptance
+        from repro.core.transfer_invitation import transfer_and_invitation
+
+        market = paper_simulation_market(
+            18, 4, np.random.default_rng([210, seed])
+        )
+        stage_one = deferred_acceptance(market)
+        centralized = transfer_and_invitation(
+            market, stage_one.matching, record_trace=False
+        )
+        warm = run_distributed_matching(
+            market, policy=default_policy(), initial_matching=stage_one.matching
+        )
+        assert warm.matching == centralized.matching
+
+    def test_infeasible_seed_rejected(self):
+        from repro.core.matching import Matching
+        from repro.errors import ProtocolError
+
+        market = toy_example_market()
+        bad = Matching(market.num_channels, market.num_buyers)
+        bad.match(0, 0)
+        bad.match(1, 0)  # buyers 1-2 interfere on channel a
+        with pytest.raises(ProtocolError):
+            run_distributed_matching(
+                market, policy=default_policy(), initial_matching=bad
+            )
+
+    def test_wrong_dimensions_rejected(self):
+        from repro.core.matching import Matching
+        from repro.errors import ProtocolError
+
+        market = toy_example_market()
+        wrong = Matching(2, 2)
+        with pytest.raises(ProtocolError):
+            run_distributed_matching(
+                market, policy=default_policy(), initial_matching=wrong
+            )
+
+    def test_empty_seed_equals_pure_stage_two(self):
+        """Seeding an empty matching = every buyer starts unmatched in
+        Stage II: they transfer onto channels directly."""
+        from repro.core.matching import Matching
+        from repro.core.transfer_invitation import transfer_and_invitation
+
+        market = paper_simulation_market(10, 3, np.random.default_rng(211))
+        empty = Matching(market.num_channels, market.num_buyers)
+        centralized = transfer_and_invitation(market, empty, record_trace=False)
+        warm = run_distributed_matching(
+            market, policy=default_policy(), initial_matching=empty
+        )
+        assert warm.matching == centralized.matching
+
+
+class TestEventTracing:
+    def test_events_empty_by_default(self):
+        market = toy_example_market()
+        result = run_distributed_matching(market, policy=default_policy())
+        assert result.events == ()
+
+    def test_events_recorded_when_requested(self):
+        market = toy_example_market()
+        result = run_distributed_matching(
+            market, policy=default_policy(), record_events=True
+        )
+        assert len(result.events) == result.messages_sent
+        types = {event.message_type for event in result.events}
+        assert "Propose" in types
+        assert "TransferApply" in types
+        assert all(not event.dropped for event in result.events)
+
+    def test_events_mark_drops_on_lossy_networks(self):
+        from repro.distributed.network import LossyNetwork
+
+        market = toy_example_market()
+        result = run_distributed_matching(
+            market,
+            policy=default_policy(),
+            network=LossyNetwork(0.3),
+            seed=3,
+            reliable_transport=True,
+            record_events=True,
+            max_slots=50_000,
+        )
+        dropped = [event for event in result.events if event.dropped]
+        assert len(dropped) == result.messages_dropped
+        assert dropped  # 30% loss must drop something
+
+    def test_timeline_rendering(self):
+        from repro.analysis.visualization import render_protocol_timeline
+
+        market = toy_example_market()
+        result = run_distributed_matching(
+            market, policy=adaptive_policy(), record_events=True
+        )
+        art = render_protocol_timeline(result.events)
+        assert "Propose" in art
+        assert "slot" in art.splitlines()[0]
+
+    def test_timeline_subsampling(self):
+        from repro.analysis.visualization import render_protocol_timeline
+
+        market = paper_simulation_market(15, 4, np.random.default_rng(208))
+        result = run_distributed_matching(
+            market, policy=default_policy(), record_events=True
+        )
+        art = render_protocol_timeline(result.events, max_rows=5)
+        # header + at most 5 rows
+        assert len(art.splitlines()) <= 6
+
+    def test_timeline_without_events(self):
+        from repro.analysis.visualization import render_protocol_timeline
+
+        assert "no events" in render_protocol_timeline(())

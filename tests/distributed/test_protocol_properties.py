@@ -1,0 +1,92 @@
+"""Property-based tests of the message-level protocol (hypothesis).
+
+The strongest statement about the Section IV implementation is that,
+under the default (synchronous-equivalent) transition rule, the
+asynchronous message-passing run replays the centralised Algorithms 1+2
+*exactly* -- on arbitrary markets, not just the sampled ones in
+``test_protocol.py``.  These tests generate markets with hypothesis
+(including degenerate interference and zero prices) and check that
+equivalence plus the safety invariants that must survive every policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.market import SpectrumMarket
+from repro.core.stability import is_individually_rational, is_nash_stable
+from repro.core.two_stage import run_two_stage
+from repro.distributed.protocol import run_distributed_matching
+from repro.distributed.transition import adaptive_policy, default_policy
+from repro.interference.graph import InterferenceGraph, InterferenceMap
+
+
+@st.composite
+def small_markets(draw, max_buyers: int = 6, max_channels: int = 3):
+    n = draw(st.integers(min_value=1, max_value=max_buyers))
+    m = draw(st.integers(min_value=1, max_value=max_channels))
+    utilities = np.array(
+        [
+            [
+                draw(
+                    st.one_of(
+                        st.just(0.0),
+                        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+                    )
+                )
+                for _ in range(m)
+            ]
+            for _ in range(n)
+        ]
+    )
+    possible_edges = [(j, k) for j in range(n) for k in range(j + 1, n)]
+    graphs = []
+    for _ in range(m):
+        if possible_edges:
+            edges = draw(
+                st.lists(
+                    st.sampled_from(possible_edges),
+                    unique=True,
+                    max_size=len(possible_edges),
+                )
+            )
+        else:
+            edges = []
+        graphs.append(InterferenceGraph(n, edges))
+    return SpectrumMarket(utilities, InterferenceMap(graphs))
+
+
+@given(small_markets())
+@settings(max_examples=60, deadline=None)
+def test_default_policy_replays_centralized_exactly(market):
+    centralized = run_two_stage(market, record_trace=False)
+    distributed = run_distributed_matching(market, policy=default_policy())
+    assert distributed.matching == centralized.matching
+
+
+@given(small_markets())
+@settings(max_examples=60, deadline=None)
+def test_adaptive_policy_safety_invariants(market):
+    result = run_distributed_matching(market, policy=adaptive_policy())
+    assert result.matching.is_interference_free(market.interference)
+    result.matching.assert_consistent()
+    assert is_individually_rational(market, result.matching)
+
+
+@given(small_markets())
+@settings(max_examples=40, deadline=None)
+def test_default_policy_outcome_nash_stable(market):
+    result = run_distributed_matching(market, policy=default_policy())
+    assert is_nash_stable(market, result.matching)
+
+
+@given(small_markets())
+@settings(max_examples=40, deadline=None)
+def test_message_accounting_consistent(market):
+    result = run_distributed_matching(market, policy=default_policy())
+    assert result.messages_delivered + result.messages_dropped == (
+        result.messages_sent
+    )
+    assert result.messages_dropped == 0  # reliable network

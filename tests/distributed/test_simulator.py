@@ -1,0 +1,160 @@
+"""Tests for the generic time-slotted simulation kernel.
+
+These deliberately use tiny ad-hoc protocols unrelated to spectrum
+matching: the kernel must stand on its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+from repro.distributed.messages import Message
+from repro.distributed.network import DelayedNetwork
+from repro.distributed.simulator import Agent, SlotContext, TimeSlottedSimulator
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    payload: int
+
+
+class Echo(Agent):
+    """Replies to every Ping with payload+1; done when idle."""
+
+    def __init__(self, agent_id: str, priority: int = 1) -> None:
+        super().__init__(agent_id, priority=priority)
+        self.seen: List[int] = []
+
+    def step(self, inbox, ctx):
+        for message in inbox:
+            self.seen.append(message.payload)
+            ctx.send(message.sender, Ping(self.agent_id, message.payload + 1))
+
+    def is_done(self):
+        return True
+
+
+class Counter(Agent):
+    """Sends `budget` pings to a target, one per slot; collects replies."""
+
+    def __init__(self, agent_id: str, target: str, budget: int) -> None:
+        super().__init__(agent_id, priority=0)
+        self.target = target
+        self.budget = budget
+        self.replies: List[int] = []
+
+    def step(self, inbox, ctx):
+        for message in inbox:
+            self.replies.append(message.payload)
+        if self.budget > 0:
+            self.budget -= 1
+            ctx.send(self.target, Ping(self.agent_id, self.budget))
+
+    def is_done(self):
+        return self.budget == 0
+
+
+class TestKernelBasics:
+    def test_request_reply_round_trip(self):
+        counter = Counter("c", "e", budget=3)
+        echo = Echo("e")
+        sim = TimeSlottedSimulator([counter, echo])
+        slots = sim.run()
+        assert counter.replies == [3, 2, 1]  # each payload echoed +1
+        assert echo.seen == [2, 1, 0]
+        # 3 send slots + 1 drain slot for the last reply.
+        assert slots == 4
+        assert sim.messages_sent == 6
+        assert sim.messages_delivered == 6
+        assert sim.messages_dropped == 0
+
+    def test_priority_enables_same_slot_processing(self):
+        # Echo has higher priority number -> steps after Counter, so a ping
+        # sent in slot t is echoed in slot t.
+        counter = Counter("c", "e", budget=1)
+        echo = Echo("e", priority=1)
+        sim = TimeSlottedSimulator([counter, echo])
+        sim.run_slot()
+        assert echo.seen == [0]
+
+    def test_duplicate_agent_ids_rejected(self):
+        with pytest.raises(SimulationError):
+            TimeSlottedSimulator([Echo("x"), Echo("x")])
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(SimulationError):
+            TimeSlottedSimulator([])
+
+    def test_unknown_destination_rejected(self):
+        class Chatter(Agent):
+            def step(self, inbox, ctx):
+                ctx.send("ghost", Ping(self.agent_id, 0))
+
+            def is_done(self):
+                return False
+
+        sim = TimeSlottedSimulator([Chatter("a")])
+        with pytest.raises(SimulationError):
+            sim.run_slot()
+
+    def test_max_slots_raises_for_livelock(self):
+        class Restless(Agent):
+            def step(self, inbox, ctx):
+                pass
+
+            def is_done(self):
+                return False
+
+        sim = TimeSlottedSimulator([Restless("r")])
+        with pytest.raises(SimulationError):
+            sim.run(max_slots=10)
+
+    def test_run_after_finish_rejected(self):
+        sim = TimeSlottedSimulator([Echo("e")])
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run_slot()
+
+    def test_agent_lookup(self):
+        echo = Echo("e")
+        sim = TimeSlottedSimulator([echo])
+        assert sim.agent("e") is echo
+        with pytest.raises(SimulationError):
+            sim.agent("nope")
+
+
+class TestDelayedDelivery:
+    def test_fixed_delay_defers_processing(self):
+        counter = Counter("c", "e", budget=1)
+        echo = Echo("e")
+        sim = TimeSlottedSimulator([counter, echo], network=DelayedNetwork(2, 2))
+        sim.run()
+        assert echo.seen == [0]
+        assert counter.replies == [1]
+
+    def test_delay_increases_slot_count(self):
+        def run(delay):
+            counter = Counter("c", "e", budget=2)
+            sim = TimeSlottedSimulator(
+                [counter, Echo("e")], network=DelayedNetwork(delay, delay)
+            )
+            return sim.run()
+
+        assert run(3) > run(0)
+
+    def test_random_delay_is_seed_deterministic(self):
+        def run(seed):
+            counter = Counter("c", "e", budget=5)
+            sim = TimeSlottedSimulator(
+                [counter, Echo("e")],
+                network=DelayedNetwork(1, 4),
+                seed=seed,
+            )
+            slots = sim.run()
+            return slots, tuple(counter.replies)
+
+        assert run(9) == run(9)

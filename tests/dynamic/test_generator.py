@@ -1,0 +1,130 @@
+"""Tests for the dynamic-market epoch generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamic.generator import DynamicMarketGenerator
+from repro.errors import MarketConfigurationError
+
+
+def make_generator(seed=0, **overrides):
+    params = dict(
+        num_channels=4,
+        initial_buyers=20,
+        arrival_rate=3.0,
+        departure_prob=0.1,
+        drift_sigma=0.05,
+        rng=np.random.default_rng(seed),
+    )
+    params.update(overrides)
+    return DynamicMarketGenerator(**params)
+
+
+class TestValidation:
+    def test_parameter_guards(self):
+        with pytest.raises(MarketConfigurationError):
+            make_generator(num_channels=0)
+        with pytest.raises(MarketConfigurationError):
+            make_generator(initial_buyers=0)
+        with pytest.raises(MarketConfigurationError):
+            make_generator(arrival_rate=-1.0)
+        with pytest.raises(MarketConfigurationError):
+            make_generator(departure_prob=1.0)
+        with pytest.raises(MarketConfigurationError):
+            make_generator(drift_sigma=-0.1)
+
+
+class TestEpochStream:
+    def test_epoch_zero_is_initial_population(self):
+        generator = make_generator()
+        epoch = generator.next_epoch()
+        assert epoch.index == 0
+        assert epoch.market.num_buyers == 20
+        assert epoch.arrived == ()
+        assert epoch.departed == ()
+        assert epoch.buyer_ids == tuple(range(20))
+
+    def test_ids_are_persistent_and_never_reused(self):
+        generator = make_generator(seed=3)
+        seen_max = -1
+        previous_ids = None
+        for epoch in generator.epochs(8):
+            # Arrived ids are strictly fresh.
+            for buyer_id in epoch.arrived:
+                assert buyer_id > seen_max
+            seen_max = max([seen_max, *epoch.buyer_ids])
+            if previous_ids is not None:
+                survivors = set(previous_ids) - set(epoch.departed)
+                assert survivors <= set(epoch.buyer_ids)
+            previous_ids = epoch.buyer_ids
+
+    def test_departures_and_arrivals_reconcile(self):
+        generator = make_generator(seed=7)
+        previous = generator.next_epoch()
+        for _ in range(6):
+            epoch = generator.next_epoch()
+            expected = (
+                set(previous.buyer_ids) - set(epoch.departed)
+            ) | set(epoch.arrived)
+            assert set(epoch.buyer_ids) == expected
+            previous = epoch
+
+    def test_market_rows_align_with_ids(self):
+        generator = make_generator(seed=1)
+        epoch = generator.next_epoch()
+        for row, buyer_id in enumerate(epoch.buyer_ids):
+            assert epoch.row_of(buyer_id) == row
+        assert epoch.row_of(10_000) is None
+
+    def test_determinism(self):
+        a = [e.buyer_ids for e in make_generator(seed=9).epochs(5)]
+        b = [e.buyer_ids for e in make_generator(seed=9).epochs(5)]
+        assert a == b
+
+    def test_population_never_empties(self):
+        generator = make_generator(
+            seed=2, initial_buyers=1, departure_prob=0.95, arrival_rate=0.0
+        )
+        for epoch in generator.epochs(10):
+            assert epoch.market.num_buyers >= 1
+
+
+class TestGeometryStability:
+    def test_survivor_interference_is_stable(self):
+        """The warm-start soundness invariant: surviving pairs keep their
+        interference status across epochs."""
+        generator = make_generator(seed=11)
+        previous = generator.next_epoch()
+        for _ in range(5):
+            epoch = generator.next_epoch()
+            shared = [b for b in previous.buyer_ids if b in set(epoch.buyer_ids)]
+            for idx_a in range(len(shared)):
+                for idx_b in range(idx_a + 1, len(shared)):
+                    a, b = shared[idx_a], shared[idx_b]
+                    for channel in range(4):
+                        before = previous.market.interference.interferes(
+                            channel, previous.row_of(a), previous.row_of(b)
+                        )
+                        after = epoch.market.interference.interferes(
+                            channel, epoch.row_of(a), epoch.row_of(b)
+                        )
+                        assert before == after
+            previous = epoch
+
+    def test_drift_changes_utilities_but_keeps_range(self):
+        generator = make_generator(seed=4, drift_sigma=0.2, departure_prob=0.0,
+                                   arrival_rate=0.0)
+        first = generator.next_epoch()
+        second = generator.next_epoch()
+        assert not np.array_equal(first.market.utilities, second.market.utilities)
+        assert np.all(second.market.utilities >= 0.0)
+        assert np.all(second.market.utilities <= 1.0)
+
+    def test_zero_drift_keeps_survivor_utilities(self):
+        generator = make_generator(seed=4, drift_sigma=0.0, departure_prob=0.0,
+                                   arrival_rate=0.0)
+        first = generator.next_epoch()
+        second = generator.next_epoch()
+        assert np.array_equal(first.market.utilities, second.market.utilities)

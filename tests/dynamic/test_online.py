@@ -1,0 +1,137 @@
+"""Tests for online re-matching (warm vs cold)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stability import is_individually_rational, is_nash_stable
+from repro.dynamic.generator import DynamicMarketGenerator
+from repro.dynamic.online import EpochOutcome, OnlineMatcher, RematchStrategy
+from repro.errors import SpectrumMatchingError
+
+
+def epoch_stream(seed=0, epochs=8, **overrides):
+    params = dict(
+        num_channels=4,
+        initial_buyers=25,
+        arrival_rate=4.0,
+        departure_prob=0.15,
+        drift_sigma=0.05,
+        rng=np.random.default_rng(seed),
+    )
+    params.update(overrides)
+    return DynamicMarketGenerator(**params).epochs(epochs)
+
+
+class TestMatcherMechanics:
+    def test_epochs_must_be_ordered(self):
+        epochs = epoch_stream(seed=1, epochs=2)
+        matcher = OnlineMatcher(RematchStrategy.COLD)
+        matcher.step(epochs[1])
+        with pytest.raises(SpectrumMatchingError):
+            matcher.step(epochs[0])
+
+    def test_first_epoch_reports_no_persistence(self):
+        epochs = epoch_stream(seed=2, epochs=1)
+        outcome = OnlineMatcher(RematchStrategy.WARM).step(epochs[0])
+        assert outcome.persistent == 0
+        assert outcome.churned == 0
+        assert outcome.churn_rate == 0.0
+
+    def test_warm_falls_back_to_cold_without_history(self):
+        epochs = epoch_stream(seed=3, epochs=1)
+        warm = OnlineMatcher(RematchStrategy.WARM).step(epochs[0])
+        cold = OnlineMatcher(RematchStrategy.COLD).step(epochs[0])
+        assert warm.matching == cold.matching
+
+    @pytest.mark.parametrize("strategy", list(RematchStrategy))
+    def test_every_epoch_output_feasible_and_stable(self, strategy):
+        epochs = epoch_stream(seed=4)
+        matcher = OnlineMatcher(strategy)
+        for epoch in epochs:
+            outcome = matcher.step(epoch)
+            market = epoch.market
+            assert outcome.matching.is_interference_free(market.interference)
+            outcome.matching.assert_consistent()
+            assert is_individually_rational(market, outcome.matching)
+            assert is_nash_stable(market, outcome.matching)
+
+    def test_welfare_field_matches_matching(self):
+        epochs = epoch_stream(seed=5, epochs=3)
+        matcher = OnlineMatcher(RematchStrategy.WARM)
+        for epoch in epochs:
+            outcome = matcher.step(epoch)
+            assert outcome.social_welfare == pytest.approx(
+                outcome.matching.social_welfare(epoch.market.utilities)
+            )
+
+
+class TestWarmVsCold:
+    def run_both(self, seed, epochs=10, **overrides):
+        results = {}
+        for strategy in RematchStrategy:
+            stream = epoch_stream(seed=seed, epochs=epochs, **overrides)
+            matcher = OnlineMatcher(strategy)
+            results[strategy] = matcher.run(stream)
+        return results
+
+    def test_warm_reduces_churn(self):
+        results = self.run_both(seed=6)
+        cold_churn = sum(o.churned for o in results[RematchStrategy.COLD][1:])
+        warm_churn = sum(o.churned for o in results[RematchStrategy.WARM][1:])
+        assert warm_churn < cold_churn
+
+    def test_warm_reduces_rounds(self):
+        results = self.run_both(seed=7)
+        cold_rounds = sum(o.rounds for o in results[RematchStrategy.COLD][1:])
+        warm_rounds = sum(o.rounds for o in results[RematchStrategy.WARM][1:])
+        assert warm_rounds < cold_rounds
+
+    def test_warm_welfare_stays_competitive(self):
+        results = self.run_both(seed=8)
+        cold_welfare = sum(
+            o.social_welfare for o in results[RematchStrategy.COLD][1:]
+        )
+        warm_welfare = sum(
+            o.social_welfare for o in results[RematchStrategy.WARM][1:]
+        )
+        assert warm_welfare >= 0.93 * cold_welfare
+
+    def test_static_population_warm_has_zero_churn(self):
+        """With no arrivals/departures/drift, warm must never move anyone
+        after the first epoch (the seed is already Nash-stable)."""
+        results_stream = epoch_stream(
+            seed=9, epochs=5, arrival_rate=0.0, departure_prob=0.0,
+            drift_sigma=0.0,
+        )
+        matcher = OnlineMatcher(RematchStrategy.WARM)
+        outcomes = matcher.run(results_stream)
+        for outcome in outcomes[1:]:
+            assert outcome.churned == 0
+
+    def test_incumbents_never_lose_their_channel_under_warm(self):
+        """Warm churn is only ever voluntary improvement: a surviving
+        matched buyer's utility never decreases between epochs (up to
+        drift in her own valuation of the SAME channel)."""
+        stream = epoch_stream(seed=10, epochs=8, drift_sigma=0.0)
+        matcher = OnlineMatcher(RematchStrategy.WARM)
+        previous_assignment = {}
+        previous_value = {}
+        for epoch in stream:
+            outcome = matcher.step(epoch)
+            market = epoch.market
+            for row, global_id in enumerate(epoch.buyer_ids):
+                if global_id in previous_assignment:
+                    before = previous_value[global_id]
+                    after = outcome.matching.buyer_utility(row, market.utilities)
+                    assert after >= before - 1e-9
+            previous_assignment = {}
+            previous_value = {}
+            for row, global_id in enumerate(epoch.buyer_ids):
+                channel = outcome.matching.channel_of(row)
+                if channel is not None:
+                    previous_assignment[global_id] = channel
+                    previous_value[global_id] = outcome.matching.buyer_utility(
+                        row, market.utilities
+                    )

@@ -1,0 +1,91 @@
+"""Tests for the synthetic interference-graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MarketConfigurationError
+from repro.interference.generators import (
+    complete_graph,
+    empty_graph,
+    interference_map_from_edge_lists,
+    random_gnp_graph,
+    ring_graph,
+    star_graph,
+)
+
+
+class TestDegenerateFamilies:
+    def test_empty_graph(self):
+        graph = empty_graph(6)
+        assert graph.num_edges == 0
+        assert graph.is_independent(range(6))
+
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 10
+        assert not graph.is_independent([0, 1])
+        assert graph.is_independent([3])
+
+    def test_complete_graph_of_one(self):
+        assert complete_graph(1).num_edges == 0
+
+
+class TestRandomGnp:
+    def test_p_zero_is_empty(self, rng):
+        assert random_gnp_graph(10, 0.0, rng).num_edges == 0
+
+    def test_p_one_is_complete(self, rng):
+        assert random_gnp_graph(10, 1.0, rng).num_edges == 45
+
+    def test_edge_count_near_expectation(self):
+        rng = np.random.default_rng(0)
+        graph = random_gnp_graph(50, 0.3, rng)
+        expected = 0.3 * 50 * 49 / 2
+        assert abs(graph.num_edges - expected) < 0.25 * expected
+
+    def test_determinism_with_same_seed(self):
+        g1 = random_gnp_graph(12, 0.4, np.random.default_rng(7))
+        g2 = random_gnp_graph(12, 0.4, np.random.default_rng(7))
+        assert g1 == g2
+
+    def test_bad_probability_rejected(self, rng):
+        with pytest.raises(MarketConfigurationError):
+            random_gnp_graph(5, 1.5, rng)
+
+
+class TestStructuredFamilies:
+    def test_ring(self):
+        graph = ring_graph(5)
+        assert graph.num_edges == 5
+        assert all(graph.degree(j) == 2 for j in range(5))
+        assert graph.is_independent([0, 2])
+        assert not graph.is_independent([0, 1])
+
+    def test_ring_too_small(self):
+        with pytest.raises(MarketConfigurationError):
+            ring_graph(2)
+
+    def test_star(self):
+        graph = star_graph(6, center=2)
+        assert graph.degree(2) == 5
+        assert graph.is_independent([0, 1, 3, 4, 5])
+        assert not graph.is_independent([2, 0])
+
+    def test_star_center_out_of_range(self):
+        with pytest.raises(MarketConfigurationError):
+            star_graph(3, center=3)
+
+
+class TestEdgeListMap:
+    def test_builds_per_channel_graphs(self):
+        imap = interference_map_from_edge_lists(3, [[(0, 1)], [], [(1, 2)]])
+        assert imap.num_channels == 3
+        assert imap.interferes(0, 0, 1)
+        assert not imap.interferes(1, 0, 1)
+        assert imap.interferes(2, 1, 2)
+
+    def test_requires_channels(self):
+        with pytest.raises(MarketConfigurationError):
+            interference_map_from_edge_lists(3, [])

@@ -1,0 +1,74 @@
+"""Tests for the disk-model interference construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MarketConfigurationError
+from repro.interference.geometric import (
+    build_geometric_interference_map,
+    disk_interference_graph,
+)
+
+
+class TestDiskGraph:
+    def test_pairs_within_range_interfere(self):
+        locations = [(0.0, 0.0), (1.0, 0.0), (5.0, 0.0)]
+        graph = disk_interference_graph(locations, transmission_range=1.5)
+        assert graph.interferes(0, 1)
+        assert not graph.interferes(0, 2)
+        assert not graph.interferes(1, 2)
+
+    def test_boundary_distance_is_inclusive(self):
+        locations = [(0.0, 0.0), (2.0, 0.0)]
+        graph = disk_interference_graph(locations, transmission_range=2.0)
+        assert graph.interferes(0, 1)
+
+    def test_diagonal_distance(self):
+        locations = [(0.0, 0.0), (3.0, 4.0)]  # distance 5
+        assert disk_interference_graph(locations, 5.0).interferes(0, 1)
+        assert not disk_interference_graph(locations, 4.99).interferes(0, 1)
+
+    def test_zero_range_rejected(self):
+        with pytest.raises(MarketConfigurationError):
+            disk_interference_graph([(0.0, 0.0)], 0.0)
+
+    def test_empty_locations(self):
+        graph = disk_interference_graph(np.empty((0, 2)), 1.0)
+        assert graph.num_buyers == 0
+
+    def test_bad_location_shape_rejected(self):
+        with pytest.raises(MarketConfigurationError):
+            disk_interference_graph([(0.0, 0.0, 0.0)], 1.0)
+
+    def test_single_point_graph(self):
+        graph = disk_interference_graph([(1.0, 1.0)], 3.0)
+        assert graph.num_buyers == 1
+        assert graph.num_edges == 0
+
+    def test_coincident_points_interfere(self):
+        graph = disk_interference_graph([(2.0, 2.0), (2.0, 2.0)], 0.1)
+        assert graph.interferes(0, 1)
+
+
+class TestGeometricMap:
+    def test_larger_range_is_denser(self, rng):
+        locations = rng.uniform(0, 10, size=(40, 2))
+        imap = build_geometric_interference_map(locations, [0.5, 2.0, 5.0])
+        assert imap.num_channels == 3
+        edges = [imap[i].num_edges for i in range(3)]
+        assert edges[0] <= edges[1] <= edges[2]
+        assert edges[2] > edges[0]  # with 40 points this is essentially sure
+
+    def test_edge_subset_monotonicity(self, rng):
+        """Every edge of a smaller-range channel appears in a larger one."""
+        locations = rng.uniform(0, 10, size=(25, 2))
+        imap = build_geometric_interference_map(locations, [1.0, 4.0])
+        small, large = imap[0], imap[1]
+        for j, k in small.edges():
+            assert large.interferes(j, k)
+
+    def test_requires_a_channel(self):
+        with pytest.raises(MarketConfigurationError):
+            build_geometric_interference_map([(0.0, 0.0)], [])

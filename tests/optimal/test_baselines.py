@@ -1,0 +1,109 @@
+"""Tests for the greedy, random and fixed-quota-DA baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.market import SpectrumMarket
+from repro.interference.generators import interference_map_from_edge_lists
+from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
+from repro.optimal.college_admission import fixed_quota_deferred_acceptance
+from repro.optimal.greedy import greedy_centralized_matching
+from repro.optimal.random_baseline import random_matching
+
+
+def market_of(utilities, per_channel_edges):
+    utilities = np.asarray(utilities, dtype=float)
+    imap = interference_map_from_edge_lists(utilities.shape[0], per_channel_edges)
+    return SpectrumMarket(utilities, imap)
+
+
+class TestGreedyBaseline:
+    def test_takes_highest_prices_first(self):
+        market = market_of([[5.0, 1.0], [4.0, 3.0]], [[(0, 1)], []])
+        result = greedy_centralized_matching(market)
+        assert result.channel_of(0) == 0  # price 5 granted first
+        assert result.channel_of(1) == 1  # blocked on 0, takes 3
+
+    def test_reuses_channels(self):
+        market = market_of([[5.0], [4.0], [3.0]], [[(0, 1)]])
+        result = greedy_centralized_matching(market)
+        assert result.channel_of(0) == 0
+        assert result.channel_of(1) is None  # conflicts with 0
+        assert result.channel_of(2) == 0  # compatible, reused
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_feasible_and_bounded_by_optimal(self, seed, market_factory):
+        market = market_factory(num_buyers=8, num_channels=3, seed=seed)
+        greedy = greedy_centralized_matching(market)
+        assert greedy.is_interference_free(market.interference)
+        best = optimal_matching_branch_and_bound(market).social_welfare(
+            market.utilities
+        )
+        assert greedy.social_welfare(market.utilities) <= best + 1e-9
+
+    def test_skips_zero_prices(self):
+        market = market_of([[0.0]], [[]])
+        result = greedy_centralized_matching(market)
+        assert result.channel_of(0) is None
+
+
+class TestRandomBaseline:
+    def test_feasibility_across_seeds(self, market_factory):
+        market = market_factory(num_buyers=15, num_channels=4, seed=1)
+        for seed in range(5):
+            result = random_matching(market, np.random.default_rng(seed))
+            assert result.is_interference_free(market.interference)
+            result.assert_consistent()
+
+    def test_deterministic_given_generator_state(self, market_factory):
+        market = market_factory(num_buyers=15, num_channels=4, seed=1)
+        a = random_matching(market, np.random.default_rng(42))
+        b = random_matching(market, np.random.default_rng(42))
+        assert a == b
+
+    def test_matches_when_possible(self):
+        # One buyer, one clean channel: randomness cannot fail to match.
+        market = market_of([[1.0]], [[]])
+        result = random_matching(market, np.random.default_rng(0))
+        assert result.channel_of(0) == 0
+
+
+class TestFixedQuotaDA:
+    def test_quota_one_is_classic_da(self):
+        market = market_of([[5.0, 1.0], [4.0, 3.0]], [[], []])
+        result = fixed_quota_deferred_acceptance(market, quota=1)
+        assert result.channel_of(0) == 0
+        assert result.channel_of(1) == 1
+
+    def test_repair_drops_conflicts(self):
+        # Quota 2 admits both buyers onto channel 0, but they interfere:
+        # the repair pass must keep only the higher-priced one.
+        market = market_of([[5.0], [4.0]], [[(0, 1)]])
+        result = fixed_quota_deferred_acceptance(market, quota=2, repair=True)
+        assert result.channel_of(0) == 0
+        assert result.channel_of(1) is None
+        assert result.is_interference_free(market.interference)
+
+    def test_without_repair_output_can_be_infeasible(self):
+        market = market_of([[5.0], [4.0]], [[(0, 1)]])
+        result = fixed_quota_deferred_acceptance(market, quota=2, repair=False)
+        assert not result.is_interference_free(market.interference)
+
+    def test_small_quota_underuses_spectrum(self):
+        # Three mutually compatible buyers, quota 1: two stay unmatched.
+        market = market_of([[3.0], [2.0], [1.0]], [[]])
+        result = fixed_quota_deferred_acceptance(market, quota=1)
+        assert result.num_matched() == 1
+
+    def test_invalid_quota(self, market_factory):
+        market = market_factory()
+        with pytest.raises(ValueError):
+            fixed_quota_deferred_acceptance(market, quota=0)
+
+    @pytest.mark.parametrize("quota", [1, 2, 4])
+    def test_repaired_output_always_feasible(self, quota, market_factory):
+        market = market_factory(num_buyers=12, num_channels=4, seed=3)
+        result = fixed_quota_deferred_acceptance(market, quota=quota)
+        assert result.is_interference_free(market.interference)

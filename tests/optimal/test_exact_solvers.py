@@ -1,0 +1,106 @@
+"""Tests for the exact optimal-matching solvers (brute force and B&B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.market import SpectrumMarket
+from repro.errors import SolverLimitExceeded
+from repro.interference.generators import (
+    complete_graph,
+    interference_map_from_edge_lists,
+)
+from repro.interference.graph import InterferenceGraph, InterferenceMap
+from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
+from repro.optimal.bruteforce import optimal_matching_bruteforce
+from repro.workloads.scenarios import toy_example_market
+
+SOLVERS = [optimal_matching_bruteforce, optimal_matching_branch_and_bound]
+
+
+def market_of(utilities, per_channel_edges):
+    utilities = np.asarray(utilities, dtype=float)
+    imap = interference_map_from_edge_lists(utilities.shape[0], per_channel_edges)
+    return SpectrumMarket(utilities, imap)
+
+
+class TestKnownOptima:
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_single_assignment(self, solver):
+        market = market_of([[3.0, 7.0]], [[], []])
+        result = solver(market)
+        assert result.channel_of(0) == 1
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_reuse_beats_exclusivity(self, solver):
+        # Both buyers fit on channel 0 (no conflict): optimum reuses it.
+        market = market_of([[5.0, 1.0], [4.0, 1.0]], [[], []])
+        result = solver(market)
+        assert result.channel_of(0) == 0
+        assert result.channel_of(1) == 0
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_interference_forces_split(self, solver):
+        market = market_of([[5.0, 1.0], [4.0, 2.0]], [[(0, 1)], []])
+        result = solver(market)
+        assert result.channel_of(0) == 0
+        assert result.channel_of(1) == 1
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_unmatched_when_nothing_fits(self, solver):
+        # One channel, complete conflict: only the best buyer is matched.
+        imap = InterferenceMap([complete_graph(3)])
+        market = SpectrumMarket(np.array([[1.0], [9.0], [4.0]]), imap)
+        result = solver(market)
+        assert result.channel_of(1) == 1 - 1  # channel 0
+        assert result.channel_of(0) is None
+        assert result.channel_of(2) is None
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_toy_example_optimum_is_33(self, solver):
+        market = toy_example_market()
+        result = solver(market)
+        assert result.social_welfare(market.utilities) == pytest.approx(33.0)
+        assert result.is_interference_free(market.interference)
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_zero_utilities_leave_everyone_unmatched_or_zero(self, solver):
+        market = market_of([[0.0], [0.0]], [[]])
+        result = solver(market)
+        assert result.social_welfare(market.utilities) == 0.0
+
+
+class TestGuards:
+    def test_bruteforce_state_limit(self):
+        market = market_of(
+            np.ones((10, 3)), [[], [], []]
+        )
+        with pytest.raises(SolverLimitExceeded):
+            optimal_matching_bruteforce(market, state_limit=100)
+
+    def test_branch_and_bound_node_budget(self):
+        rngs = np.random.default_rng(3)
+        utilities = rngs.random((12, 4))
+        imap = interference_map_from_edge_lists(12, [[], [], [], []])
+        market = SpectrumMarket(utilities, imap)
+        with pytest.raises(SolverLimitExceeded):
+            optimal_matching_branch_and_bound(market, node_budget=5)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_bruteforce_equals_branch_and_bound(self, seed, market_factory):
+        market = market_factory(num_buyers=7, num_channels=3, seed=seed)
+        bf = optimal_matching_bruteforce(market)
+        bb = optimal_matching_branch_and_bound(market)
+        assert bf.social_welfare(market.utilities) == pytest.approx(
+            bb.social_welfare(market.utilities)
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_exact_output_is_feasible(self, seed, market_factory):
+        market = market_factory(num_buyers=7, num_channels=3, seed=seed)
+        result = optimal_matching_branch_and_bound(market)
+        assert result.is_interference_free(market.interference)
+        result.assert_consistent()

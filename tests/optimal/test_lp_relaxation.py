@@ -1,0 +1,57 @@
+"""Tests for the LP-relaxation upper bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.market import SpectrumMarket
+from repro.core.two_stage import run_two_stage
+from repro.interference.generators import interference_map_from_edge_lists
+from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
+from repro.optimal.lp_relaxation import lp_relaxation_bound
+from repro.workloads.scenarios import toy_example_market
+
+
+def market_of(utilities, per_channel_edges):
+    utilities = np.asarray(utilities, dtype=float)
+    imap = interference_map_from_edge_lists(utilities.shape[0], per_channel_edges)
+    return SpectrumMarket(utilities, imap)
+
+
+class TestKnownValues:
+    def test_no_conflicts_lp_is_exact(self):
+        # Without interference the LP's optimum is integral: everyone takes
+        # her best channel.
+        market = market_of([[3.0, 1.0], [2.0, 5.0]], [[], []])
+        assert lp_relaxation_bound(market) == pytest.approx(8.0)
+
+    def test_triangle_fractional_gap(self):
+        # Complete triangle on one channel, unit prices: ILP packs 1 buyer,
+        # LP packs x=1/2 each for value 1.5 -- the classic integrality gap.
+        market = market_of(
+            [[1.0], [1.0], [1.0]],
+            [[(0, 1), (0, 2), (1, 2)]],
+        )
+        assert lp_relaxation_bound(market) == pytest.approx(1.5)
+
+    def test_toy_example_bound(self):
+        market = toy_example_market()
+        bound = lp_relaxation_bound(market)
+        assert bound >= 33.0 - 1e-6  # exact optimum is 33
+
+
+class TestBoundProperties:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lp_bounds_exact_optimum(self, seed, market_factory):
+        market = market_factory(num_buyers=8, num_channels=3, seed=seed)
+        exact = optimal_matching_branch_and_bound(market).social_welfare(
+            market.utilities
+        )
+        assert lp_relaxation_bound(market) >= exact - 1e-6
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lp_bounds_two_stage_welfare(self, seed, market_factory):
+        market = market_factory(num_buyers=20, num_channels=5, seed=seed)
+        result = run_two_stage(market, record_trace=False)
+        assert lp_relaxation_bound(market) >= result.social_welfare - 1e-6

@@ -1,0 +1,166 @@
+"""Tests for exhaustive Nash-stable enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.market import SpectrumMarket
+from repro.core.stability import is_nash_stable, pareto_dominates_for_buyers
+from repro.core.two_stage import run_two_stage
+from repro.errors import SolverLimitExceeded
+from repro.interference.generators import interference_map_from_edge_lists
+from repro.optimal.nash_enumeration import (
+    buyer_optimal_nash_stable,
+    enumerate_feasible_matchings,
+    enumerate_nash_stable_matchings,
+    price_of_nash_stability,
+)
+from repro.workloads.scenarios import counterexample_market
+
+
+def market_of(utilities, per_channel_edges):
+    utilities = np.asarray(utilities, dtype=float)
+    imap = interference_map_from_edge_lists(utilities.shape[0], per_channel_edges)
+    return SpectrumMarket(utilities, imap)
+
+
+class TestFeasibleEnumeration:
+    def test_counts_without_interference(self):
+        # 2 buyers x 2 channels, no conflicts: 3 options per buyer = 9.
+        market = market_of([[1.0, 2.0], [3.0, 4.0]], [[], []])
+        matchings = list(enumerate_feasible_matchings(market))
+        assert len(matchings) == 9
+
+    def test_counts_with_full_conflict(self):
+        # Both buyers conflict on the single channel: assignments where
+        # both hold it are excluded: 4 - 1 = 3.
+        market = market_of([[1.0], [1.0]], [[(0, 1)]])
+        matchings = list(enumerate_feasible_matchings(market))
+        assert len(matchings) == 3
+
+    def test_all_yielded_matchings_feasible(self, market_factory):
+        market = market_factory(num_buyers=5, num_channels=2, seed=0)
+        for matching in enumerate_feasible_matchings(market):
+            assert matching.is_interference_free(market.interference)
+
+    def test_state_limit_guard(self, market_factory):
+        market = market_factory(num_buyers=10, num_channels=4, seed=0)
+        with pytest.raises(SolverLimitExceeded):
+            list(enumerate_feasible_matchings(market, state_limit=10))
+
+    def test_yields_independent_copies(self):
+        market = market_of([[1.0]], [[]])
+        matchings = list(enumerate_feasible_matchings(market))
+        assignments = {m.as_assignment() for m in matchings}
+        assert assignments == {(0,), (None,)}
+
+
+class TestNashEnumeration:
+    def test_algorithm_output_is_in_the_stable_set(self, market_factory):
+        market = market_factory(num_buyers=6, num_channels=3, seed=4)
+        result = run_two_stage(market, record_trace=False)
+        stable = list(enumerate_nash_stable_matchings(market))
+        assert any(m == result.matching for m in stable)
+
+    def test_every_enumerated_matching_is_stable(self, market_factory):
+        market = market_factory(num_buyers=6, num_channels=3, seed=5)
+        for matching in enumerate_nash_stable_matchings(market):
+            assert is_nash_stable(market, matching)
+
+    def test_empty_matching_is_not_stable_when_channels_open(self):
+        market = market_of([[1.0]], [[]])
+        stable = list(enumerate_nash_stable_matchings(market))
+        assert all(m.num_matched() > 0 for m in stable)
+
+
+class TestBuyerOptimalFrontier:
+    def test_frontier_is_mutually_undominated(self, market_factory):
+        market = market_factory(num_buyers=6, num_channels=3, seed=6)
+        frontier = buyer_optimal_nash_stable(market)
+        assert frontier
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not pareto_dominates_for_buyers(market, a, b)
+
+    def test_counterexample_output_not_on_frontier(self):
+        """Section III-D: the algorithm's output is not buyer-optimal."""
+        market = counterexample_market()
+        result = run_two_stage(market, record_trace=False)
+        frontier = buyer_optimal_nash_stable(market)
+        assert all(m != result.matching for m in frontier)
+        # ...because something on the frontier dominates it.
+        assert any(
+            pareto_dominates_for_buyers(market, m, result.matching)
+            for m in frontier
+        )
+
+
+class TestPriceOfNashStability:
+    def test_ratio_bounds(self, market_factory):
+        market = market_factory(num_buyers=6, num_channels=3, seed=7)
+        ratio, best = price_of_nash_stability(market)
+        assert 0.0 < ratio <= 1.0 + 1e-12
+        assert is_nash_stable(market, best)
+
+    def test_counterexample_has_free_stability(self):
+        # The counterexample's optimum (27) happens to be Nash-stable.
+        market = counterexample_market()
+        ratio, best = price_of_nash_stability(market)
+        assert ratio == pytest.approx(1.0)
+        assert best.social_welfare(market.utilities) == pytest.approx(27.0)
+
+    def test_two_stage_welfare_below_best_stable(self, market_factory):
+        market = market_factory(num_buyers=6, num_channels=3, seed=8)
+        result = run_two_stage(market, record_trace=False)
+        _, best = price_of_nash_stability(market)
+        assert result.social_welfare <= best.social_welfare(
+            market.utilities
+        ) + 1e-9
+
+
+class TestPairwiseStableEnumeration:
+    def test_pairwise_implies_nash(self, market_factory):
+        """Pairwise stability is the stronger notion: every pairwise
+        stable matching must also be Nash-stable (S = empty set reduces a
+        Nash deviation to a blocking pair)."""
+        from repro.optimal.nash_enumeration import (
+            enumerate_pairwise_stable_matchings,
+        )
+
+        market = market_factory(num_buyers=6, num_channels=3, seed=12)
+        for matching in enumerate_pairwise_stable_matchings(market):
+            assert is_nash_stable(market, matching)
+
+    def test_counterexample_has_pairwise_stable_matchings(self):
+        """The Section III-D instance blocks the ALGORITHM's output, but
+        pairwise-stable matchings do exist on it (e.g. the optimum)."""
+        from repro.core.stability import is_pairwise_stable
+        from repro.optimal.nash_enumeration import find_pairwise_stable_matching
+
+        market = counterexample_market()
+        best = find_pairwise_stable_matching(market)
+        assert best is not None
+        assert is_pairwise_stable(market, best)
+        assert best.social_welfare(market.utilities) == pytest.approx(27.0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pairwise_stable_matchings_exist_on_paper_workloads(
+        self, seed, market_factory
+    ):
+        from repro.optimal.nash_enumeration import find_pairwise_stable_matching
+
+        market = market_factory(num_buyers=6, num_channels=3, seed=seed)
+        assert find_pairwise_stable_matching(market) is not None
+
+    def test_pairwise_stable_welfare_bounded_by_optimum(self, market_factory):
+        from repro.optimal.bruteforce import optimal_matching_bruteforce
+        from repro.optimal.nash_enumeration import find_pairwise_stable_matching
+
+        market = market_factory(num_buyers=6, num_channels=3, seed=13)
+        best = find_pairwise_stable_matching(market)
+        optimum = optimal_matching_bruteforce(market)
+        assert best.social_welfare(market.utilities) <= optimum.social_welfare(
+            market.utilities
+        ) + 1e-9

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.panel == "a"
+        assert args.repetitions is None
+
+    def test_distributed_options(self):
+        args = build_parser().parse_args(
+            ["distributed", "--buyers", "12", "--policy", "adaptive"]
+        )
+        assert args.buyers == 12
+        assert args.policy == "adaptive"
+
+
+class TestCommands:
+    def test_toy_output(self, capsys):
+        assert main(["toy"]) == 0
+        out = capsys.readouterr().out
+        assert "Stage I welfare: 27" in out
+        assert "Final welfare: 30" in out
+
+    def test_counterexample_output(self, capsys):
+        assert main(["counterexample"]) == 0
+        out = capsys.readouterr().out
+        assert "Nash-stable:      True" in out
+        assert "pairwise-stable:  False" in out
+        assert "blocking pair" in out
+
+    def test_fig6_table(self, capsys):
+        assert main(["fig6", "--panel", "a", "--repetitions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "welfare_ratio" in out
+        assert "Fig. 6(a)" in out
+
+    def test_fig6_csv(self, capsys):
+        assert main(["fig6", "--panel", "a", "--repetitions", "2", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("buyers,measured_srcc")
+
+    def test_distributed_command(self, capsys):
+        assert (
+            main(
+                [
+                    "distributed",
+                    "--buyers",
+                    "8",
+                    "--sellers",
+                    "3",
+                    "--policy",
+                    "both",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "default" in out
+        assert "adaptive" in out
+        assert "matches centralized: True" in out
+
+
+class TestExtensionCommands:
+    def test_swaps_counterexample(self, capsys):
+        assert main(["swaps", "--counterexample"]) == 0
+        out = capsys.readouterr().out
+        assert "23.0000" in out
+        assert "27.0000" in out
+        assert "pairwise-stable after: True" in out
+
+    def test_swaps_random_market(self, capsys):
+        assert main(["swaps", "--buyers", "10", "--sellers", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "two-stage welfare" in out
+
+    def test_dynamic_command(self, capsys):
+        assert main(["dynamic", "--epochs", "4", "--buyers", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "cold" in out
+        assert "warm" in out
+
+    def test_distributed_with_loss(self, capsys):
+        assert (
+            main(
+                [
+                    "distributed",
+                    "--buyers", "8",
+                    "--sellers", "3",
+                    "--policy", "default",
+                    "--loss", "0.2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ARQ transport enabled" in out
+        assert "matches centralized: True" in out
+
+    def test_report_command(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "replication report" in out
+        assert "FAIL" not in out
+        assert out.count("PASS") == 8

@@ -1,0 +1,112 @@
+"""Tests for geometric deployments (paper Section V-A distributions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MarketConfigurationError
+from repro.workloads.deployment import (
+    Deployment,
+    random_deployment,
+    random_transmission_ranges,
+)
+
+
+class TestRandomDeployment:
+    def test_shapes_and_bounds(self, rng):
+        deployment = random_deployment(50, 4, rng)
+        assert deployment.locations.shape == (50, 2)
+        assert np.all(deployment.locations >= 0.0)
+        assert np.all(deployment.locations <= 10.0)
+        assert len(deployment.transmission_ranges) == 4
+
+    def test_ranges_in_half_open_interval(self, rng):
+        ranges = random_transmission_ranges(1000, rng)
+        assert all(0.0 < r <= 5.0 for r in ranges)
+
+    def test_custom_geometry(self, rng):
+        deployment = random_deployment(10, 2, rng, area_side=3.0, max_range=1.0)
+        assert np.all(deployment.locations <= 3.0)
+        assert all(r <= 1.0 for r in deployment.transmission_ranges)
+        assert deployment.area_side == 3.0
+
+    def test_determinism(self):
+        a = random_deployment(20, 3, np.random.default_rng(5))
+        b = random_deployment(20, 3, np.random.default_rng(5))
+        assert np.array_equal(a.locations, b.locations)
+        assert a.transmission_ranges == b.transmission_ranges
+
+    def test_validation(self, rng):
+        with pytest.raises(MarketConfigurationError):
+            random_deployment(0, 3, rng)
+        with pytest.raises(MarketConfigurationError):
+            random_deployment(5, 0, rng)
+        with pytest.raises(MarketConfigurationError):
+            random_deployment(5, 3, rng, area_side=-1.0)
+        with pytest.raises(MarketConfigurationError):
+            random_transmission_ranges(0, rng)
+
+    def test_interference_map_materialisation(self, rng):
+        deployment = random_deployment(30, 3, rng)
+        imap = deployment.interference_map()
+        assert imap.num_buyers == 30
+        assert imap.num_channels == 3
+
+    def test_tight_cluster_fully_interferes(self):
+        deployment = Deployment(
+            locations=np.zeros((5, 2)),
+            transmission_ranges=(1.0,),
+            area_side=10.0,
+        )
+        graph = deployment.interference_map()[0]
+        assert graph.num_edges == 10  # complete graph on 5 coincident nodes
+
+
+class TestClusteredDeployment:
+    def test_shapes_and_bounds(self, rng):
+        from repro.workloads.deployment import clustered_deployment
+
+        deployment = clustered_deployment(40, 3, rng, num_clusters=4)
+        assert deployment.locations.shape == (40, 2)
+        assert np.all(deployment.locations >= 0.0)
+        assert np.all(deployment.locations <= 10.0)
+
+    def test_tighter_clusters_are_denser(self):
+        from repro.workloads.deployment import clustered_deployment
+
+        def mean_density(spread, seed=3):
+            deployment = clustered_deployment(
+                50, 3, np.random.default_rng(seed), num_clusters=3,
+                cluster_spread=spread,
+            )
+            imap = deployment.interference_map()
+            return np.mean([imap.density(i) for i in range(3)])
+
+        assert mean_density(0.3) > mean_density(3.0)
+
+    def test_zero_spread_stacks_buyers_on_centres(self):
+        from repro.workloads.deployment import clustered_deployment
+
+        deployment = clustered_deployment(
+            12, 2, np.random.default_rng(0), num_clusters=2, cluster_spread=0.0
+        )
+        unique_points = {tuple(p) for p in np.round(deployment.locations, 9)}
+        assert len(unique_points) <= 2
+
+    def test_validation(self, rng):
+        from repro.workloads.deployment import clustered_deployment
+
+        with pytest.raises(MarketConfigurationError):
+            clustered_deployment(10, 2, rng, num_clusters=0)
+        with pytest.raises(MarketConfigurationError):
+            clustered_deployment(10, 2, rng, cluster_spread=-1.0)
+        with pytest.raises(MarketConfigurationError):
+            clustered_deployment(0, 2, rng)
+
+    def test_determinism(self):
+        from repro.workloads.deployment import clustered_deployment
+
+        a = clustered_deployment(20, 3, np.random.default_rng(5))
+        b = clustered_deployment(20, 3, np.random.default_rng(5))
+        assert np.array_equal(a.locations, b.locations)

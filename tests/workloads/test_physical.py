@@ -1,0 +1,85 @@
+"""Tests for the physical-market generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import demand_satisfaction
+from repro.core.stability import is_nash_stable
+from repro.core.two_stage import run_two_stage
+from repro.errors import MarketConfigurationError
+from repro.workloads.physical import random_physical_market
+
+
+class TestGenerator:
+    def test_dimensions_are_sums_of_physical_sizes(self):
+        rng = np.random.default_rng(0)
+        market = random_physical_market(3, 4, rng)
+        # M = sum m_i in [3, 9]; N = sum n_j in [4, 12].
+        assert 3 <= market.num_channels <= 9
+        assert 4 <= market.num_buyers <= 12
+        assert len(set(market.channel_owner)) == 3
+        assert len(set(market.buyer_owner)) == 4
+
+    def test_clone_cliques_validated(self):
+        market = random_physical_market(2, 3, np.random.default_rng(1))
+        market.validate()  # must not raise
+
+    def test_clones_share_site_hence_interfere_geometrically(self):
+        market = random_physical_market(
+            2, 3, np.random.default_rng(2), max_demand=3
+        )
+        # Any two clones of the same owner interfere on EVERY channel
+        # (coincident sites within any positive range + expansion clique).
+        owners = market.buyer_owner
+        for a in range(market.num_buyers):
+            for b in range(a + 1, market.num_buyers):
+                if owners[a] == owners[b]:
+                    for channel in range(market.num_channels):
+                        assert market.interference.interferes(channel, a, b)
+
+    def test_determinism(self):
+        a = random_physical_market(3, 5, np.random.default_rng(7))
+        b = random_physical_market(3, 5, np.random.default_rng(7))
+        assert np.array_equal(a.utilities, b.utilities)
+        assert a.buyer_owner == b.buyer_owner
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(MarketConfigurationError):
+            random_physical_market(0, 3, rng)
+        with pytest.raises(MarketConfigurationError):
+            random_physical_market(2, 3, rng, max_demand=0)
+
+    def test_end_to_end_matching_is_stable(self):
+        market = random_physical_market(3, 6, np.random.default_rng(9))
+        result = run_two_stage(market, record_trace=False)
+        assert result.matching.is_interference_free(market.interference)
+        assert is_nash_stable(market, result.matching)
+
+
+class TestDemandSatisfaction:
+    def test_fractions_per_owner(self):
+        market = random_physical_market(3, 5, np.random.default_rng(11))
+        result = run_two_stage(market, record_trace=False)
+        satisfaction = demand_satisfaction(market, result.matching)
+        assert set(satisfaction) == set(market.buyer_owner)
+        for fraction in satisfaction.values():
+            assert 0.0 <= fraction <= 1.0
+        # Aggregate consistency with the virtual matched count.
+        demanded = {owner: 0 for owner in satisfaction}
+        for owner in market.buyer_owner:
+            demanded[owner] += 1
+        total_granted = sum(
+            satisfaction[owner] * demanded[owner] for owner in satisfaction
+        )
+        assert total_granted == pytest.approx(result.matching.num_matched())
+
+    def test_empty_matching_gives_zero_everywhere(self):
+        from repro.core.matching import Matching
+
+        market = random_physical_market(2, 3, np.random.default_rng(12))
+        empty = Matching(market.num_channels, market.num_buyers)
+        satisfaction = demand_satisfaction(market, empty)
+        assert all(value == 0.0 for value in satisfaction.values())

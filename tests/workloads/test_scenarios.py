@@ -1,0 +1,101 @@
+"""Tests for the named scenario builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.interference.mwis import MwisAlgorithm
+from repro.workloads.scenarios import (
+    counterexample_market,
+    paper_simulation_market,
+    physical_market_example,
+    toy_example_market,
+)
+
+
+class TestToyExampleScenario:
+    def test_dimensions_and_names(self):
+        market = toy_example_market()
+        assert market.num_buyers == 5
+        assert market.num_channels == 3
+        assert market.channel_names == ("a", "b", "c")
+        assert market.buyer_names[0] == "buyer1"
+
+    def test_utilities_match_fig3b(self):
+        market = toy_example_market()
+        assert list(market.buyer_vector(2)) == [9.0, 10.0, 8.0]
+        assert list(market.buyer_vector(4)) == [1.0, 2.0, 3.0]
+
+    def test_interference_matches_fig3a(self):
+        market = toy_example_market()
+        # channel a: 1-2 and 1-4 interfere (0-indexed: 0-1, 0-3)
+        assert market.interference.interferes(0, 0, 1)
+        assert market.interference.interferes(0, 0, 3)
+        assert not market.interference.interferes(0, 1, 3)
+        # channel c: only 2-5 (ids 1-4)
+        assert market.interference.interferes(2, 1, 4)
+        assert not market.interference.interferes(2, 0, 1)
+
+    def test_algorithm_override(self):
+        market = toy_example_market(mwis_algorithm=MwisAlgorithm.EXACT)
+        assert market.mwis_algorithm is MwisAlgorithm.EXACT
+
+
+class TestCounterexampleScenario:
+    def test_dimensions(self):
+        market = counterexample_market()
+        assert market.num_buyers == 5
+        assert market.num_channels == 3
+        assert market.buyer_names == ("z", "w", "x", "y", "j")
+
+
+class TestPaperSimulationMarket:
+    def test_dimensions(self):
+        market = paper_simulation_market(25, 6, np.random.default_rng(0))
+        assert market.num_buyers == 25
+        assert market.num_channels == 6
+
+    def test_determinism(self):
+        a = paper_simulation_market(10, 3, np.random.default_rng(4))
+        b = paper_simulation_market(10, 3, np.random.default_rng(4))
+        assert np.array_equal(a.utilities, b.utilities)
+        assert all(a.graph(i) == b.graph(i) for i in range(3))
+
+    def test_utilities_in_unit_interval(self):
+        market = paper_simulation_market(30, 5, np.random.default_rng(1))
+        assert np.all((market.utilities >= 0.0) & (market.utilities < 1.0))
+
+    def test_permutation_level_flows_through(self):
+        from repro.workloads.similarity import average_pairwise_srcc
+
+        similar = paper_simulation_market(
+            40, 6, np.random.default_rng(2), permutation_level=0
+        )
+        assert average_pairwise_srcc(similar.utilities) == pytest.approx(1.0)
+
+    def test_custom_geometry(self):
+        # A tiny area with max range forces near-complete interference.
+        market = paper_simulation_market(
+            10,
+            2,
+            np.random.default_rng(3),
+            area_side=0.01,
+            max_range=5.0,
+        )
+        graph = market.graph(0)
+        assert graph.num_edges == 45
+
+
+class TestPhysicalExample:
+    def test_expansion_shape(self, rng):
+        market = physical_market_example(rng)
+        assert market.num_channels == 3
+        assert market.num_buyers == 5
+
+    def test_validates_clone_cliques(self, rng):
+        market = physical_market_example(rng)
+        market.validate()  # must not raise
+        # clones of isp0 are virtual buyers 0 and 1
+        for channel in range(market.num_channels):
+            assert market.interference.interferes(channel, 0, 1)

@@ -1,0 +1,76 @@
+"""Tests for the SRCC machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import spearmanr
+
+from repro.errors import MarketConfigurationError
+from repro.workloads.similarity import average_pairwise_srcc, spearman_rank_correlation
+
+
+class TestPairwiseSrcc:
+    def test_identical_rankings(self):
+        assert spearman_rank_correlation(
+            np.array([1.0, 2.0, 3.0]), np.array([10.0, 20.0, 30.0])
+        ) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        assert spearman_rank_correlation(
+            np.array([1.0, 2.0, 3.0]), np.array([9.0, 5.0, 1.0])
+        ) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self, rng):
+        x = rng.random(20)
+        y = rng.random(20)
+        ours = spearman_rank_correlation(x, y)
+        theirs = spearmanr(x, y).statistic
+        assert ours == pytest.approx(float(theirs))
+
+    def test_ties_use_average_ranks(self):
+        x = np.array([1.0, 1.0, 2.0])
+        y = np.array([3.0, 5.0, 7.0])
+        expected = float(spearmanr(x, y).statistic)
+        assert spearman_rank_correlation(x, y) == pytest.approx(expected)
+
+    def test_constant_vector_rejected(self):
+        with pytest.raises(MarketConfigurationError):
+            spearman_rank_correlation(np.ones(4), np.arange(4.0))
+
+    def test_shape_validation(self):
+        with pytest.raises(MarketConfigurationError):
+            spearman_rank_correlation(np.ones(3), np.ones(4))
+        with pytest.raises(MarketConfigurationError):
+            spearman_rank_correlation(np.array([1.0]), np.array([2.0]))
+
+
+class TestAveragePairwise:
+    def test_two_identical_buyers(self):
+        u = np.array([[0.1, 0.5, 0.9], [0.2, 0.6, 0.8]])
+        assert average_pairwise_srcc(u) == pytest.approx(1.0)
+
+    def test_mixed_population(self):
+        # Buyers 0,1 agree; buyer 2 is exactly reversed: mean of
+        # (1, -1, -1) = -1/3.
+        u = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [9.0, 8.0, 7.0]])
+        assert average_pairwise_srcc(u) == pytest.approx(-1.0 / 3.0)
+
+    def test_matches_naive_loop(self, rng):
+        u = rng.random((12, 6))
+        naive = np.mean(
+            [
+                spearman_rank_correlation(u[a], u[b])
+                for a in range(12)
+                for b in range(a + 1, 12)
+            ]
+        )
+        assert average_pairwise_srcc(u) == pytest.approx(float(naive))
+
+    def test_validation(self):
+        with pytest.raises(MarketConfigurationError):
+            average_pairwise_srcc(np.ones((1, 5)))
+        with pytest.raises(MarketConfigurationError):
+            average_pairwise_srcc(np.random.rand(5))
+        with pytest.raises(MarketConfigurationError):
+            average_pairwise_srcc(np.ones((3, 3)))  # constant rows

@@ -1,0 +1,101 @@
+"""Tests for utility generation and the similarity manoeuvre."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MarketConfigurationError
+from repro.workloads.similarity import average_pairwise_srcc
+from repro.workloads.utilities import (
+    apply_m_permutation,
+    iid_uniform_utilities,
+    permutation_level_for_similarity,
+    sorted_base_utilities,
+    utilities_with_permutation_level,
+)
+
+
+class TestIidUtilities:
+    def test_shape_and_range(self, rng):
+        u = iid_uniform_utilities(20, 6, rng)
+        assert u.shape == (20, 6)
+        assert np.all((u >= 0.0) & (u < 1.0))
+
+    def test_validation(self, rng):
+        with pytest.raises(MarketConfigurationError):
+            iid_uniform_utilities(0, 3, rng)
+
+    def test_iid_srcc_near_zero(self):
+        u = iid_uniform_utilities(80, 8, np.random.default_rng(1))
+        assert abs(average_pairwise_srcc(u)) < 0.1
+
+
+class TestSortedBase:
+    def test_rows_are_sorted(self, rng):
+        u = sorted_base_utilities(10, 5, rng)
+        assert np.all(np.diff(u, axis=1) >= 0)
+
+    def test_descending_option(self, rng):
+        u = sorted_base_utilities(10, 5, rng, descending=True)
+        assert np.all(np.diff(u, axis=1) <= 0)
+
+    def test_srcc_is_one(self, rng):
+        u = sorted_base_utilities(30, 6, rng)
+        assert average_pairwise_srcc(u) == pytest.approx(1.0)
+
+
+class TestMPermutation:
+    def test_m0_and_m1_are_identity(self, rng):
+        u = sorted_base_utilities(10, 5, rng)
+        assert np.array_equal(apply_m_permutation(u, 0, rng), u)
+        assert np.array_equal(apply_m_permutation(u, 1, rng), u)
+
+    def test_preserves_multiset_per_row(self, rng):
+        u = sorted_base_utilities(10, 6, rng)
+        permuted = apply_m_permutation(u, 4, rng)
+        for before, after in zip(u, permuted):
+            assert sorted(before) == pytest.approx(sorted(after))
+
+    def test_input_not_mutated(self, rng):
+        u = sorted_base_utilities(10, 6, rng)
+        original = u.copy()
+        apply_m_permutation(u, 6, rng)
+        assert np.array_equal(u, original)
+
+    def test_validation(self, rng):
+        u = sorted_base_utilities(4, 3, rng)
+        with pytest.raises(MarketConfigurationError):
+            apply_m_permutation(u, 4, rng)
+        with pytest.raises(MarketConfigurationError):
+            apply_m_permutation(u, -1, rng)
+        with pytest.raises(MarketConfigurationError):
+            apply_m_permutation(np.ones(3), 1, rng)
+
+
+class TestSimilarityControl:
+    def test_srcc_decreases_with_m(self):
+        """The paper: 'As m increases, the average SRCC will decrease.'"""
+        rng_seed = 7
+        num_buyers, num_channels = 60, 8
+        srccs = []
+        for m in (0, 2, 4, 6, 8):
+            u = utilities_with_permutation_level(
+                num_buyers, num_channels, m, np.random.default_rng(rng_seed)
+            )
+            srccs.append(average_pairwise_srcc(u))
+        assert srccs[0] == pytest.approx(1.0)
+        assert srccs[-1] < 0.2  # m = M: approximately independent
+        # Broadly decreasing (allow small sampling noise between steps).
+        assert all(b < a + 0.1 for a, b in zip(srccs, srccs[1:]))
+
+    def test_level_mapping_endpoints(self):
+        assert permutation_level_for_similarity(1.0, 8) == 0
+        assert permutation_level_for_similarity(0.0, 8) == 8
+
+    def test_level_mapping_midpoint(self):
+        assert permutation_level_for_similarity(0.5, 8) == 4
+
+    def test_level_mapping_validation(self):
+        with pytest.raises(MarketConfigurationError):
+            permutation_level_for_similarity(1.5, 8)
