@@ -1,15 +1,25 @@
 # Convenience targets for the spectrum-matching reproduction.
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench trace figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
+# The tier-1 verification command: works from a clean checkout without an
+# editable install (PYTHONPATH=src puts the package on the path).
 test:
-	pytest tests/
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest benchmarks/ --benchmark-only
+
+# Observability demo: replay the paper's toy example while streaming the
+# JSONL event trace (manifest first) and printing the metrics summary.
+trace:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.cli toy \
+	  --trace-out /tmp/spectrum-matching-toy.jsonl --metrics
+	@echo "--- first trace lines ---"
+	@head -3 /tmp/spectrum-matching-toy.jsonl
 
 # Regenerate every paper figure at canonical repetitions (slow-ish).
 figures:

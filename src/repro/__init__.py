@@ -76,6 +76,16 @@ from repro.workloads.scenarios import (
     physical_market_example,
     toy_example_market,
 )
+from repro.obs import (
+    JsonlEventSink,
+    ListEventSink,
+    MetricsRegistry,
+    Recorder,
+    SpanTracer,
+    build_manifest,
+    get_recorder,
+    use_recorder,
+)
 
 __version__ = "1.0.0"
 
@@ -139,4 +149,13 @@ __all__ = [
     "paper_simulation_market",
     "physical_market_example",
     "homogeneous_market",
+    # observability
+    "Recorder",
+    "MetricsRegistry",
+    "SpanTracer",
+    "JsonlEventSink",
+    "ListEventSink",
+    "build_manifest",
+    "get_recorder",
+    "use_recorder",
 ]

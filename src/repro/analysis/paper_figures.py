@@ -30,6 +30,7 @@ from repro.analysis.experiments import (
     stage_breakdown_series,
 )
 from repro.errors import SpectrumMatchingError
+from repro.obs.recorder import Recorder, resolve_recorder
 
 __all__ = ["FigureSpec", "figure_spec", "run_figure", "FIGURE_SPECS"]
 
@@ -159,31 +160,64 @@ def run_figure(
     repetitions: Optional[int] = None,
     seed: int = 0,
     values: Optional[Sequence[float]] = None,
+    recorder: Optional[Recorder] = None,
 ) -> List[ExperimentRow]:
     """Execute a panel's experiment and return its rows.
 
     ``repetitions`` and ``values`` allow scaled-down runs (used by the
     test suite and quick CLI invocations) without changing the canonical
-    spec.
+    spec.  ``recorder`` (``None`` resolves to the ambient recorder) frames
+    the sweep with a ``figure`` span, announces it with a ``figure.start``
+    event and emits one ``figure.row`` event per x-axis point with the
+    aggregated series means.
     """
     reps = spec.default_repetitions if repetitions is None else repetitions
     xs = tuple(spec.values if values is None else values)
-    if spec.kind == "optimal_comparison":
-        return optimal_comparison_series(
-            spec.axis,
-            xs,
-            num_buyers=spec.num_buyers,
-            num_channels=spec.num_channels,
+    rec = resolve_recorder(recorder)
+    if rec.enabled:
+        rec.emit(
+            "figure.start",
+            figure=spec.figure,
+            panel=spec.panel,
+            axis=spec.axis.value,
+            values=list(xs),
             repetitions=reps,
             seed=seed,
         )
-    if spec.kind == "stage_breakdown":
-        return stage_breakdown_series(
-            spec.axis,
-            xs,
-            num_buyers=spec.num_buyers,
-            num_channels=spec.num_channels,
-            repetitions=reps,
-            seed=seed,
-        )
-    raise SpectrumMatchingError(f"unknown experiment kind {spec.kind!r}")
+    with rec.span(f"figure.fig{spec.figure}{spec.panel}"):
+        if spec.kind == "optimal_comparison":
+            rows = optimal_comparison_series(
+                spec.axis,
+                xs,
+                num_buyers=spec.num_buyers,
+                num_channels=spec.num_channels,
+                repetitions=reps,
+                seed=seed,
+            )
+        elif spec.kind == "stage_breakdown":
+            rows = stage_breakdown_series(
+                spec.axis,
+                xs,
+                num_buyers=spec.num_buyers,
+                num_channels=spec.num_channels,
+                repetitions=reps,
+                seed=seed,
+            )
+        else:
+            raise SpectrumMatchingError(
+                f"unknown experiment kind {spec.kind!r}"
+            )
+    if rec.enabled:
+        rec.metrics.counter("figure.markets").inc(len(rows) * reps)
+        for row in rows:
+            rec.emit(
+                "figure.row",
+                figure=spec.figure,
+                panel=spec.panel,
+                x=row.x,
+                series={
+                    name: stats.mean for name, stats in row.series.items()
+                },
+                measured_srcc=row.measured_srcc,
+            )
+    return rows

@@ -14,6 +14,11 @@ Commands
 ``distributed``
     Run the message-level protocol (Section IV) on a random market and
     compare transition policies.
+
+Every command additionally accepts ``--trace-out PATH`` (stream a JSONL
+event trace with a run manifest) and ``--metrics`` (print a metrics and
+span summary after the command's normal output); see the Observability
+section of ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -34,6 +39,16 @@ from repro.core.stability import (
 from repro.core.two_stage import run_two_stage
 from repro.distributed.protocol import run_distributed_matching
 from repro.distributed.transition import adaptive_policy, default_policy
+from repro.obs import (
+    JsonlEventSink,
+    MetricsRegistry,
+    Recorder,
+    SpanTracer,
+    build_manifest,
+    format_metrics_summary,
+    get_recorder,
+    use_recorder,
+)
 from repro.workloads.scenarios import (
     counterexample_market,
     paper_simulation_market,
@@ -47,6 +62,22 @@ _FIG7_SERIES = ["welfare_stage1", "welfare_phase1", "welfare_phase2"]
 _FIG8_SERIES = ["rounds_stage1", "rounds_phase1", "rounds_phase2"]
 
 
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the cross-command observability flags to one subcommand."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL event trace (manifest line first) to PATH",
+    )
+    group.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a metrics/span summary after the command output",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -54,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Spectrum Matching (ICDCS 2016) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    subcommands = []
 
     for figure in (6, 7, 8):
         fig_parser = sub.add_parser(
@@ -78,11 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="also save the full series (mean/std/CI) as JSON",
         )
+        subcommands.append(fig_parser)
 
-    sub.add_parser("toy", help="replay the paper's toy example (Figs. 1-2)")
-    sub.add_parser(
-        "counterexample",
-        help="show the Section III-D pairwise-instability counterexample",
+    subcommands.append(
+        sub.add_parser("toy", help="replay the paper's toy example (Figs. 1-2)")
+    )
+    subcommands.append(
+        sub.add_parser(
+            "counterexample",
+            help="show the Section III-D pairwise-instability counterexample",
+        )
     )
 
     dist = sub.add_parser(
@@ -129,7 +166,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast one-page replication check of the paper's headline claims",
     )
     report.add_argument("--seed", type=int, default=0)
+
+    subcommands.extend([dist, swaps, dyn, report])
+    for subcommand in subcommands:
+        _add_observability_args(subcommand)
     return parser
+
+
+def _build_recorder(args: argparse.Namespace) -> Recorder:
+    """Assemble the run's recorder from the parsed observability flags.
+
+    ``--trace-out`` turns on the event sink (with a manifest header built
+    from the parsed arguments) and span tracing (spans are mirrored into
+    the trace); ``--metrics`` additionally turns on the registry and the
+    printed summary.  With neither flag this returns an all-null recorder
+    and the command runs exactly as before.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    want_metrics = bool(getattr(args, "metrics", False))
+    if trace_out is None and not want_metrics:
+        return Recorder()
+    events = None
+    if trace_out is not None:
+        config = {
+            key: value
+            for key, value in vars(args).items()
+            if key not in ("trace_out", "metrics")
+        }
+        events = JsonlEventSink(
+            trace_out,
+            manifest=build_manifest(
+                seed=getattr(args, "seed", None), config=config
+            ),
+        )
+    return Recorder(
+        events=events,
+        metrics=MetricsRegistry() if want_metrics else None,
+        spans=SpanTracer(),
+    )
 
 
 def _cmd_figure(figure: int, args: argparse.Namespace) -> int:
@@ -160,8 +234,21 @@ def _cmd_figure(figure: int, args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_market_created(market, scenario: str) -> None:
+    """Emit the ``market.created`` lifecycle event for a CLI-built market."""
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.emit(
+            "market.created",
+            scenario=scenario,
+            buyers=market.num_buyers,
+            channels=market.num_channels,
+        )
+
+
 def _cmd_toy(_args: argparse.Namespace) -> int:
     market = toy_example_market()
+    _emit_market_created(market, "toy")
     result = run_two_stage(market)
     print("Paper toy example (5 buyers, sellers a/b/c)")
     print("-- Stage I (adapted deferred acceptance) --")
@@ -201,6 +288,7 @@ def _cmd_toy(_args: argparse.Namespace) -> int:
 
 def _cmd_counterexample(_args: argparse.Namespace) -> int:
     market = counterexample_market()
+    _emit_market_created(market, "counterexample")
     result = run_two_stage(market)
     matching = result.matching
     print("Section III-D counterexample")
@@ -227,6 +315,7 @@ def _cmd_counterexample(_args: argparse.Namespace) -> int:
 def _cmd_distributed(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     market = paper_simulation_market(args.buyers, args.sellers, rng)
+    _emit_market_created(market, "paper_simulation")
     centralized = run_two_stage(market, record_trace=False)
     print(
         f"market: N={args.buyers} buyers, M={args.sellers} channels "
@@ -397,9 +486,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command in ("fig6", "fig7", "fig8"):
         return _cmd_figure(int(args.command[3]), args)
     if args.command == "toy":
@@ -415,6 +502,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        recorder = _build_recorder(args)
+    except OSError as exc:
+        print(
+            f"error: cannot open trace file {args.trace_out!r}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    with recorder, use_recorder(recorder):
+        exit_code = _dispatch(args)
+    if getattr(args, "metrics", False):
+        print("\n-- observability summary --")
+        print(format_metrics_summary(recorder))
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        print(f"trace written to {trace_out}")
+    return exit_code
 
 
 if __name__ == "__main__":

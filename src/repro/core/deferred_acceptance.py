@@ -36,6 +36,8 @@ from repro.core.matching import Matching
 from repro.core.preferences import buyer_preference_order
 from repro.core.trace import StageOneRound
 from repro.interference.mwis import mwis_solve
+from repro.obs.events import round_to_event
+from repro.obs.recorder import Recorder, resolve_recorder
 
 __all__ = ["StageOneResult", "deferred_acceptance", "seller_select_coalition"]
 
@@ -104,6 +106,7 @@ def deferred_acceptance(
     market: SpectrumMarket,
     record_trace: bool = True,
     monotone_guard: bool = True,
+    recorder: Optional[Recorder] = None,
 ) -> StageOneResult:
     """Run Stage I (Algorithm 1) to an interference-free matching.
 
@@ -117,6 +120,12 @@ def deferred_acceptance(
     monotone_guard:
         See module docstring; keep ``True`` unless reproducing the literal
         greedy-only behaviour.
+    recorder:
+        Observability backend (``None`` resolves to the ambient recorder,
+        the null one by default).  When live, each round is emitted as a
+        ``stage1.round`` event, the stage runs under a ``stage1`` span
+        with one ``stage1.mwis`` child span per seller-side MWIS solve,
+        and round/proposal counters accumulate in the metrics registry.
 
     Returns
     -------
@@ -125,6 +134,45 @@ def deferred_acceptance(
         interference-free (each waitlist is an independent set by
         construction).
     """
+    rec = resolve_recorder(recorder)
+    if rec.enabled:
+        with rec.span("stage1"):
+            result = _deferred_acceptance_observed(
+                market, record_trace, monotone_guard, rec
+            )
+        return result
+    return _deferred_acceptance_impl(market, record_trace, monotone_guard)
+
+
+def _deferred_acceptance_observed(
+    market: SpectrumMarket,
+    record_trace: bool,
+    monotone_guard: bool,
+    rec: Recorder,
+) -> StageOneResult:
+    """Instrumented Stage I wrapper: runs the core loop with a per-round
+    observer, then reports the stage totals to the metrics registry."""
+    result = _deferred_acceptance_impl(
+        market, record_trace, monotone_guard, rec
+    )
+    metrics = rec.metrics
+    if metrics.enabled:
+        metrics.counter("stage1.rounds").inc(result.num_rounds)
+        metrics.counter("stage1.proposals").inc(result.total_proposals)
+    return result
+
+
+def _deferred_acceptance_impl(
+    market: SpectrumMarket,
+    record_trace: bool = True,
+    monotone_guard: bool = True,
+    rec: Optional[Recorder] = None,
+) -> StageOneResult:
+    observing = rec is not None and rec.enabled
+    emitting = observing and rec.events.enabled
+    # A null registry returns a no-op timer, so this is safe to enter even
+    # when only events or spans are live.
+    mwis_timer = rec.metrics.timer("stage1.mwis_solve_s") if observing else None
     num_buyers = market.num_buyers
 
     # Algorithm 1, lines 1-3: initialise waitlists and unproposed lists.
@@ -160,15 +208,27 @@ def deferred_acceptance(
         for channel in sorted(proposals):
             fresh = proposals[channel]
             pool = sorted(waitlists[channel] | set(fresh))
-            selected = set(
-                seller_select_coalition(
-                    market,
-                    channel,
-                    pool,
-                    incumbent=sorted(waitlists[channel]),
-                    monotone_guard=monotone_guard,
+            if observing:
+                with rec.span("stage1.mwis"), mwis_timer:
+                    selected = set(
+                        seller_select_coalition(
+                            market,
+                            channel,
+                            pool,
+                            incumbent=sorted(waitlists[channel]),
+                            monotone_guard=monotone_guard,
+                        )
+                    )
+            else:
+                selected = set(
+                    seller_select_coalition(
+                        market,
+                        channel,
+                        pool,
+                        incumbent=sorted(waitlists[channel]),
+                        monotone_guard=monotone_guard,
+                    )
                 )
-            )
             for j in waitlists[channel] - selected:
                 matched_to[j] = None
                 evictions.append((j, channel))
@@ -179,23 +239,28 @@ def deferred_acceptance(
                 matched_to[j] = channel
             waitlists[channel] = selected
 
-        if record_trace:
-            rounds.append(
-                StageOneRound(
-                    round_index=num_rounds,
-                    proposals={
-                        channel: tuple(sorted(buyers))
-                        for channel, buyers in proposals.items()
-                    },
-                    waitlists={
-                        channel: tuple(sorted(members))
-                        for channel, members in enumerate(waitlists)
-                        if members
-                    },
-                    evictions=tuple(sorted(evictions)),
-                    rejections=tuple(sorted(rejections)),
-                )
+        if record_trace or emitting:
+            record = StageOneRound(
+                round_index=num_rounds,
+                proposals={
+                    channel: tuple(sorted(buyers))
+                    for channel, buyers in proposals.items()
+                },
+                waitlists={
+                    channel: tuple(sorted(members))
+                    for channel, members in enumerate(waitlists)
+                    if members
+                },
+                evictions=tuple(sorted(evictions)),
+                rejections=tuple(sorted(rejections)),
             )
+            if record_trace:
+                rounds.append(record)
+            if emitting:
+                rec.events.emit(round_to_event(record))
+        if observing:
+            rec.metrics.counter("stage1.evictions").inc(len(evictions))
+            rec.metrics.counter("stage1.rejections").inc(len(rejections))
 
     # Lines 16-25: materialise mu from the final waitlists.
     matching = Matching(market.num_channels, num_buyers)

@@ -36,6 +36,7 @@ Implementation notes (documented deviations, see DESIGN.md):
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -44,8 +45,13 @@ from repro.core.matching import Matching
 from repro.core.preferences import preferred_channels_above
 from repro.core.trace import InvitationRound, TransferRound
 from repro.interference.mwis import mwis_solve
+from repro.obs.events import round_to_event
+from repro.obs.recorder import Recorder, resolve_recorder
 
 __all__ = ["StageTwoResult", "transfer_and_invitation"]
+
+#: Shared stateless no-op context manager (the unobserved fast path).
+_NULL_CM = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -106,6 +112,7 @@ def transfer_and_invitation(
     market: SpectrumMarket,
     matching: Matching,
     record_trace: bool = True,
+    recorder: Optional[Recorder] = None,
 ) -> StageTwoResult:
     """Run Stage II (Algorithm 2) starting from a Stage-I matching.
 
@@ -119,7 +126,40 @@ def transfer_and_invitation(
         Stage I's interference-free matching.
     record_trace:
         Keep per-round trace records (disable for large sweeps).
+    recorder:
+        Observability backend (``None`` resolves to the ambient recorder).
+        When live, the stage runs under a ``stage2`` span with
+        ``stage2.transfer`` / ``stage2.invitation`` phase children, each
+        round is emitted as a ``stage2.transfer_round`` /
+        ``stage2.invitation_round`` event, and accept/reject counters
+        accumulate in the metrics registry.
     """
+    rec = resolve_recorder(recorder)
+    if not rec.enabled:
+        return _transfer_and_invitation_impl(market, matching, record_trace)
+    with rec.span("stage2"):
+        result = _transfer_and_invitation_impl(
+            market, matching, record_trace, rec
+        )
+    metrics = rec.metrics
+    if metrics.enabled:
+        metrics.counter("stage2.transfer_rounds").inc(
+            result.num_transfer_rounds
+        )
+        metrics.counter("stage2.invitation_rounds").inc(
+            result.num_invitation_rounds
+        )
+    return result
+
+
+def _transfer_and_invitation_impl(
+    market: SpectrumMarket,
+    matching: Matching,
+    record_trace: bool = True,
+    rec: Optional[Recorder] = None,
+) -> StageTwoResult:
+    observing = rec is not None and rec.enabled
+    emitting = observing and rec.events.enabled
     mu = matching.copy()
     utilities = market.utilities
 
@@ -135,53 +175,54 @@ def transfer_and_invitation(
     transfer_rounds: List[TransferRound] = []
     num_transfer_rounds = 0
 
-    while True:
-        # Each buyer with a non-empty unapplied list sends one application,
-        # skipping channels that are stale (no longer strictly better than
-        # her current match).
-        applications: Dict[int, List[int]] = {}
-        for j in range(market.num_buyers):
-            queue = unapplied[j]
-            current_value = mu.buyer_utility(j, utilities)
-            while queue and utilities[j, queue[0]] <= current_value:
-                queue.pop(0)
-            if queue:
-                channel = queue.pop(0)
-                applications.setdefault(channel, []).append(j)
-        if not applications:
-            break
-        num_transfer_rounds += 1
+    phase1_span = rec.span("stage2.transfer") if observing else _NULL_CM
+    with phase1_span:
+        while True:
+            # Each buyer with a non-empty unapplied list sends one
+            # application, skipping channels that are stale (no longer
+            # strictly better than her current match).
+            applications: Dict[int, List[int]] = {}
+            for j in range(market.num_buyers):
+                queue = unapplied[j]
+                current_value = mu.buyer_utility(j, utilities)
+                while queue and utilities[j, queue[0]] <= current_value:
+                    queue.pop(0)
+                if queue:
+                    channel = queue.pop(0)
+                    applications.setdefault(channel, []).append(j)
+            if not applications:
+                break
+            num_transfer_rounds += 1
 
-        # All sellers decide against the round-start snapshot, then moves
-        # are applied together (simultaneous rounds, Section IV's time-slot
-        # model).  Each buyer applies to at most one seller per round, so
-        # no buyer can be accepted twice.
-        snapshots = {
-            channel: mu.coalition(channel) for channel in applications
-        }
-        accepted_moves: List[Tuple[int, int, int]] = []
-        rejected_apps: List[Tuple[int, int]] = []
-        pending_moves: List[Tuple[int, int]] = []
-        for channel in sorted(applications):
-            applicants = applications[channel]
-            accepted, rejected = _accept_best_applicants(
-                market, snapshots[channel], channel, applicants
-            )
-            for j in accepted:
-                pending_moves.append((j, channel))
-            for j in rejected:
-                invitation_lists[channel].append(j)
-                rejected_apps.append((j, channel))
-        for j, channel in pending_moves:
-            previous = mu.channel_of(j)
-            mu.move(j, channel)
-            accepted_moves.append(
-                (j, previous if previous is not None else -1, channel)
-            )
+            # All sellers decide against the round-start snapshot, then
+            # moves are applied together (simultaneous rounds, Section IV's
+            # time-slot model).  Each buyer applies to at most one seller
+            # per round, so no buyer can be accepted twice.
+            snapshots = {
+                channel: mu.coalition(channel) for channel in applications
+            }
+            accepted_moves: List[Tuple[int, int, int]] = []
+            rejected_apps: List[Tuple[int, int]] = []
+            pending_moves: List[Tuple[int, int]] = []
+            for channel in sorted(applications):
+                applicants = applications[channel]
+                accepted, rejected = _accept_best_applicants(
+                    market, snapshots[channel], channel, applicants
+                )
+                for j in accepted:
+                    pending_moves.append((j, channel))
+                for j in rejected:
+                    invitation_lists[channel].append(j)
+                    rejected_apps.append((j, channel))
+            for j, channel in pending_moves:
+                previous = mu.channel_of(j)
+                mu.move(j, channel)
+                accepted_moves.append(
+                    (j, previous if previous is not None else -1, channel)
+                )
 
-        if record_trace:
-            transfer_rounds.append(
-                TransferRound(
+            if record_trace or emitting:
+                record = TransferRound(
                     round_index=num_transfer_rounds,
                     applications={
                         channel: tuple(sorted(buyers))
@@ -190,7 +231,17 @@ def transfer_and_invitation(
                     accepted=tuple(sorted(accepted_moves)),
                     rejected=tuple(sorted(rejected_apps)),
                 )
-            )
+                if record_trace:
+                    transfer_rounds.append(record)
+                if emitting:
+                    rec.events.emit(round_to_event(record))
+            if observing:
+                rec.metrics.counter("stage2.transfers_accepted").inc(
+                    len(accepted_moves)
+                )
+                rec.metrics.counter("stage2.transfers_rejected").inc(
+                    len(rejected_apps)
+                )
 
     matching_after_phase1 = mu.copy()
 
@@ -218,49 +269,63 @@ def transfer_and_invitation(
     invitation_rounds: List[InvitationRound] = []
     num_invitation_rounds = 0
 
-    while any(screened):
-        num_invitation_rounds += 1
-        sent: List[Tuple[int, int]] = []
-        accepted_moves = []
-        declined: List[Tuple[int, int]] = []
-        for channel in range(market.num_channels):
-            pool = screened[channel]
-            if not pool:
-                continue
-            prices = market.channel_prices(channel)
-            # Line 24: invite the highest-price listed buyer (ties by id).
-            j = max(pool, key=lambda b: (prices[b], -b))
-            pool.remove(j)
-            graph = market.graph(channel)
-            coalition = mu.coalition(channel)
-            if j in coalition or graph.conflicts_with_set(j, coalition):
-                # Invalidated by an acceptance since screening; drop silently
-                # (the seller would not send a self-defeating invitation).
-                continue
-            sent.append((channel, j))
-            # Lines 26-30: the buyer accepts iff strictly better off.
-            if utilities[j, channel] > mu.buyer_utility(j, utilities):
-                previous = mu.channel_of(j)
-                mu.move(j, channel)
-                accepted_moves.append(
-                    (j, previous if previous is not None else -1, channel)
-                )
-                # Line 29: drop the new member's interfering neighbours.
-                screened[channel] = [
-                    k for k in pool if not graph.interferes(j, k)
-                ]
-            else:
-                declined.append((channel, j))
+    phase2_span = rec.span("stage2.invitation") if observing else _NULL_CM
+    with phase2_span:
+        while any(screened):
+            num_invitation_rounds += 1
+            sent: List[Tuple[int, int]] = []
+            accepted_moves = []
+            declined: List[Tuple[int, int]] = []
+            for channel in range(market.num_channels):
+                pool = screened[channel]
+                if not pool:
+                    continue
+                prices = market.channel_prices(channel)
+                # Line 24: invite the highest-price listed buyer (ties by
+                # id).
+                j = max(pool, key=lambda b: (prices[b], -b))
+                pool.remove(j)
+                graph = market.graph(channel)
+                coalition = mu.coalition(channel)
+                if j in coalition or graph.conflicts_with_set(j, coalition):
+                    # Invalidated by an acceptance since screening; drop
+                    # silently (the seller would not send a self-defeating
+                    # invitation).
+                    continue
+                sent.append((channel, j))
+                # Lines 26-30: the buyer accepts iff strictly better off.
+                if utilities[j, channel] > mu.buyer_utility(j, utilities):
+                    previous = mu.channel_of(j)
+                    mu.move(j, channel)
+                    accepted_moves.append(
+                        (j, previous if previous is not None else -1, channel)
+                    )
+                    # Line 29: drop the new member's interfering neighbours.
+                    screened[channel] = [
+                        k for k in pool if not graph.interferes(j, k)
+                    ]
+                else:
+                    declined.append((channel, j))
 
-        if record_trace:
-            invitation_rounds.append(
-                InvitationRound(
+            if record_trace or emitting:
+                record = InvitationRound(
                     round_index=num_invitation_rounds,
                     invitations=tuple(sorted(sent)),
                     accepted=tuple(sorted(accepted_moves)),
                     declined=tuple(sorted(declined)),
                 )
-            )
+                if record_trace:
+                    invitation_rounds.append(record)
+                if emitting:
+                    rec.events.emit(round_to_event(record))
+            if observing:
+                rec.metrics.counter("stage2.invitations_sent").inc(len(sent))
+                rec.metrics.counter("stage2.invitations_accepted").inc(
+                    len(accepted_moves)
+                )
+                rec.metrics.counter("stage2.invitations_declined").inc(
+                    len(declined)
+                )
 
     return StageTwoResult(
         matching=mu,

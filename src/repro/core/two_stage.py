@@ -16,6 +16,7 @@ from repro.core.deferred_acceptance import StageOneResult, deferred_acceptance
 from repro.core.market import SpectrumMarket
 from repro.core.matching import Matching
 from repro.core.transfer_invitation import StageTwoResult, transfer_and_invitation
+from repro.obs.recorder import Recorder, resolve_recorder
 
 __all__ = ["TwoStageResult", "run_two_stage", "iterate_stage_two"]
 
@@ -108,6 +109,7 @@ def run_two_stage(
     market: SpectrumMarket,
     record_trace: bool = True,
     monotone_guard: bool = True,
+    recorder: Optional[Recorder] = None,
 ) -> TwoStageResult:
     """Run Algorithm 1 followed by Algorithm 2 on ``market``.
 
@@ -120,6 +122,13 @@ def run_two_stage(
     monotone_guard:
         Stage-I seller guard (see
         :mod:`~repro.core.deferred_acceptance`).
+    recorder:
+        Observability backend (``None`` resolves to the ambient recorder,
+        the null one by default).  When live, the run executes under a
+        ``two_stage`` span whose children are the stage spans, every
+        algorithm round streams to the event sink, and a
+        ``two_stage.result`` event plus welfare gauges summarise the
+        outcome.  The result is identical either way.
 
     Returns
     -------
@@ -129,14 +138,25 @@ def run_two_stage(
         (Propositions 3-4; asserted by the test suite rather than at
         runtime for speed).
     """
+    rec = resolve_recorder(recorder)
     utilities = market.utilities
-    stage_one = deferred_acceptance(
-        market, record_trace=record_trace, monotone_guard=monotone_guard
-    )
-    stage_two = transfer_and_invitation(
-        market, stage_one.matching, record_trace=record_trace
-    )
-    return TwoStageResult(
+    if rec.enabled:
+        rec.emit(
+            "two_stage.start",
+            buyers=market.num_buyers,
+            channels=market.num_channels,
+        )
+    with rec.span("two_stage"):
+        stage_one = deferred_acceptance(
+            market,
+            record_trace=record_trace,
+            monotone_guard=monotone_guard,
+            recorder=rec,
+        )
+        stage_two = transfer_and_invitation(
+            market, stage_one.matching, record_trace=record_trace, recorder=rec
+        )
+    result = TwoStageResult(
         matching=stage_two.matching,
         stage_one=stage_one,
         stage_two=stage_two,
@@ -147,3 +167,21 @@ def run_two_stage(
         rounds_phase1=stage_two.num_transfer_rounds,
         rounds_phase2=stage_two.num_invitation_rounds,
     )
+    if rec.enabled:
+        rec.emit(
+            "two_stage.result",
+            welfare_stage1=result.welfare_stage1,
+            welfare_phase1=result.welfare_phase1,
+            welfare_phase2=result.welfare_phase2,
+            rounds_stage1=result.rounds_stage1,
+            rounds_phase1=result.rounds_phase1,
+            rounds_phase2=result.rounds_phase2,
+            matched=result.matching.num_matched(),
+        )
+        metrics = rec.metrics
+        if metrics.enabled:
+            metrics.counter("two_stage.runs").inc()
+            metrics.gauge("two_stage.welfare_stage1").set(result.welfare_stage1)
+            metrics.gauge("two_stage.welfare_phase1").set(result.welfare_phase1)
+            metrics.gauge("two_stage.welfare_phase2").set(result.welfare_phase2)
+    return result

@@ -27,6 +27,7 @@ from repro.distributed.simulator import MessageEvent, TimeSlottedSimulator
 from typing import Tuple
 from repro.distributed.transition import TransitionPolicy, default_policy
 from repro.errors import ProtocolError
+from repro.obs.recorder import Recorder, resolve_recorder
 
 __all__ = ["DistributedResult", "run_distributed_matching"]
 
@@ -67,6 +68,7 @@ def run_distributed_matching(
     retransmit_interval: int = 4,
     initial_matching: Optional[Matching] = None,
     record_events: bool = False,
+    recorder: Optional[Recorder] = None,
 ) -> DistributedResult:
     """Run the full message-level protocol on ``market``.
 
@@ -97,6 +99,11 @@ def run_distributed_matching(
         matching as its state -- buyers try to transfer upward, sellers
         accept compatible applications and invite rejects.  ``None``
         (default) runs the full two-stage protocol from scratch.
+    recorder:
+        Observability backend (``None`` resolves to the ambient recorder).
+        Passed through to the kernel for per-slot metrics, and used to
+        frame the run with ``distributed.run_start`` /
+        ``distributed.run_end`` lifecycle events.
 
     Returns
     -------
@@ -114,6 +121,16 @@ def run_distributed_matching(
     """
     if policy is None:
         policy = default_policy()
+    rec = resolve_recorder(recorder)
+    if rec.enabled:
+        rec.emit(
+            "distributed.run_start",
+            buyers=market.num_buyers,
+            channels=market.num_channels,
+            seed=seed,
+            warm_start=initial_matching is not None,
+            reliable_transport=reliable_transport,
+        )
 
     if initial_matching is not None:
         if (
@@ -152,7 +169,11 @@ def run_distributed_matching(
 
         agents = wrap_reliable(agents, retransmit_interval)
     simulator = TimeSlottedSimulator(
-        agents=agents, network=network, seed=seed, record_events=record_events
+        agents=agents,
+        network=network,
+        seed=seed,
+        record_events=record_events,
+        recorder=rec,
     )
     slots = simulator.run(max_slots=max_slots)
 
@@ -173,7 +194,7 @@ def run_distributed_matching(
     if not matching.is_interference_free(market.interference):
         raise ProtocolError("distributed run produced an interfering matching")
 
-    return DistributedResult(
+    result = DistributedResult(
         matching=matching,
         slots=slots,
         messages_sent=simulator.messages_sent,
@@ -182,3 +203,14 @@ def run_distributed_matching(
         social_welfare=matching.social_welfare(market.utilities),
         events=simulator.events,
     )
+    if rec.enabled:
+        rec.emit(
+            "distributed.run_end",
+            slots=result.slots,
+            messages_sent=result.messages_sent,
+            messages_delivered=result.messages_delivered,
+            messages_dropped=result.messages_dropped,
+            social_welfare=result.social_welfare,
+            matched=matching.num_matched(),
+        )
+    return result

@@ -25,6 +25,7 @@ is cut in the right place.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -33,6 +34,7 @@ import numpy as np
 from repro.distributed.messages import Message
 from repro.distributed.network import Network, ReliableNetwork
 from repro.errors import SimulationError
+from repro.obs.recorder import Recorder, resolve_recorder
 
 __all__ = ["Agent", "SlotContext", "TimeSlottedSimulator"]
 
@@ -133,6 +135,13 @@ class TimeSlottedSimulator:
         the message within the same slot).
     seed:
         Seed for the shared RNG handed to agents and the network.
+    record_events:
+        Keep a per-message :class:`MessageEvent` trace in memory.
+    recorder:
+        Observability backend (``None`` resolves to the ambient recorder).
+        When live, each slot reports message deltas, in-flight depth and
+        agent-step latency, and ``run`` executes under a
+        ``simulator.run`` span and ends with a ``sim.done`` event.
     """
 
     def __init__(
@@ -141,6 +150,7 @@ class TimeSlottedSimulator:
         network: Optional[Network] = None,
         seed: int = 0,
         record_events: bool = False,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self._agents: Dict[str, Agent] = {}
         for agent in agents:
@@ -164,6 +174,10 @@ class TimeSlottedSimulator:
         self._finished = False
         self._record_events = record_events
         self._events: List[MessageEvent] = []
+        # Observability: resolved once here, then consulted as a plain
+        # bool per slot -- a disabled recorder costs the kernel nothing.
+        self._obs = resolve_recorder(recorder)
+        self._observing = self._obs.enabled
 
     # ------------------------------------------------------------------
     # Introspection
@@ -256,11 +270,55 @@ class TimeSlottedSimulator:
             raise SimulationError("simulation already finished")
         self._stepped_this_slot = set()
         ctx = SlotContext(now=self._now, rng=self._rng, _send=self._enqueue)
+        if self._observing:
+            self._run_slot_observed(ctx)
+        else:
+            for agent in self._order:
+                inbox = self._drain_inbox(agent.agent_id)
+                agent.step(inbox, ctx)
+                self._stepped_this_slot.add(agent.agent_id)
+        self._now += 1
+
+    def _run_slot_observed(self, ctx: SlotContext) -> None:
+        """The observed twin of :meth:`run_slot`'s agent loop.
+
+        Identical stepping semantics, plus: per-agent step latency into a
+        histogram, per-slot message deltas and in-flight queue depth into
+        the metrics registry, and one ``sim.slot`` event per slot.
+        """
+        rec = self._obs
+        metrics = rec.metrics
+        step_hist = metrics.histogram("sim.agent_step_s")
+        sent0 = self._messages_sent
+        delivered0 = self._messages_delivered
+        dropped0 = self._messages_dropped
         for agent in self._order:
             inbox = self._drain_inbox(agent.agent_id)
+            started = time.perf_counter()
             agent.step(inbox, ctx)
+            step_hist.observe(time.perf_counter() - started)
             self._stepped_this_slot.add(agent.agent_id)
-        self._now += 1
+        inflight = len(self._queue)
+        sent = self._messages_sent - sent0
+        delivered = self._messages_delivered - delivered0
+        dropped = self._messages_dropped - dropped0
+        metrics.counter("sim.slots").inc()
+        metrics.counter("sim.messages_sent").inc(sent)
+        metrics.counter("sim.messages_delivered").inc(delivered)
+        metrics.counter("sim.messages_dropped").inc(dropped)
+        metrics.gauge("sim.inflight_depth").set(inflight)
+        metrics.histogram("sim.slot_messages").observe(sent)
+        if rec.events.enabled:
+            rec.events.emit(
+                {
+                    "event": "sim.slot",
+                    "slot": self._now,
+                    "sent": sent,
+                    "delivered": delivered,
+                    "dropped": dropped,
+                    "inflight": inflight,
+                }
+            )
 
     def is_quiescent(self) -> bool:
         """All agents done and no messages in flight."""
@@ -274,14 +332,23 @@ class TimeSlottedSimulator:
         SimulationError
             If the protocol fails to quiesce within ``max_slots`` slots.
         """
-        while not self.is_quiescent():
-            if self._now >= max_slots:
-                busy = [a.agent_id for a in self._order if not a.is_done()]
-                raise SimulationError(
-                    f"no quiescence after {max_slots} slots; "
-                    f"{len(self._queue)} messages in flight, busy agents: "
-                    f"{busy[:10]}"
-                )
-            self.run_slot()
+        with self._obs.span("simulator.run"):
+            while not self.is_quiescent():
+                if self._now >= max_slots:
+                    busy = [a.agent_id for a in self._order if not a.is_done()]
+                    raise SimulationError(
+                        f"no quiescence after {max_slots} slots; "
+                        f"{len(self._queue)} messages in flight, busy agents: "
+                        f"{busy[:10]}"
+                    )
+                self.run_slot()
         self._finished = True
+        if self._observing:
+            self._obs.emit(
+                "sim.done",
+                slots=self._now,
+                messages_sent=self._messages_sent,
+                messages_delivered=self._messages_delivered,
+                messages_dropped=self._messages_dropped,
+            )
         return self._now

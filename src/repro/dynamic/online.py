@@ -31,6 +31,7 @@ from repro.core.matching import Matching
 from repro.core.two_stage import iterate_stage_two, run_two_stage
 from repro.dynamic.generator import Epoch
 from repro.errors import SpectrumMatchingError
+from repro.obs.recorder import Recorder, resolve_recorder
 
 __all__ = ["RematchStrategy", "EpochOutcome", "OnlineMatcher"]
 
@@ -79,10 +80,20 @@ class EpochOutcome:
 
 
 class OnlineMatcher:
-    """Epoch-by-epoch matcher with persistent-identity bookkeeping."""
+    """Epoch-by-epoch matcher with persistent-identity bookkeeping.
 
-    def __init__(self, strategy: RematchStrategy = RematchStrategy.WARM) -> None:
+    ``recorder`` (``None`` resolves to the ambient recorder at each step)
+    turns every epoch into a ``dynamic.epoch`` lifecycle event with its
+    welfare/churn/round outcome, plus churn and round counters.
+    """
+
+    def __init__(
+        self,
+        strategy: RematchStrategy = RematchStrategy.WARM,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
         self.strategy = RematchStrategy(strategy)
+        self._recorder = recorder
         #: Previous epoch's channel per global buyer id.
         self._assignment: Dict[int, int] = {}
         self._last_epoch_index: Optional[int] = None
@@ -109,7 +120,7 @@ class OnlineMatcher:
         churned, persistent = self._account_churn(epoch, matching)
         self._remember(epoch, matching)
         self._last_epoch_index = epoch.index
-        return EpochOutcome(
+        outcome = EpochOutcome(
             epoch_index=epoch.index,
             matching=matching,
             social_welfare=matching.social_welfare(epoch.market.utilities),
@@ -117,6 +128,26 @@ class OnlineMatcher:
             persistent=persistent,
             rounds=rounds,
         )
+        rec = resolve_recorder(self._recorder)
+        if rec.enabled:
+            rec.emit(
+                "dynamic.epoch",
+                epoch=epoch.index,
+                strategy=self.strategy.value,
+                buyers=epoch.market.num_buyers,
+                arrived=len(epoch.arrived),
+                departed=len(epoch.departed),
+                social_welfare=outcome.social_welfare,
+                churned=churned,
+                persistent=persistent,
+                rounds=rounds,
+            )
+            metrics = rec.metrics
+            if metrics.enabled:
+                metrics.counter("dynamic.epochs").inc()
+                metrics.counter("dynamic.churned").inc(churned)
+                metrics.counter("dynamic.rounds").inc(rounds)
+        return outcome
 
     def run(self, epochs: List[Epoch]) -> List[EpochOutcome]:
         """Convenience: step through a whole epoch list."""

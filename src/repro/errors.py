@@ -65,3 +65,11 @@ class SimulationError(SpectrumMatchingError):
     Raised for duplicate agent identifiers, messages addressed to unknown
     agents, or stepping a simulator that already terminated.
     """
+
+
+class ObservabilityError(SpectrumMatchingError):
+    """The observability layer was misconfigured.
+
+    Raised for metric-name/kind collisions, malformed histogram buckets,
+    or events that cannot be reconstructed from their serialised form.
+    """

@@ -1,0 +1,213 @@
+"""Event sinks and the algorithm-round event schema.
+
+An *event* is one flat JSON-safe dict with an ``"event"`` type field.
+Sinks decide where events go:
+
+* :class:`NullEventSink` -- nowhere (the default; zero cost).
+* :class:`ListEventSink` -- an in-memory list (tests, ad-hoc analysis).
+* :class:`JsonlEventSink` -- one JSON object per line in a file, opened
+  with a :mod:`repro.obs.manifest` header so the trace is self-describing.
+
+The module also owns the *round event schema*: lossless serialisation of
+the per-round trace dataclasses (:class:`~repro.core.trace.StageOneRound`,
+``TransferRound``, ``InvitationRound``) to JSON dicts, plus the inverse
+(:func:`event_to_round`).  Round-tripping is exact -- ``json`` turns int
+dict keys into strings and tuples into lists, and the inverse undoes both
+-- which is what lets tests assert that a written trace reconstructs the
+recorded rounds bit for bit.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.core.trace import InvitationRound, StageOneRound, TransferRound
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "EventSink",
+    "NullEventSink",
+    "ListEventSink",
+    "JsonlEventSink",
+    "round_to_event",
+    "event_to_round",
+]
+
+AnyRound = Union[StageOneRound, TransferRound, InvitationRound]
+
+
+class EventSink:
+    """Base sink: receives event dicts via :meth:`emit`."""
+
+    enabled = True
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullEventSink(EventSink):
+    """Disabled sink: drops everything at zero cost."""
+
+    enabled = False
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        pass
+
+
+class ListEventSink(EventSink):
+    """In-memory sink used by tests and interactive analysis."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: str) -> List[Dict[str, Any]]:
+        """Events whose ``"event"`` field equals ``event_type``."""
+        return [e for e in self.events if e.get("event") == event_type]
+
+
+class JsonlEventSink(EventSink):
+    """Append events as JSON lines to a file.
+
+    Parameters
+    ----------
+    target:
+        A path (opened and owned by the sink) or an existing text stream
+        (borrowed; ``close()`` flushes but does not close it).
+    manifest:
+        Optional manifest dict written as the first line.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, "io.TextIOBase"],
+        manifest: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if isinstance(target, (str, bytes)):
+            self._stream = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._closed = False
+        self.lines_written = 0
+        if manifest is not None:
+            self.emit(manifest)
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._closed:
+            raise ObservabilityError("emit() on a closed JsonlEventSink")
+        self._stream.write(json.dumps(event, separators=(",", ":")))
+        self._stream.write("\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+# ----------------------------------------------------------------------
+# Round event schema
+# ----------------------------------------------------------------------
+#: Event type names for each trace dataclass.
+_ROUND_EVENT_TYPES = {
+    StageOneRound: "stage1.round",
+    TransferRound: "stage2.transfer_round",
+    InvitationRound: "stage2.invitation_round",
+}
+
+
+def _int_key_map(mapping: Mapping[int, Any]) -> Dict[str, List[int]]:
+    """``{3: (1, 2)} -> {"3": [1, 2]}`` (JSON objects need string keys)."""
+    return {str(k): list(v) for k, v in sorted(mapping.items())}
+
+
+def _pairs(pairs) -> List[List[int]]:
+    return [list(p) for p in pairs]
+
+
+def round_to_event(record: AnyRound) -> Dict[str, Any]:
+    """Serialise one trace record to a flat JSON-safe event dict."""
+    if isinstance(record, StageOneRound):
+        return {
+            "event": "stage1.round",
+            "round": record.round_index,
+            "proposals": _int_key_map(record.proposals),
+            "waitlists": _int_key_map(record.waitlists),
+            "evictions": _pairs(record.evictions),
+            "rejections": _pairs(record.rejections),
+        }
+    if isinstance(record, TransferRound):
+        return {
+            "event": "stage2.transfer_round",
+            "round": record.round_index,
+            "applications": _int_key_map(record.applications),
+            "accepted": _pairs(record.accepted),
+            "rejected": _pairs(record.rejected),
+        }
+    if isinstance(record, InvitationRound):
+        return {
+            "event": "stage2.invitation_round",
+            "round": record.round_index,
+            "invitations": _pairs(record.invitations),
+            "accepted": _pairs(record.accepted),
+            "declined": _pairs(record.declined),
+        }
+    raise ObservabilityError(f"not a trace record: {record!r}")
+
+
+def _tuple_map(mapping: Mapping[str, List[int]]) -> Dict[int, tuple]:
+    return {int(k): tuple(v) for k, v in mapping.items()}
+
+
+def _tuple_pairs(pairs: List[List[int]]) -> tuple:
+    return tuple(tuple(p) for p in pairs)
+
+
+def event_to_round(event: Mapping[str, Any]) -> AnyRound:
+    """Reconstruct the trace dataclass a round event was serialised from.
+
+    Inverse of :func:`round_to_event`: for any record ``r``,
+    ``event_to_round(json.loads(json.dumps(round_to_event(r)))) == r``.
+    """
+    event_type = event.get("event")
+    if event_type == "stage1.round":
+        return StageOneRound(
+            round_index=event["round"],
+            proposals=_tuple_map(event["proposals"]),
+            waitlists=_tuple_map(event["waitlists"]),
+            evictions=_tuple_pairs(event["evictions"]),
+            rejections=_tuple_pairs(event["rejections"]),
+        )
+    if event_type == "stage2.transfer_round":
+        return TransferRound(
+            round_index=event["round"],
+            applications=_tuple_map(event["applications"]),
+            accepted=_tuple_pairs(event["accepted"]),
+            rejected=_tuple_pairs(event["rejected"]),
+        )
+    if event_type == "stage2.invitation_round":
+        return InvitationRound(
+            round_index=event["round"],
+            invitations=_tuple_pairs(event["invitations"]),
+            accepted=_tuple_pairs(event["accepted"]),
+            declined=_tuple_pairs(event["declined"]),
+        )
+    raise ObservabilityError(f"not a round event: {event_type!r}")

@@ -1,0 +1,87 @@
+"""Run-manifest construction.
+
+Every JSONL trace opens with one ``manifest`` line describing the run:
+seed, market shape, caller-supplied configuration, and the library
+versions that produced it.  A trace file is therefore self-describing --
+the analysis that reads it back never has to guess which code or workload
+generated the events that follow.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["build_manifest", "MANIFEST_SCHEMA_VERSION"]
+
+#: Bump when the shape of emitted events changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def _json_safe(value: Any) -> Any:
+    """Best-effort conversion of config values to JSON-serialisable ones."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+def build_manifest(
+    seed: Optional[int] = None,
+    market: Optional[Any] = None,
+    config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the manifest header for one observed run.
+
+    Parameters
+    ----------
+    seed:
+        The run's top-level RNG seed, if it has one.
+    market:
+        Optional :class:`~repro.core.market.SpectrumMarket`; its virtual
+        shape (buyers, channels, MWIS algorithm) is recorded when given.
+    config:
+        Arbitrary caller configuration (e.g. parsed CLI arguments);
+        values are coerced to JSON-safe types, falling back to ``repr``.
+    """
+    manifest: Dict[str, Any] = {
+        "event": "manifest",
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "seed": seed,
+        "versions": _library_versions(),
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "system": platform.system(),
+        },
+    }
+    if market is not None:
+        manifest["market"] = {
+            "num_buyers": market.num_buyers,
+            "num_channels": market.num_channels,
+            "mwis_algorithm": str(market.mwis_algorithm.value),
+        }
+    if config is not None:
+        manifest["config"] = _json_safe(config)
+    return manifest
+
+
+def _library_versions() -> Dict[str, str]:
+    import numpy
+
+    import repro
+
+    versions = {"repro": repro.__version__, "numpy": numpy.__version__}
+    # scipy/networkx are runtime deps but not imported on the hot path;
+    # report them only if some other module already paid the import.
+    for name in ("scipy", "networkx"):
+        module = sys.modules.get(name)
+        if module is not None and hasattr(module, "__version__"):
+            versions[name] = module.__version__
+    return versions

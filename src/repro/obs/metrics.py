@@ -1,0 +1,310 @@
+"""Zero-dependency metrics instruments and registries.
+
+Four instrument kinds cover everything the matching pipeline and the
+simulator need to report:
+
+* :class:`Counter` -- monotone event counts (rounds, proposals, drops).
+* :class:`Gauge` -- last-write-wins level readings (welfare, queue depth).
+* :class:`Timer` -- accumulated wall-clock of a repeated operation (the
+  per-call MWIS solves), usable as a context manager.
+* :class:`Histogram` -- value distributions over geometric buckets
+  (agent-step latency, messages per slot).
+
+Instruments are created *through* a registry so the whole pipeline can be
+switched off at a single point: :class:`NullMetrics` hands out shared
+no-op singletons, which makes an instrumented hot path cost one ``if``
+per call site and allocate nothing.  Names are dotted
+``component.noun[_unit]`` strings (``stage1.mwis_solve_s``); a name is
+bound to one instrument kind for the registry's lifetime.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins level reading."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+    def snapshot(self) -> Optional[float]:
+        return self.value
+
+
+class Timer:
+    """Accumulated wall-clock time of a repeated operation.
+
+    Use as a (non-reentrant) context manager around each occurrence::
+
+        with registry.timer("stage1.mwis_solve_s"):
+            solve()
+
+    or feed pre-measured durations through :meth:`observe`.
+    """
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s: Optional[float] = None
+        self.max_s: Optional[float] = None
+        self._start: Optional[float] = None
+
+    def observe(self, seconds: float) -> None:
+        """Record one occurrence that took ``seconds`` of wall clock."""
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = seconds if self.min_s is None else min(self.min_s, seconds)
+        self.max_s = seconds if self.max_s is None else max(self.max_s, seconds)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None, "Timer exited without entering"
+        self.observe(time.perf_counter() - self._start)
+        self._start = None
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.min_s is not None else 0.0,
+            "max_s": self.max_s if self.max_s is not None else 0.0,
+        }
+
+
+#: Default histogram boundaries: geometric decades 1e-6 .. 1e3 with a
+#: 1-2-5 progression -- wide enough for both sub-millisecond agent steps
+#: and per-slot message counts in the hundreds.
+_DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    mantissa * 10.0 ** exponent
+    for exponent in range(-6, 4)
+    for mantissa in (1.0, 2.0, 5.0)
+)
+
+
+class Histogram:
+    """Distribution over fixed buckets, plus count/sum/min/max."""
+
+    __slots__ = ("name", "boundaries", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> None:
+        self.name = name
+        bounds = tuple(_DEFAULT_BUCKETS if boundaries is None else boundaries)
+        if list(bounds) != sorted(bounds):
+            raise ObservabilityError(
+                f"histogram {name!r} boundaries must be sorted: {bounds}"
+            )
+        self.boundaries = bounds
+        #: ``bucket_counts[k]`` counts observations <= boundaries[k];
+        #: the final slot is the overflow bucket.
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_right(self.boundaries, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    ``registry.counter("stage1.rounds")`` returns the same object on every
+    call, so call sites never need to cache instruments themselves (though
+    hot loops may, to skip the dict lookup).
+    """
+
+    #: Enabled registries record; the null subclass flips this to False so
+    #: call sites can skip measurement work entirely.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: type, *args: object):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, *args)
+            self._instruments[name] = instrument
+        elif type(instrument) is not kind:
+            raise ObservabilityError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get_or_create(name, Timer)
+
+    def histogram(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        if name in self._instruments:
+            return self._get_or_create(name, Histogram)
+        return self._get_or_create(name, Histogram, boundaries)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All instruments' current values, grouped by kind, JSON-safe."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "histograms": {},
+        }
+        for name, instrument in sorted(self._instruments.items()):
+            group = {
+                Counter: "counters",
+                Gauge: "gauges",
+                Timer: "timers",
+                Histogram: "histograms",
+            }[type(instrument)]
+            out[group][name] = instrument.snapshot()
+        return out
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+    def __enter__(self) -> "Timer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_TIMER = _NullTimer("null")
+_NULL_HISTOGRAM = _NullHistogram("null", boundaries=())
+
+
+class NullMetrics(MetricsRegistry):
+    """Disabled registry: hands out shared no-op singletons.
+
+    Every accessor returns the same pre-built instrument whose mutators do
+    nothing, so instrumented code paths neither allocate nor accumulate
+    when observability is off.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def timer(self, name: str) -> Timer:
+        return _NULL_TIMER
+
+    def histogram(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "timers": {}, "histograms": {}}

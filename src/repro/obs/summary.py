@@ -1,0 +1,111 @@
+"""Human-readable summaries of a recorder's metrics and spans.
+
+The CLI's ``--metrics`` flag prints this after a command finishes; the
+benchmark harness writes the JSON snapshot instead (machine-readable),
+so both views come from the same instruments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.recorder import Recorder
+
+__all__ = ["format_metrics_summary", "format_span_tree"]
+
+
+def format_metrics_summary(recorder: Recorder) -> str:
+    """Render counters, gauges, timers, histograms and spans as text.
+
+    Sections with no data are omitted; a fully idle recorder renders to
+    ``"(no metrics recorded)"``.
+    """
+    snapshot = recorder.metrics.snapshot()
+    lines: List[str] = []
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value}")
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            shown = "-" if value is None else f"{value:g}"
+            lines.append(f"  {name:<{width}}  {shown}")
+
+    timers = snapshot.get("timers", {})
+    if timers:
+        lines.append("timers:")
+        width = max(len(name) for name in timers)
+        for name, stats in timers.items():
+            lines.append(
+                f"  {name:<{width}}  n={stats['count']} "
+                f"total={stats['total_s']:.6f}s mean={stats['mean_s']:.6f}s "
+                f"max={stats['max_s']:.6f}s"
+            )
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name, stats in histograms.items():
+            lines.append(
+                f"  {name:<{width}}  n={stats['count']} mean={stats['mean']:g} "
+                f"min={stats['min']:g} max={stats['max']:g}"
+            )
+
+    tree = format_span_tree(recorder)
+    if tree:
+        lines.append("spans (wall / cpu):")
+        lines.append(tree)
+
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)
+
+
+def format_span_tree(recorder: Recorder, max_lines: int = 40) -> str:
+    """Indented span tree, aggregated by (depth, name, parent-chain).
+
+    Repeated spans (e.g. one ``stage1.mwis`` per seller per round) are
+    rolled up into one line with a count, so the tree stays readable for
+    arbitrarily long runs.  At most ``max_lines`` lines are returned;
+    a truncation marker reports anything dropped.
+    """
+    records = recorder.spans.records
+    if not records:
+        return ""
+
+    # Children finish before parents, so rebuild the tree from the
+    # parent indices, then aggregate sibling spans sharing a name.
+    children: dict = {}
+    for record in records:
+        children.setdefault(record.parent, []).append(record)
+
+    lines: List[str] = []
+
+    def render(parent_index: int, indent: int) -> None:
+        grouped: dict = {}
+        for record in children.get(parent_index, []):
+            grouped.setdefault(record.name, []).append(record)
+        for name, group in grouped.items():
+            wall = sum(r.wall_s for r in group)
+            cpu = sum(r.cpu_s for r in group)
+            count = f" x{len(group)}" if len(group) > 1 else ""
+            lines.append(
+                f"{'  ' * (indent + 1)}{name}{count}  "
+                f"{wall:.6f}s / {cpu:.6f}s"
+            )
+            for record in group:
+                render(record.index, indent + 1)
+
+    render(-1, 0)
+    if len(lines) > max_lines:
+        dropped = len(lines) - max_lines
+        lines = lines[:max_lines] + [f"  ... ({dropped} more span lines)"]
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Trace-record invariants tying results, traces, and the JSONL stream.
+
+Two contracts the observability layer leans on:
+
+* ``TwoStageResult.total_rounds`` equals the sum of the per-stage trace
+  lengths, so round counters derived from either source agree.
+* Every round event emitted to a JSONL sink decodes (``json.loads`` +
+  ``event_to_round``) back to exactly the dataclass that was recorded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.trace import InvitationRound, StageOneRound, TransferRound
+from repro.core.two_stage import run_two_stage
+from repro.obs import JsonlEventSink, Recorder, event_to_round
+
+SEEDS = [0, 1, 13, 42]
+
+ROUND_EVENTS = {
+    "stage1.round",
+    "stage2.transfer_round",
+    "stage2.invitation_round",
+}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_total_rounds_equals_sum_of_trace_lengths(market_factory, seed):
+    market = market_factory(num_buyers=20, num_channels=5, seed=seed)
+    result = run_two_stage(market)
+    assert result.total_rounds == (
+        len(result.stage_one.rounds)
+        + len(result.stage_two.transfer_rounds)
+        + len(result.stage_two.invitation_rounds)
+    )
+    assert result.rounds_stage1 == len(result.stage_one.rounds)
+    assert result.rounds_phase1 == len(result.stage_two.transfer_rounds)
+    assert result.rounds_phase2 == len(result.stage_two.invitation_rounds)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_jsonl_stream_round_trips_to_recorded_trace(
+    tmp_path, market_factory, seed
+):
+    market = market_factory(num_buyers=18, num_channels=4, seed=seed)
+    path = tmp_path / f"trace_{seed}.jsonl"
+    with Recorder(events=JsonlEventSink(str(path))) as recorder:
+        result = run_two_stage(market, recorder=recorder)
+
+    decoded = []
+    for line in path.read_text().splitlines():
+        event = json.loads(line)  # every line must be valid JSON
+        if event["event"] in ROUND_EVENTS:
+            decoded.append(event_to_round(event))
+
+    recorded = (
+        list(result.stage_one.rounds)
+        + list(result.stage_two.transfer_rounds)
+        + list(result.stage_two.invitation_rounds)
+    )
+    assert len(decoded) == result.total_rounds
+    # Emission order is stage1, then transfers, then invitations — the
+    # same order as the concatenated traces.
+    assert decoded == recorded
+
+
+def test_round_trip_preserves_types(tmp_path, toy_market):
+    path = tmp_path / "toy.jsonl"
+    with Recorder(events=JsonlEventSink(str(path))) as recorder:
+        run_two_stage(toy_market, recorder=recorder)
+    rounds = [
+        event_to_round(event)
+        for event in map(json.loads, path.read_text().splitlines())
+        if event["event"] in ROUND_EVENTS
+    ]
+    assert any(isinstance(r, StageOneRound) for r in rounds)
+    for record in rounds:
+        assert isinstance(
+            record, (StageOneRound, TransferRound, InvitationRound)
+        )
+        assert isinstance(record.round_index, int)

@@ -1,0 +1,114 @@
+"""Event sinks, the JSONL format, and exact round-event round-trips."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.trace import InvitationRound, StageOneRound, TransferRound
+from repro.errors import ObservabilityError
+from repro.obs import (
+    JsonlEventSink,
+    ListEventSink,
+    NullEventSink,
+    build_manifest,
+    event_to_round,
+    round_to_event,
+)
+
+STAGE1 = StageOneRound(
+    round_index=2,
+    proposals={0: (1, 3), 2: (4,)},
+    waitlists={0: (1,), 1: (0, 2)},
+    evictions=((2, 1),),
+    rejections=((3, 0), (4, 2)),
+)
+TRANSFER = TransferRound(
+    round_index=1,
+    applications={1: (0, 2)},
+    accepted=((0, -1, 1),),
+    rejected=((2, 1),),
+)
+INVITATION = InvitationRound(
+    round_index=3,
+    invitations=((1, 4),),
+    accepted=((4, 0, 1),),
+    declined=(),
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("record", [STAGE1, TRANSFER, INVITATION])
+    def test_json_round_trip_is_exact(self, record):
+        event = round_to_event(record)
+        decoded = json.loads(json.dumps(event))
+        assert event_to_round(decoded) == record
+
+    def test_event_types(self):
+        assert round_to_event(STAGE1)["event"] == "stage1.round"
+        assert round_to_event(TRANSFER)["event"] == "stage2.transfer_round"
+        assert round_to_event(INVITATION)["event"] == "stage2.invitation_round"
+
+    def test_non_round_event_rejected(self):
+        with pytest.raises(ObservabilityError):
+            event_to_round({"event": "sim.slot"})
+        with pytest.raises(ObservabilityError):
+            round_to_event("not a record")
+
+
+class TestSinks:
+    def test_null_sink_is_disabled_and_silent(self):
+        sink = NullEventSink()
+        assert sink.enabled is False
+        sink.emit({"event": "x"})  # must not raise nor store
+
+    def test_list_sink_collects_and_filters(self):
+        sink = ListEventSink()
+        sink.emit({"event": "a", "n": 1})
+        sink.emit({"event": "b"})
+        sink.emit({"event": "a", "n": 2})
+        assert [e["n"] for e in sink.of_type("a")] == [1, 2]
+
+    def test_jsonl_sink_writes_manifest_first(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlEventSink(str(path), manifest=build_manifest(seed=11))
+        sink.emit({"event": "x", "value": 1.5})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        manifest = json.loads(lines[0])
+        assert manifest["event"] == "manifest"
+        assert manifest["seed"] == 11
+        assert "repro" in manifest["versions"]
+        assert json.loads(lines[1]) == {"event": "x", "value": 1.5}
+
+    def test_jsonl_sink_borrowed_stream_not_closed(self):
+        stream = io.StringIO()
+        sink = JsonlEventSink(stream)
+        sink.emit({"event": "x"})
+        sink.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue()) == {"event": "x"}
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlEventSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ObservabilityError):
+            sink.emit({"event": "late"})
+
+
+class TestManifest:
+    def test_market_shape_recorded(self, toy_market):
+        manifest = build_manifest(seed=3, market=toy_market)
+        assert manifest["market"]["num_buyers"] == toy_market.num_buyers
+        assert manifest["market"]["num_channels"] == toy_market.num_channels
+
+    def test_config_values_coerced_json_safe(self):
+        manifest = build_manifest(config={"path": None, "xs": (1, 2), "o": object()})
+        encoded = json.dumps(manifest)  # must not raise
+        decoded = json.loads(encoded)
+        assert decoded["config"]["xs"] == [1, 2]
+        assert isinstance(decoded["config"]["o"], str)

@@ -1,0 +1,116 @@
+"""Metrics registry: instruments, snapshots, and the null backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        assert registry.counter("c").value == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        assert gauge.value is None
+        gauge.set(1.0)
+        gauge.set(-2.5)
+        assert gauge.value == -2.5
+
+    def test_timer_context_manager(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t_s")
+        for _ in range(3):
+            with timer:
+                pass
+        assert timer.count == 3
+        assert timer.total_s >= 0.0
+        assert timer.min_s <= timer.mean_s <= timer.max_s
+
+    def test_timer_observe(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t_s")
+        timer.observe(1.0)
+        timer.observe(3.0)
+        assert timer.count == 2
+        assert timer.total_s == pytest.approx(4.0)
+        assert timer.mean_s == pytest.approx(2.0)
+        assert (timer.min_s, timer.max_s) == (1.0, 3.0)
+
+    def test_histogram_buckets_and_stats(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", boundaries=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 1, 2]
+        assert hist.count == 4
+        assert hist.min == 0.5
+        assert hist.max == 500.0
+
+    def test_histogram_rejects_unsorted_boundaries(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().histogram("h", boundaries=(10.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("name")
+
+    def test_snapshot_is_json_safe_and_grouped(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(2)
+        registry.gauge("a.level").set(1.5)
+        registry.timer("a.time_s").observe(0.25)
+        registry.histogram("a.dist").observe(3.0)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["counters"] == {"a.count": 2}
+        assert snapshot["gauges"] == {"a.level": 1.5}
+        assert snapshot["timers"]["a.time_s"]["count"] == 1
+        assert snapshot["histograms"]["a.dist"]["count"] == 1
+
+
+class TestNullBackend:
+    def test_disabled_flag(self):
+        assert MetricsRegistry.enabled is True
+        assert NullMetrics().enabled is False
+
+    def test_null_instruments_are_shared_singletons(self):
+        null = NullMetrics()
+        assert null.counter("a") is null.counter("b")
+        assert null.gauge("a") is null.gauge("b")
+        assert null.timer("a") is null.timer("b")
+        assert null.histogram("a") is null.histogram("b")
+
+    def test_null_instruments_record_nothing(self):
+        null = NullMetrics()
+        null.counter("c").inc(100)
+        null.gauge("g").set(42.0)
+        with null.timer("t"):
+            pass
+        null.timer("t").observe(5.0)
+        null.histogram("h").observe(1.0)
+        assert null.counter("c").value == 0
+        assert null.gauge("g").value is None
+        assert null.timer("t").count == 0
+        assert null.histogram("h").count == 0
+        assert null.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "histograms": {},
+        }

@@ -1,0 +1,86 @@
+"""Span tracing: nesting, parent links, timing, and the null tracer."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.spans import NullSpanTracer, SpanTracer
+
+
+class TestSpanTracer:
+    def test_nesting_depth_and_parent_links(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("mid"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("mid"):
+                pass
+        by_name = {}
+        for record in tracer.records:
+            by_name.setdefault(record.name, []).append(record)
+        (outer,) = by_name["outer"]
+        mids = by_name["mid"]
+        (inner,) = by_name["inner"]
+        assert outer.depth == 0 and outer.parent == -1
+        assert [m.depth for m in mids] == [1, 1]
+        assert all(m.parent == outer.index for m in mids)
+        assert inner.depth == 2
+        assert inner.parent == mids[0].index
+
+    def test_children_finish_before_parents(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [r.name for r in tracer.records] == ["b", "a"]
+        assert tracer.roots() == [tracer.records[1]]
+
+    def test_wall_time_measures_elapsed(self):
+        tracer = SpanTracer()
+        with tracer.span("sleep"):
+            time.sleep(0.01)
+        record = tracer.records[0]
+        assert record.wall_s >= 0.009
+        assert record.cpu_s >= 0.0
+        # Sleeping burns wall clock, not CPU.
+        assert record.cpu_s < record.wall_s
+
+    def test_parent_wall_covers_children(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.005)
+        inner, outer = tracer.records
+        assert outer.wall_s >= inner.wall_s
+
+    def test_on_finish_callback_sees_resolved_records(self):
+        seen = []
+        tracer = SpanTracer(on_finish=lambda r: seen.append(r.name))
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert seen == ["b", "a"]
+
+    def test_sequential_roots(self):
+        tracer = SpanTracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.parent for r in tracer.records] == [-1, -1]
+        assert [r.name for r in tracer.roots()] == ["first", "second"]
+
+
+class TestNullSpanTracer:
+    def test_disabled_and_recordless(self):
+        tracer = NullSpanTracer()
+        assert tracer.enabled is False
+        with tracer.span("anything"):
+            with tracer.span("nested"):
+                pass
+        assert tracer.records == []
+
+    def test_span_is_shared_singleton(self):
+        tracer = NullSpanTracer()
+        assert tracer.span("a") is tracer.span("b")

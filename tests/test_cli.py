@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import collections
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -113,3 +116,80 @@ class TestExtensionCommands:
         assert "replication report" in out
         assert "FAIL" not in out
         assert out.count("PASS") == 8
+
+
+class TestObservabilityFlags:
+    def test_every_subcommand_accepts_trace_flags(self):
+        parser = build_parser()
+        for command in ["toy", "counterexample", "fig6", "distributed",
+                        "swaps", "dynamic", "report"]:
+            args = parser.parse_args([command, "--trace-out", "x.jsonl",
+                                      "--metrics"])
+            assert args.trace_out == "x.jsonl"
+            assert args.metrics is True
+
+    def test_toy_trace_out_writes_valid_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "toy.jsonl"
+        assert main(["toy", "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {path}" in out
+
+        lines = path.read_text().splitlines()
+        events = [json.loads(line) for line in lines]  # all valid JSON
+        assert events[0]["event"] == "manifest"
+        assert "versions" in events[0]
+
+        counts = collections.Counter(e["event"] for e in events)
+        # The toy run records the market and every algorithm round.
+        assert counts["market.created"] == 1
+        assert counts["stage1.round"] >= 1
+        assert counts["stage2.transfer_round"] >= 1
+        assert counts["two_stage.result"] == 1
+
+    def test_toy_trace_round_counts_match_result(self, tmp_path, capsys):
+        from repro.core.two_stage import run_two_stage
+        from repro.workloads.scenarios import toy_example_market
+
+        path = tmp_path / "toy.jsonl"
+        assert main(["toy", "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        counts = collections.Counter(
+            json.loads(line)["event"]
+            for line in path.read_text().splitlines()
+        )
+        result = run_two_stage(toy_example_market())
+        assert counts["stage1.round"] == result.rounds_stage1
+        assert counts["stage2.transfer_round"] == result.rounds_phase1
+        assert counts["stage2.invitation_round"] == result.rounds_phase2
+
+    def test_metrics_flag_prints_summary(self, capsys):
+        assert main(["toy", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "-- observability summary --" in out
+        assert "stage1.rounds" in out
+        assert "two_stage" in out
+
+    def test_distributed_trace_has_slot_events(self, tmp_path, capsys):
+        path = tmp_path / "dist.jsonl"
+        assert (
+            main(
+                ["distributed", "--buyers", "6", "--sellers", "2",
+                 "--policy", "default", "--trace-out", str(path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        counts = collections.Counter(e["event"] for e in events)
+        assert counts["distributed.run_start"] == 1
+        assert counts["sim.slot"] >= 1
+        assert counts["sim.done"] == 1
+        assert counts["distributed.run_end"] == 1
+
+    def test_output_identical_without_flags(self, capsys):
+        assert main(["toy"]) == 0
+        plain = capsys.readouterr().out
+        assert "observability summary" not in plain
+        assert "trace written" not in plain
