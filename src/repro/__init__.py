@@ -49,6 +49,14 @@ from repro.optimal.bruteforce import optimal_matching_bruteforce
 from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
 from repro.optimal.lp_relaxation import lp_relaxation_bound
 from repro.distributed.protocol import DistributedResult, run_distributed_matching
+from repro.distributed.faults import (
+    CrashFault,
+    FaultSchedule,
+    MessageFault,
+    PartitionFault,
+    PartitionedNetwork,
+    RestartMode,
+)
 from repro.distributed.transition import (
     TransitionPolicy,
     adaptive_policy,
@@ -121,6 +129,12 @@ __all__ = [
     # distributed
     "run_distributed_matching",
     "DistributedResult",
+    "FaultSchedule",
+    "CrashFault",
+    "PartitionFault",
+    "MessageFault",
+    "PartitionedNetwork",
+    "RestartMode",
     "TransitionPolicy",
     "default_policy",
     "adaptive_policy",

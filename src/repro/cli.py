@@ -14,6 +14,10 @@ Commands
 ``distributed``
     Run the message-level protocol (Section IV) on a random market and
     compare transition policies.
+``chaos``
+    Run the protocol under injected faults -- agent crash/restart
+    schedules, network partitions, deadlines with graceful degradation
+    (see the Fault model section of ``docs/architecture.md``).
 
 Every command additionally accepts ``--trace-out PATH`` (stream a JSONL
 event trace with a run manifest) and ``--metrics`` (print a metrics and
@@ -78,6 +82,63 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_crash_spec(spec: str):
+    """Parse ``AGENT@CRASH[-RESTART][/MODE]`` into a :class:`CrashFault`."""
+    from repro.distributed.faults import CrashFault, RestartMode
+    from repro.errors import SimulationError
+
+    try:
+        body, _, mode_text = spec.partition("/")
+        agent, at, window = body.rpartition("@")
+        if not at:
+            raise ValueError("missing '@CRASH_SLOT'")
+        crash_text, dash, restart_text = window.partition("-")
+        mode = RestartMode(mode_text) if mode_text else RestartMode.CHECKPOINT
+        return CrashFault(
+            agent_id=agent,
+            crash_slot=int(crash_text),
+            restart_slot=int(restart_text) if dash else None,
+            mode=mode,
+        )
+    except (ValueError, SimulationError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad crash spec {spec!r} "
+            f"(expected AGENT@CRASH[-RESTART][/checkpoint|amnesia]): {exc}"
+        )
+
+
+def _parse_partition_spec(spec: str):
+    """Parse ``G1|G2|...@START[-END]`` into a :class:`PartitionFault`.
+
+    Groups are comma-separated agent ids; the literal group ``rest`` is
+    shorthand for the implicit remainder group and is simply dropped
+    (unnamed agents always form their own group).
+    """
+    from repro.distributed.faults import PartitionFault
+    from repro.errors import SimulationError
+
+    try:
+        body, at, window = spec.rpartition("@")
+        if not at:
+            raise ValueError("missing '@START_SLOT'")
+        start_text, dash, end_text = window.partition("-")
+        groups = tuple(
+            frozenset(part for part in group.split(",") if part)
+            for group in body.split("|")
+            if group and group != "rest"
+        )
+        return PartitionFault(
+            groups=groups,
+            start_slot=int(start_text),
+            end_slot=int(end_text) if dash else None,
+        )
+    except (ValueError, SimulationError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad partition spec {spec!r} "
+            f"(expected G1|G2|...@START[-END]): {exc}"
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -135,7 +196,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--loss",
         type=float,
         default=0.0,
-        help="message loss rate in [0, 1); enables the ARQ transport",
+        help="message loss rate in [0, 1]; enables the ARQ transport",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the protocol under injected crashes and partitions",
+        description=(
+            "Run the Section IV protocol with a declarative fault schedule "
+            "and report convergence, welfare and fault accounting."
+        ),
+    )
+    chaos.add_argument("--buyers", type=int, default=10)
+    chaos.add_argument("--sellers", type=int, default=3)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--policy", choices=["default", "adaptive"], default="default"
+    )
+    chaos.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="message loss rate in [0, 1]; enables the ARQ transport",
+    )
+    chaos.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="AGENT@CRASH[-RESTART][/MODE]",
+        type=_parse_crash_spec,
+        help=(
+            "crash AGENT at slot CRASH; restart at slot RESTART (omit for a "
+            "permanent crash) in MODE 'checkpoint' (default) or 'amnesia'. "
+            "Repeatable. Example: buyer:3@10-25/amnesia"
+        ),
+    )
+    chaos.add_argument(
+        "--partition",
+        action="append",
+        default=[],
+        metavar="G1|G2|...@START[-END]",
+        type=_parse_partition_spec,
+        help=(
+            "partition the population into '|'-separated groups of "
+            "comma-separated agent ids over [START, END) (omit END for a "
+            "partition that never heals); unnamed agents form an implicit "
+            "extra group. Repeatable. Example: 'buyer:0,buyer:1|rest@5-20'"
+        ),
+    )
+    chaos.add_argument(
+        "--deadline-slots",
+        type=int,
+        default=None,
+        help="slot budget before the timeout policy kicks in",
+    )
+    chaos.add_argument(
+        "--on-timeout",
+        choices=["raise", "degrade"],
+        default="degrade",
+        help=(
+            "what to do at the deadline: abort loudly, or return the best "
+            "interference-free partial matching (default: degrade)"
+        ),
     )
 
     swaps = sub.add_parser(
@@ -167,7 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--seed", type=int, default=0)
 
-    subcommands.extend([dist, swaps, dyn, report])
+    subcommands.extend([dist, chaos, swaps, dyn, report])
     for subcommand in subcommands:
         _add_observability_args(subcommand)
     return parser
@@ -352,6 +474,77 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.distributed.faults import FaultSchedule
+    from repro.distributed.transition import adaptive_policy, default_policy
+    from repro.errors import SimulationError
+
+    rng = np.random.default_rng(args.seed)
+    market = paper_simulation_market(args.buyers, args.sellers, rng)
+    _emit_market_created(market, "paper_simulation")
+    policy = default_policy() if args.policy == "default" else adaptive_policy()
+
+    schedule = FaultSchedule(crashes=args.crash, partitions=args.partition)
+    network = None
+    reliable = False
+    if args.loss > 0.0:
+        from repro.distributed.network import LossyNetwork
+
+        network = LossyNetwork(args.loss)
+        reliable = True
+    print(
+        f"market: N={args.buyers} buyers, M={args.sellers} channels "
+        f"(seed {args.seed}); policy {args.policy}"
+    )
+    print(
+        f"faults: {len(schedule.crashes)} crash(es), "
+        f"{len(schedule.partitions)} partition(s); "
+        f"loss {args.loss:.0%}"
+        + (", ARQ transport" if reliable else "")
+        + (
+            f"; deadline {args.deadline_slots} slots "
+            f"({args.on_timeout} on timeout)"
+            if args.deadline_slots is not None
+            else ""
+        )
+    )
+    reference = run_distributed_matching(market, policy=policy)
+    try:
+        run = run_distributed_matching(
+            market,
+            policy=policy,
+            network=network,
+            seed=args.seed,
+            reliable_transport=reliable,
+            fault_schedule=schedule if not schedule.empty else None,
+            deadline_slots=args.deadline_slots,
+            on_timeout=args.on_timeout,
+        )
+    except SimulationError as exc:
+        print(f"run aborted: {exc}")
+        return 1
+    print(
+        f"status={run.status} slots={run.slots} "
+        f"welfare={run.social_welfare:.4f} "
+        f"(fault-free: {reference.social_welfare:.4f}) "
+        f"matched={run.matching.num_matched()}/{market.num_buyers}"
+    )
+    print(
+        f"faults: crashes={run.crashes} restarts={run.restarts} "
+        f"lost_to_crash={run.messages_lost_to_crash} "
+        f"partition_drops={run.partition_drops} "
+        f"view_divergences={run.view_divergences}"
+    )
+    if run.recovery_slots:
+        print(f"recovery times (slots): {list(run.recovery_slots)}")
+    print(
+        f"traffic: sent={run.messages_sent} delivered={run.messages_delivered} "
+        f"dropped={run.messages_dropped}"
+    )
+    print(f"matches fault-free outcome: {run.matching == reference.matching}")
+    return 0
+
+
 def _cmd_swaps(args: argparse.Namespace) -> int:
     from repro.core.swap_extension import coordinated_swaps
 
@@ -495,6 +688,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_counterexample(args)
     if args.command == "distributed":
         return _cmd_distributed(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "swaps":
         return _cmd_swaps(args)
     if args.command == "dynamic":

@@ -16,6 +16,9 @@ Subpackage layout:
   kernel with deterministic agent scheduling and termination detection.
 * :mod:`~repro.distributed.network` -- message-delivery models (reliable,
   fixed/random delay, lossy).
+* :mod:`~repro.distributed.faults` -- declarative node/link fault
+  injection: crash/restart schedules, partitions, targeted message
+  faults, and the endpoint-aware :class:`PartitionedNetwork`.
 * :mod:`~repro.distributed.messages` -- the protocol's message types.
 * :mod:`~repro.distributed.buyer_agent` / ``seller_agent`` -- the agent
   state machines.
@@ -31,6 +34,14 @@ from repro.distributed.network import (
     DelayedNetwork,
     LossyNetwork,
     Network,
+)
+from repro.distributed.faults import (
+    RestartMode,
+    CrashFault,
+    PartitionFault,
+    MessageFault,
+    FaultSchedule,
+    PartitionedNetwork,
 )
 from repro.distributed.probability import (
     eviction_probability_single_round,
@@ -56,6 +67,12 @@ __all__ = [
     "ReliableNetwork",
     "DelayedNetwork",
     "LossyNetwork",
+    "RestartMode",
+    "CrashFault",
+    "PartitionFault",
+    "MessageFault",
+    "FaultSchedule",
+    "PartitionedNetwork",
     "eviction_probability_single_round",
     "eviction_probability",
     "better_proposal_probability_single_round",

@@ -290,6 +290,33 @@ class BuyerAgent(Agent):
             and not self._has_live_applications()
         )
 
+    # ------------------------------------------------------------------
+    # Crash/restart support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpoint all mutable protocol state (market knowledge is
+        static and shared, so only the state machine is captured)."""
+        return {
+            "stage": self.stage,
+            "unproposed": list(self._unproposed),
+            "outstanding_proposal": self._outstanding_proposal,
+            "current_channel": self.current_channel,
+            "proposers_at_current": set(self._proposers_at_current),
+            "unapplied": list(self._unapplied),
+            "applied": set(self._applied),
+            "outstanding_application": self._outstanding_application,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.stage = state["stage"]
+        self._unproposed = list(state["unproposed"])
+        self._outstanding_proposal = state["outstanding_proposal"]
+        self.current_channel = state["current_channel"]
+        self._proposers_at_current = set(state["proposers_at_current"])
+        self._unapplied = list(state["unapplied"])
+        self._applied = set(state["applied"])
+        self._outstanding_application = state["outstanding_application"]
+
     def _has_live_applications(self) -> bool:
         current = self.current_utility()
         return any(float(self._utilities[i]) > current for i in self._unapplied)

@@ -11,11 +11,14 @@ delivery, mirroring the paper's assumption).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (messages only)
+    from repro.distributed.messages import Message
 
 __all__ = ["Network", "ReliableNetwork", "DelayedNetwork", "LossyNetwork"]
 
@@ -24,11 +27,26 @@ class Network:
     """Delivery-model interface.
 
     :meth:`route` is called once per message and returns the delivery slot,
-    or ``None`` to drop the message.
+    or ``None`` to drop the message.  Models that need to see *which*
+    message is travelling between *whom* (partitions, targeted drops)
+    override :meth:`route_message` instead -- the kernel always routes
+    through it, and the default implementation delegates to :meth:`route`,
+    so endpoint-oblivious models keep their two-argument interface.
     """
 
     def route(self, now: int, rng: np.random.Generator) -> Optional[int]:
         raise NotImplementedError
+
+    def route_message(
+        self,
+        now: int,
+        rng: np.random.Generator,
+        sender: str,
+        destination: str,
+        message: "Message",
+    ) -> Optional[int]:
+        """Endpoint-aware routing hook; defaults to :meth:`route`."""
+        return self.route(now, rng)
 
 
 class ReliableNetwork(Network):
@@ -79,9 +97,9 @@ class LossyNetwork(Network):
     """
 
     def __init__(self, loss_rate: float, base: Optional[Network] = None) -> None:
-        if not 0.0 <= loss_rate < 1.0:
+        if not 0.0 <= loss_rate <= 1.0:
             raise SimulationError(
-                f"loss_rate must lie in [0, 1), got {loss_rate}"
+                f"loss_rate must lie in [0, 1], got {loss_rate}"
             )
         self._loss_rate = loss_rate
         self._base = base if base is not None else ReliableNetwork()

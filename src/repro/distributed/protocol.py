@@ -16,15 +16,15 @@ slot cost against the adaptive rules' much shorter runs (the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.core.market import SpectrumMarket
 from repro.core.matching import Matching
 from repro.distributed.buyer_agent import BuyerAgent
+from repro.distributed.faults import FaultSchedule, PartitionedNetwork
 from repro.distributed.network import Network
 from repro.distributed.seller_agent import SellerAgent
 from repro.distributed.simulator import MessageEvent, TimeSlottedSimulator
-from typing import Tuple
 from repro.distributed.transition import TransitionPolicy, default_policy
 from repro.errors import ProtocolError
 from repro.obs.recorder import Recorder, resolve_recorder
@@ -46,6 +46,25 @@ class DistributedResult:
         Wire traffic accounting from the kernel.
     social_welfare:
         Final welfare under the market's utilities.
+    status:
+        ``"converged"`` -- the protocol quiesced and the matching is its
+        agreed outcome.  ``"degraded"`` -- the run hit its deadline under
+        ``on_timeout="degrade"`` and the matching is the best
+        interference-free *partial* matching salvageable from seller
+        state (safety invariants validated; optimality and two-sided
+        agreement are not claimed).
+    crashes / restarts / messages_lost_to_crash:
+        Node-fault accounting from the kernel (all zero without a
+        :class:`~repro.distributed.faults.FaultSchedule`).
+    partition_drops:
+        Messages dropped by partitions / targeted message faults.
+    recovery_slots:
+        Downtime of each executed restart, in restart order (the raw
+        series behind the ``sim.recovery_slots`` histogram).
+    view_divergences:
+        Buyer/seller view disagreements reconciled while extracting the
+        matching.  Always 0 for a converged fault-free run (a divergence
+        there raises :class:`~repro.errors.ProtocolError` instead).
     """
 
     matching: Matching
@@ -56,6 +75,58 @@ class DistributedResult:
     social_welfare: float
     #: Per-message trace (empty unless ``record_events=True``).
     events: Tuple[MessageEvent, ...] = ()
+    status: str = "converged"
+    crashes: int = 0
+    restarts: int = 0
+    messages_lost_to_crash: int = 0
+    partition_drops: int = 0
+    recovery_slots: Tuple[int, ...] = ()
+    view_divergences: int = 0
+
+
+def _extract_reconciled(
+    market: SpectrumMarket,
+    buyers: List[BuyerAgent],
+    sellers: List["SellerAgent"],
+) -> Tuple[Matching, int]:
+    """Best-effort matching from possibly-inconsistent agent views.
+
+    Faults can leave the two sides' local views divergent: a crashed
+    buyer's ``Leave`` may never have reached her old seller, a partition
+    can freeze a transfer mid-handshake.  Sellers own the resource, so
+    seller waitlists are the source of truth; when several sellers claim
+    one buyer, the buyer's own belief breaks the tie (she knows where she
+    last moved), falling back to her highest-utility claimant.  Buyers no
+    seller claims stay unmatched.  Every resolved disagreement is counted.
+
+    Safety survives reconciliation by construction: each seller's waitlist
+    is kept interference-free by her own commit checks, and dropping
+    members of an independent set keeps it independent.
+    """
+    claims: dict = {}
+    for seller in sellers:
+        for buyer in seller.waitlist:
+            claims.setdefault(buyer, []).append(seller.channel)
+    matching = Matching(market.num_channels, market.num_buyers)
+    divergences = 0
+    for buyer_agent in buyers:
+        j = buyer_agent.buyer
+        belief = buyer_agent.current_channel
+        claiming = claims.get(j, [])
+        if belief is not None and belief in claiming:
+            chosen = belief
+            divergences += len(claiming) - 1
+        elif claiming:
+            chosen = max(
+                claiming, key=lambda i: (float(market.utilities[j, i]), -i)
+            )
+            divergences += 1
+        else:
+            if belief is not None:
+                divergences += 1
+            continue
+        matching.match(j, chosen)
+    return matching, divergences
 
 
 def run_distributed_matching(
@@ -69,6 +140,9 @@ def run_distributed_matching(
     initial_matching: Optional[Matching] = None,
     record_events: bool = False,
     recorder: Optional[Recorder] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+    deadline_slots: Optional[int] = None,
+    on_timeout: str = "raise",
 ) -> DistributedResult:
     """Run the full message-level protocol on ``market``.
 
@@ -104,21 +178,47 @@ def run_distributed_matching(
         Passed through to the kernel for per-slot metrics, and used to
         frame the run with ``distributed.run_start`` /
         ``distributed.run_end`` lifecycle events.
+    fault_schedule:
+        Declarative node/link faults
+        (:class:`~repro.distributed.faults.FaultSchedule`): crash/restart
+        agents, partition the population, drop or delay targeted message
+        types.  Partitions and message faults are enforced by wrapping
+        ``network`` in a :class:`~repro.distributed.faults.
+        PartitionedNetwork` automatically.  Fault runs use a reconciling
+        matching extraction (seller waitlists are authoritative; buyer
+        beliefs break ties) instead of the strict two-sided cross-check,
+        because faults can legitimately leave views divergent.
+    deadline_slots:
+        Slot budget for graceful degradation; defaults to ``max_slots``.
+    on_timeout:
+        ``"raise"`` (default): exceeding the budget raises
+        :class:`~repro.errors.SimulationError`, as before.  ``"degrade"``:
+        return a :class:`DistributedResult` with ``status="degraded"``
+        carrying the best interference-free partial matching salvageable
+        from seller state -- for markets that must produce *some* safe
+        assignment under unrecoverable faults.
 
     Returns
     -------
     DistributedResult
-        Final matching plus run accounting.
+        Final matching plus run and fault accounting.
 
     Raises
     ------
     ProtocolError
-        If buyers' and sellers' final local views disagree (would indicate
-        a protocol bug) or the final matching violates interference.
+        If buyers' and sellers' final local views disagree on a fault-free
+        run (would indicate a protocol bug) or the final matching violates
+        interference (safety is validated on every path, degraded
+        included).
     SimulationError
-        If the run fails to quiesce within ``max_slots`` (e.g. under a
-        lossy network, which the protocol does not tolerate).
+        If the run fails to quiesce within its slot budget and
+        ``on_timeout="raise"`` (e.g. under a lossy network without the
+        ARQ transport, which the bare protocol does not tolerate).
     """
+    if on_timeout not in ("raise", "degrade"):
+        raise ProtocolError(
+            f"on_timeout must be 'raise' or 'degrade', got {on_timeout!r}"
+        )
     if policy is None:
         policy = default_policy()
     rec = resolve_recorder(recorder)
@@ -174,26 +274,41 @@ def run_distributed_matching(
         seed=seed,
         record_events=record_events,
         recorder=rec,
+        fault_schedule=fault_schedule,
     )
-    slots = simulator.run(max_slots=max_slots)
+    bound = deadline_slots if deadline_slots is not None else max_slots
+    slots = simulator.run(
+        max_slots=bound,
+        on_timeout="stop" if on_timeout == "degrade" else "raise",
+    )
 
-    matching = Matching(market.num_channels, market.num_buyers)
-    for seller in sellers:
-        for buyer in sorted(seller.waitlist):
-            matching.match(buyer, seller.channel)
-
-    # Cross-check both sides' local views.
-    for buyer_agent in buyers:
-        believed = buyer_agent.current_channel
-        actual = matching.channel_of(buyer_agent.buyer)
-        if believed != actual:
-            raise ProtocolError(
-                f"buyer {buyer_agent.buyer} believes she is matched to "
-                f"{believed} but sellers record {actual}"
-            )
+    divergences = 0
+    if fault_schedule is None and not simulator.timed_out:
+        # Fault-free convergence: the strict historical path, unchanged.
+        matching = Matching(market.num_channels, market.num_buyers)
+        for seller in sellers:
+            for buyer in sorted(seller.waitlist):
+                matching.match(buyer, seller.channel)
+        # Cross-check both sides' local views.
+        for buyer_agent in buyers:
+            believed = buyer_agent.current_channel
+            actual = matching.channel_of(buyer_agent.buyer)
+            if believed != actual:
+                raise ProtocolError(
+                    f"buyer {buyer_agent.buyer} believes she is matched to "
+                    f"{believed} but sellers record {actual}"
+                )
+    else:
+        matching, divergences = _extract_reconciled(market, buyers, sellers)
     if not matching.is_interference_free(market.interference):
         raise ProtocolError("distributed run produced an interfering matching")
 
+    effective_network = simulator.network
+    partition_drops = 0
+    if isinstance(effective_network, PartitionedNetwork):
+        partition_drops = (
+            effective_network.partition_drops + effective_network.targeted_drops
+        )
     result = DistributedResult(
         matching=matching,
         slots=slots,
@@ -202,15 +317,26 @@ def run_distributed_matching(
         messages_dropped=simulator.messages_dropped,
         social_welfare=matching.social_welfare(market.utilities),
         events=simulator.events,
+        status="degraded" if simulator.timed_out else "converged",
+        crashes=simulator.crashes,
+        restarts=simulator.restarts,
+        messages_lost_to_crash=simulator.messages_lost_to_crash,
+        partition_drops=partition_drops,
+        recovery_slots=simulator.recovery_slots,
+        view_divergences=divergences,
     )
     if rec.enabled:
         rec.emit(
             "distributed.run_end",
             slots=result.slots,
+            status=result.status,
             messages_sent=result.messages_sent,
             messages_delivered=result.messages_delivered,
             messages_dropped=result.messages_dropped,
             social_welfare=result.social_welfare,
             matched=matching.num_matched(),
+            crashes=result.crashes,
+            restarts=result.restarts,
+            messages_lost_to_crash=result.messages_lost_to_crash,
         )
     return result

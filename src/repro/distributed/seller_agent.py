@@ -371,3 +371,29 @@ class SellerAgent(Agent):
             and not self._outstanding_offers
             and not self._pending_applications
         )
+
+    # ------------------------------------------------------------------
+    # Crash/restart support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpoint all mutable protocol state (graph/prices are static)."""
+        return {
+            "phase": self.phase,
+            "waitlist": set(self.waitlist),
+            "proposers_so_far": set(self._proposers_so_far),
+            "pending_applications": list(self._pending_applications),
+            "outstanding_offers": set(self._outstanding_offers),
+            "invitation_list": list(self._invitation_list),
+            "outstanding_invite": self._outstanding_invite,
+            "transition_slot": self._transition_slot,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.phase = state["phase"]
+        self.waitlist = set(state["waitlist"])
+        self._proposers_so_far = set(state["proposers_so_far"])
+        self._pending_applications = list(state["pending_applications"])
+        self._outstanding_offers = set(state["outstanding_offers"])
+        self._invitation_list = list(state["invitation_list"])
+        self._outstanding_invite = state["outstanding_invite"]
+        self._transition_slot = state["transition_slot"]

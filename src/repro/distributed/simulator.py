@@ -15,7 +15,15 @@ takes one time slot".  The kernel here makes that executable:
   was already stepped this slot are seen next slot.
 * The simulation terminates when every agent reports ``is_done()`` and no
   message is in flight, or when ``max_slots`` is hit (which raises --
-  a protocol that fails to quiesce is a bug, not a result).
+  a protocol that fails to quiesce is a bug, not a result -- unless the
+  caller opted into ``on_timeout="stop"`` graceful degradation).
+* Node faults are injected declaratively: a
+  :class:`~repro.distributed.faults.FaultSchedule` crashes agents (not
+  stepped; queued/incoming messages lost and counted as
+  ``messages_lost_to_crash``) and restarts them later from a checkpoint
+  (``Agent.snapshot()`` / ``restore()``) or amnesiac.  Partitions and
+  type-targeted faults in the schedule are enforced by auto-wrapping the
+  network in a :class:`~repro.distributed.faults.PartitionedNetwork`.
 
 The kernel knows nothing about spectrum matching; it is reused by the
 tests for unrelated toy protocols, which is the usual sign the abstraction
@@ -27,10 +35,11 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.distributed.faults import FaultSchedule, PartitionedNetwork, RestartMode
 from repro.distributed.messages import Message
 from repro.distributed.network import Network, ReliableNetwork
 from repro.errors import SimulationError
@@ -44,7 +53,8 @@ class Agent:
 
     Subclasses implement :meth:`step` (called once per slot with the
     drained inbox) and :meth:`is_done` (quiescence flag used for
-    termination detection).
+    termination detection).  Agents that should survive crash/restart
+    faults additionally implement :meth:`snapshot` / :meth:`restore`.
 
     Attributes
     ----------
@@ -65,6 +75,26 @@ class Agent:
     def is_done(self) -> bool:
         """Return ``True`` when the agent has nothing left to do."""
         raise NotImplementedError
+
+    def snapshot(self) -> Any:
+        """Return an opaque checkpoint of all mutable local state.
+
+        The kernel calls this when a :class:`CrashFault` with a scheduled
+        restart fires (checkpoint mode: at crash time; amnesia mode: once
+        at simulation start).  The default refuses, so only agents that
+        explicitly opt into durability can be crash/restart targets.
+        """
+        raise SimulationError(
+            f"agent {self.agent_id!r} does not implement snapshot(); "
+            f"it cannot be restarted after a crash"
+        )
+
+    def restore(self, state: Any) -> None:
+        """Reset local state from a :meth:`snapshot` checkpoint."""
+        raise SimulationError(
+            f"agent {self.agent_id!r} does not implement restore(); "
+            f"it cannot be restarted after a crash"
+        )
 
 
 @dataclass
@@ -142,6 +172,14 @@ class TimeSlottedSimulator:
         When live, each slot reports message deltas, in-flight depth and
         agent-step latency, and ``run`` executes under a
         ``simulator.run`` span and ends with a ``sim.done`` event.
+    fault_schedule:
+        Declarative node/link faults to execute
+        (:class:`~repro.distributed.faults.FaultSchedule`).  Crashes and
+        restarts are handled by the kernel; if the schedule carries
+        partitions or message faults, ``network`` is automatically wrapped
+        in a :class:`~repro.distributed.faults.PartitionedNetwork`
+        enforcing them.  ``None`` (or an empty schedule) leaves every code
+        path identical to the fault-free kernel.
     """
 
     def __init__(
@@ -151,6 +189,7 @@ class TimeSlottedSimulator:
         seed: int = 0,
         record_events: bool = False,
         recorder: Optional[Recorder] = None,
+        fault_schedule: Optional[FaultSchedule] = None,
     ) -> None:
         self._agents: Dict[str, Agent] = {}
         for agent in agents:
@@ -162,18 +201,51 @@ class TimeSlottedSimulator:
         self._order = sorted(
             self._agents.values(), key=lambda a: (a.priority, a.agent_id)
         )
+        if fault_schedule is not None and fault_schedule.empty:
+            fault_schedule = None
+        self._schedule = fault_schedule
+        if fault_schedule is not None:
+            for crash in fault_schedule.crashes:
+                if crash.agent_id not in self._agents:
+                    raise SimulationError(
+                        f"fault schedule crashes unknown agent "
+                        f"{crash.agent_id!r}"
+                    )
+            if fault_schedule.has_network_faults and not isinstance(
+                network, PartitionedNetwork
+            ):
+                network = PartitionedNetwork(fault_schedule, base=network)
         self._network = network if network is not None else ReliableNetwork()
         self._rng = np.random.default_rng(seed)
         self._queue: List[_QueuedMessage] = []
         self._sequence = 0
         self._now = 0
         self._stepped_this_slot: set = set()
+        #: Due messages bucketed per destination for the current slot.
+        self._slot_inboxes: Dict[str, List[Message]] = {}
         self._messages_sent = 0
         self._messages_delivered = 0
         self._messages_dropped = 0
         self._finished = False
+        self._timed_out = False
         self._record_events = record_events
         self._events: List[MessageEvent] = []
+        # Fault-execution state (all dormant without a schedule).
+        self._crashed: set = set()
+        self._checkpoints: Dict[str, Any] = {}
+        self._crash_slot: Dict[str, int] = {}
+        self._crash_count = 0
+        self._restart_count = 0
+        self._messages_lost_to_crash = 0
+        self._recovery_slots: List[int] = []
+        if fault_schedule is not None:
+            # Amnesiac restarts restore the state at simulation start.
+            self._pristine: Dict[str, Any] = {
+                agent_id: self._agents[agent_id].snapshot()
+                for agent_id in fault_schedule.amnesiac_agents()
+            }
+        else:
+            self._pristine = {}
         # Observability: resolved once here, then consulted as a plain
         # bool per slot -- a disabled recorder costs the kernel nothing.
         self._obs = resolve_recorder(recorder)
@@ -188,6 +260,11 @@ class TimeSlottedSimulator:
         return self._now
 
     @property
+    def network(self) -> Network:
+        """The effective delivery model (after any fault-schedule wrapping)."""
+        return self._network
+
+    @property
     def messages_sent(self) -> int:
         return self._messages_sent
 
@@ -198,6 +275,36 @@ class TimeSlottedSimulator:
     @property
     def messages_dropped(self) -> int:
         return self._messages_dropped
+
+    @property
+    def messages_lost_to_crash(self) -> int:
+        """Messages lost because their destination was crashed."""
+        return self._messages_lost_to_crash
+
+    @property
+    def crashes(self) -> int:
+        """Crash faults executed so far."""
+        return self._crash_count
+
+    @property
+    def restarts(self) -> int:
+        """Restart faults executed so far."""
+        return self._restart_count
+
+    @property
+    def crashed_agents(self) -> Tuple[str, ...]:
+        """Ids of agents currently down, sorted."""
+        return tuple(sorted(self._crashed))
+
+    @property
+    def recovery_slots(self) -> Tuple[int, ...]:
+        """Downtime (slots) of each executed restart, in restart order."""
+        return tuple(self._recovery_slots)
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether :meth:`run` stopped at the slot bound without quiescing."""
+        return self._timed_out
 
     @property
     def events(self) -> Tuple[MessageEvent, ...]:
@@ -220,7 +327,24 @@ class TimeSlottedSimulator:
                 f"message to unknown agent {destination!r}: {message!r}"
             )
         self._messages_sent += 1
-        verdict = self._network.route(self._now, self._rng)
+        if destination in self._crashed:
+            # A dead host: the packet is lost on the wire, accounted
+            # separately from network drops.
+            self._messages_lost_to_crash += 1
+            if self._record_events:
+                self._events.append(
+                    MessageEvent(
+                        slot=self._now,
+                        sender=message.sender,
+                        destination=destination,
+                        message_type=type(message).__name__,
+                        dropped=True,
+                    )
+                )
+            return
+        verdict = self._network.route_message(
+            self._now, self._rng, message.sender, destination, message
+        )
         if self._record_events:
             self._events.append(
                 MessageEvent(
@@ -244,39 +368,134 @@ class TimeSlottedSimulator:
         # already been stepped is effectively a next-slot delivery.
         if delivery_slot == self._now and destination in self._stepped_this_slot:
             delivery_slot += 1
+        if delivery_slot == self._now:
+            # Same-slot delivery to a not-yet-stepped agent: straight into
+            # its per-slot bucket (sequence order == append order).
+            self._slot_inboxes.setdefault(destination, []).append(message)
+            return
         heapq.heappush(
             self._queue,
             _QueuedMessage(delivery_slot, self._sequence, destination, message),
         )
         self._sequence += 1
 
-    def _drain_inbox(self, agent_id: str) -> List[Message]:
-        inbox: List[Message] = []
-        remainder: List[_QueuedMessage] = []
+    def _bucket_due_messages(self) -> None:
+        """Move every due message into its destination's slot bucket.
+
+        One heap scan per slot instead of one per (agent, slot): the old
+        per-agent drain re-popped and re-pushed the whole due prefix for
+        every agent, costing O(agents x queue log queue) per slot.  Heap
+        order is (delivery_slot, send sequence), so per-destination append
+        order is exactly the old drain order.
+        """
         while self._queue and self._queue[0].delivery_slot <= self._now:
             item = heapq.heappop(self._queue)
-            if item.destination == agent_id:
-                inbox.append(item.message)
-                self._messages_delivered += 1
-            else:
-                remainder.append(item)
-        for item in remainder:
-            heapq.heappush(self._queue, item)
+            if item.destination in self._crashed:
+                self._messages_lost_to_crash += 1
+                continue
+            self._slot_inboxes.setdefault(item.destination, []).append(
+                item.message
+            )
+
+    def _drain_inbox(self, agent_id: str) -> List[Message]:
+        inbox = self._slot_inboxes.pop(agent_id, [])
+        self._messages_delivered += len(inbox)
         return inbox
+
+    # ------------------------------------------------------------------
+    # Fault execution
+    # ------------------------------------------------------------------
+    def _purge_messages_to(self, agent_id: str) -> None:
+        """Drop every queued/bucketed message addressed to ``agent_id``."""
+        survivors = [q for q in self._queue if q.destination != agent_id]
+        lost = len(self._queue) - len(survivors)
+        if lost:
+            self._queue = survivors
+            heapq.heapify(self._queue)
+        lost += len(self._slot_inboxes.pop(agent_id, []))
+        self._messages_lost_to_crash += lost
+
+    def _apply_faults(self) -> None:
+        """Execute the schedule's node events due at the current slot."""
+        schedule = self._schedule
+        assert schedule is not None
+        observing = self._observing
+        for fault in schedule.crashes_at(self._now):
+            agent_id = fault.agent_id
+            if agent_id in self._crashed:  # pragma: no cover - validated
+                raise SimulationError(f"agent {agent_id!r} is already down")
+            if fault.restart_slot is not None and (
+                fault.mode is RestartMode.CHECKPOINT
+            ):
+                self._checkpoints[agent_id] = self._agents[agent_id].snapshot()
+            self._crashed.add(agent_id)
+            self._crash_slot[agent_id] = self._now
+            self._crash_count += 1
+            self._purge_messages_to(agent_id)
+            if observing:
+                self._obs.metrics.counter("sim.crashes").inc()
+                self._obs.emit(
+                    "sim.crash",
+                    slot=self._now,
+                    agent=agent_id,
+                    restart_slot=fault.restart_slot,
+                    mode=fault.mode.value,
+                )
+        for fault in schedule.restarts_at(self._now):
+            agent_id = fault.agent_id
+            self._crashed.discard(agent_id)
+            if fault.mode is RestartMode.CHECKPOINT:
+                state = self._checkpoints.pop(agent_id)
+            else:
+                state = self._pristine[agent_id]
+            self._agents[agent_id].restore(state)
+            down = self._now - self._crash_slot[agent_id]
+            self._recovery_slots.append(down)
+            self._restart_count += 1
+            if observing:
+                self._obs.metrics.counter("sim.restarts").inc()
+                self._obs.metrics.histogram("sim.recovery_slots").observe(down)
+                self._obs.emit(
+                    "sim.restart",
+                    slot=self._now,
+                    agent=agent_id,
+                    mode=fault.mode.value,
+                    down_slots=down,
+                )
+        if observing:
+            for partition in schedule.partitions_starting_at(self._now):
+                self._obs.metrics.counter("sim.partitions").inc()
+                self._obs.emit(
+                    "sim.partition",
+                    slot=self._now,
+                    groups=[sorted(group) for group in partition.groups],
+                    end_slot=partition.end_slot,
+                )
+            for partition in schedule.partitions_ending_at(self._now):
+                self._obs.emit(
+                    "sim.partition_healed",
+                    slot=self._now,
+                    groups=[sorted(group) for group in partition.groups],
+                )
 
     def run_slot(self) -> None:
         """Execute one time slot (all agents, in scheduling order)."""
         if self._finished:
             raise SimulationError("simulation already finished")
         self._stepped_this_slot = set()
+        if self._schedule is not None:
+            self._apply_faults()
+        self._bucket_due_messages()
         ctx = SlotContext(now=self._now, rng=self._rng, _send=self._enqueue)
         if self._observing:
             self._run_slot_observed(ctx)
         else:
+            crashed = self._crashed
             for agent in self._order:
-                inbox = self._drain_inbox(agent.agent_id)
-                agent.step(inbox, ctx)
+                if agent.agent_id in crashed:
+                    continue
                 self._stepped_this_slot.add(agent.agent_id)
+                agent.step(self._drain_inbox(agent.agent_id), ctx)
         self._now += 1
 
     def _run_slot_observed(self, ctx: SlotContext) -> None:
@@ -292,12 +511,15 @@ class TimeSlottedSimulator:
         sent0 = self._messages_sent
         delivered0 = self._messages_delivered
         dropped0 = self._messages_dropped
+        crashed = self._crashed
         for agent in self._order:
+            if agent.agent_id in crashed:
+                continue
+            self._stepped_this_slot.add(agent.agent_id)
             inbox = self._drain_inbox(agent.agent_id)
             started = time.perf_counter()
             agent.step(inbox, ctx)
             step_hist.observe(time.perf_counter() - started)
-            self._stepped_this_slot.add(agent.agent_id)
         inflight = len(self._queue)
         sent = self._messages_sent - sent0
         delivered = self._messages_delivered - delivered0
@@ -321,20 +543,59 @@ class TimeSlottedSimulator:
             )
 
     def is_quiescent(self) -> bool:
-        """All agents done and no messages in flight."""
-        return not self._queue and all(a.is_done() for a in self._order)
+        """All agents done and no messages in flight.
 
-    def run(self, max_slots: int = 100_000) -> int:
+        Under a fault schedule, three extra conditions: pending node
+        events (a crash or restart yet to fire) keep the simulation
+        running; an agent that is down but will restart blocks quiescence
+        (it may act again); an agent that is down forever does not -- it
+        is gone, and the market settles without it.
+        """
+        if self._queue or any(self._slot_inboxes.values()):
+            return False
+        if self._schedule is not None:
+            if self._now <= self._schedule.last_node_event_slot:
+                return False
+            # Past the last event every remaining crashed agent is
+            # permanently gone; the population quiesces without them.
+            return all(
+                a.is_done()
+                for a in self._order
+                if a.agent_id not in self._crashed
+            )
+        return all(a.is_done() for a in self._order)
+
+    def run(self, max_slots: int = 100_000, on_timeout: str = "raise") -> int:
         """Run until quiescence; returns the number of slots executed.
+
+        Parameters
+        ----------
+        max_slots:
+            Slot budget.
+        on_timeout:
+            ``"raise"`` (default): failing to quiesce within ``max_slots``
+            raises -- a protocol that cannot terminate is a bug, not a
+            result.  ``"stop"``: stop stepping instead and mark
+            :attr:`timed_out`; callers (e.g. the degraded-result path of
+            ``run_distributed_matching``) then salvage what the agents
+            agreed on so far.
 
         Raises
         ------
         SimulationError
-            If the protocol fails to quiesce within ``max_slots`` slots.
+            If the protocol fails to quiesce within ``max_slots`` slots
+            and ``on_timeout="raise"``.
         """
+        if on_timeout not in ("raise", "stop"):
+            raise SimulationError(
+                f"on_timeout must be 'raise' or 'stop', got {on_timeout!r}"
+            )
         with self._obs.span("simulator.run"):
             while not self.is_quiescent():
                 if self._now >= max_slots:
+                    if on_timeout == "stop":
+                        self._timed_out = True
+                        break
                     busy = [a.agent_id for a in self._order if not a.is_done()]
                     raise SimulationError(
                         f"no quiescence after {max_slots} slots; "
@@ -344,11 +605,21 @@ class TimeSlottedSimulator:
                 self.run_slot()
         self._finished = True
         if self._observing:
-            self._obs.emit(
-                "sim.done",
+            fields = dict(
                 slots=self._now,
                 messages_sent=self._messages_sent,
                 messages_delivered=self._messages_delivered,
                 messages_dropped=self._messages_dropped,
             )
+            if self._timed_out:
+                fields["timed_out"] = True
+            self._obs.emit("sim.done", **fields)
+            if self._schedule is not None:
+                self._obs.emit(
+                    "sim.fault_summary",
+                    crashes=self._crash_count,
+                    restarts=self._restart_count,
+                    messages_lost_to_crash=self._messages_lost_to_crash,
+                    recovery_slots=list(self._recovery_slots),
+                )
         return self._now

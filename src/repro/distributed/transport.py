@@ -177,6 +177,46 @@ class ReliableAgent(Agent):
             and not any(self._holdback.values())
         )
 
+    # ------------------------------------------------------------------
+    # Crash/restart support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpoint transport state *and* the inner agent's state.
+
+        The sequence counters, unacknowledged send buffer and receive-side
+        dedup/hold-back state are all part of the checkpoint: a restarted
+        agent resumes retransmitting exactly the frames its peers never
+        acknowledged, and keeps deduplicating frames its pre-crash self
+        already delivered.  (Amnesiac restart is deliberately unsupported
+        under ARQ -- sequence numbers reborn at zero are indistinguishable
+        from duplicates; see :class:`~repro.distributed.faults.RestartMode`.)
+        """
+        return {
+            "next_seq": dict(self._next_seq),
+            "pending": [
+                (p.destination, p.frame, p.last_sent) for p in self._pending
+            ],
+            "delivered_up_to": dict(self._delivered_up_to),
+            "holdback": {
+                sender: dict(held) for sender, held in self._holdback.items()
+            },
+            "retransmissions": self._retransmissions,
+            "inner": self.inner.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._next_seq = dict(state["next_seq"])
+        self._pending = [
+            _PendingFrame(destination=destination, frame=frame, last_sent=last_sent)
+            for destination, frame, last_sent in state["pending"]
+        ]
+        self._delivered_up_to = dict(state["delivered_up_to"])
+        self._holdback = {
+            sender: dict(held) for sender, held in state["holdback"].items()
+        }
+        self._retransmissions = state["retransmissions"]
+        self.inner.restore(state["inner"])
+
 
 def wrap_reliable(
     agents: List[Agent], retransmit_interval: int = 4

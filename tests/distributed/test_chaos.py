@@ -1,0 +1,626 @@
+"""Chaos tests: node crashes, recoveries and partitions under load.
+
+Kernel-level tests drive tiny snapshot-capable toy agents through crash /
+restart / partition schedules; the end-to-end tests inject faults into the
+full matching protocol (over a lossy network with the ARQ transport) and
+check the acceptance contract: checkpoint-restarted populations
+re-converge to an interference-free matching, and unrecoverable
+partitions degrade to a safety-validated partial matching instead of
+raising.
+
+The ``SPECTRUM_CHAOS_SEED`` environment variable offsets every seed used
+here; CI runs the file across several values so fault-injection
+nondeterminism regressions surface on PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.distributed.faults import (
+    CrashFault,
+    FaultSchedule,
+    MessageFault,
+    PartitionFault,
+    PartitionedNetwork,
+    RestartMode,
+)
+from repro.distributed.messages import Message
+from repro.distributed.network import DelayedNetwork, LossyNetwork
+from repro.distributed.protocol import run_distributed_matching
+from repro.distributed.simulator import Agent, TimeSlottedSimulator
+from repro.distributed.transition import default_policy
+from repro.errors import SimulationError
+from repro.obs import JsonlEventSink, MetricsRegistry, Recorder
+from repro.workloads.scenarios import paper_simulation_market, toy_example_market
+
+#: CI offsets this to run the whole file under several seed families.
+BASE_SEED = int(os.environ.get("SPECTRUM_CHAOS_SEED", "0"))
+
+
+# ----------------------------------------------------------------------
+# Toy agents with checkpoint support
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Tick(Message):
+    value: int
+
+
+class Pinger(Agent):
+    """Sends one Tick per slot to ``target`` until the budget runs out."""
+
+    def __init__(self, agent_id: str, target: str, budget: int) -> None:
+        super().__init__(agent_id, priority=0)
+        self.target = target
+        self.budget = budget
+
+    def step(self, inbox, ctx):
+        if self.budget > 0:
+            ctx.send(self.target, Tick(self.agent_id, self.budget))
+            self.budget -= 1
+
+    def is_done(self):
+        return self.budget == 0
+
+    def snapshot(self):
+        return {"budget": self.budget}
+
+    def restore(self, state):
+        self.budget = state["budget"]
+
+
+class Collector(Agent):
+    def __init__(self, agent_id: str = "collector") -> None:
+        super().__init__(agent_id, priority=1)
+        self.received: List[int] = []
+
+    def step(self, inbox, ctx):
+        for message in inbox:
+            self.received.append(message.value)
+
+    def is_done(self):
+        return True
+
+    def snapshot(self):
+        return {"received": list(self.received)}
+
+    def restore(self, state):
+        self.received = list(state["received"])
+
+
+class NoSnapshot(Agent):
+    def step(self, inbox, ctx):
+        pass
+
+    def is_done(self):
+        return True
+
+
+# ----------------------------------------------------------------------
+# Schedule validation
+# ----------------------------------------------------------------------
+class TestFaultScheduleValidation:
+    def test_restart_must_follow_crash(self):
+        with pytest.raises(SimulationError):
+            CrashFault("a", crash_slot=5, restart_slot=5)
+
+    def test_negative_crash_slot_rejected(self):
+        with pytest.raises(SimulationError):
+            CrashFault("a", crash_slot=-1)
+
+    def test_overlapping_crash_windows_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultSchedule(
+                crashes=[
+                    CrashFault("a", crash_slot=2, restart_slot=10),
+                    CrashFault("a", crash_slot=6, restart_slot=12),
+                ]
+            )
+
+    def test_crash_after_permanent_crash_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultSchedule(
+                crashes=[
+                    CrashFault("a", crash_slot=2),
+                    CrashFault("a", crash_slot=9, restart_slot=12),
+                ]
+            )
+
+    def test_sequential_crash_windows_allowed(self):
+        schedule = FaultSchedule(
+            crashes=[
+                CrashFault("a", crash_slot=2, restart_slot=5),
+                CrashFault("a", crash_slot=5, restart_slot=9),
+            ]
+        )
+        assert schedule.last_node_event_slot == 9
+
+    def test_partition_overlapping_groups_rejected(self):
+        with pytest.raises(SimulationError):
+            PartitionFault(
+                groups=(frozenset({"a", "b"}), frozenset({"b"})), start_slot=0
+            )
+
+    def test_partition_window_rejected(self):
+        with pytest.raises(SimulationError):
+            PartitionFault(groups=(frozenset({"a"}),), start_slot=4, end_slot=4)
+
+    def test_message_fault_validation(self):
+        with pytest.raises(SimulationError):
+            MessageFault(message_types=("Tick",), action="mangle")
+        with pytest.raises(SimulationError):
+            MessageFault(message_types=("Tick",), action="delay", delay=0)
+        with pytest.raises(SimulationError):
+            MessageFault(message_types=())
+
+    def test_unknown_agent_rejected_at_simulator(self):
+        schedule = FaultSchedule(crashes=[CrashFault("ghost", crash_slot=1)])
+        with pytest.raises(SimulationError):
+            TimeSlottedSimulator([Collector()], fault_schedule=schedule)
+
+    def test_empty_schedule_is_empty(self):
+        assert FaultSchedule().empty
+        assert not FaultSchedule(
+            crashes=[CrashFault("a", crash_slot=0)]
+        ).empty
+
+
+# ----------------------------------------------------------------------
+# Kernel crash semantics
+# ----------------------------------------------------------------------
+class TestKernelCrashSemantics:
+    def test_messages_to_crashed_agent_are_lost_and_counted(self):
+        pinger = Pinger("pinger", "collector", budget=8)
+        collector = Collector()
+        schedule = FaultSchedule(
+            crashes=[CrashFault("collector", crash_slot=2, restart_slot=5)]
+        )
+        sim = TimeSlottedSimulator(
+            [pinger, collector], fault_schedule=schedule
+        )
+        sim.run()
+        # Ticks sent in slots 2-4 (values 6, 5, 4) hit a dead host.
+        assert collector.received == [8, 7, 3, 2, 1]
+        assert sim.messages_lost_to_crash == 3
+        assert sim.messages_dropped == 0
+        assert sim.crashes == 1
+        assert sim.restarts == 1
+        assert sim.recovery_slots == (3,)
+
+    def test_crashed_agent_is_not_stepped(self):
+        pinger = Pinger("pinger", "collector", budget=6)
+        collector = Collector()
+        schedule = FaultSchedule(
+            crashes=[CrashFault("pinger", crash_slot=2, restart_slot=4)]
+        )
+        sim = TimeSlottedSimulator([pinger, collector], fault_schedule=schedule)
+        sim.run()
+        # Checkpoint restart: the budget countdown resumes where it stopped.
+        assert collector.received == [6, 5, 4, 3, 2, 1]
+        assert sim.messages_lost_to_crash == 0
+
+    def test_amnesiac_restart_forgets_progress(self):
+        pinger = Pinger("pinger", "collector", budget=3)
+        collector = Collector()
+        schedule = FaultSchedule(
+            crashes=[
+                CrashFault(
+                    "pinger",
+                    crash_slot=2,
+                    restart_slot=4,
+                    mode=RestartMode.AMNESIA,
+                )
+            ]
+        )
+        sim = TimeSlottedSimulator([pinger, collector], fault_schedule=schedule)
+        sim.run()
+        # Two ticks pre-crash, then the full pristine budget again.
+        assert collector.received == [3, 2, 3, 2, 1]
+
+    def test_in_flight_messages_purged_at_crash(self):
+        pinger = Pinger("pinger", "collector", budget=2)
+        collector = Collector()
+        schedule = FaultSchedule(crashes=[CrashFault("collector", crash_slot=2)])
+        sim = TimeSlottedSimulator(
+            [pinger, collector],
+            network=DelayedNetwork(3, 3),
+            fault_schedule=schedule,
+        )
+        sim.run()
+        # Both ticks were still in flight (delivery slots 3 and 4) when the
+        # collector died at slot 2: purged from the queue, not delivered.
+        assert collector.received == []
+        assert sim.messages_lost_to_crash == 2
+        assert sim.messages_delivered == 0
+
+    def test_permanent_crash_does_not_block_quiescence(self):
+        pinger = Pinger("pinger", "collector", budget=5)
+        collector = Collector()
+        schedule = FaultSchedule(crashes=[CrashFault("pinger", crash_slot=2)])
+        sim = TimeSlottedSimulator([pinger, collector], fault_schedule=schedule)
+        sim.run(max_slots=50)  # would raise if the dead pinger blocked it
+        assert not pinger.is_done()  # still had budget when it died
+        assert sim.crashed_agents == ("pinger",)
+        assert collector.received == [5, 4]
+
+    def test_pending_restart_blocks_quiescence(self):
+        # Everyone is idle long before slot 20, but the restart at 20 must
+        # still fire (the pinger has budget left to spend afterwards).
+        pinger = Pinger("pinger", "collector", budget=4)
+        collector = Collector()
+        schedule = FaultSchedule(
+            crashes=[CrashFault("pinger", crash_slot=2, restart_slot=20)]
+        )
+        sim = TimeSlottedSimulator([pinger, collector], fault_schedule=schedule)
+        slots = sim.run()
+        assert slots >= 22
+        assert collector.received == [4, 3, 2, 1]
+
+    def test_snapshotless_agent_cannot_restart(self):
+        schedule = FaultSchedule(
+            crashes=[CrashFault("x", crash_slot=1, restart_slot=3)]
+        )
+        sim = TimeSlottedSimulator([NoSnapshot("x")], fault_schedule=schedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_slots=10)
+
+    def test_timeout_stop_mode_marks_timed_out(self):
+        class Restless(Agent):
+            def step(self, inbox, ctx):
+                pass
+
+            def is_done(self):
+                return False
+
+        sim = TimeSlottedSimulator([Restless("r")])
+        slots = sim.run(max_slots=7, on_timeout="stop")
+        assert slots == 7
+        assert sim.timed_out
+
+    def test_invalid_on_timeout_rejected(self):
+        sim = TimeSlottedSimulator([Collector()])
+        with pytest.raises(SimulationError):
+            sim.run(on_timeout="shrug")
+
+
+# ----------------------------------------------------------------------
+# Partitions and targeted message faults
+# ----------------------------------------------------------------------
+class TestPartitionedNetwork:
+    def run_partitioned(self, schedule, budget=6):
+        pinger = Pinger("pinger", "collector", budget=budget)
+        collector = Collector()
+        sim = TimeSlottedSimulator(
+            [pinger, collector], fault_schedule=schedule
+        )
+        sim.run(max_slots=100)
+        return sim, collector
+
+    def test_cross_group_messages_dropped_during_window(self):
+        schedule = FaultSchedule(
+            partitions=[
+                PartitionFault(
+                    groups=(frozenset({"pinger"}), frozenset({"collector"})),
+                    start_slot=2,
+                    end_slot=4,
+                )
+            ]
+        )
+        sim, collector = self.run_partitioned(schedule)
+        assert collector.received == [6, 5, 2, 1]  # slots 2-3 lost
+        assert isinstance(sim.network, PartitionedNetwork)
+        assert sim.network.partition_drops == 2
+        assert sim.messages_dropped == 2
+
+    def test_implicit_remainder_group(self):
+        # Only the pinger is named; the collector lands in the implicit
+        # remainder group, so the two are separated all the same.
+        schedule = FaultSchedule(
+            partitions=[
+                PartitionFault(
+                    groups=(frozenset({"pinger"}),), start_slot=0, end_slot=2
+                )
+            ]
+        )
+        _, collector = self.run_partitioned(schedule, budget=4)
+        assert collector.received == [2, 1]
+
+    def test_same_group_messages_flow(self):
+        schedule = FaultSchedule(
+            partitions=[
+                PartitionFault(
+                    groups=(frozenset({"pinger", "collector"}),),
+                    start_slot=0,
+                    end_slot=50,
+                )
+            ]
+        )
+        sim, collector = self.run_partitioned(schedule, budget=4)
+        assert collector.received == [4, 3, 2, 1]
+        assert sim.network.partition_drops == 0
+
+    def test_targeted_drop_by_message_type(self):
+        schedule = FaultSchedule(
+            message_faults=[
+                MessageFault(
+                    message_types=("Tick",), start_slot=1, end_slot=3
+                )
+            ]
+        )
+        sim, collector = self.run_partitioned(schedule, budget=5)
+        assert collector.received == [5, 2, 1]  # slots 1-2 filtered
+        assert sim.network.targeted_drops == 2
+
+    def test_targeted_delay_defers_delivery(self):
+        schedule = FaultSchedule(
+            message_faults=[
+                MessageFault(
+                    message_types=("Tick",),
+                    start_slot=0,
+                    end_slot=2,
+                    action="delay",
+                    delay=5,
+                )
+            ]
+        )
+        sim, collector = self.run_partitioned(schedule, budget=3)
+        # Delayed ticks (slots 0-1) arrive after the on-time one (slot 2).
+        assert collector.received == [1, 3, 2]
+        assert sim.messages_dropped == 0
+
+    def test_route_without_endpoints_rejected(self):
+        network = PartitionedNetwork(FaultSchedule())
+        with pytest.raises(SimulationError):
+            network.route(0, np.random.default_rng(0))
+
+
+# ----------------------------------------------------------------------
+# End to end: the matching protocol under chaos
+# ----------------------------------------------------------------------
+def crash_schedule():
+    """The acceptance scenario: >=2 buyers and >=1 seller crash mid-run
+    (during Stage I; the default rule transitions at slot MN=30) and
+    restart from checkpoints well before the transition deadline."""
+    return FaultSchedule(
+        crashes=[
+            CrashFault("buyer:0", crash_slot=5, restart_slot=12),
+            CrashFault("buyer:3", crash_slot=6, restart_slot=14),
+            CrashFault("seller:1", crash_slot=7, restart_slot=15),
+        ]
+    )
+
+
+class TestChaosEndToEnd:
+    @pytest.mark.parametrize("trial", range(3))
+    def test_crash_recovery_reconverges(self, trial):
+        seed = BASE_SEED * 10 + trial
+        market = paper_simulation_market(
+            10, 3, np.random.default_rng([77, seed])
+        )
+        reference = run_distributed_matching(market, policy=default_policy())
+        chaotic = run_distributed_matching(
+            market,
+            policy=default_policy(),
+            network=LossyNetwork(0.2),
+            seed=seed,
+            reliable_transport=True,
+            fault_schedule=crash_schedule(),
+            max_slots=100_000,
+        )
+        assert chaotic.status == "converged"
+        assert chaotic.matching.is_interference_free(market.interference)
+        assert chaotic.crashes == 3
+        assert chaotic.restarts == 3
+        assert len(chaotic.recovery_slots) == 3
+        assert chaotic.messages_lost_to_crash > 0
+        # Checkpoint restart + ARQ retransmission recover every lost
+        # handshake before the deadline, so the run re-converges fully.
+        # Crash timing can still shift which proposal a seller sees first
+        # and select a *different* (occasionally even better) Nash
+        # outcome, so assert the contract, not byte equality: same number
+        # of buyers served at near-identical welfare.
+        assert (
+            chaotic.matching.num_matched()
+            == reference.matching.num_matched()
+        )
+        assert chaotic.social_welfare >= 0.9 * reference.social_welfare
+        assert chaotic.view_divergences == 0
+
+    # The partition-branch tests pin their market: whether a buyer/seller
+    # split even matters depends on the market (a market where every buyer
+    # lands her top channel before the split legitimately converges), and
+    # these tests assert the timeout *branch*, which needs a known-stuck
+    # instance.  Fault-timing nondeterminism is covered by the seed-varied
+    # crash tests above.
+    def test_unrecoverable_partition_degrades(self):
+        market = paper_simulation_market(
+            10, 3, np.random.default_rng([78, 0])
+        )
+        schedule = FaultSchedule(
+            partitions=[
+                PartitionFault(
+                    groups=(
+                        frozenset(f"buyer:{j}" for j in range(10)),
+                        frozenset(f"seller:{i}" for i in range(3)),
+                    ),
+                    start_slot=4,  # never heals
+                )
+            ]
+        )
+        result = run_distributed_matching(
+            market,
+            policy=default_policy(),
+            fault_schedule=schedule,
+            deadline_slots=150,
+            on_timeout="degrade",
+        )
+        assert result.status == "degraded"
+        assert result.slots == 150
+        assert result.matching.is_interference_free(market.interference)
+        assert result.partition_drops > 0
+        # Slots 0-3 completed at least one full propose/accept round.
+        assert result.matching.num_matched() > 0
+
+    def test_unrecoverable_partition_raises_without_degrade(self):
+        market = paper_simulation_market(
+            10, 3, np.random.default_rng([78, 0])
+        )
+        schedule = FaultSchedule(
+            partitions=[
+                PartitionFault(
+                    groups=(
+                        frozenset(f"buyer:{j}" for j in range(10)),
+                        frozenset(f"seller:{i}" for i in range(3)),
+                    ),
+                    start_slot=4,
+                )
+            ]
+        )
+        with pytest.raises(SimulationError):
+            run_distributed_matching(
+                market,
+                policy=default_policy(),
+                fault_schedule=schedule,
+                deadline_slots=150,
+            )
+
+    def test_invalid_on_timeout_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            run_distributed_matching(
+                toy_example_market(), on_timeout="explode"
+            )
+
+    def test_amnesiac_buyer_reenters_via_invitation_path(self):
+        """An amnesiac buyer forgets her match; she re-proposes from
+        scratch, gets rejected by transitioned sellers, exhausts Stage I
+        and re-enters through transfer applications / invitations."""
+        market = toy_example_market()
+        schedule = FaultSchedule(
+            crashes=[
+                CrashFault(
+                    "buyer:1",
+                    crash_slot=3,
+                    restart_slot=20,  # past the MN=15 transition deadline
+                    mode=RestartMode.AMNESIA,
+                )
+            ]
+        )
+        result = run_distributed_matching(
+            market,
+            policy=default_policy(),
+            fault_schedule=schedule,
+            max_slots=10_000,
+        )
+        assert result.status == "converged"
+        assert result.matching.is_interference_free(market.interference)
+        assert result.crashes == 1 and result.restarts == 1
+
+    def test_total_blackout_window_then_recovery(self):
+        """A loss_rate=1.0 window expressed as a targeted DataFrame/Ack
+        blackout: ARQ rides it out and the matching still converges."""
+        market = toy_example_market()
+        schedule = FaultSchedule(
+            message_faults=[
+                MessageFault(
+                    message_types=("DataFrame", "AckFrame"),
+                    start_slot=4,
+                    end_slot=10,
+                )
+            ]
+        )
+        reference = run_distributed_matching(market, policy=default_policy())
+        result = run_distributed_matching(
+            market,
+            policy=default_policy(),
+            reliable_transport=True,
+            fault_schedule=schedule,
+            max_slots=50_000,
+        )
+        assert result.status == "converged"
+        assert result.matching == reference.matching
+        assert result.partition_drops > 0
+
+
+# ----------------------------------------------------------------------
+# Observability of fault paths
+# ----------------------------------------------------------------------
+class TestFaultObservability:
+    def test_fault_events_and_recovery_histogram_in_trace(self, tmp_path):
+        trace = tmp_path / "chaos.jsonl"
+        market = paper_simulation_market(
+            8, 3, np.random.default_rng([79, BASE_SEED])
+        )
+        schedule = FaultSchedule(
+            crashes=[CrashFault("buyer:2", crash_slot=3, restart_slot=9)],
+            partitions=[
+                PartitionFault(
+                    groups=(frozenset({"buyer:0"}),), start_slot=2, end_slot=6
+                )
+            ],
+        )
+        recorder = Recorder(
+            events=JsonlEventSink(str(trace)), metrics=MetricsRegistry()
+        )
+        with recorder:
+            run_distributed_matching(
+                market,
+                policy=default_policy(),
+                network=LossyNetwork(0.1),
+                seed=BASE_SEED,
+                reliable_transport=True,
+                fault_schedule=schedule,
+                recorder=recorder,
+                max_slots=100_000,
+            )
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        by_type = {}
+        for event in events:
+            by_type.setdefault(event["event"], []).append(event)
+        assert by_type["sim.crash"][0]["agent"] == "buyer:2"
+        restart = by_type["sim.restart"][0]
+        assert restart["agent"] == "buyer:2" and restart["down_slots"] == 6
+        assert by_type["sim.partition"][0]["groups"] == [["buyer:0"]]
+        assert "sim.partition_healed" in by_type
+        summary = by_type["sim.fault_summary"][0]
+        assert summary["crashes"] == 1 and summary["restarts"] == 1
+        assert summary["recovery_slots"] == [6]
+        run_end = by_type["distributed.run_end"][0]
+        assert run_end["status"] == "converged"
+        # The recovery-time histogram lives in the metrics registry too.
+        snapshot = recorder.metrics.snapshot()
+        histogram = snapshot["histograms"]["sim.recovery_slots"]
+        assert histogram["count"] == 1
+
+    def test_disabled_recorder_fault_free_parity(self):
+        """Fault-free runs stay byte-identical to the pre-chaos kernel:
+        no schedule, no recorder, same matching / slots / traffic as a
+        fully observed run, and zeroed fault accounting."""
+        market = paper_simulation_market(
+            8, 3, np.random.default_rng([80, BASE_SEED])
+        )
+        bare = run_distributed_matching(market, policy=default_policy())
+        observed_recorder = Recorder(metrics=MetricsRegistry())
+        observed = run_distributed_matching(
+            market, policy=default_policy(), recorder=observed_recorder
+        )
+        empty_schedule = run_distributed_matching(
+            market, policy=default_policy(), fault_schedule=FaultSchedule()
+        )
+        for other in (observed, empty_schedule):
+            assert other.matching == bare.matching
+            assert other.slots == bare.slots
+            assert other.messages_sent == bare.messages_sent
+            assert other.messages_delivered == bare.messages_delivered
+        assert bare.status == "converged"
+        assert bare.crashes == 0 and bare.restarts == 0
+        assert bare.messages_lost_to_crash == 0
+        assert bare.partition_drops == 0
+        assert bare.view_divergences == 0

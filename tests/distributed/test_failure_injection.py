@@ -22,9 +22,15 @@ from repro.workloads.scenarios import paper_simulation_market, toy_example_marke
 class TestLossyNetwork:
     def test_loss_rate_validation(self):
         with pytest.raises(SimulationError):
-            LossyNetwork(loss_rate=1.0)
+            LossyNetwork(loss_rate=1.1)
         with pytest.raises(SimulationError):
             LossyNetwork(loss_rate=-0.1)
+
+    def test_total_blackout_drops_everything(self):
+        """loss_rate=1.0 is legal: it expresses a total-blackout window."""
+        network = LossyNetwork(loss_rate=1.0)
+        rng = np.random.default_rng(0)
+        assert all(network.route(0, rng) is None for _ in range(100))
 
     def test_zero_loss_behaves_like_reliable(self):
         market = toy_example_market()

@@ -118,11 +118,100 @@ class TestExtensionCommands:
         assert out.count("PASS") == 8
 
 
+class TestChaosCommand:
+    def test_crash_spec_parsing(self):
+        from repro.distributed.faults import RestartMode
+
+        args = build_parser().parse_args(
+            ["chaos", "--crash", "buyer:3@10-25/amnesia",
+             "--crash", "seller:1@8"]
+        )
+        first, second = args.crash
+        assert first.agent_id == "buyer:3"
+        assert (first.crash_slot, first.restart_slot) == (10, 25)
+        assert first.mode is RestartMode.AMNESIA
+        assert second.restart_slot is None
+        assert second.mode is RestartMode.CHECKPOINT
+
+    def test_partition_spec_parsing(self):
+        args = build_parser().parse_args(
+            ["chaos", "--partition", "buyer:0,buyer:1|rest@5-20"]
+        )
+        fault = args.partition[0]
+        assert fault.groups == (frozenset({"buyer:0", "buyer:1"}),)
+        assert (fault.start_slot, fault.end_slot) == (5, 20)
+
+    def test_bad_specs_rejected(self, capsys):
+        for bad in ["buyer:0", "buyer:0@x", "buyer:0@5-2", "a@3/sleepy"]:
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["chaos", "--crash", bad])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--partition", "a,b"])
+        capsys.readouterr()  # swallow argparse usage noise
+
+    def test_crash_recovery_run(self, capsys):
+        assert (
+            main(
+                ["chaos", "--buyers", "10", "--sellers", "3", "--seed", "1",
+                 "--loss", "0.2",
+                 "--crash", "buyer:0@5-12",
+                 "--crash", "buyer:3@6-14",
+                 "--crash", "seller:1@7-15"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "status=converged" in out
+        assert "crashes=3 restarts=3" in out
+        assert "matches fault-free outcome: True" in out
+
+    def test_degraded_partition_run(self, capsys):
+        buyers = ",".join(f"buyer:{j}" for j in range(10))
+        assert (
+            main(
+                ["chaos", "--partition", f"{buyers}|rest@4",
+                 "--deadline-slots", "150", "--on-timeout", "degrade"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "status=degraded" in out
+        assert "partition_drops=" in out
+
+    def test_timeout_raise_reports_failure(self, capsys):
+        buyers = ",".join(f"buyer:{j}" for j in range(10))
+        assert (
+            main(
+                ["chaos", "--partition", f"{buyers}|rest@4",
+                 "--deadline-slots", "150", "--on-timeout", "raise"]
+            )
+            == 1
+        )
+        assert "run aborted" in capsys.readouterr().out
+
+    def test_trace_contains_fault_events(self, tmp_path, capsys):
+        path = tmp_path / "chaos.jsonl"
+        assert (
+            main(
+                ["chaos", "--buyers", "8", "--sellers", "3",
+                 "--crash", "buyer:2@3-9", "--trace-out", str(path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        kinds = collections.Counter(
+            json.loads(line).get("event") for line in path.read_text().splitlines()
+        )
+        assert kinds["sim.crash"] == 1
+        assert kinds["sim.restart"] == 1
+        assert kinds["sim.fault_summary"] == 1
+
+
 class TestObservabilityFlags:
     def test_every_subcommand_accepts_trace_flags(self):
         parser = build_parser()
         for command in ["toy", "counterexample", "fig6", "distributed",
-                        "swaps", "dynamic", "report"]:
+                        "chaos", "swaps", "dynamic", "report"]:
             args = parser.parse_args([command, "--trace-out", "x.jsonl",
                                       "--metrics"])
             assert args.trace_out == "x.jsonl"
