@@ -1,6 +1,6 @@
 # Convenience targets for the spectrum-matching reproduction.
 
-.PHONY: install test bench trace figures examples clean
+.PHONY: install test bench perf perf-check trace figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -12,6 +12,16 @@ test:
 
 bench:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest benchmarks/ --benchmark-only
+
+# Regenerate the perf baselines (BENCH_kernels.json / BENCH_sweep.json).
+perf:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python benchmarks/perf_harness.py
+
+# Fresh perf run into a scratch dir, compared against the baselines;
+# fails on >25% regression.
+perf-check:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python benchmarks/perf_harness.py --output-dir /tmp/spectrum-bench
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python benchmarks/compare_perf.py /tmp/spectrum-bench
 
 # Observability demo: replay the paper's toy example while streaming the
 # JSONL event trace (manifest first) and printing the metrics summary.

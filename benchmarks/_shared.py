@@ -32,6 +32,17 @@ from repro.obs import (
 #: Environment variable naming the metrics-dump directory (unset = off).
 METRICS_DIR_ENV = "SPECTRUM_BENCH_METRICS_DIR"
 
+#: Environment variable selecting the sweep worker count (unset = serial).
+#: Results are worker-count independent, so this is excluded from the
+#: ``stage_rows`` cache key on purpose.
+JOBS_ENV = "SPECTRUM_BENCH_JOBS"
+
+
+def bench_jobs() -> "int | None":
+    """Worker count requested via ``SPECTRUM_BENCH_JOBS`` (None = serial)."""
+    raw = os.environ.get(JOBS_ENV)
+    return int(raw) if raw else None
+
 
 # Bounded: the suite only ever asks for 3 panels x (bench, CLI-scaled)
 # repetition counts, but an unbounded cache would pin every panel's row
@@ -42,9 +53,12 @@ METRICS_DIR_ENV = "SPECTRUM_BENCH_METRICS_DIR"
 def stage_rows(panel: str, repetitions: int, seed: int = 0) -> Tuple[ExperimentRow, ...]:
     """Run (or fetch cached) Fig. 7/8 panel data."""
     spec = figure_spec(7, panel)
+    jobs = bench_jobs()
     metrics_dir = os.environ.get(METRICS_DIR_ENV)
     if not metrics_dir:
-        return tuple(run_figure(spec, repetitions=repetitions, seed=seed))
+        return tuple(
+            run_figure(spec, repetitions=repetitions, seed=seed, jobs=jobs)
+        )
 
     os.makedirs(metrics_dir, exist_ok=True)
     stem = os.path.join(metrics_dir, f"fig78_{panel}_r{repetitions}_s{seed}")
@@ -58,7 +72,9 @@ def stage_rows(panel: str, repetitions: int, seed: int = 0) -> Tuple[ExperimentR
         spans=SpanTracer(),
     )
     with recorder, use_recorder(recorder):
-        rows = tuple(run_figure(spec, repetitions=repetitions, seed=seed))
+        rows = tuple(
+            run_figure(spec, repetitions=repetitions, seed=seed, jobs=jobs)
+        )
     with open(f"{stem}.metrics.json", "w", encoding="utf-8") as handle:
         json.dump(recorder.metrics.snapshot(), handle, indent=2)
     return rows

@@ -1,0 +1,138 @@
+"""Compare a fresh perf-harness run against the committed baselines.
+
+Usage::
+
+    python benchmarks/compare_perf.py CURRENT_DIR [--baseline-dir DIR]
+                                      [--threshold 0.25] [--ratios-only]
+
+Reads every ``BENCH_*.json`` present in both directories and fails
+(exit 1) when the current run regresses:
+
+* absolute mode (default): any ``median_s`` more than ``threshold``
+  slower than its baseline counterpart fails.  Use this on the machine
+  that produced the baseline.
+* ``--ratios-only``: only the machine-independent *ratios* are checked
+  (kernel ``speedup`` must not shrink by more than ``threshold``;
+  ``identical_matching`` / ``identical_rows`` must still hold).  Use
+  this in CI, where the runner's absolute speed differs from the
+  machine that committed the baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterator, List, Optional, Tuple
+
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+
+#: (report file, dotted path) pairs of the absolute timings to guard.
+_MEDIAN_PATHS = {
+    "BENCH_kernels.json": ("fast.median_s", "reference.median_s"),
+    "BENCH_sweep.json": ("serial.median_s", "parallel.median_s"),
+}
+
+#: Ratio keys that must not shrink, and boolean keys that must hold.
+_RATIO_KEYS = {"BENCH_kernels.json": "speedup", "BENCH_sweep.json": None}
+_INVARIANT_KEYS = {
+    "BENCH_kernels.json": "identical_matching",
+    "BENCH_sweep.json": "identical_rows",
+}
+
+
+def _load(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _dig(report: Dict[str, object], dotted: str) -> float:
+    node: object = report
+    for key in dotted.split("."):
+        node = node[key]  # type: ignore[index]
+    return float(node)  # type: ignore[arg-type]
+
+
+def _check_report(
+    name: str,
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float,
+    ratios_only: bool,
+) -> Iterator[str]:
+    """Yield human-readable failure lines for one report pair."""
+    invariant = _INVARIANT_KEYS.get(name)
+    if invariant is not None and not current.get(invariant, False):
+        yield f"{name}: invariant {invariant!r} is no longer true"
+    ratio_key = _RATIO_KEYS.get(name)
+    if ratio_key is not None:
+        base_ratio = float(baseline[ratio_key])
+        cur_ratio = float(current[ratio_key])
+        floor = base_ratio * (1.0 - threshold)
+        if cur_ratio < floor:
+            yield (
+                f"{name}: {ratio_key} fell {base_ratio:.2f}x -> "
+                f"{cur_ratio:.2f}x (floor {floor:.2f}x)"
+            )
+    if ratios_only:
+        return
+    for dotted in _MEDIAN_PATHS.get(name, ()):
+        base_s = _dig(baseline, dotted)
+        cur_s = _dig(current, dotted)
+        ceiling = base_s * (1.0 + threshold)
+        if cur_s > ceiling:
+            yield (
+                f"{name}: {dotted} regressed {base_s:.4f}s -> {cur_s:.4f}s "
+                f"(ceiling {ceiling:.4f}s, +{(cur_s / base_s - 1) * 100:.0f}%)"
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current_dir", help="directory with the fresh BENCH_*.json")
+    parser.add_argument("--baseline-dir", default=BASELINE_DIR)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--ratios-only",
+        action="store_true",
+        help="check machine-independent ratios/invariants only (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    compared = 0
+    for name in sorted(_MEDIAN_PATHS):
+        base_path = os.path.join(args.baseline_dir, name)
+        cur_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(base_path) or not os.path.exists(cur_path):
+            continue
+        compared += 1
+        failures.extend(
+            _check_report(
+                name,
+                _load(base_path),
+                _load(cur_path),
+                args.threshold,
+                args.ratios_only,
+            )
+        )
+    if not compared:
+        print("compare_perf: no overlapping BENCH_*.json reports found", file=sys.stderr)
+        return 2
+    if failures:
+        for line in failures:
+            print(f"REGRESSION {line}")
+        return 1
+    mode = "ratios-only" if args.ratios_only else f"threshold {args.threshold:.0%}"
+    print(f"compare_perf: {compared} report(s) within bounds ({mode})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

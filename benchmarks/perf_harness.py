@@ -1,0 +1,221 @@
+"""Performance-regression harness for the matching kernels and sweeps.
+
+Produces two machine-readable artefacts (median-of-N wall-clock numbers
+plus the observability layer's own ``stage1.mwis_solve_s`` timer totals):
+
+* ``BENCH_kernels.json`` -- Stage I (deferred acceptance) on the
+  ``bench_scalability`` large market, bitset kernels vs the set-based
+  reference path (``SPECTRUM_FAST_KERNELS=0``), including a check that
+  the two paths produced the identical matching.
+* ``BENCH_sweep.json`` -- a Fig. 7-style sweep run serially vs through
+  the parallel runner, proving the ``--jobs`` path and recording its
+  overhead/speedup on this machine.
+
+Run ``python benchmarks/perf_harness.py`` to regenerate both next to the
+committed baselines in ``benchmarks/baselines/``; pass ``--quick`` for
+the CI smoke variant (small market, fewer runs) and ``--output-dir`` to
+write elsewhere.  ``benchmarks/compare_perf.py`` diffs a fresh run
+against the baselines and fails on regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.experiments import SweepAxis, stage_breakdown_series
+from repro.core.deferred_acceptance import deferred_acceptance
+from repro.interference.bitset import FAST_KERNELS_ENV
+from repro.obs import MetricsRegistry, Recorder, use_recorder
+from repro.workloads.scenarios import paper_simulation_market
+
+#: Default home of the committed baseline artefacts.
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+
+#: The bench_scalability large market (same parameters as
+#: ``benchmarks/bench_scalability.py``), used for the full kernels bench.
+FULL_MARKET = dict(num_buyers=2000, num_channels=20, rng_seed=[700, 2000])
+QUICK_MARKET = dict(num_buyers=400, num_channels=8, rng_seed=[700, 400])
+
+
+def _build_market(params: Dict[str, object]):
+    rng = np.random.default_rng(params["rng_seed"])
+    return paper_simulation_market(
+        params["num_buyers"], params["num_channels"], rng
+    )
+
+
+def _timed_runs(
+    fn: Callable[[], object], runs: int
+) -> Tuple[List[float], List[object]]:
+    """Wall-clock each call to ``fn``; return (times, return values)."""
+    times: List[float] = []
+    outputs: List[object] = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        outputs.append(fn())
+        times.append(time.perf_counter() - start)
+    return times, outputs
+
+
+def _stage1_once(market, fast: bool) -> Tuple[object, float]:
+    """One recorded Stage-I run; returns (result, mwis timer total_s)."""
+    os.environ[FAST_KERNELS_ENV] = "1" if fast else "0"
+    registry = MetricsRegistry()
+    try:
+        with use_recorder(Recorder(metrics=registry)):
+            result = deferred_acceptance(market, record_trace=False)
+    finally:
+        os.environ.pop(FAST_KERNELS_ENV, None)
+    timers = registry.snapshot()["timers"]
+    return result, timers.get("stage1.mwis_solve_s", {}).get("total_s", 0.0)
+
+
+def _coalitions(market, result) -> Dict[int, Tuple[int, ...]]:
+    return {
+        channel: tuple(sorted(result.matching.coalition(channel)))
+        for channel in range(market.num_channels)
+    }
+
+
+def bench_kernels(quick: bool, runs: int) -> Dict[str, object]:
+    """Stage I fast-vs-reference on the scalability market."""
+    params = QUICK_MARKET if quick else FULL_MARKET
+    market = _build_market(params)
+    sides: Dict[str, Dict[str, object]] = {}
+    matchings = {}
+    for label, fast in (("fast", True), ("reference", False)):
+        mwis_totals: List[float] = []
+        results: List[object] = []
+
+        def run_once() -> object:
+            result, mwis_s = _stage1_once(market, fast)
+            mwis_totals.append(mwis_s)
+            return result
+
+        times, outputs = _timed_runs(run_once, runs)
+        results = outputs
+        matchings[label] = _coalitions(market, results[0])
+        sides[label] = {
+            "median_s": statistics.median(times),
+            "times_s": times,
+            "mwis_solve_median_s": statistics.median(mwis_totals),
+        }
+    fast_median = sides["fast"]["median_s"]
+    return {
+        "benchmark": "kernels",
+        "quick": quick,
+        "runs": runs,
+        "market": params,
+        "fast": sides["fast"],
+        "reference": sides["reference"],
+        "speedup": (
+            sides["reference"]["median_s"] / fast_median if fast_median else 0.0
+        ),
+        "identical_matching": matchings["fast"] == matchings["reference"],
+    }
+
+
+def bench_sweep(quick: bool, runs: int, jobs: int) -> Dict[str, object]:
+    """A Fig. 7-style stage-breakdown sweep, serial vs parallel runner."""
+    if quick:
+        sweep = dict(values=(2, 3), num_buyers=60, repetitions=2, seed=0)
+    else:
+        sweep = dict(values=(4, 8), num_buyers=300, repetitions=4, seed=0)
+
+    def run(jobs_arg: Optional[int]):
+        return stage_breakdown_series(
+            SweepAxis.SELLERS,
+            sweep["values"],
+            num_buyers=sweep["num_buyers"],
+            repetitions=sweep["repetitions"],
+            seed=sweep["seed"],
+            jobs=jobs_arg,
+        )
+
+    serial_times, serial_rows = _timed_runs(lambda: run(None), runs)
+    parallel_times, parallel_rows = _timed_runs(lambda: run(jobs), runs)
+    serial_median = statistics.median(serial_times)
+    parallel_median = statistics.median(parallel_times)
+    return {
+        "benchmark": "sweep",
+        "quick": quick,
+        "runs": runs,
+        "jobs": jobs,
+        "sweep": {k: list(v) if isinstance(v, tuple) else v for k, v in sweep.items()},
+        "serial": {"median_s": serial_median, "times_s": serial_times},
+        "parallel": {"median_s": parallel_median, "times_s": parallel_times},
+        "parallel_speedup": (
+            serial_median / parallel_median if parallel_median else 0.0
+        ),
+        "identical_rows": serial_rows[0] == parallel_rows[0],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small market + fewer runs (CI smoke variant)",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="timed runs per measurement (default: 5, or 3 with --quick)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker count for the parallel sweep measurement (default 2)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=BASELINE_DIR,
+        help=f"where to write BENCH_*.json (default {BASELINE_DIR})",
+    )
+    parser.add_argument(
+        "--only",
+        choices=["kernels", "sweep"],
+        default=None,
+        help="run just one benchmark",
+    )
+    args = parser.parse_args(argv)
+    runs = args.runs if args.runs is not None else (3 if args.quick else 5)
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    meta = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+    reports = {}
+    if args.only in (None, "kernels"):
+        reports["BENCH_kernels.json"] = {**bench_kernels(args.quick, runs), **{"env": meta}}
+    if args.only in (None, "sweep"):
+        reports["BENCH_sweep.json"] = {**bench_sweep(args.quick, runs, args.jobs), **{"env": meta}}
+    for name, report in reports.items():
+        path = os.path.join(args.output_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        headline = (
+            f"speedup {report['speedup']:.2f}x"
+            if "speedup" in report
+            else f"parallel {report['parallel_speedup']:.2f}x"
+        )
+        print(f"{path}: {headline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,14 +18,17 @@ perturbs earlier ones.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.parallel import parallel_map, resolve_jobs
 from repro.analysis.stats import SeriesStats, summarize
 from repro.core.two_stage import run_two_stage
 from repro.errors import SpectrumMatchingError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import Recorder, resolve_recorder, use_recorder
 from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
 from repro.optimal.bruteforce import optimal_matching_bruteforce
 from repro.workloads.scenarios import paper_simulation_market
@@ -111,6 +114,109 @@ def _rng_for(
     return np.random.default_rng([seed, value_index, repetition])
 
 
+@dataclass(frozen=True)
+class _RepetitionTask:
+    """One (sweep value, repetition) unit of work, fully self-describing.
+
+    Instances are plain picklable dataclasses so the identical task can
+    run in the calling process (serial sweeps) or a worker process
+    (``jobs > 1``) -- the rng derivation travels with the task, which is
+    what makes results independent of the worker count.
+    """
+
+    kind: str  # "optimal_comparison" | "stage_breakdown"
+    axis: SweepAxis
+    seed: int
+    value_index: int
+    repetition: int
+    num_buyers: int
+    num_channels: int
+    permutation_level: Optional[int]
+    use_bruteforce: bool = False
+    collect_metrics: bool = False
+
+
+def _run_repetition(task: _RepetitionTask) -> Dict[str, object]:
+    """Execute one repetition and return its measurements as plain floats.
+
+    Shared verbatim by the serial and parallel paths.  When
+    ``task.collect_metrics`` is set (parallel sweeps under a live
+    ambient recorder), the repetition runs under a local, process-private
+    :class:`MetricsRegistry` whose snapshot is returned with the sample
+    for the parent to merge -- per-round *events* are not streamed back
+    (the parent's sink would interleave workers non-deterministically);
+    only metrics cross the process boundary.
+    """
+    rng = _rng_for(task.axis, task.seed, task.value_index, task.repetition)
+    market = paper_simulation_market(
+        task.num_buyers,
+        task.num_channels,
+        rng,
+        permutation_level=task.permutation_level,
+    )
+    out: Dict[str, object] = {}
+    if task.permutation_level is not None:
+        out["srcc"] = average_pairwise_srcc(market.utilities)
+    if task.collect_metrics:
+        registry = MetricsRegistry()
+        with use_recorder(Recorder(metrics=registry)):
+            result = run_two_stage(market, record_trace=False)
+    else:
+        registry = None
+        result = run_two_stage(market, record_trace=False)
+    if task.kind == "optimal_comparison":
+        solve = (
+            optimal_matching_bruteforce
+            if task.use_bruteforce
+            else optimal_matching_branch_and_bound
+        )
+        best_welfare = solve(market).social_welfare(market.utilities)
+        out["proposed"] = result.social_welfare
+        out["optimal"] = best_welfare
+        out["ratio"] = (
+            result.social_welfare / best_welfare if best_welfare > 0 else 1.0
+        )
+    elif task.kind == "stage_breakdown":
+        out["welfare_stage1"] = result.welfare_stage1
+        out["welfare_phase1"] = result.welfare_phase1
+        out["welfare_phase2"] = result.welfare_phase2
+        out["rounds_stage1"] = float(result.rounds_stage1)
+        out["rounds_phase1"] = float(result.rounds_phase1)
+        out["rounds_phase2"] = float(result.rounds_phase2)
+    else:  # pragma: no cover - guarded by the series functions
+        raise SpectrumMatchingError(f"unknown task kind {task.kind!r}")
+    if registry is not None:
+        out["metrics"] = registry.snapshot()
+    return out
+
+
+def _run_tasks(
+    tasks: List[_RepetitionTask], jobs: Optional[int]
+) -> List[Dict[str, object]]:
+    """Run a task list serially or across workers, merging worker metrics.
+
+    The serial path (``resolve_jobs(jobs) == 1``) executes in-process
+    under the ambient recorder, byte-identical to the historical sweeps.
+    The parallel path asks workers to collect local metric snapshots iff
+    the ambient metrics registry is live, then merges them in submission
+    order so parallel and serial runs report the same aggregate metrics.
+    """
+    worker_count = resolve_jobs(jobs)
+    if worker_count == 1:
+        return [_run_repetition(task) for task in tasks]
+    recorder = resolve_recorder(None)
+    collect = recorder.metrics.enabled
+    if collect:
+        tasks = [
+            dataclass_replace(task, collect_metrics=True) for task in tasks
+        ]
+    results = parallel_map(_run_repetition, tasks, jobs=worker_count)
+    if collect:
+        for sample in results:
+            recorder.metrics.merge(sample.pop("metrics"))
+    return results
+
+
 def optimal_comparison_series(
     axis: SweepAxis,
     values: Sequence[float],
@@ -119,6 +225,7 @@ def optimal_comparison_series(
     repetitions: int = 50,
     seed: int = 0,
     use_bruteforce: bool = False,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentRow]:
     """Fig. 6: proposed algorithm vs exact optimal matching.
 
@@ -140,37 +247,42 @@ def optimal_comparison_series(
         Solve the optimum by raw enumeration (the paper's footnote-4
         method) instead of branch and bound.  Same answers, slower; kept
         selectable for the cross-validation tests.
+    jobs:
+        Worker processes (``None``/1 serial, 0 = all cores).  Results are
+        identical for every worker count; see
+        :mod:`repro.analysis.parallel`.
     """
-    solve = (
-        optimal_matching_bruteforce if use_bruteforce else optimal_matching_branch_and_bound
-    )
-    rows: List[ExperimentRow] = []
+    tasks: List[_RepetitionTask] = []
+    params: List[tuple] = []
     for value_index, value in enumerate(values):
         n, m, level = _market_params(axis, value, num_buyers, num_channels)
-        proposed: List[float] = []
-        optimal: List[float] = []
-        ratios: List[float] = []
-        srccs: List[float] = []
+        params.append((value, level))
         for rep in range(repetitions):
-            rng = _rng_for(axis, seed, value_index, rep)
-            market = paper_simulation_market(n, m, rng, permutation_level=level)
-            if level is not None:
-                srccs.append(average_pairwise_srcc(market.utilities))
-            result = run_two_stage(market, record_trace=False)
-            best = solve(market)
-            best_welfare = best.social_welfare(market.utilities)
-            proposed.append(result.social_welfare)
-            optimal.append(best_welfare)
-            ratios.append(
-                result.social_welfare / best_welfare if best_welfare > 0 else 1.0
+            tasks.append(
+                _RepetitionTask(
+                    kind="optimal_comparison",
+                    axis=axis,
+                    seed=seed,
+                    value_index=value_index,
+                    repetition=rep,
+                    num_buyers=n,
+                    num_channels=m,
+                    permutation_level=level,
+                    use_bruteforce=use_bruteforce,
+                )
             )
+    samples = _run_tasks(tasks, jobs)
+    rows: List[ExperimentRow] = []
+    for value_index, (value, level) in enumerate(params):
+        chunk = samples[value_index * repetitions : (value_index + 1) * repetitions]
+        srccs = [s["srcc"] for s in chunk if "srcc" in s]
         rows.append(
             ExperimentRow(
                 x=float(value),
                 series={
-                    "welfare_proposed": summarize(proposed),
-                    "welfare_optimal": summarize(optimal),
-                    "welfare_ratio": summarize(ratios),
+                    "welfare_proposed": summarize([s["proposed"] for s in chunk]),
+                    "welfare_optimal": summarize([s["optimal"] for s in chunk]),
+                    "welfare_ratio": summarize([s["ratio"] for s in chunk]),
                 },
                 measured_srcc=float(np.mean(srccs)) if srccs else None,
             )
@@ -185,6 +297,7 @@ def stage_breakdown_series(
     num_channels: Optional[int] = None,
     repetitions: int = 10,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentRow]:
     """Figs. 7 and 8: per-stage welfare and running time on large markets.
 
@@ -192,36 +305,46 @@ def stage_breakdown_series(
     ``welfare_stage1`` / ``welfare_phase1`` / ``welfare_phase2`` (Fig. 7)
     and the per-stage round counts ``rounds_stage1`` / ``rounds_phase1`` /
     ``rounds_phase2`` (Fig. 8) from the *same* runs, since the paper's two
-    figures are two views of one experiment.
+    figures are two views of one experiment.  ``jobs`` selects the worker
+    count exactly as in :func:`optimal_comparison_series`.
     """
-    rows: List[ExperimentRow] = []
+    _SERIES = (
+        "welfare_stage1",
+        "welfare_phase1",
+        "welfare_phase2",
+        "rounds_stage1",
+        "rounds_phase1",
+        "rounds_phase2",
+    )
+    tasks: List[_RepetitionTask] = []
+    params: List[tuple] = []
     for value_index, value in enumerate(values):
         n, m, level = _market_params(axis, value, num_buyers, num_channels)
-        samples: Dict[str, List[float]] = {
-            "welfare_stage1": [],
-            "welfare_phase1": [],
-            "welfare_phase2": [],
-            "rounds_stage1": [],
-            "rounds_phase1": [],
-            "rounds_phase2": [],
-        }
-        srccs: List[float] = []
+        params.append((value, level))
         for rep in range(repetitions):
-            rng = _rng_for(axis, seed, value_index, rep)
-            market = paper_simulation_market(n, m, rng, permutation_level=level)
-            if level is not None:
-                srccs.append(average_pairwise_srcc(market.utilities))
-            result = run_two_stage(market, record_trace=False)
-            samples["welfare_stage1"].append(result.welfare_stage1)
-            samples["welfare_phase1"].append(result.welfare_phase1)
-            samples["welfare_phase2"].append(result.welfare_phase2)
-            samples["rounds_stage1"].append(float(result.rounds_stage1))
-            samples["rounds_phase1"].append(float(result.rounds_phase1))
-            samples["rounds_phase2"].append(float(result.rounds_phase2))
+            tasks.append(
+                _RepetitionTask(
+                    kind="stage_breakdown",
+                    axis=axis,
+                    seed=seed,
+                    value_index=value_index,
+                    repetition=rep,
+                    num_buyers=n,
+                    num_channels=m,
+                    permutation_level=level,
+                )
+            )
+    samples = _run_tasks(tasks, jobs)
+    rows: List[ExperimentRow] = []
+    for value_index, (value, level) in enumerate(params):
+        chunk = samples[value_index * repetitions : (value_index + 1) * repetitions]
+        srccs = [s["srcc"] for s in chunk if "srcc" in s]
         rows.append(
             ExperimentRow(
                 x=float(value),
-                series={name: summarize(data) for name, data in samples.items()},
+                series={
+                    name: summarize([s[name] for s in chunk]) for name in _SERIES
+                },
                 measured_srcc=float(np.mean(srccs)) if srccs else None,
             )
         )

@@ -161,6 +161,7 @@ def run_figure(
     seed: int = 0,
     values: Optional[Sequence[float]] = None,
     recorder: Optional[Recorder] = None,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentRow]:
     """Execute a panel's experiment and return its rows.
 
@@ -169,7 +170,9 @@ def run_figure(
     spec.  ``recorder`` (``None`` resolves to the ambient recorder) frames
     the sweep with a ``figure`` span, announces it with a ``figure.start``
     event and emits one ``figure.row`` event per x-axis point with the
-    aggregated series means.
+    aggregated series means.  ``jobs`` fans repetitions out over worker
+    processes (``None``/1 serial, 0 = all cores) with results identical
+    to the serial run; see :mod:`repro.analysis.parallel`.
     """
     reps = spec.default_repetitions if repetitions is None else repetitions
     xs = tuple(spec.values if values is None else values)
@@ -193,6 +196,7 @@ def run_figure(
                 num_channels=spec.num_channels,
                 repetitions=reps,
                 seed=seed,
+                jobs=jobs,
             )
         elif spec.kind == "stage_breakdown":
             rows = stage_breakdown_series(
@@ -202,6 +206,7 @@ def run_figure(
                 num_channels=spec.num_channels,
                 repetitions=reps,
                 seed=seed,
+                jobs=jobs,
             )
         else:
             raise SpectrumMatchingError(

@@ -1,0 +1,95 @@
+"""Process-based parallel execution for Monte-Carlo sweeps.
+
+The experiment sweeps of Figs. 6-8 repeat an embarrassingly parallel
+unit -- *build one seeded market, run the two-stage algorithm, report a
+handful of floats* -- hundreds of times.  This module runs those units
+across worker processes while preserving the serial path's exact
+results:
+
+* **Seed stability.**  Tasks carry their full rng derivation
+  ``[seed, value_index, repetition]`` (see
+  :func:`repro.analysis.experiments._rng_for`), so a repetition computes
+  the identical market no matter which worker runs it or how many
+  workers exist.
+* **Deterministic ordering.**  :func:`parallel_map` returns results in
+  *submission* order, not completion order, so downstream aggregation
+  (``summarize`` over the repetition list) sees the same sequence as a
+  serial run.
+* **Clean failure.**  A worker that raises -- or dies outright, breaking
+  the pool -- surfaces as :class:`~repro.errors.ParallelExecutionError`
+  in the parent with the worker-side error attached; pending work is
+  cancelled rather than left to hang.
+
+Worker functions and their arguments must be picklable (module-level
+functions and plain dataclasses), which is why
+:mod:`repro.analysis.experiments` factors its per-repetition work into
+module-level task functions shared by the serial and parallel paths.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.errors import ParallelExecutionError, SpectrumMatchingError
+
+__all__ = ["resolve_jobs", "parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` request to a concrete worker count.
+
+    ``None`` and ``1`` mean serial (run in the calling process);
+    ``0`` means "use every core" (``os.cpu_count()``); any other
+    positive integer is taken literally.  Negative counts are rejected.
+    """
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise SpectrumMatchingError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    jobs: Optional[int] = None,
+) -> List[_R]:
+    """Apply ``fn`` to every item, optionally across worker processes.
+
+    With ``resolve_jobs(jobs) == 1`` this is a plain in-process list
+    comprehension -- byte-identical behaviour to the historical serial
+    sweeps, ambient recorder included.  Otherwise items are submitted to
+    a :class:`~concurrent.futures.ProcessPoolExecutor` and the results
+    are collected in submission order.
+
+    Raises
+    ------
+    ParallelExecutionError
+        If any worker raises or the pool breaks (worker killed).  The
+        original exception is chained as ``__cause__``; remaining
+        futures are cancelled first so the call never hangs.
+    """
+    worker_count = resolve_jobs(jobs)
+    if worker_count == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    results: List[_R] = []
+    with ProcessPoolExecutor(max_workers=min(worker_count, len(items))) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        try:
+            for future in futures:
+                results.append(future.result())
+        except BaseException as exc:
+            for future in futures:
+                future.cancel()
+            raise ParallelExecutionError(
+                f"parallel sweep worker failed: {exc!r}"
+            ) from exc
+    return results

@@ -163,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         fig_parser.add_argument("--seed", type=int, default=0)
         fig_parser.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes for the sweep (default: serial; 0 = all cores)",
+        )
+        fig_parser.add_argument(
             "--csv", action="store_true", help="emit CSV instead of a table"
         )
         fig_parser.add_argument(
@@ -330,7 +336,9 @@ def _build_recorder(args: argparse.Namespace) -> Recorder:
 
 def _cmd_figure(figure: int, args: argparse.Namespace) -> int:
     spec = figure_spec(figure, args.panel)
-    rows = run_figure(spec, repetitions=args.repetitions, seed=args.seed)
+    rows = run_figure(
+        spec, repetitions=args.repetitions, seed=args.seed, jobs=args.jobs
+    )
     series = {6: _FIG6_SERIES, 7: _FIG7_SERIES, 8: _FIG8_SERIES}[figure]
     x_label = spec.axis.value
     include_srcc = spec.axis.value == "similarity"

@@ -73,3 +73,13 @@ class ObservabilityError(SpectrumMatchingError):
     Raised for metric-name/kind collisions, malformed histogram buckets,
     or events that cannot be reconstructed from their serialised form.
     """
+
+
+class ParallelExecutionError(SpectrumMatchingError):
+    """A parallel sweep worker failed.
+
+    Raised by :mod:`repro.analysis.parallel` when a worker process raises
+    or dies (e.g. killed by the OS).  The message carries the original
+    worker-side error so the failure surfaces cleanly in the parent
+    instead of hanging the sweep or losing the traceback.
+    """

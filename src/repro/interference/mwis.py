@@ -25,7 +25,16 @@ MWIS-ablation benchmark:
 All solvers operate on an induced subset of an
 :class:`~repro.interference.graph.InterferenceGraph` so sellers can restrict
 the search to their current candidate pool, and all break ties
-deterministically (by buyer index) so simulation runs are reproducible.
+deterministically (strictly-greater score wins, equal scores go to the
+smallest buyer index) so simulation runs are reproducible.
+
+GWMIN and GWMIN2 each have two implementations: the set-based reference
+loops in this module and the bitmask kernels of
+:mod:`repro.interference.bitset`, selected by the ``SPECTRUM_FAST_KERNELS``
+environment variable (on by default; ``SPECTRUM_FAST_KERNELS=0`` forces
+the reference path).  The two paths return identical coalitions -- the
+differential property suite asserts element-for-element equality on
+random graphs -- so the toggle is purely a performance knob.
 """
 
 from __future__ import annotations
@@ -34,6 +43,13 @@ import enum
 from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import SolverError, SolverLimitExceeded
+from repro.interference.bitset import (
+    fast_kernels_enabled,
+    induced_masks,
+    mask_of,
+    mwis_gwmin2_bits,
+    mwis_gwmin_bits,
+)
 from repro.interference.graph import InterferenceGraph
 
 __all__ = [
@@ -103,30 +119,66 @@ def gwmin_lower_bound(
     return sum(weights[j] / (len(adjacency[j]) + 1.0) for j in adjacency)
 
 
+def _argmax_remaining(
+    remaining: List[int], score_of: Callable[[int], float]
+) -> int:
+    """Deterministic argmax: strictly-greater score wins, ties go to the
+    smallest buyer index.
+
+    ``remaining`` must be in ascending index order; scanning it front to
+    back and advancing only on a strict improvement realises the
+    tie-break rule explicitly (the historical ``max(..., key=(score,
+    -j))`` encoded the same rule, but only implicitly through tuple
+    comparison of a float and a negated index).
+    """
+    best = remaining[0]
+    best_score = score_of(best)
+    for j in remaining[1:]:
+        s = score_of(j)
+        if s > best_score:
+            best, best_score = j, s
+    return best
+
+
 def _greedy_select(
     graph: InterferenceGraph,
     weights: Mapping[int, float],
     nodes: Iterable[int],
     score: Callable[[int, Dict[int, Set[int]]], float],
 ) -> List[int]:
-    """Shared select-and-remove loop for GWMIN / GWMIN2."""
+    """Shared set-based select-and-remove loop (GWMIN reference path)."""
     adjacency = _induced_adjacency(graph, nodes)
     _validate_weights(weights, adjacency)
     chosen: List[int] = []
-    remaining = set(adjacency)
+    remaining = sorted(adjacency)
     while remaining:
-        # Highest score wins; ties broken by smallest buyer index for
-        # reproducibility across runs and platforms.
-        best = max(remaining, key=lambda j: (score(j, adjacency), -j))
+        best = _argmax_remaining(remaining, lambda j: score(j, adjacency))
         chosen.append(best)
         removed = {best} | adjacency[best]
-        remaining -= removed
+        remaining = [j for j in remaining if j not in removed]
         for j in removed:
             for k in adjacency[j]:
                 adjacency[k].discard(j)
             del adjacency[j]
     chosen.sort()
     return chosen
+
+
+def _fast_pool(
+    graph: InterferenceGraph,
+    weights: Mapping[int, float],
+    nodes: Iterable[int],
+) -> Tuple[List[int], Dict[int, int]]:
+    """Validate ``nodes`` and build (pool, induced bitmasks) for a kernel."""
+    node_set = set(nodes)
+    for j in node_set:
+        # Same bounds check (and error type) the set-based path performs
+        # through graph.neighbors().
+        graph._check_node(j)
+    _validate_weights(weights, node_set)
+    pool = sorted(node_set)
+    induced = induced_masks(graph.adjacency_bits, pool, mask_of(pool))
+    return pool, induced
 
 
 def mwis_greedy_gwmin(
@@ -136,8 +188,13 @@ def mwis_greedy_gwmin(
 ) -> List[int]:
     """GWMIN greedy MWIS on the subgraph induced by ``nodes``.
 
-    Returns the selected buyers in ascending index order.
+    Returns the selected buyers in ascending index order.  Dispatches to
+    the bitmask kernel unless ``SPECTRUM_FAST_KERNELS=0``; both paths
+    return the identical coalition.
     """
+    if fast_kernels_enabled():
+        pool, induced = _fast_pool(graph, weights, nodes)
+        return mwis_gwmin_bits(weights, pool, induced)
 
     def score(j: int, adjacency: Dict[int, Set[int]]) -> float:
         return weights[j] / (len(adjacency[j]) + 1.0)
@@ -150,17 +207,50 @@ def mwis_greedy_gwmin2(
     weights: Mapping[int, float],
     nodes: Iterable[int],
 ) -> List[int]:
-    """GWMIN2 greedy MWIS (closed-neighbourhood weight ratio scoring)."""
+    """GWMIN2 greedy MWIS (closed-neighbourhood weight ratio scoring).
 
-    def score(j: int, adjacency: Dict[int, Set[int]]) -> float:
-        closed_weight = weights[j] + sum(weights[k] for k in adjacency[j])
-        if closed_weight <= 0.0:
+    Dispatches to the bitmask kernel unless ``SPECTRUM_FAST_KERNELS=0``.
+    Both paths maintain each node's closed-neighbourhood weight with the
+    same floating-point operation sequence (ascending-index initial sum,
+    per-removal decrements), so their outputs are identical coalitions.
+    """
+    if fast_kernels_enabled():
+        pool, induced = _fast_pool(graph, weights, nodes)
+        return mwis_gwmin2_bits(weights, pool, induced)
+
+    adjacency = _induced_adjacency(graph, nodes)
+    _validate_weights(weights, adjacency)
+    closed: Dict[int, float] = {}
+    for j in sorted(adjacency):
+        acc = 0.0
+        for k in sorted(adjacency[j]):
+            acc += weights[k]
+        closed[j] = weights[j] + acc
+
+    def score_of(j: int) -> float:
+        if closed[j] <= 0.0:
             # All weights in the closed neighbourhood are zero: the choice
             # is welfare-neutral, any deterministic value works.
             return 0.0
-        return weights[j] / closed_weight
+        return weights[j] / closed[j]
 
-    return _greedy_select(graph, weights, nodes, score)
+    chosen: List[int] = []
+    remaining = sorted(adjacency)
+    while remaining:
+        best = _argmax_remaining(remaining, score_of)
+        chosen.append(best)
+        removed = {best} | adjacency[best]
+        remaining = [j for j in remaining if j not in removed]
+        for r in sorted(removed):
+            for k in sorted(adjacency[r]):
+                if k not in removed:
+                    closed[k] -= weights[r]
+        for j in removed:
+            for k in adjacency[j]:
+                adjacency[k].discard(j)
+            del adjacency[j]
+    chosen.sort()
+    return chosen
 
 
 def mwis_greedy_gwmax(

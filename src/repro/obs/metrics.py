@@ -174,6 +174,8 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
+            "boundaries": list(self.boundaries),
+            "bucket_counts": list(self.bucket_counts),
         }
 
 
@@ -237,6 +239,53 @@ class MetricsRegistry:
             }[type(instrument)]
             out[group][name] = instrument.snapshot()
         return out
+
+    def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by the parallel sweep runner: worker processes record into
+        local registries and the parent merges their snapshots, so a
+        parallel sweep reports the same aggregate metrics as a serial
+        one.  Counters and timers accumulate; gauges adopt the snapshot's
+        value (last-write-wins, in merge order); histograms add bucket
+        counts, which requires identical boundaries.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(float(value))
+        for name, stats in snapshot.get("timers", {}).items():
+            timer = self.timer(name)
+            count = int(stats["count"])
+            if not count:
+                continue
+            timer.count += count
+            timer.total_s += float(stats["total_s"])
+            low, high = float(stats["min_s"]), float(stats["max_s"])
+            timer.min_s = low if timer.min_s is None else min(timer.min_s, low)
+            timer.max_s = high if timer.max_s is None else max(timer.max_s, high)
+        for name, stats in snapshot.get("histograms", {}).items():
+            boundaries = stats.get("boundaries")
+            histogram = self.histogram(
+                name, tuple(boundaries) if boundaries is not None else None
+            )
+            if boundaries is not None and tuple(boundaries) != histogram.boundaries:
+                raise ObservabilityError(
+                    f"histogram {name!r} merge with mismatched boundaries"
+                )
+            count = int(stats["count"])
+            if not count:
+                continue
+            histogram.count += count
+            histogram.total += float(stats["sum"])
+            low, high = float(stats["min"]), float(stats["max"])
+            histogram.min = low if histogram.min is None else min(histogram.min, low)
+            histogram.max = high if histogram.max is None else max(histogram.max, high)
+            bucket_counts = stats.get("bucket_counts")
+            if bucket_counts is not None:
+                for slot, extra in enumerate(bucket_counts):
+                    histogram.bucket_counts[slot] += int(extra)
 
 
 class _NullCounter(Counter):
@@ -308,3 +357,9 @@ class NullMetrics(MetricsRegistry):
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         return {"counters": {}, "gauges": {}, "timers": {}, "histograms": {}}
+
+    def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        # Must stay a no-op: the base implementation mutates timer /
+        # histogram fields directly, which would corrupt the shared
+        # null singletons.
+        pass

@@ -1,0 +1,138 @@
+"""The parallel sweep runner: determinism, merging, and failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    SweepAxis,
+    optimal_comparison_series,
+    stage_breakdown_series,
+)
+from repro.analysis.parallel import parallel_map, resolve_jobs
+from repro.errors import ParallelExecutionError, SpectrumMatchingError
+from repro.obs import MetricsRegistry, Recorder, use_recorder
+
+
+# Worker functions must live at module level to be picklable.
+def _square(x: int) -> int:
+    return x * x
+
+
+def _explode(x: int) -> int:
+    if x == 3:
+        raise ValueError(f"worker saw the poison value {x}")
+    return x
+
+
+class TestResolveJobs:
+    def test_none_and_one_are_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_explicit_count_is_literal(self):
+        assert resolve_jobs(7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(SpectrumMatchingError):
+            resolve_jobs(-2)
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_results_in_submission_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=2) == [x * x for x in items]
+
+    def test_worker_exception_surfaces_as_clean_error(self):
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            parallel_map(_explode, [1, 2, 3, 4], jobs=2)
+        assert "poison value 3" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_serial_path_raises_unwrapped(self):
+        # Serial execution keeps the historical behaviour: the original
+        # exception propagates, nothing is wrapped.
+        with pytest.raises(ValueError):
+            parallel_map(_explode, [3], jobs=1)
+
+
+class TestSweepDeterminism:
+    """Sweeps return identical rows for every worker count."""
+
+    _KW = dict(num_channels=3, repetitions=3, seed=11)
+
+    def test_stage_breakdown_serial_equals_parallel(self):
+        serial = stage_breakdown_series(SweepAxis.BUYERS, [30, 45], **self._KW)
+        parallel = stage_breakdown_series(
+            SweepAxis.BUYERS, [30, 45], jobs=2, **self._KW
+        )
+        assert serial == parallel
+
+    def test_worker_count_independence(self):
+        two = stage_breakdown_series(SweepAxis.BUYERS, [30, 45], jobs=2, **self._KW)
+        three = stage_breakdown_series(SweepAxis.BUYERS, [30, 45], jobs=3, **self._KW)
+        assert two == three
+
+    def test_optimal_comparison_serial_equals_parallel(self):
+        kwargs = dict(num_buyers=6, num_channels=3, repetitions=4, seed=2)
+        serial = optimal_comparison_series(SweepAxis.SIMILARITY, [0.0, 1.0], **kwargs)
+        parallel = optimal_comparison_series(
+            SweepAxis.SIMILARITY, [0.0, 1.0], jobs=2, **kwargs
+        )
+        assert serial == parallel
+        assert serial[0].measured_srcc == parallel[0].measured_srcc
+
+    def test_crash_in_worker_is_a_clean_error(self):
+        # num_channels=0 makes every repetition's market construction
+        # raise inside the worker; the sweep must fail fast with the
+        # library's error type instead of hanging or dying opaquely.
+        with pytest.raises(ParallelExecutionError):
+            stage_breakdown_series(
+                SweepAxis.BUYERS, [10], num_channels=0, repetitions=2, seed=0, jobs=2
+            )
+
+
+class TestMetricsMerging:
+    def test_parallel_sweep_reports_same_counters_as_serial(self):
+        def run(jobs):
+            registry = MetricsRegistry()
+            with use_recorder(Recorder(metrics=registry)):
+                stage_breakdown_series(
+                    SweepAxis.BUYERS, [30], num_channels=3, repetitions=2,
+                    seed=11, jobs=jobs,
+                )
+            return registry.snapshot()
+
+        serial, parallel = run(None), run(2)
+        assert serial["counters"] == parallel["counters"]
+        serial_timers = {
+            name: stats["count"] for name, stats in serial["timers"].items()
+        }
+        parallel_timers = {
+            name: stats["count"] for name, stats in parallel["timers"].items()
+        }
+        assert serial_timers == parallel_timers
+
+    def test_registry_merge_accumulates(self):
+        source = MetricsRegistry()
+        source.counter("a.count").inc(3)
+        source.gauge("a.level").set(1.5)
+        with source.timer("a.time_s"):
+            pass
+        source.histogram("a.dist").observe(0.25)
+        target = MetricsRegistry()
+        target.counter("a.count").inc(1)
+        target.merge(source.snapshot())
+        target.merge(source.snapshot())
+        snapshot = target.snapshot()
+        assert snapshot["counters"]["a.count"] == 7
+        assert snapshot["gauges"]["a.level"] == 1.5
+        assert snapshot["timers"]["a.time_s"]["count"] == 2
+        assert snapshot["histograms"]["a.dist"]["count"] == 2
+        assert sum(snapshot["histograms"]["a.dist"]["bucket_counts"]) == 2
