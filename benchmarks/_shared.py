@@ -15,11 +15,12 @@ from __future__ import annotations
 import json
 import os
 from functools import lru_cache
-from typing import List, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import ExperimentRow
 from repro.analysis.paper_figures import figure_spec, run_figure
 from repro.analysis.reporting import format_experiment_rows
+from repro.engine import Capability, list_solvers
 from repro.obs import (
     JsonlEventSink,
     MetricsRegistry,
@@ -78,6 +79,44 @@ def stage_rows(panel: str, repetitions: int, seed: int = 0) -> Tuple[ExperimentR
     with open(f"{stem}.metrics.json", "w", encoding="utf-8") as handle:
         json.dump(recorder.metrics.snapshot(), handle, indent=2)
     return rows
+
+
+def registry_comparison(
+    markets: Sequence[object],
+    exclude_capabilities: Sequence[object] = (),
+    variants: Optional[Mapping[str, Sequence[Tuple[str, object]]]] = None,
+) -> Dict[str, float]:
+    """Total welfare per registered solver across ``markets``.
+
+    The registry *is* the comparison set: every solver from
+    :func:`repro.engine.list_solvers` is measured unless one of its
+    capabilities appears in ``exclude_capabilities`` (e.g. exclude
+    ``Capability.EXACT`` when the markets exceed the exact solvers' size
+    guards).  Registering a new backend benchmarks it with no change
+    here.
+
+    ``variants`` optionally expands one solver into several labelled
+    runs: a mapping ``name -> [(label_suffix, config), ...]`` where each
+    config is a mapping passed to ``solve`` or a callable
+    ``market_index -> mapping`` (e.g. a per-market seed for the random
+    baseline).
+
+    Returns ``{label: total welfare}`` with ``label`` being the solver
+    name plus the variant suffix.  Bound-only solvers contribute their
+    bound.
+    """
+    excluded = {Capability(cap) for cap in exclude_capabilities}
+    totals: Dict[str, float] = {}
+    for solver in list_solvers():
+        if excluded & set(solver.capabilities):
+            continue
+        for suffix, config in (variants or {}).get(solver.name, [("", None)]):
+            total = 0.0
+            for index, market in enumerate(markets):
+                resolved = config(index) if callable(config) else config
+                total += solver.solve(market, config=resolved).social_welfare
+            totals[solver.name + suffix] = total
+    return totals
 
 
 def print_panel(

@@ -12,10 +12,11 @@ Reads every ``BENCH_*.json`` present in both directories and fails
   slower than its baseline counterpart fails.  Use this on the machine
   that produced the baseline.
 * ``--ratios-only``: only the machine-independent *ratios* are checked
-  (kernel ``speedup`` must not shrink by more than ``threshold``;
-  ``identical_matching`` / ``identical_rows`` must still hold).  Use
-  this in CI, where the runner's absolute speed differs from the
-  machine that committed the baselines.
+  (kernel ``speedup`` must not shrink by more than ``threshold``; the
+  registry dispatch ``overhead`` must stay under its absolute 1.02x
+  ceiling; ``identical_matching`` / ``identical_rows`` must still
+  hold).  Use this in CI, where the runner's absolute speed differs
+  from the machine that committed the baselines.
 """
 
 from __future__ import annotations
@@ -32,14 +33,25 @@ BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
 _MEDIAN_PATHS = {
     "BENCH_kernels.json": ("fast.median_s", "reference.median_s"),
     "BENCH_sweep.json": ("serial.median_s", "parallel.median_s"),
+    "BENCH_dispatch.json": ("direct.median_s", "dispatch.median_s"),
 }
 
 #: Ratio keys that must not shrink, and boolean keys that must hold.
-_RATIO_KEYS = {"BENCH_kernels.json": "speedup", "BENCH_sweep.json": None}
+_RATIO_KEYS = {
+    "BENCH_kernels.json": "speedup",
+    "BENCH_sweep.json": None,
+    "BENCH_dispatch.json": None,
+}
 _INVARIANT_KEYS = {
     "BENCH_kernels.json": "identical_matching",
     "BENCH_sweep.json": "identical_rows",
+    "BENCH_dispatch.json": "identical_matching",
 }
+
+#: Ratio keys with a hard absolute ceiling (checked even in --ratios-only
+#: mode): the engine registry must not add more than 2% dispatch overhead
+#: over calling the backend directly.
+_MAX_RATIO_KEYS = {"BENCH_dispatch.json": ("overhead", 1.02)}
 
 
 def _load(path: str) -> Dict[str, object]:
@@ -74,6 +86,15 @@ def _check_report(
             yield (
                 f"{name}: {ratio_key} fell {base_ratio:.2f}x -> "
                 f"{cur_ratio:.2f}x (floor {floor:.2f}x)"
+            )
+    max_ratio = _MAX_RATIO_KEYS.get(name)
+    if max_ratio is not None:
+        key, ceiling = max_ratio
+        cur_ratio = float(current[key])
+        if cur_ratio > ceiling:
+            yield (
+                f"{name}: {key} {cur_ratio:.3f}x exceeds the "
+                f"{ceiling:.2f}x ceiling"
             )
     if ratios_only:
         return

@@ -22,6 +22,8 @@ Package map
   (Algorithms 1-2), stability checkers.
 * :mod:`repro.interference` -- per-channel conflict graphs and MWIS
   solvers.
+* :mod:`repro.engine` -- the pluggable solver registry: every backend
+  behind one ``get_solver(name).solve(market)`` contract.
 * :mod:`repro.optimal` -- exact optimal-matching solvers and baselines.
 * :mod:`repro.distributed` -- the Section IV message-passing
   implementation with local stage-transition rules.
@@ -83,6 +85,15 @@ from repro.workloads.scenarios import (
     paper_simulation_market,
     physical_market_example,
     toy_example_market,
+)
+from repro import engine
+from repro.engine import (
+    Capability,
+    SolveReport,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solver_names,
 )
 from repro.obs import (
     JsonlEventSink,
@@ -157,6 +168,14 @@ __all__ = [
     "Epoch",
     "OnlineMatcher",
     "RematchStrategy",
+    # solver engine
+    "engine",
+    "Capability",
+    "SolveReport",
+    "get_solver",
+    "list_solvers",
+    "register_solver",
+    "solver_names",
     # workloads
     "toy_example_market",
     "counterexample_market",

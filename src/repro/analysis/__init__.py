@@ -19,6 +19,7 @@ from repro.analysis.stats import SeriesStats, summarize
 from repro.analysis.experiments import (
     ExperimentRow,
     optimal_comparison_series,
+    solver_grid_series,
     stage_breakdown_series,
     SweepAxis,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "summarize",
     "ExperimentRow",
     "optimal_comparison_series",
+    "solver_grid_series",
     "stage_breakdown_series",
     "SweepAxis",
     "format_table",

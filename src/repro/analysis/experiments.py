@@ -18,19 +18,18 @@ perturbs earlier ones.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace as dataclass_replace
-from typing import Dict, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.parallel import parallel_map, resolve_jobs
 from repro.analysis.stats import SeriesStats, summarize
-from repro.core.two_stage import run_two_stage
+from repro.engine.registry import get_solver
 from repro.errors import SpectrumMatchingError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import Recorder, resolve_recorder, use_recorder
-from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
-from repro.optimal.bruteforce import optimal_matching_bruteforce
 from repro.workloads.scenarios import paper_simulation_market
 from repro.workloads.similarity import average_pairwise_srcc
 from repro.workloads.utilities import permutation_level_for_similarity
@@ -40,7 +39,12 @@ __all__ = [
     "ExperimentRow",
     "optimal_comparison_series",
     "stage_breakdown_series",
+    "solver_grid_series",
 ]
+
+#: Registry name of the benchmark solver historically selected by
+#: ``use_bruteforce=False`` (the default exact backend for Fig. 6).
+DEFAULT_OPTIMAL_SOLVER = "branch_and_bound"
 
 
 class SweepAxis(str, enum.Enum):
@@ -124,7 +128,7 @@ class _RepetitionTask:
     what makes results independent of the worker count.
     """
 
-    kind: str  # "optimal_comparison" | "stage_breakdown"
+    kind: str  # "optimal_comparison" | "stage_breakdown" | "solver_grid"
     axis: SweepAxis
     seed: int
     value_index: int
@@ -132,8 +136,49 @@ class _RepetitionTask:
     num_buyers: int
     num_channels: int
     permutation_level: Optional[int]
-    use_bruteforce: bool = False
+    #: Benchmark solver for ``optimal_comparison`` (a registry name).
+    solver: str = DEFAULT_OPTIMAL_SOLVER
+    #: Solvers measured by ``solver_grid`` (registry names).
+    solvers: Tuple[str, ...] = ()
+    #: Optional per-solver config mappings, keyed by registry name.
+    solver_configs: Optional[Dict[str, Dict[str, object]]] = field(
+        default=None, compare=False
+    )
     collect_metrics: bool = False
+
+
+def _measure(task: _RepetitionTask, market, out: Dict[str, object]) -> None:
+    """Run the task's solvers on ``market`` and fill ``out`` with floats.
+
+    Every solve goes through the engine registry -- there is no
+    backend-specific dispatch here; the task carries registry *names*.
+    """
+    if task.kind == "optimal_comparison":
+        proposed = get_solver("two_stage").solve(market)
+        best_welfare = get_solver(task.solver).solve(market).social_welfare
+        out["proposed"] = proposed.social_welfare
+        out["optimal"] = best_welfare
+        out["ratio"] = (
+            proposed.social_welfare / best_welfare if best_welfare > 0 else 1.0
+        )
+    elif task.kind == "stage_breakdown":
+        report = get_solver("two_stage").solve(market)
+        for name in (
+            "welfare_stage1",
+            "welfare_phase1",
+            "welfare_phase2",
+            "rounds_stage1",
+            "rounds_phase1",
+            "rounds_phase2",
+        ):
+            out[name] = float(report.metadata[name])
+    elif task.kind == "solver_grid":
+        configs = task.solver_configs or {}
+        for name in task.solvers:
+            report = get_solver(name).solve(market, config=configs.get(name))
+            out[f"welfare_{name}"] = report.social_welfare
+    else:  # pragma: no cover - guarded by the series functions
+        raise SpectrumMatchingError(f"unknown task kind {task.kind!r}")
 
 
 def _run_repetition(task: _RepetitionTask) -> Dict[str, object]:
@@ -160,33 +205,10 @@ def _run_repetition(task: _RepetitionTask) -> Dict[str, object]:
     if task.collect_metrics:
         registry = MetricsRegistry()
         with use_recorder(Recorder(metrics=registry)):
-            result = run_two_stage(market, record_trace=False)
-    else:
-        registry = None
-        result = run_two_stage(market, record_trace=False)
-    if task.kind == "optimal_comparison":
-        solve = (
-            optimal_matching_bruteforce
-            if task.use_bruteforce
-            else optimal_matching_branch_and_bound
-        )
-        best_welfare = solve(market).social_welfare(market.utilities)
-        out["proposed"] = result.social_welfare
-        out["optimal"] = best_welfare
-        out["ratio"] = (
-            result.social_welfare / best_welfare if best_welfare > 0 else 1.0
-        )
-    elif task.kind == "stage_breakdown":
-        out["welfare_stage1"] = result.welfare_stage1
-        out["welfare_phase1"] = result.welfare_phase1
-        out["welfare_phase2"] = result.welfare_phase2
-        out["rounds_stage1"] = float(result.rounds_stage1)
-        out["rounds_phase1"] = float(result.rounds_phase1)
-        out["rounds_phase2"] = float(result.rounds_phase2)
-    else:  # pragma: no cover - guarded by the series functions
-        raise SpectrumMatchingError(f"unknown task kind {task.kind!r}")
-    if registry is not None:
+            _measure(task, market, out)
         out["metrics"] = registry.snapshot()
+    else:
+        _measure(task, market, out)
     return out
 
 
@@ -217,6 +239,27 @@ def _run_tasks(
     return results
 
 
+def _resolve_optimal_solver(
+    solver: Optional[str], use_bruteforce: Optional[bool]
+) -> str:
+    """Fold the deprecated ``use_bruteforce`` flag into a registry name."""
+    if use_bruteforce is not None:
+        warnings.warn(
+            "use_bruteforce= is deprecated; pass solver='bruteforce' or "
+            "solver='branch_and_bound' instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        mapped = "bruteforce" if use_bruteforce else DEFAULT_OPTIMAL_SOLVER
+        if solver is not None and solver != mapped:
+            raise SpectrumMatchingError(
+                f"conflicting benchmark selection: solver={solver!r} vs "
+                f"use_bruteforce={use_bruteforce!r} (which means {mapped!r})"
+            )
+        return mapped
+    return solver if solver is not None else DEFAULT_OPTIMAL_SOLVER
+
+
 def optimal_comparison_series(
     axis: SweepAxis,
     values: Sequence[float],
@@ -224,8 +267,9 @@ def optimal_comparison_series(
     num_channels: Optional[int] = None,
     repetitions: int = 50,
     seed: int = 0,
-    use_bruteforce: bool = False,
+    use_bruteforce: Optional[bool] = None,
     jobs: Optional[int] = None,
+    solver: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """Fig. 6: proposed algorithm vs exact optimal matching.
 
@@ -244,14 +288,19 @@ def optimal_comparison_series(
     seed:
         Base seed (see module docstring for the derivation scheme).
     use_bruteforce:
-        Solve the optimum by raw enumeration (the paper's footnote-4
-        method) instead of branch and bound.  Same answers, slower; kept
-        selectable for the cross-validation tests.
+        Deprecated -- use ``solver=``.  ``True`` meant the paper's
+        footnote-4 enumeration, ``False`` branch and bound; the flag now
+        warns and maps onto the equivalent registry name.
     jobs:
         Worker processes (``None``/1 serial, 0 = all cores).  Results are
         identical for every worker count; see
         :mod:`repro.analysis.parallel`.
+    solver:
+        Registry name of the benchmark solver to compare against
+        (default ``"branch_and_bound"``; the paper's own method is
+        ``"bruteforce"`` -- same answers, slower).
     """
+    benchmark = _resolve_optimal_solver(solver, use_bruteforce)
     tasks: List[_RepetitionTask] = []
     params: List[tuple] = []
     for value_index, value in enumerate(values):
@@ -268,7 +317,7 @@ def optimal_comparison_series(
                     num_buyers=n,
                     num_channels=m,
                     permutation_level=level,
-                    use_bruteforce=use_bruteforce,
+                    solver=benchmark,
                 )
             )
     samples = _run_tasks(tasks, jobs)
@@ -344,6 +393,86 @@ def stage_breakdown_series(
                 x=float(value),
                 series={
                     name: summarize([s[name] for s in chunk]) for name in _SERIES
+                },
+                measured_srcc=float(np.mean(srccs)) if srccs else None,
+            )
+        )
+    return rows
+
+
+def solver_grid_series(
+    axis: SweepAxis,
+    values: Sequence[float],
+    solvers: Sequence[str],
+    num_buyers: Optional[int] = None,
+    num_channels: Optional[int] = None,
+    repetitions: int = 10,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    solver_configs: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> List[ExperimentRow]:
+    """Sweep any set of registered solvers over one axis.
+
+    The generalisation of :func:`optimal_comparison_series`: every
+    repetition generates one market (same rng derivation as the other
+    sweeps, so grids compose with existing results) and runs *all* of
+    ``solvers`` on it, producing a ``welfare_<name>`` series per solver.
+    New backends join a grid by registry name alone -- no change here.
+
+    Parameters
+    ----------
+    solvers:
+        Registry names to measure (e.g. ``["two_stage", "greedy",
+        "lp_bound"]``).  Unknown names fail fast on the first repetition
+        with the registry's actionable error.
+    solver_configs:
+        Optional per-solver config mappings, keyed by registry name
+        (e.g. ``{"college_admission": {"quota": 4}}``).  Values must be
+        picklable for parallel runs.
+    repetitions / seed / jobs:
+        As in :func:`optimal_comparison_series`.
+    """
+    names = tuple(solvers)
+    if not names:
+        raise SpectrumMatchingError("solver_grid_series needs at least one solver")
+    configs = (
+        {name: dict(cfg) for name, cfg in solver_configs.items()}
+        if solver_configs
+        else None
+    )
+    tasks: List[_RepetitionTask] = []
+    params: List[tuple] = []
+    for value_index, value in enumerate(values):
+        n, m, level = _market_params(axis, value, num_buyers, num_channels)
+        params.append((value, level))
+        for rep in range(repetitions):
+            tasks.append(
+                _RepetitionTask(
+                    kind="solver_grid",
+                    axis=axis,
+                    seed=seed,
+                    value_index=value_index,
+                    repetition=rep,
+                    num_buyers=n,
+                    num_channels=m,
+                    permutation_level=level,
+                    solvers=names,
+                    solver_configs=configs,
+                )
+            )
+    samples = _run_tasks(tasks, jobs)
+    rows: List[ExperimentRow] = []
+    for value_index, (value, level) in enumerate(params):
+        chunk = samples[value_index * repetitions : (value_index + 1) * repetitions]
+        srccs = [s["srcc"] for s in chunk if "srcc" in s]
+        rows.append(
+            ExperimentRow(
+                x=float(value),
+                series={
+                    f"welfare_{name}": summarize(
+                        [s[f"welfare_{name}"] for s in chunk]
+                    )
+                    for name in names
                 },
                 measured_srcc=float(np.mean(srccs)) if srccs else None,
             )

@@ -2,24 +2,28 @@
 
 :func:`evaluate_matching` condenses one matching into the quantities the
 paper reports or that are useful for diagnosing a run: social welfare,
-matched-buyer counts, per-seller revenue, and the stability verdicts of
+matched-buyer counts, per-agent utilities, and the stability verdicts of
 Section III.
+
+The scoring itself lives in the engine's shared validation pipeline
+(:mod:`repro.engine.validation`) -- the same code path behind every
+:class:`~repro.engine.report.SolveReport` -- so analysis numbers can
+never drift from solver-report numbers.  :class:`MatchingReport` is the
+historical name for that pipeline's report and is kept as an alias.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.core.market import SpectrumMarket
 from repro.core.matching import Matching
-from repro.core.stability import (
-    is_individually_rational,
-    is_nash_stable,
-    is_pairwise_stable,
-)
+from repro.engine.validation import ValidationReport, validate_matching
 
 __all__ = ["MatchingReport", "evaluate_matching", "demand_satisfaction"]
+
+#: Historical alias: analysis code predates the engine's validation layer.
+MatchingReport = ValidationReport
 
 
 def demand_satisfaction(market: SpectrumMarket, matching: Matching) -> Dict[int, float]:
@@ -42,71 +46,15 @@ def demand_satisfaction(market: SpectrumMarket, matching: Matching) -> Dict[int,
     }
 
 
-@dataclass(frozen=True)
-class MatchingReport:
-    """A scored matching.
-
-    Attributes
-    ----------
-    social_welfare:
-        Objective (1): total matched price.
-    num_matched / num_buyers:
-        Matched-buyer count and population size.
-    matched_fraction:
-        ``num_matched / num_buyers``.
-    seller_revenue:
-        Per-channel revenue (seller utility).
-    interference_free / individually_rational / nash_stable / pairwise_stable:
-        Feasibility and the stability ladder of Section III.  Note
-        ``pairwise_stable`` is expected ``False`` on many instances -- the
-        paper proves the algorithm does not guarantee it.
-    """
-
-    social_welfare: float
-    num_matched: int
-    num_buyers: int
-    matched_fraction: float
-    seller_revenue: Tuple[float, ...]
-    interference_free: bool
-    individually_rational: bool
-    nash_stable: bool
-    pairwise_stable: bool
-
-
 def evaluate_matching(
     market: SpectrumMarket,
     matching: Matching,
     check_stability: bool = True,
 ) -> MatchingReport:
-    """Score ``matching`` on ``market``.
+    """Score ``matching`` on ``market`` via the shared validation pipeline.
 
     ``check_stability=False`` skips the (O(MN)-ish) stability scans for
-    tight benchmark loops; the three verdicts then report ``False``
-    conservatively only for fields that were actually computed --
-    feasibility is always checked.
+    tight benchmark loops; the three stability verdicts then report
+    ``None`` -- feasibility and welfare are always computed.
     """
-    utilities = market.utilities
-    welfare = matching.social_welfare(utilities)
-    num_matched = matching.num_matched()
-    revenue = tuple(
-        matching.seller_revenue(channel, utilities)
-        for channel in range(market.num_channels)
-    )
-    interference_free = matching.is_interference_free(market.interference)
-    if check_stability:
-        rational = is_individually_rational(market, matching)
-        nash = is_nash_stable(market, matching)
-        pairwise = is_pairwise_stable(market, matching)
-    else:
-        rational = nash = pairwise = False
-    return MatchingReport(
-        social_welfare=welfare,
-        num_matched=num_matched,
-        num_buyers=market.num_buyers,
-        matched_fraction=num_matched / market.num_buyers,
-        seller_revenue=revenue,
-        interference_free=interference_free,
-        individually_rational=rational,
-        nash_stable=nash,
-        pairwise_stable=pairwise,
-    )
+    return validate_matching(market, matching, check_stability)

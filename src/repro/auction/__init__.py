@@ -21,11 +21,16 @@ is exactly the trade-off the paper's introduction describes.
 """
 
 from repro.auction.mcafee import McAfeeOutcome, mcafee_double_auction
-from repro.auction.trust import TrustOutcome, trust_spectrum_auction
+from repro.auction.trust import (
+    TrustOutcome,
+    form_groups_first_fit,
+    trust_spectrum_auction,
+)
 
 __all__ = [
     "McAfeeOutcome",
     "mcafee_double_auction",
     "TrustOutcome",
+    "form_groups_first_fit",
     "trust_spectrum_auction",
 ]

@@ -18,6 +18,12 @@ Commands
     Run the protocol under injected faults -- agent crash/restart
     schedules, network partitions, deadlines with graceful degradation
     (see the Fault model section of ``docs/architecture.md``).
+``solve``
+    Run any registered solver (``--solver NAME``) on a scenario or a
+    random market and print its canonical report.
+``solvers``
+    List the solver registry (``solvers list``), optionally filtered by
+    capability.
 
 Every command additionally accepts ``--trace-out PATH`` (stream a JSONL
 event trace with a run manifest) and ``--metrics`` (print a metrics and
@@ -28,8 +34,9 @@ section of ``docs/architecture.md``.
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -137,6 +144,25 @@ def _parse_partition_spec(spec: str):
             f"bad partition spec {spec!r} "
             f"(expected G1|G2|...@START[-END]): {exc}"
         )
+
+
+def _parse_config_entry(text: str) -> Tuple[str, object]:
+    """Parse one ``--config KEY=VALUE`` pair.
+
+    Values go through :func:`ast.literal_eval` so numbers, booleans and
+    tuples arrive typed (``node_budget=100000``, ``repair=False``);
+    anything that does not parse stays a plain string.
+    """
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"bad config entry {text!r} (expected KEY=VALUE)"
+        )
+    try:
+        parsed: object = ast.literal_eval(value)
+    except (ValueError, SyntaxError):
+        parsed = value
+    return key, parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -295,7 +321,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--seed", type=int, default=0)
 
-    subcommands.extend([dist, chaos, swaps, dyn, report])
+    solve = sub.add_parser(
+        "solve", help="run one registered solver and print its report"
+    )
+    solve.add_argument(
+        "--solver",
+        required=True,
+        metavar="NAME",
+        help="registry name (see 'solvers list')",
+    )
+    solve.add_argument(
+        "--scenario",
+        choices=["paper", "toy", "counterexample"],
+        default="paper",
+        help="market to solve (default: a random paper-workload market)",
+    )
+    solve.add_argument("--buyers", type=int, default=20)
+    solve.add_argument("--sellers", type=int, default=4)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--check-stability",
+        action="store_true",
+        help="also run the stability scans (IR / Nash / pairwise)",
+    )
+    solve.add_argument(
+        "--config",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        type=_parse_config_entry,
+        help=(
+            "solver-specific config entry (repeatable), e.g. "
+            "--config quota=4 --config repair=False"
+        ),
+    )
+
+    solvers = sub.add_parser("solvers", help="inspect the solver registry")
+    solvers.add_argument("action", choices=["list"], help="what to do")
+    solvers.add_argument(
+        "--capability",
+        choices=["exact", "heuristic", "bound_only", "decentralized"],
+        default=None,
+        help="only show solvers with this capability",
+    )
+
+    subcommands.extend([dist, chaos, swaps, dyn, report, solve, solvers])
     for subcommand in subcommands:
         _add_observability_args(subcommand)
     return parser
@@ -687,6 +757,74 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.engine import get_solver
+    from repro.errors import SolverError
+
+    if args.scenario == "toy":
+        market = toy_example_market()
+    elif args.scenario == "counterexample":
+        market = counterexample_market()
+    else:
+        market = paper_simulation_market(
+            args.buyers, args.sellers, np.random.default_rng(args.seed)
+        )
+    _emit_market_created(market, args.scenario)
+    config = dict(args.config)
+    if args.check_stability:
+        config["check_stability"] = True
+    try:
+        solver = get_solver(args.solver)
+        report = solver.solve(market, config=config or None)
+    except SolverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"solver: {report.solver} "
+        f"[{', '.join(sorted(c.value for c in solver.capabilities))}]"
+    )
+    print(
+        f"market: {market.num_buyers} buyers x {market.num_channels} channels "
+        f"({args.scenario})"
+    )
+    print(f"status: {report.status}")
+    if report.matching is None:
+        print(f"bound:  {report.social_welfare:.4f} (no matching produced)")
+    else:
+        print(
+            f"welfare: {report.social_welfare:.4f}  "
+            f"matched: {report.num_matched}/{report.num_buyers} "
+            f"({report.matched_fraction:.0%})"
+        )
+        print(f"interference-free: {report.interference_free}")
+    if args.check_stability and report.matching is not None:
+        print(
+            f"stability: individually_rational={report.individually_rational} "
+            f"nash={report.nash_stable} pairwise={report.pairwise_stable}"
+        )
+    print(f"time: {report.wall_time_s:.4f}s wall, {report.cpu_time_s:.4f}s cpu")
+    if report.metadata:
+        pairs = ", ".join(
+            f"{key}={value}" for key, value in sorted(report.metadata.items())
+        )
+        print(f"metadata: {pairs}")
+    return 0
+
+
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    from repro.engine import list_solvers
+
+    solvers = list_solvers(args.capability)
+    if not solvers:
+        print(f"no registered solver has capability {args.capability!r}")
+        return 0
+    width = max(len(solver.name) for solver in solvers)
+    for solver in solvers:
+        caps = ",".join(sorted(c.value for c in solver.capabilities))
+        print(f"{solver.name:<{width}}  [{caps}]  {solver.description}")
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command in ("fig6", "fig7", "fig8"):
         return _cmd_figure(int(args.command[3]), args)
@@ -704,6 +842,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_dynamic(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "solvers":
+        return _cmd_solvers(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -16,6 +16,7 @@ from repro.core.deferred_acceptance import StageOneResult, deferred_acceptance
 from repro.core.market import SpectrumMarket
 from repro.core.matching import Matching
 from repro.core.transfer_invitation import StageTwoResult, transfer_and_invitation
+from repro.engine.validation import matching_welfare
 from repro.obs.recorder import Recorder, resolve_recorder
 
 __all__ = ["TwoStageResult", "run_two_stage", "iterate_stage_two"]
@@ -160,9 +161,9 @@ def run_two_stage(
         matching=stage_two.matching,
         stage_one=stage_one,
         stage_two=stage_two,
-        welfare_stage1=stage_one.matching.social_welfare(utilities),
-        welfare_phase1=stage_two.matching_after_phase1.social_welfare(utilities),
-        welfare_phase2=stage_two.matching.social_welfare(utilities),
+        welfare_stage1=matching_welfare(utilities, stage_one.matching),
+        welfare_phase1=matching_welfare(utilities, stage_two.matching_after_phase1),
+        welfare_phase2=matching_welfare(utilities, stage_two.matching),
         rounds_stage1=stage_one.num_rounds,
         rounds_phase1=stage_two.num_transfer_rounds,
         rounds_phase2=stage_two.num_invitation_rounds,

@@ -26,6 +26,7 @@ from repro.distributed.network import Network
 from repro.distributed.seller_agent import SellerAgent
 from repro.distributed.simulator import MessageEvent, TimeSlottedSimulator
 from repro.distributed.transition import TransitionPolicy, default_policy
+from repro.engine.validation import matching_welfare, require_interference_free
 from repro.errors import ProtocolError
 from repro.obs.recorder import Recorder, resolve_recorder
 
@@ -240,8 +241,12 @@ def run_distributed_matching(
             raise ProtocolError(
                 "initial_matching dimensions do not match the market"
             )
-        if not initial_matching.is_interference_free(market.interference):
-            raise ProtocolError("initial_matching violates interference")
+        require_interference_free(
+            market,
+            initial_matching,
+            error=ProtocolError,
+            context="initial_matching",
+        )
         buyers = [
             BuyerAgent(
                 j, market, policy,
@@ -300,8 +305,9 @@ def run_distributed_matching(
                 )
     else:
         matching, divergences = _extract_reconciled(market, buyers, sellers)
-    if not matching.is_interference_free(market.interference):
-        raise ProtocolError("distributed run produced an interfering matching")
+    require_interference_free(
+        market, matching, error=ProtocolError, context="distributed run output"
+    )
 
     effective_network = simulator.network
     partition_drops = 0
@@ -315,7 +321,7 @@ def run_distributed_matching(
         messages_sent=simulator.messages_sent,
         messages_delivered=simulator.messages_delivered,
         messages_dropped=simulator.messages_dropped,
-        social_welfare=matching.social_welfare(market.utilities),
+        social_welfare=matching_welfare(market.utilities, matching),
         events=simulator.events,
         status="degraded" if simulator.timed_out else "converged",
         crashes=simulator.crashes,

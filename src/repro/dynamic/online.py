@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.matching import Matching
 from repro.core.two_stage import iterate_stage_two, run_two_stage
 from repro.dynamic.generator import Epoch
+from repro.engine.validation import matching_welfare, require_interference_free
 from repro.errors import SpectrumMatchingError
 from repro.obs.recorder import Recorder, resolve_recorder
 
@@ -123,7 +124,7 @@ class OnlineMatcher:
         outcome = EpochOutcome(
             epoch_index=epoch.index,
             matching=matching,
-            social_welfare=matching.social_welfare(epoch.market.utilities),
+            social_welfare=matching_welfare(epoch.market.utilities, matching),
             churned=churned,
             persistent=persistent,
             rounds=rounds,
@@ -176,10 +177,12 @@ class OnlineMatcher:
         # Carried assignments are mutually interference-free: survivors'
         # pairwise geometry is unchanged and the previous matching was
         # feasible.  Defensive check (cheap at these sizes):
-        if not seed.is_interference_free(market.interference):
-            raise SpectrumMatchingError(
-                "warm-start seed became infeasible; generator invariant broken"
-            )
+        require_interference_free(
+            market,
+            seed,
+            error=SpectrumMatchingError,
+            context="warm-start seed (generator invariant broken)",
+        )
         # Iterate Stage II to a fixed point: a single pass from an
         # arbitrary seed can miss Nash stability (see iterate_stage_two's
         # docstring); the fixed point provably cannot.

@@ -1,0 +1,69 @@
+"""The unified solver engine: one contract over every matching backend.
+
+The paper's contribution is a *comparison* between mechanisms -- the
+two-stage matching of Section III against the optimal benchmark of
+Section II-B and the auction baselines of Section VI -- so the repo's
+~10 solver entry points all plug into one dispatchable contract here:
+
+* :class:`~repro.engine.protocol.Solver` -- the protocol every backend
+  adapter implements (``name``, ``capabilities``, ``solve``).
+* :mod:`~repro.engine.registry` -- name -> solver lookup with
+  capability filtering and entry-point-style registration.
+* :class:`~repro.engine.report.SolveReport` -- the canonical frozen
+  result: matching, welfare, per-agent utilities, feasibility and
+  stability verdicts from the one shared validation pipeline
+  (:mod:`~repro.engine.validation`), wall/CPU timings, and
+  solver-specific metadata.
+
+Quickstart::
+
+    from repro import engine
+
+    report = engine.get_solver("two_stage").solve(market)
+    bound = engine.get_solver("lp_bound").solve(market).social_welfare
+    exact = engine.solver_names(engine.Capability.EXACT)
+
+This package deliberately imports *no* backend module at import time:
+the builtin adapters are loaded lazily on the first registry lookup, so
+any layer (including :mod:`repro.core` itself) can import the protocol,
+report and validation helpers without cycles.
+"""
+
+from repro.engine.protocol import Capability, Solver
+from repro.engine.registry import (
+    get_solver,
+    list_solvers,
+    register_solver,
+    solve,
+    solver_names,
+    unregister_solver,
+)
+from repro.engine.report import SolveReport, build_bound_report, build_report
+from repro.engine.validation import (
+    ValidationReport,
+    buyer_utilities,
+    matching_welfare,
+    require_interference_free,
+    seller_revenues,
+    validate_matching,
+)
+
+__all__ = [
+    "Capability",
+    "Solver",
+    "SolveReport",
+    "build_report",
+    "build_bound_report",
+    "ValidationReport",
+    "validate_matching",
+    "matching_welfare",
+    "buyer_utilities",
+    "seller_revenues",
+    "require_interference_free",
+    "register_solver",
+    "unregister_solver",
+    "get_solver",
+    "list_solvers",
+    "solver_names",
+    "solve",
+]

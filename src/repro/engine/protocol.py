@@ -1,0 +1,77 @@
+"""The pluggable-solver contract: :class:`Capability` and :class:`Solver`.
+
+Every matching backend in the repo -- the paper's two-stage algorithm, the
+exact optimal solvers, the auction and baseline comparators, the
+message-level distributed runtime -- is exposed to the rest of the code
+base through this one protocol.  A solver is anything with a ``name``, a
+set of :class:`Capability` tags, and a
+``solve(market, *, recorder=None, config=None)`` method returning the
+canonical :class:`~repro.engine.report.SolveReport`.
+
+Consumers dispatch by *name* through :mod:`repro.engine.registry` and
+filter by capability; they never import backend modules directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Mapping, Optional, TYPE_CHECKING
+
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - Python < 3.8 fallback
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+if TYPE_CHECKING:
+    from repro.core.market import SpectrumMarket
+    from repro.engine.report import SolveReport
+    from repro.obs.recorder import Recorder
+
+__all__ = ["Capability", "Solver"]
+
+
+class Capability(str, enum.Enum):
+    """What a registered solver can promise about its output.
+
+    * ``EXACT`` -- returns a welfare-optimal matching (possibly refusing
+      instances over a size limit).
+    * ``HEURISTIC`` -- returns a feasible matching with no optimality
+      guarantee (the two-stage algorithm, greedy, auctions, ...).
+    * ``BOUND_ONLY`` -- returns an upper bound on the optimum but no
+      matching (``report.matching is None``).
+    * ``DECENTRALIZED`` -- runs as message-passing agents rather than a
+      centralised computation.
+
+    The enum derives from ``str`` so capability values round-trip through
+    CLIs and JSON configs as plain strings.
+    """
+
+    EXACT = "exact"
+    HEURISTIC = "heuristic"
+    BOUND_ONLY = "bound_only"
+    DECENTRALIZED = "decentralized"
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Structural type implemented by every registered backend adapter."""
+
+    #: Registry key, e.g. ``"branch_and_bound"``.
+    name: str
+    #: Capability tags used for registry filtering.
+    capabilities: FrozenSet[Capability]
+    #: One-line human description (shown by ``spectrum-repro solvers list``).
+    description: str
+
+    def solve(
+        self,
+        market: "SpectrumMarket",
+        *,
+        recorder: Optional["Recorder"] = None,
+        config: Optional[Mapping[str, object]] = None,
+    ) -> "SolveReport":
+        """Solve ``market`` and return the canonical report."""
+        ...

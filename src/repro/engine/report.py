@@ -1,0 +1,154 @@
+"""The canonical :class:`SolveReport` returned by every solver.
+
+One frozen result shape for all ten backends: the matching (when the
+solver produces one), welfare and per-agent utilities, the feasibility
+and stability verdicts from the shared validation pipeline
+(:mod:`repro.engine.validation`), wall/CPU timings from the obs span
+machinery, and a free-form ``metadata`` mapping for solver-specific
+extras (per-stage welfare, node counts, auction prices, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping, Optional, Tuple
+
+from repro.core.market import SpectrumMarket
+from repro.core.matching import Matching
+from repro.engine.validation import validate_matching
+
+__all__ = ["SolveReport", "build_report", "build_bound_report"]
+
+#: Shared empty immutable metadata (avoids one proxy allocation per report).
+_EMPTY_METADATA: Mapping[str, object] = MappingProxyType({})
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """Outcome of one ``Solver.solve`` call.
+
+    Attributes
+    ----------
+    solver:
+        Registry name of the solver that produced this report.
+    status:
+        ``"ok"`` for ordinary runs; the distributed backend surfaces its
+        own ``"converged"`` / ``"degraded"`` verdict here.
+    matching:
+        The matching, or ``None`` for bound-only solvers.
+    social_welfare:
+        Realised welfare of ``matching`` -- or, for bound-only solvers,
+        the upper bound itself.
+    num_matched / num_buyers / matched_fraction:
+        Matched-buyer accounting (zeros when there is no matching).
+    buyer_utilities / seller_revenue:
+        Per-buyer realised utility and per-channel revenue (empty when
+        there is no matching).
+    interference_free / individually_rational / nash_stable / pairwise_stable:
+        Verdicts from the shared validation pipeline.  ``None`` means
+        *not computed*: the stability trio unless the solve was run with
+        ``check_stability=True``, and all four when there is no matching.
+    wall_time_s / cpu_time_s:
+        Solve duration measured by the engine's span tracer
+        (:func:`time.perf_counter` / :func:`time.process_time`).
+    metadata:
+        Read-only solver-specific extras (per-stage welfare, node
+        budgets, auction prices, message counts, ...).
+    """
+
+    solver: str
+    status: str
+    matching: Optional[Matching]
+    social_welfare: float
+    num_matched: int
+    num_buyers: int
+    matched_fraction: float
+    buyer_utilities: Tuple[float, ...]
+    seller_revenue: Tuple[float, ...]
+    interference_free: Optional[bool]
+    individually_rational: Optional[bool]
+    nash_stable: Optional[bool]
+    pairwise_stable: Optional[bool]
+    wall_time_s: float
+    cpu_time_s: float
+    metadata: Mapping[str, object] = field(default_factory=lambda: _EMPTY_METADATA)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.metadata, MappingProxyType):
+            object.__setattr__(
+                self, "metadata", MappingProxyType(dict(self.metadata))
+            )
+
+
+def build_report(
+    solver: str,
+    market: SpectrumMarket,
+    matching: Matching,
+    *,
+    wall_time_s: float,
+    cpu_time_s: float,
+    check_stability: bool = False,
+    status: str = "ok",
+    metadata: Optional[Mapping[str, object]] = None,
+) -> SolveReport:
+    """Assemble a report for a solver that produced a matching.
+
+    All welfare/feasibility/stability numbers come from the single shared
+    pipeline (:func:`repro.engine.validation.validate_matching`), so a
+    report's ``social_welfare`` is byte-identical to
+    ``matching.social_welfare(market.utilities)``.
+    """
+    validation = validate_matching(market, matching, check_stability)
+    return SolveReport(
+        solver=solver,
+        status=status,
+        matching=matching,
+        social_welfare=validation.social_welfare,
+        num_matched=validation.num_matched,
+        num_buyers=validation.num_buyers,
+        matched_fraction=validation.matched_fraction,
+        buyer_utilities=validation.buyer_utilities,
+        seller_revenue=validation.seller_revenue,
+        interference_free=validation.interference_free,
+        individually_rational=validation.individually_rational,
+        nash_stable=validation.nash_stable,
+        pairwise_stable=validation.pairwise_stable,
+        wall_time_s=wall_time_s,
+        cpu_time_s=cpu_time_s,
+        metadata=metadata if metadata is not None else _EMPTY_METADATA,
+    )
+
+
+def build_bound_report(
+    solver: str,
+    market: SpectrumMarket,
+    bound: float,
+    *,
+    wall_time_s: float,
+    cpu_time_s: float,
+    metadata: Optional[Mapping[str, object]] = None,
+) -> SolveReport:
+    """Assemble a report for a bound-only solver (no matching).
+
+    ``social_welfare`` carries the bound itself; every verdict is ``None``
+    because there is nothing to validate.
+    """
+    return SolveReport(
+        solver=solver,
+        status="ok",
+        matching=None,
+        social_welfare=bound,
+        num_matched=0,
+        num_buyers=market.num_buyers,
+        matched_fraction=0.0,
+        buyer_utilities=(),
+        seller_revenue=(),
+        interference_free=None,
+        individually_rational=None,
+        nash_stable=None,
+        pairwise_stable=None,
+        wall_time_s=wall_time_s,
+        cpu_time_s=cpu_time_s,
+        metadata=metadata if metadata is not None else _EMPTY_METADATA,
+    )

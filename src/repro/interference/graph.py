@@ -196,7 +196,7 @@ class InterferenceGraph:
             # twice.
             return False
         for j in chosen_set:
-            if self._adjacency[j] & chosen_set:
+            if not chosen_set.isdisjoint(self._adjacency[j]):
                 return False
         return True
 

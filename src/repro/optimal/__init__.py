@@ -16,18 +16,43 @@ paper solves it by brute force on small markets (footnote 4); we provide:
   ablation benchmarks.
 """
 
-from repro.optimal.bruteforce import optimal_matching_bruteforce
-from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
+from repro.optimal.bruteforce import (
+    DEFAULT_BRUTEFORCE_STATE_LIMIT,
+    optimal_matching_bruteforce,
+)
+from repro.optimal.branch_and_bound import (
+    DEFAULT_NODE_BUDGET,
+    optimal_matching_branch_and_bound,
+)
 from repro.optimal.lp_relaxation import lp_relaxation_bound
 from repro.optimal.greedy import greedy_centralized_matching
 from repro.optimal.random_baseline import random_matching
 from repro.optimal.college_admission import fixed_quota_deferred_acceptance
+from repro.optimal.nash_enumeration import (
+    buyer_optimal_nash_stable,
+    enumerate_feasible_matchings,
+    enumerate_nash_stable_matchings,
+    enumerate_pairwise_stable_matchings,
+    find_pairwise_stable_matching,
+    price_of_nash_stability,
+)
 
 __all__ = [
+    # exact solvers (and their safety limits)
     "optimal_matching_bruteforce",
+    "DEFAULT_BRUTEFORCE_STATE_LIMIT",
     "optimal_matching_branch_and_bound",
+    "DEFAULT_NODE_BUDGET",
+    # bounds and baselines
     "lp_relaxation_bound",
     "greedy_centralized_matching",
     "random_matching",
     "fixed_quota_deferred_acceptance",
+    # stable-set enumeration
+    "enumerate_feasible_matchings",
+    "enumerate_nash_stable_matchings",
+    "enumerate_pairwise_stable_matchings",
+    "find_pairwise_stable_matching",
+    "buyer_optimal_nash_stable",
+    "price_of_nash_stability",
 ]

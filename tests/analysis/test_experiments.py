@@ -7,6 +7,7 @@ import pytest
 from repro.analysis.experiments import (
     SweepAxis,
     optimal_comparison_series,
+    solver_grid_series,
     stage_breakdown_series,
 )
 from repro.analysis.metrics import evaluate_matching
@@ -52,7 +53,7 @@ class TestOptimalComparison:
         kwargs = dict(num_channels=3, repetitions=3, seed=3)
         bnb = optimal_comparison_series(SweepAxis.BUYERS, [5], **kwargs)
         bf = optimal_comparison_series(
-            SweepAxis.BUYERS, [5], use_bruteforce=True, **kwargs
+            SweepAxis.BUYERS, [5], solver="bruteforce", **kwargs
         )
         assert bnb[0].series["welfare_optimal"].mean == pytest.approx(
             bf[0].series["welfare_optimal"].mean
@@ -119,3 +120,91 @@ class TestEvaluateMatching:
         report = evaluate_matching(market, result.matching, check_stability=False)
         assert report.interference_free  # always computed
         assert not report.nash_stable  # skipped -> conservative False
+
+
+class TestSolverSelection:
+    def test_use_bruteforce_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="use_bruteforce= is deprecated"):
+            optimal_comparison_series(
+                SweepAxis.BUYERS, [4], num_channels=3, repetitions=2, seed=6,
+                use_bruteforce=True,
+            )
+
+    def test_solver_name_equals_deprecated_flag(self):
+        kwargs = dict(num_channels=3, repetitions=3, seed=7)
+        named = optimal_comparison_series(
+            SweepAxis.BUYERS, [5], solver="bruteforce", **kwargs
+        )
+        with pytest.warns(DeprecationWarning):
+            flagged = optimal_comparison_series(
+                SweepAxis.BUYERS, [5], use_bruteforce=True, **kwargs
+            )
+        assert named[0].series["welfare_optimal"].mean == pytest.approx(
+            flagged[0].series["welfare_optimal"].mean
+        )
+
+    def test_conflicting_selection_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SpectrumMatchingError, match="conflicting"):
+                optimal_comparison_series(
+                    SweepAxis.BUYERS, [4], num_channels=3, repetitions=1,
+                    seed=8, solver="branch_and_bound", use_bruteforce=True,
+                )
+
+    def test_unknown_solver_fails_actionably(self):
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError, match="unknown solver"):
+            optimal_comparison_series(
+                SweepAxis.BUYERS, [4], num_channels=3, repetitions=1,
+                seed=8, solver="nope",
+            )
+
+
+class TestSolverGrid:
+    def test_grid_series_per_solver(self):
+        rows = solver_grid_series(
+            SweepAxis.BUYERS, [6, 8], ["two_stage", "greedy", "lp_bound"],
+            num_channels=3, repetitions=3, seed=10,
+        )
+        assert [row.x for row in rows] == [6.0, 8.0]
+        for row in rows:
+            assert set(row.series) == {
+                "welfare_two_stage", "welfare_greedy", "welfare_lp_bound",
+            }
+            # The LP bound dominates any feasible matching's welfare.
+            assert (
+                row.series["welfare_two_stage"].mean
+                <= row.series["welfare_lp_bound"].mean + 1e-9
+            )
+
+    def test_grid_accepts_solver_configs(self):
+        rows = solver_grid_series(
+            SweepAxis.BUYERS, [6], ["college_admission", "random"],
+            num_channels=3, repetitions=2, seed=11,
+            solver_configs={"college_admission": {"quota": 2}},
+        )
+        assert set(rows[0].series) == {
+            "welfare_college_admission", "welfare_random",
+        }
+
+    def test_grid_requires_a_solver(self):
+        with pytest.raises(SpectrumMatchingError, match="at least one solver"):
+            solver_grid_series(
+                SweepAxis.BUYERS, [6], [], num_channels=3, repetitions=1
+            )
+
+    def test_grid_matches_direct_two_stage(self):
+        from repro.analysis.experiments import _rng_for
+        from repro.workloads.scenarios import paper_simulation_market
+
+        rows = solver_grid_series(
+            SweepAxis.BUYERS, [6], ["two_stage"],
+            num_channels=3, repetitions=1, seed=12,
+        )
+        rng = _rng_for(SweepAxis.BUYERS, 12, 0, 0)
+        market = paper_simulation_market(6, 3, rng)
+        direct = run_two_stage(market, record_trace=False)
+        assert rows[0].series["welfare_two_stage"].mean == pytest.approx(
+            direct.social_welfare
+        )

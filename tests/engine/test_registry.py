@@ -1,0 +1,133 @@
+"""Tests for the solver registry: registration, lookup, filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    Capability,
+    Solver,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solver_names,
+    unregister_solver,
+)
+from repro.engine import registry as registry_module
+from repro.errors import SolverError
+
+#: Every builtin backend the engine must expose.
+BUILTIN_NAMES = {
+    "two_stage",
+    "bruteforce",
+    "branch_and_bound",
+    "greedy",
+    "lp_bound",
+    "random",
+    "college_admission",
+    "nash_enumeration",
+    "mcafee",
+    "distributed",
+}
+
+
+class _FakeSolver:
+    def __init__(self, name="fake", capabilities=frozenset({Capability.HEURISTIC})):
+        self.name = name
+        self.capabilities = capabilities
+        self.description = "test stub"
+
+    def solve(self, market, *, recorder=None, config=None):
+        raise NotImplementedError
+
+
+class TestBuiltins:
+    def test_all_ten_backends_registered(self):
+        assert BUILTIN_NAMES <= set(solver_names())
+
+    def test_names_sorted(self):
+        names = solver_names()
+        assert names == sorted(names)
+
+    def test_get_solver_returns_protocol_instance(self):
+        for name in BUILTIN_NAMES:
+            solver = get_solver(name)
+            assert isinstance(solver, Solver)
+            assert solver.name == name
+            assert solver.capabilities
+            assert solver.description
+
+    def test_lazy_loading_flag(self):
+        # Any earlier lookup in the process has loaded the builtins; the
+        # guard must never re-import them.
+        assert registry_module._builtins_loaded
+
+
+class TestCapabilityFiltering:
+    def test_exact_filter(self):
+        exact = set(solver_names(Capability.EXACT))
+        assert {"bruteforce", "branch_and_bound", "nash_enumeration"} <= exact
+        assert "two_stage" not in exact
+
+    def test_string_capability_accepted(self):
+        assert solver_names("exact") == solver_names(Capability.EXACT)
+        assert solver_names("bound_only") == ["lp_bound"]
+
+    def test_decentralized_filter(self):
+        assert solver_names(Capability.DECENTRALIZED) == ["distributed"]
+
+    def test_multi_capability_solver_appears_in_both(self):
+        assert "distributed" in solver_names(Capability.HEURISTIC)
+        assert "distributed" in solver_names(Capability.DECENTRALIZED)
+
+    def test_invalid_capability_rejected(self):
+        with pytest.raises(ValueError):
+            list_solvers("telepathic")
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        solver = _FakeSolver("temp_solver")
+        try:
+            assert register_solver(solver) is solver
+            assert get_solver("temp_solver") is solver
+        finally:
+            unregister_solver("temp_solver")
+        assert "temp_solver" not in solver_names()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(SolverError, match="already registered"):
+            register_solver(_FakeSolver("two_stage"))
+        # The builtin must not have been clobbered by the failed attempt.
+        assert get_solver("two_stage").description != "test stub"
+
+    def test_replace_true_overrides(self):
+        original = get_solver("greedy")
+        override = _FakeSolver("greedy")
+        try:
+            register_solver(override, replace=True)
+            assert get_solver("greedy") is override
+        finally:
+            register_solver(original, replace=True)
+        assert get_solver("greedy") is original
+
+    def test_unusable_name_rejected(self):
+        with pytest.raises(SolverError, match="no usable string name"):
+            register_solver(_FakeSolver(name=""))
+        with pytest.raises(SolverError, match="no usable string name"):
+            register_solver(_FakeSolver(name=None))
+
+    def test_unregister_missing_is_noop(self):
+        unregister_solver("never_registered")
+
+
+class TestLookupErrors:
+    def test_unknown_solver_message_lists_available(self):
+        with pytest.raises(SolverError, match="unknown solver 'nope'") as info:
+            get_solver("nope")
+        assert "two_stage" in str(info.value)
+
+    def test_registry_solve_convenience(self, toy_market):
+        report = registry_module.solve("greedy", toy_market)
+        assert report.solver == "greedy"
+        assert report.social_welfare > 0

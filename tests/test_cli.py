@@ -282,3 +282,61 @@ class TestObservabilityFlags:
         plain = capsys.readouterr().out
         assert "observability summary" not in plain
         assert "trace written" not in plain
+
+
+class TestSolverCommands:
+    def test_solvers_list_shows_all_backends(self, capsys):
+        assert main(["solvers", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "two_stage", "bruteforce", "branch_and_bound", "greedy",
+            "lp_bound", "random", "college_admission", "nash_enumeration",
+            "mcafee", "distributed",
+        ):
+            assert name in out
+        assert "[heuristic]" in out
+        assert "[bound_only]" in out
+
+    def test_solvers_list_capability_filter(self, capsys):
+        assert main(["solvers", "list", "--capability", "exact"]) == 0
+        out = capsys.readouterr().out
+        assert "bruteforce" in out
+        assert "two_stage" not in out
+
+    def test_solve_two_stage_toy(self, capsys):
+        assert (
+            main(["solve", "--solver", "two_stage", "--scenario", "toy",
+                  "--check-stability"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "solver: two_stage [heuristic]" in out
+        assert "welfare: 30.0000" in out
+        assert "nash=True" in out
+        assert "welfare_stage1=27.0" in out
+
+    def test_solve_bound_solver(self, capsys):
+        assert main(["solve", "--solver", "lp_bound", "--scenario", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "bound:  33.0000 (no matching produced)" in out
+
+    def test_solve_typed_config(self, capsys):
+        assert (
+            main(["solve", "--solver", "college_admission", "--scenario", "toy",
+                  "--config", "quota=2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "quota=2" in out
+
+    def test_solve_unknown_solver_fails_actionably(self, capsys):
+        assert main(["solve", "--solver", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown solver 'nope'" in err
+        assert "two_stage" in err
+
+    def test_solve_unknown_config_key_fails(self, capsys):
+        assert main(["solve", "--solver", "greedy", "--scenario", "toy",
+                     "--config", "quota=2"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown config key" in err
