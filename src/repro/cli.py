@@ -24,11 +24,16 @@ Commands
 ``solvers``
     List the solver registry (``solvers list``), optionally filtered by
     capability.
+``trace``
+    Offline trace analysis: ``summarize`` one JSONL trace, ``diff`` two
+    traces to the first behavioural divergence (with its causal message
+    chain), ``export`` to Chrome trace JSON or OpenMetrics text, and
+    ``causality`` to explain one agent's outcome as message chains.
 
-Every command additionally accepts ``--trace-out PATH`` (stream a JSONL
-event trace with a run manifest) and ``--metrics`` (print a metrics and
-span summary after the command's normal output); see the Observability
-section of ``docs/architecture.md``.
+Every run command additionally accepts ``--trace-out PATH`` (stream a
+JSONL event trace with a run manifest) and ``--metrics`` (print a metrics
+and span summary after the command's normal output); see the
+Observability and Trace analysis sections of ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -86,6 +91,16 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
         "--metrics",
         action="store_true",
         help="print a metrics/span summary after the command output",
+    )
+    group.add_argument(
+        "--trace-flush-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "buffer N events per trace write (default 1: write-through; "
+            "raise for large chaos runs)"
+        ),
     )
 
 
@@ -365,6 +380,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="only show solvers with this capability",
     )
 
+    trace = sub.add_parser(
+        "trace", help="analyze recorded JSONL event traces offline"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    summarize = trace_sub.add_parser(
+        "summarize", help="per-run digest: rounds, welfare, messages"
+    )
+    summarize.add_argument("trace", metavar="TRACE", help="JSONL trace path")
+
+    diff = trace_sub.add_parser(
+        "diff",
+        help=(
+            "align two traces and report the first behavioural divergence "
+            "(exit 1 when they diverge)"
+        ),
+    )
+    diff.add_argument("left", metavar="LEFT", help="baseline trace path")
+    diff.add_argument("right", metavar="RIGHT", help="candidate trace path")
+    diff.add_argument(
+        "--rounds-only",
+        action="store_true",
+        help=(
+            "compare only the three round events (aligns a full CLI trace "
+            "against the rounds-only golden trace)"
+        ),
+    )
+
+    export = trace_sub.add_parser(
+        "export", help="convert a trace to an interchange format"
+    )
+    export.add_argument("trace", metavar="TRACE", help="JSONL trace path")
+    export.add_argument(
+        "--format",
+        choices=["chrome", "openmetrics"],
+        required=True,
+        help=(
+            "chrome: trace-event JSON for Perfetto/chrome://tracing; "
+            "openmetrics: exposition text of the trace's event counts"
+        ),
+    )
+    export.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write here instead of stdout",
+    )
+
+    causality = trace_sub.add_parser(
+        "causality",
+        help="explain one agent's messages as causal chains",
+    )
+    causality.add_argument("trace", metavar="TRACE", help="JSONL trace path")
+    causality.add_argument(
+        "--agent",
+        required=True,
+        metavar="NAME",
+        help="wire id, e.g. buyer:3 or seller:0",
+    )
+    causality.add_argument(
+        "--limit",
+        type=int,
+        default=3,
+        metavar="N",
+        help="show at most N chains, latest first (default 3)",
+    )
+
     subcommands.extend([dist, chaos, swaps, dyn, report, solve, solvers])
     for subcommand in subcommands:
         _add_observability_args(subcommand)
@@ -389,13 +471,14 @@ def _build_recorder(args: argparse.Namespace) -> Recorder:
         config = {
             key: value
             for key, value in vars(args).items()
-            if key not in ("trace_out", "metrics")
+            if key not in ("trace_out", "metrics", "trace_flush_every")
         }
         events = JsonlEventSink(
             trace_out,
             manifest=build_manifest(
                 seed=getattr(args, "seed", None), config=config
             ),
+            flush_every=int(getattr(args, "trace_flush_every", 1)),
         )
     return Recorder(
         events=events,
@@ -586,7 +669,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             else ""
         )
     )
-    reference = run_distributed_matching(market, policy=policy)
+    # The fault-free reference twin runs under the null recorder, so a
+    # --trace-out trace contains only the chaos run itself and diffs
+    # cleanly against a separately recorded fault-free trace.
+    from repro.obs import NULL_RECORDER
+
+    reference = run_distributed_matching(
+        market, policy=policy, recorder=NULL_RECORDER
+    )
     try:
         run = run_distributed_matching(
             market,
@@ -808,7 +898,89 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"{key}={value}" for key, value in sorted(report.metadata.items())
         )
         print(f"metadata: {pairs}")
+    if report.trace_path is not None:
+        print(f"trace: {report.trace_path}")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.trace import (
+        CausalGraph,
+        TraceReader,
+        counters_from_events,
+        diff_traces,
+        format_chain,
+        format_diff,
+        format_summary,
+        load_events,
+        to_chrome_trace,
+        to_openmetrics,
+    )
+
+    try:
+        if args.trace_command == "summarize":
+            reader = TraceReader.from_file(args.trace)
+            print(format_summary(reader.summary()))
+            return 0
+
+        if args.trace_command == "diff":
+            left = TraceReader.from_file(args.left)
+            right = TraceReader.from_file(args.right)
+            diff = diff_traces(
+                left.events,
+                right.events,
+                rounds_only=args.rounds_only,
+                left_label=args.left,
+                right_label=args.right,
+            )
+            print(format_diff(diff))
+            return 1 if diff.diverged else 0
+
+        if args.trace_command == "export":
+            import json as json_module
+
+            events = load_events(args.trace)
+            if args.format == "chrome":
+                rendered = json_module.dumps(to_chrome_trace(events), indent=1)
+            else:
+                rendered = to_openmetrics(counters_from_events(events))
+            if args.output is None:
+                print(rendered, end="" if rendered.endswith("\n") else "\n")
+            else:
+                with open(args.output, "w", encoding="utf-8") as stream:
+                    stream.write(rendered)
+                    if not rendered.endswith("\n"):
+                        stream.write("\n")
+                print(f"{args.format} export written to {args.output}")
+            return 0
+
+        if args.trace_command == "causality":
+            graph = CausalGraph(load_events(args.trace))
+            if not len(graph):
+                print(
+                    "error: trace has no msg.sent events (recorded without "
+                    "the distributed kernel's event sink?)",
+                    file=sys.stderr,
+                )
+                return 2
+            chains = graph.explain(args.agent)[: max(args.limit, 1)]
+            print(
+                f"{args.agent}: {len(graph.messages_of_agent(args.agent))} "
+                f"traced messages, showing {len(chains)} chain(s), "
+                f"latest first"
+            )
+            for chain in chains:
+                print(format_chain(graph, chain))
+                print()
+            return 0
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
 
 
 def _cmd_solvers(args: argparse.Namespace) -> int:
@@ -846,6 +1018,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_solve(args)
     if args.command == "solvers":
         return _cmd_solvers(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

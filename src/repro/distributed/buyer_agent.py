@@ -195,6 +195,7 @@ class BuyerAgent(Agent):
     # ------------------------------------------------------------------
     def step(self, inbox: List[Message], ctx: SlotContext) -> None:
         for message in inbox:
+            ctx.set_cause(message)
             self._handle(message, ctx)
 
         if self.stage == 1:

@@ -119,6 +119,7 @@ class SellerAgent(Agent):
         proposals: List[int] = []
         applications: List[int] = []
         for message in inbox:
+            ctx.set_cause(message)
             if isinstance(message, Leave):
                 self.waitlist.discard(message.buyer)
             elif isinstance(message, Propose):

@@ -97,21 +97,104 @@ class Agent:
         )
 
 
+class _CausalTracker:
+    """Causal bookkeeping behind the kernel's ``msg.*`` event stream.
+
+    Active only when the simulator's recorder has a live event sink; the
+    null path never allocates one.  Every *send occurrence* (not message
+    object -- a shared immutable message sent to N recipients is N
+    occurrences) gets a fresh ``msg_id``.  ``parent`` is the id of the
+    delivered message the sending agent was reacting to (``None`` for
+    spontaneous sends), and ``trace`` is the root id of the causal chain,
+    propagated parent-to-child so a whole propose -> accept -> transfer
+    chain shares one trace id.
+    """
+
+    __slots__ = (
+        "next_id",
+        "current_parent",
+        "trace_of",
+        "delivered_ids",
+        "inbox_ids",
+    )
+
+    def __init__(self) -> None:
+        self.next_id = 0
+        #: Parent id applied to the next send (set via the ctx cause API).
+        self.current_parent: Optional[int] = None
+        #: msg_id -> root id of its causal chain.
+        self.trace_of: Dict[int, int] = {}
+        #: id(message object) -> msg_id, for the agent step in progress.
+        self.delivered_ids: Dict[int, int] = {}
+        #: Per-destination ids mirroring the kernel's slot inboxes.
+        self.inbox_ids: Dict[str, List[int]] = {}
+
+    def assign(self) -> Tuple[int, Optional[int], int]:
+        """Allocate ``(msg_id, parent_id, trace_id)`` for one send."""
+        msg_id = self.next_id
+        self.next_id += 1
+        parent = self.current_parent
+        trace = self.trace_of.get(parent, msg_id) if parent is not None else msg_id
+        self.trace_of[msg_id] = trace
+        return msg_id, parent, trace
+
+
 @dataclass
 class SlotContext:
     """Per-step facade handed to agents.
 
     Provides the current slot number, a ``send`` function, and a seeded RNG
-    shared by the whole simulation (deterministic runs).
+    shared by the whole simulation (deterministic runs).  When the kernel
+    traces message causality it also carries the (kernel-owned) causal
+    tracker; the cause methods are no-ops otherwise, so agents may call
+    them unconditionally.
     """
 
     now: int
     rng: np.random.Generator
-    _send: Callable[[str, Message], None]
+    _send: Callable[[str, Message], Optional[int]]
+    _causal: Optional[_CausalTracker] = None
 
-    def send(self, destination: str, message: Message) -> None:
-        """Send ``message`` to the agent with id ``destination``."""
-        self._send(destination, message)
+    def send(self, destination: str, message: Message) -> Optional[int]:
+        """Send ``message`` to ``destination``; returns its causal msg id
+        when the kernel is tracing message causality (``None`` otherwise)."""
+        return self._send(destination, message)
+
+    def set_cause(self, message: Optional[Message]) -> None:
+        """Declare the delivered ``message`` as the cause of upcoming sends.
+
+        Agents call this as they pick each inbox message up; sends issued
+        while it is in force are stamped with that message's id as their
+        ``parent``.  ``None`` clears the cause (spontaneous sends).
+        """
+        tracker = self._causal
+        if tracker is not None:
+            if message is None:
+                tracker.current_parent = None
+            else:
+                tracker.current_parent = tracker.delivered_ids.get(id(message))
+
+    def set_cause_id(self, msg_id: Optional[int]) -> None:
+        """Declare a known msg id as the cause (e.g. ARQ retransmissions)."""
+        tracker = self._causal
+        if tracker is not None:
+            tracker.current_parent = msg_id
+
+    def alias_cause(
+        self, carrier: Message, payloads: Iterable[Message]
+    ) -> None:
+        """Attribute unwrapped ``payloads`` to the ``carrier`` envelope.
+
+        Transport wrappers use this so an application message released
+        from a :class:`~repro.distributed.transport.DataFrame` (or a
+        hold-back queue) inherits the frame's delivered id.
+        """
+        tracker = self._causal
+        if tracker is not None:
+            carrier_id = tracker.delivered_ids.get(id(carrier))
+            if carrier_id is not None:
+                for payload in payloads:
+                    tracker.delivered_ids[id(payload)] = carrier_id
 
 
 @dataclass(frozen=True)
@@ -144,6 +227,8 @@ class _QueuedMessage:
     sequence: int
     destination: str
     message: Message
+    #: Causal msg id of this send occurrence (-1 when not tracing).
+    msg_id: int = -1
 
     def __lt__(self, other: "_QueuedMessage") -> bool:
         return (self.delivery_slot, self.sequence) < (
@@ -171,7 +256,13 @@ class TimeSlottedSimulator:
         Observability backend (``None`` resolves to the ambient recorder).
         When live, each slot reports message deltas, in-flight depth and
         agent-step latency, and ``run`` executes under a
-        ``simulator.run`` span and ends with a ``sim.done`` event.
+        ``simulator.run`` span and ends with a ``sim.done`` event.  When
+        the recorder's *event sink* is live the kernel additionally
+        traces message causality: every send occurrence is stamped with
+        an ``id``/``parent``/``trace`` triple and emitted as ``msg.sent``,
+        matched later by ``msg.delivered`` or ``msg.dropped`` (reason
+        ``network``, ``crashed_destination`` or ``crash_purge``), which is
+        what :mod:`repro.trace` reconstructs causal chains from.
     fault_schedule:
         Declarative node/link faults to execute
         (:class:`~repro.distributed.faults.FaultSchedule`).  Crashes and
@@ -250,6 +341,11 @@ class TimeSlottedSimulator:
         # bool per slot -- a disabled recorder costs the kernel nothing.
         self._obs = resolve_recorder(recorder)
         self._observing = self._obs.enabled
+        # Causal message tracing rides on the event sink: without one the
+        # tracker stays None and every causal hook is a no-op.
+        self._causal: Optional[_CausalTracker] = (
+            _CausalTracker() if self._obs.events.enabled else None
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -321,16 +417,45 @@ class TimeSlottedSimulator:
     # ------------------------------------------------------------------
     # Core loop
     # ------------------------------------------------------------------
-    def _enqueue(self, destination: str, message: Message) -> None:
+    def _emit_msg_dropped(self, msg_id: int, reason: str) -> None:
+        """One ``msg.dropped`` causal event (tracing is known to be on)."""
+        self._obs.events.emit(
+            {
+                "event": "msg.dropped",
+                "id": msg_id,
+                "slot": self._now,
+                "reason": reason,
+            }
+        )
+
+    def _enqueue(self, destination: str, message: Message) -> Optional[int]:
         if destination not in self._agents:
             raise SimulationError(
                 f"message to unknown agent {destination!r}: {message!r}"
             )
         self._messages_sent += 1
+        tracker = self._causal
+        msg_id = -1
+        if tracker is not None:
+            msg_id, parent, trace = tracker.assign()
+            self._obs.events.emit(
+                {
+                    "event": "msg.sent",
+                    "id": msg_id,
+                    "trace": trace,
+                    "parent": parent,
+                    "slot": self._now,
+                    "src": message.sender,
+                    "dst": destination,
+                    "type": type(message).__name__,
+                }
+            )
         if destination in self._crashed:
             # A dead host: the packet is lost on the wire, accounted
             # separately from network drops.
             self._messages_lost_to_crash += 1
+            if tracker is not None:
+                self._emit_msg_dropped(msg_id, "crashed_destination")
             if self._record_events:
                 self._events.append(
                     MessageEvent(
@@ -341,7 +466,7 @@ class TimeSlottedSimulator:
                         dropped=True,
                     )
                 )
-            return
+            return msg_id if tracker is not None else None
         verdict = self._network.route_message(
             self._now, self._rng, message.sender, destination, message
         )
@@ -357,7 +482,9 @@ class TimeSlottedSimulator:
             )
         if verdict is None:
             self._messages_dropped += 1
-            return
+            if tracker is not None:
+                self._emit_msg_dropped(msg_id, "network")
+            return msg_id if tracker is not None else None
         delivery_slot = verdict
         if delivery_slot < self._now:
             raise SimulationError(
@@ -372,12 +499,17 @@ class TimeSlottedSimulator:
             # Same-slot delivery to a not-yet-stepped agent: straight into
             # its per-slot bucket (sequence order == append order).
             self._slot_inboxes.setdefault(destination, []).append(message)
-            return
+            if tracker is not None:
+                tracker.inbox_ids.setdefault(destination, []).append(msg_id)
+            return msg_id if tracker is not None else None
         heapq.heappush(
             self._queue,
-            _QueuedMessage(delivery_slot, self._sequence, destination, message),
+            _QueuedMessage(
+                delivery_slot, self._sequence, destination, message, msg_id
+            ),
         )
         self._sequence += 1
+        return msg_id if tracker is not None else None
 
     def _bucket_due_messages(self) -> None:
         """Move every due message into its destination's slot bucket.
@@ -388,18 +520,42 @@ class TimeSlottedSimulator:
         order is (delivery_slot, send sequence), so per-destination append
         order is exactly the old drain order.
         """
+        tracker = self._causal
         while self._queue and self._queue[0].delivery_slot <= self._now:
             item = heapq.heappop(self._queue)
             if item.destination in self._crashed:
                 self._messages_lost_to_crash += 1
+                if tracker is not None:
+                    self._emit_msg_dropped(item.msg_id, "crashed_destination")
                 continue
             self._slot_inboxes.setdefault(item.destination, []).append(
                 item.message
             )
+            if tracker is not None:
+                tracker.inbox_ids.setdefault(item.destination, []).append(
+                    item.msg_id
+                )
 
     def _drain_inbox(self, agent_id: str) -> List[Message]:
         inbox = self._slot_inboxes.pop(agent_id, [])
         self._messages_delivered += len(inbox)
+        tracker = self._causal
+        if tracker is not None:
+            ids = tracker.inbox_ids.pop(agent_id, [])
+            tracker.delivered_ids = {
+                id(message): msg_id for message, msg_id in zip(inbox, ids)
+            }
+            tracker.current_parent = None
+            emit = self._obs.events.emit
+            for msg_id in ids:
+                emit(
+                    {
+                        "event": "msg.delivered",
+                        "id": msg_id,
+                        "slot": self._now,
+                        "dst": agent_id,
+                    }
+                )
         return inbox
 
     # ------------------------------------------------------------------
@@ -407,12 +563,20 @@ class TimeSlottedSimulator:
     # ------------------------------------------------------------------
     def _purge_messages_to(self, agent_id: str) -> None:
         """Drop every queued/bucketed message addressed to ``agent_id``."""
+        tracker = self._causal
         survivors = [q for q in self._queue if q.destination != agent_id]
         lost = len(self._queue) - len(survivors)
         if lost:
+            if tracker is not None:
+                for item in self._queue:
+                    if item.destination == agent_id:
+                        self._emit_msg_dropped(item.msg_id, "crash_purge")
             self._queue = survivors
             heapq.heapify(self._queue)
         lost += len(self._slot_inboxes.pop(agent_id, []))
+        if tracker is not None:
+            for msg_id in tracker.inbox_ids.pop(agent_id, []):
+                self._emit_msg_dropped(msg_id, "crash_purge")
         self._messages_lost_to_crash += lost
 
     def _apply_faults(self) -> None:
@@ -486,7 +650,12 @@ class TimeSlottedSimulator:
         if self._schedule is not None:
             self._apply_faults()
         self._bucket_due_messages()
-        ctx = SlotContext(now=self._now, rng=self._rng, _send=self._enqueue)
+        ctx = SlotContext(
+            now=self._now,
+            rng=self._rng,
+            _send=self._enqueue,
+            _causal=self._causal,
+        )
         if self._observing:
             self._run_slot_observed(ctx)
         else:

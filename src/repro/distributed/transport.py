@@ -27,7 +27,7 @@ then terminates with the same matching as over a perfect network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.distributed.messages import Message
 from repro.distributed.simulator import Agent, SlotContext
@@ -56,6 +56,9 @@ class _PendingFrame:
     destination: str
     frame: DataFrame
     last_sent: int
+    #: Causal msg id of the original send (None when tracing is off or the
+    #: frame was restored from a pre-crash checkpoint).
+    sent_id: Optional[int] = None
 
 
 class ReliableAgent(Agent):
@@ -109,6 +112,7 @@ class ReliableAgent(Agent):
     def step(self, inbox: List[Message], ctx: SlotContext) -> None:
         deliverable: List[Message] = []
         for message in inbox:
+            ctx.set_cause(message)
             if isinstance(message, AckFrame):
                 self._pending = [
                     p
@@ -121,7 +125,11 @@ class ReliableAgent(Agent):
             elif isinstance(message, DataFrame):
                 # Always ack, even duplicates: the previous ack may be lost.
                 ctx.send(message.sender, AckFrame(self.agent_id, message.seq))
-                deliverable.extend(self._accept(message))
+                released = self._accept(message)
+                # Payloads inherit the delivering frame's causal id, so the
+                # inner agent's sends chain through the transport envelope.
+                ctx.alias_cause(message, released)
+                deliverable.extend(released)
             else:
                 raise SimulationError(
                     f"reliable agent {self.agent_id} received a bare "
@@ -134,14 +142,18 @@ class ReliableAgent(Agent):
             _send=lambda destination, payload: self._buffer_send(
                 destination, payload, ctx
             ),
+            _causal=ctx._causal,
         )
         self.inner.step(deliverable, shim)
 
-        # Retransmit anything that has been in flight too long.
+        # Retransmit anything that has been in flight too long.  Each
+        # retransmission is parented to the original send occurrence, so
+        # duplicate deliveries show up on the same causal chain.
         for pending in self._pending:
             if ctx.now - pending.last_sent >= self._interval:
                 pending.last_sent = ctx.now
                 self._retransmissions += 1
+                ctx.set_cause_id(pending.sent_id)
                 ctx.send(pending.destination, pending.frame)
 
     def _accept(self, frame: DataFrame) -> List[Message]:
@@ -161,14 +173,16 @@ class ReliableAgent(Agent):
 
     def _buffer_send(
         self, destination: str, payload: Message, ctx: SlotContext
-    ) -> None:
+    ) -> Optional[int]:
         seq = self._next_seq.get(destination, 0)
         self._next_seq[destination] = seq + 1
         frame = DataFrame(self.agent_id, seq, payload)
-        self._pending.append(
-            _PendingFrame(destination=destination, frame=frame, last_sent=ctx.now)
+        pending = _PendingFrame(
+            destination=destination, frame=frame, last_sent=ctx.now
         )
-        ctx.send(destination, frame)
+        self._pending.append(pending)
+        pending.sent_id = ctx.send(destination, frame)
+        return pending.sent_id
 
     def is_done(self) -> bool:
         return (

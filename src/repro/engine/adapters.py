@@ -30,7 +30,7 @@ from repro.engine.registry import register_solver
 from repro.engine.report import SolveReport, build_bound_report, build_report
 from repro.errors import SolverError
 from repro.interference.bitset import FAST_KERNELS_ENV
-from repro.obs.recorder import Recorder, resolve_recorder
+from repro.obs.recorder import Recorder, resolve_recorder, use_recorder
 from repro.obs.spans import SpanTracer
 from repro.optimal.branch_and_bound import (
     DEFAULT_NODE_BUDGET,
@@ -85,10 +85,17 @@ class SolverAdapter:
                 f"{sorted(unknown)}; accepted: {accepted}"
             )
         timer = SpanTracer()
-        with rec.span(f"solve.{self.name}"):
-            with timer.span(self.name):
-                outcome, status, metadata = self._solve(market, cfg, rec)
+        # Install the resolved recorder as the ambient one for the
+        # backend's duration: backends that resolve it themselves (most
+        # of the registry) then observe an *explicitly passed* recorder
+        # too, so `solve --solver NAME --trace-out` works for every
+        # backend, not just the ones whose native signature takes one.
+        with use_recorder(rec):
+            with rec.span(f"solve.{self.name}"):
+                with timer.span(self.name):
+                    outcome, status, metadata = self._solve(market, cfg, rec)
         timing = timer.records[-1]
+        trace_path = getattr(rec.events, "path", None)
         if isinstance(outcome, Matching):
             report = build_report(
                 self.name,
@@ -99,6 +106,7 @@ class SolverAdapter:
                 check_stability=check_stability,
                 status=status,
                 metadata=metadata,
+                trace_path=trace_path,
             )
         else:
             report = build_bound_report(
@@ -108,6 +116,7 @@ class SolverAdapter:
                 wall_time_s=timing.wall_s,
                 cpu_time_s=timing.cpu_s,
                 metadata=metadata,
+                trace_path=trace_path,
             )
         if rec.enabled:
             rec.emit(

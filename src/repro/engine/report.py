@@ -55,6 +55,10 @@ class SolveReport:
     metadata:
         Read-only solver-specific extras (per-stage welfare, node
         budgets, auction prices, message counts, ...).
+    trace_path:
+        Path of the JSONL event trace the solve streamed into, when the
+        recorder's sink owns a file (``None`` otherwise) -- the handle
+        the ``repro trace`` toolkit picks up for offline analysis.
     """
 
     solver: str
@@ -73,6 +77,7 @@ class SolveReport:
     wall_time_s: float
     cpu_time_s: float
     metadata: Mapping[str, object] = field(default_factory=lambda: _EMPTY_METADATA)
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.metadata, MappingProxyType):
@@ -91,6 +96,7 @@ def build_report(
     check_stability: bool = False,
     status: str = "ok",
     metadata: Optional[Mapping[str, object]] = None,
+    trace_path: Optional[str] = None,
 ) -> SolveReport:
     """Assemble a report for a solver that produced a matching.
 
@@ -117,6 +123,7 @@ def build_report(
         wall_time_s=wall_time_s,
         cpu_time_s=cpu_time_s,
         metadata=metadata if metadata is not None else _EMPTY_METADATA,
+        trace_path=trace_path,
     )
 
 
@@ -128,6 +135,7 @@ def build_bound_report(
     wall_time_s: float,
     cpu_time_s: float,
     metadata: Optional[Mapping[str, object]] = None,
+    trace_path: Optional[str] = None,
 ) -> SolveReport:
     """Assemble a report for a bound-only solver (no matching).
 
@@ -151,4 +159,5 @@ def build_bound_report(
         wall_time_s=wall_time_s,
         cpu_time_s=cpu_time_s,
         metadata=metadata if metadata is not None else _EMPTY_METADATA,
+        trace_path=trace_path,
     )

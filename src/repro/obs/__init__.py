@@ -49,6 +49,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
     Timer,
+    snapshot_quantile,
 )
 from repro.obs.recorder import (
     NULL_RECORDER,
@@ -75,6 +76,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetrics",
     "Timer",
+    "snapshot_quantile",
     "NULL_RECORDER",
     "Recorder",
     "get_recorder",

@@ -33,6 +33,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullMetrics",
+    "snapshot_quantile",
 ]
 
 
@@ -167,6 +168,14 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        Shares the one implementation in :func:`snapshot_quantile`, so a
+        live instrument and a persisted snapshot report the same number.
+        """
+        return snapshot_quantile(self.snapshot(), q)
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "count": self.count,
@@ -177,6 +186,49 @@ class Histogram:
             "boundaries": list(self.boundaries),
             "bucket_counts": list(self.bucket_counts),
         }
+
+
+def snapshot_quantile(stats: Dict[str, object], q: float) -> float:
+    """Estimate a quantile from a histogram snapshot.
+
+    Walks the cumulative bucket counts to the bucket containing the
+    ``q``-th observation and interpolates linearly within it, clamping
+    to the observed ``min``/``max`` (which also bound the open-ended
+    first and overflow buckets).  This is the single bucket-interpolation
+    implementation used by :meth:`Histogram.quantile`, the summary
+    renderer and the trace-analysis toolkit.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile must lie in [0, 1], got {q}")
+    count = int(stats["count"])  # type: ignore[arg-type]
+    if count == 0:
+        return 0.0
+    observed_min = float(stats["min"])  # type: ignore[arg-type]
+    observed_max = float(stats["max"])  # type: ignore[arg-type]
+    boundaries = list(stats["boundaries"])  # type: ignore[arg-type]
+    bucket_counts = list(stats["bucket_counts"])  # type: ignore[arg-type]
+    target = q * count
+    cumulative = 0
+    for slot, bucket_count in enumerate(bucket_counts):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count >= target:
+            # Bucket `slot` holds values in [boundaries[slot-1],
+            # boundaries[slot]); clamp the open ends to observed extremes.
+            lo = observed_min if slot == 0 else float(boundaries[slot - 1])
+            hi = (
+                observed_max
+                if slot == len(boundaries)
+                else float(boundaries[slot])
+            )
+            lo = max(lo, observed_min)
+            hi = min(hi, observed_max)
+            if hi <= lo:
+                return lo
+            fraction = (target - cumulative) / bucket_count
+            return lo + (hi - lo) * fraction
+        cumulative += bucket_count
+    return observed_max
 
 
 class MetricsRegistry:

@@ -68,6 +68,7 @@ class Recorder:
                         "parent": record.parent,
                         "wall_s": record.wall_s,
                         "cpu_s": record.cpu_s,
+                        "start_s": record.start_s,
                     }
                 )
 

@@ -40,6 +40,11 @@ class SpanRecord:
         Nesting depth (0 for roots).
     wall_s / cpu_s:
         Elapsed :func:`time.perf_counter` / :func:`time.process_time`.
+    start_s:
+        The :func:`time.perf_counter` reading at span entry.  Only
+        differences between ``start_s`` values within one process are
+        meaningful; the Chrome-trace exporter uses them to lay spans on
+        a real timeline.
     """
 
     name: str
@@ -48,6 +53,7 @@ class SpanRecord:
     depth: int
     wall_s: float
     cpu_s: float
+    start_s: float = 0.0
 
 
 class _ActiveSpan:
@@ -122,6 +128,7 @@ class SpanTracer:
             depth=active.depth,
             wall_s=wall_s,
             cpu_s=cpu_s,
+            start_s=active._wall0,
         )
         if stack:
             self._pending_parents.setdefault(id(stack[-1]), []).append(index)
@@ -143,6 +150,7 @@ class SpanTracer:
                 depth=old.depth,
                 wall_s=old.wall_s,
                 cpu_s=old.cpu_s,
+                start_s=old.start_s,
             )
 
     def roots(self) -> List[SpanRecord]:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.obs.metrics import snapshot_quantile
 from repro.obs.recorder import Recorder
 
 __all__ = ["format_metrics_summary", "format_span_tree"]
@@ -56,7 +57,10 @@ def format_metrics_summary(recorder: Recorder) -> str:
         for name, stats in histograms.items():
             lines.append(
                 f"  {name:<{width}}  n={stats['count']} mean={stats['mean']:g} "
-                f"min={stats['min']:g} max={stats['max']:g}"
+                f"min={stats['min']:g} "
+                f"p50={snapshot_quantile(stats, 0.5):g} "
+                f"p99={snapshot_quantile(stats, 0.99):g} "
+                f"max={stats['max']:g}"
             )
 
     tree = format_span_tree(recorder)

@@ -1,0 +1,56 @@
+"""Offline analysis of recorded JSONL event traces.
+
+The observability layer (:mod:`repro.obs`) *writes* traces; this package
+*reads* them.  It turns the raw event stream back into analyzable
+artifacts:
+
+* :class:`~repro.trace.reader.TraceReader` -- validate the manifest,
+  reconstruct algorithm rounds through the round-event codec, and compute
+  a per-run :class:`~repro.trace.reader.TraceSummary` (rounds to
+  convergence, per-seller proposal accounting, MWIS time share, welfare
+  trajectory, message/drop totals).
+* :func:`~repro.trace.diff.diff_traces` -- align two traces and report
+  the first divergence with its causal context (the tool behind
+  kernel-parity and chaos-vs-twin debugging).
+* :class:`~repro.trace.causality.CausalGraph` -- rebuild the
+  ``msg.sent``/``msg.delivered``/``msg.dropped`` causality relation the
+  simulator emits, walk explanation chains, and spot retransmissions.
+* :mod:`~repro.trace.export` -- convert traces to Chrome trace-event
+  JSON (Perfetto / ``chrome://tracing``) and metrics snapshots to
+  OpenMetrics text.
+
+Everything here is read-only and dependency-free: a trace file (or an
+in-memory event list from a :class:`~repro.obs.events.ListEventSink`) is
+the only input.  The ``repro trace`` CLI family is a thin shell over
+these functions.
+"""
+
+from repro.trace.causality import CausalGraph, format_chain
+from repro.trace.diff import TraceDiff, canonicalize_events, diff_traces, format_diff
+from repro.trace.export import (
+    counters_from_events,
+    to_chrome_trace,
+    to_openmetrics,
+)
+from repro.trace.reader import (
+    TraceReader,
+    TraceSummary,
+    format_summary,
+    load_events,
+)
+
+__all__ = [
+    "CausalGraph",
+    "format_chain",
+    "TraceDiff",
+    "canonicalize_events",
+    "diff_traces",
+    "format_diff",
+    "counters_from_events",
+    "to_chrome_trace",
+    "to_openmetrics",
+    "TraceReader",
+    "TraceSummary",
+    "format_summary",
+    "load_events",
+]

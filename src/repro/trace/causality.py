@@ -1,0 +1,155 @@
+"""Reconstruct the message-causality relation from ``msg.*`` events.
+
+The simulation kernel stamps every send occurrence with ``id`` /
+``parent`` / ``trace`` (see the causal-tracing notes in
+:mod:`repro.distributed.simulator`): ``parent`` is the id of the
+delivered message the sender was reacting to, and ``trace`` is the root
+id of the whole chain.  This module inverts that stream into a walkable
+graph, so "why does buyer 7 hold channel 2?" becomes a chain of concrete
+sends -- including the retransmissions and drops the fault layer injected
+along the way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ObservabilityError
+
+__all__ = ["CausalGraph", "format_chain"]
+
+
+class CausalGraph:
+    """Message-causality index over one trace's ``msg.*`` events.
+
+    Attributes
+    ----------
+    sent:
+        ``msg_id -> msg.sent`` event.
+    children:
+        ``msg_id -> [child msg_id, ...]`` in send order.
+    delivered / dropped:
+        ``msg_id -> slot`` for delivered messages, ``msg_id -> reason``
+        for dropped ones.  A message absent from both was still in flight
+        when the trace ended.
+    """
+
+    def __init__(self, events: Iterable[Dict[str, Any]]) -> None:
+        self.sent: Dict[int, Dict[str, Any]] = {}
+        self.children: Dict[int, List[int]] = {}
+        self.delivered: Dict[int, int] = {}
+        self.dropped: Dict[int, str] = {}
+        for event in events:
+            kind = event.get("event")
+            if kind == "msg.sent":
+                msg_id = int(event["id"])
+                self.sent[msg_id] = event
+                parent = event.get("parent")
+                if parent is not None:
+                    self.children.setdefault(int(parent), []).append(msg_id)
+            elif kind == "msg.delivered":
+                self.delivered[int(event["id"])] = int(event.get("slot", -1))
+            elif kind == "msg.dropped":
+                self.dropped[int(event["id"])] = str(
+                    event.get("reason", "unknown")
+                )
+
+    def __len__(self) -> int:
+        return len(self.sent)
+
+    # ------------------------------------------------------------------
+    # Chain walking
+    # ------------------------------------------------------------------
+    def chain(self, msg_id: int) -> List[Dict[str, Any]]:
+        """The causal chain root -> ... -> ``msg_id`` as sent events."""
+        if msg_id not in self.sent:
+            raise ObservabilityError(f"no msg.sent event with id {msg_id}")
+        chain: List[Dict[str, Any]] = []
+        seen = set()
+        current: Optional[int] = msg_id
+        while current is not None:
+            if current in seen:
+                raise ObservabilityError(
+                    f"causal cycle through msg id {current} (corrupt trace)"
+                )
+            seen.add(current)
+            event = self.sent.get(current)
+            if event is None:
+                break  # parent fell outside the trace window
+            chain.append(event)
+            parent = event.get("parent")
+            current = int(parent) if parent is not None else None
+        chain.reverse()
+        return chain
+
+    def outcome(self, msg_id: int) -> str:
+        """``"delivered"``, ``"dropped (<reason>)"`` or ``"in flight"``."""
+        if msg_id in self.delivered:
+            return "delivered"
+        if msg_id in self.dropped:
+            return f"dropped ({self.dropped[msg_id]})"
+        return "in flight"
+
+    def messages_of_agent(self, agent: str) -> List[Dict[str, Any]]:
+        """Sent events with ``agent`` as source or destination, by id."""
+        return [
+            event
+            for _msg_id, event in sorted(self.sent.items())
+            if event.get("src") == agent or event.get("dst") == agent
+        ]
+
+    def explain(self, agent: str) -> List[List[Dict[str, Any]]]:
+        """The causal chains that *end* at one of ``agent``'s messages.
+
+        Returns one chain per leaf message (a message with no recorded
+        children) the agent sent or received, latest first -- the last
+        chain is usually the one that fixed the agent's final assignment.
+        """
+        involved = self.messages_of_agent(agent)
+        if not involved:
+            raise ObservabilityError(
+                f"agent {agent!r} sent and received no traced messages"
+            )
+        leaves = [
+            event
+            for event in involved
+            if not self.children.get(int(event["id"]))
+        ]
+        leaves.sort(key=lambda e: int(e["id"]), reverse=True)
+        return [self.chain(int(event["id"])) for event in leaves]
+
+    def retransmissions(self) -> List[Dict[str, Any]]:
+        """Sent events that re-send an earlier occurrence.
+
+        A retransmission is a send whose parent is a send of the *same*
+        message type between the *same* endpoints (the ARQ layer parents
+        every re-send to the original occurrence).
+        """
+        out = []
+        for msg_id, event in sorted(self.sent.items()):
+            parent = event.get("parent")
+            if parent is None:
+                continue
+            original = self.sent.get(int(parent))
+            if (
+                original is not None
+                and original.get("type") == event.get("type")
+                and original.get("src") == event.get("src")
+                and original.get("dst") == event.get("dst")
+            ):
+                out.append(event)
+        return out
+
+
+def format_chain(graph: CausalGraph, chain: List[Dict[str, Any]]) -> str:
+    """Render one causal chain as indented, outcome-annotated text."""
+    lines = []
+    for depth, event in enumerate(chain):
+        msg_id = int(event["id"])
+        lines.append(
+            f"{'  ' * depth}[slot {event.get('slot')}] "
+            f"#{msg_id} {event.get('type')} "
+            f"{event.get('src')} -> {event.get('dst')}: "
+            f"{graph.outcome(msg_id)}"
+        )
+    return "\n".join(lines)

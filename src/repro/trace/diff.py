@@ -1,0 +1,225 @@
+"""Trace alignment and first-divergence reporting.
+
+Two runs of the same seeded workload emit byte-identical event streams
+until the point where their behaviour actually differs -- determinism is
+what the parity and golden-trace suites already lock down.  Diffing is
+therefore *positional*: canonicalize both streams (drop the volatile
+envelope that legitimately differs between runs) and report the first
+index where they disagree, annotated with the causal message chain that
+leads into the divergence.
+
+Canonicalization drops:
+
+* ``manifest`` lines (timestamps, library versions, CLI paths);
+* ``span`` events (wall/CPU timings are machine-dependent);
+* volatile keys on surviving events (``wall_s``, ``cpu_s``, ``start_s``).
+
+With ``rounds_only=True`` everything except the three round events is
+dropped too, which aligns a CLI-produced trace (manifest, lifecycle and
+message events included) against the committed golden trace (rounds
+only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.trace.causality import CausalGraph, format_chain
+from repro.trace.reader import ROUND_EVENT_TYPES
+
+__all__ = ["TraceDiff", "canonicalize_events", "diff_traces", "format_diff"]
+
+#: Event types whose presence/absence is run-environment, not behaviour.
+_ENVELOPE_EVENT_TYPES = ("manifest", "span")
+
+#: Keys that legitimately differ between behaviourally identical runs.
+_VOLATILE_KEYS = ("wall_s", "cpu_s", "start_s")
+
+
+def canonicalize_events(
+    events: List[Dict[str, Any]], rounds_only: bool = False
+) -> Tuple[List[Dict[str, Any]], List[int]]:
+    """Reduce a stream to its behavioural content.
+
+    Returns the canonical events plus, for each, its index in the
+    original stream (so divergence positions can be mapped back to raw
+    trace lines and nearby causal context).
+    """
+    canonical: List[Dict[str, Any]] = []
+    origins: List[int] = []
+    for index, event in enumerate(events):
+        kind = event.get("event")
+        if kind in _ENVELOPE_EVENT_TYPES:
+            continue
+        if rounds_only and kind not in ROUND_EVENT_TYPES:
+            continue
+        stripped = {
+            key: value
+            for key, value in event.items()
+            if key not in _VOLATILE_KEYS
+        }
+        canonical.append(stripped)
+        origins.append(index)
+    return canonical, origins
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Outcome of :func:`diff_traces`.
+
+    ``diverged`` is ``False`` when the canonical streams are identical.
+    Otherwise ``index`` is the first differing canonical position,
+    ``left_event`` / ``right_event`` are the events there (``None`` when
+    that side's stream already ended), and ``left_chain`` /
+    ``right_chain`` carry the causal message chain leading into the
+    divergence on each side (empty for traces without message events).
+    """
+
+    diverged: bool
+    left_label: str
+    right_label: str
+    left_total: int
+    right_total: int
+    index: Optional[int] = None
+    left_event: Optional[Dict[str, Any]] = None
+    right_event: Optional[Dict[str, Any]] = None
+    differing_keys: Tuple[str, ...] = ()
+    slot: Optional[int] = None
+    round_index: Optional[int] = None
+    left_chain: Tuple[Dict[str, Any], ...] = ()
+    right_chain: Tuple[Dict[str, Any], ...] = ()
+    left_graph: Optional[CausalGraph] = field(default=None, compare=False)
+    right_graph: Optional[CausalGraph] = field(default=None, compare=False)
+
+
+def _chain_into(
+    raw_events: List[Dict[str, Any]],
+    graph: CausalGraph,
+    divergent: Optional[Dict[str, Any]],
+    raw_index: Optional[int],
+) -> Tuple[Dict[str, Any], ...]:
+    """Causal chain explaining the divergence on one side.
+
+    The divergent event itself when it is a traced message; otherwise the
+    last message sent before the divergence point -- the most recent
+    causal activity leading into it.
+    """
+    if divergent is not None and divergent.get("event", "").startswith("msg."):
+        msg_id = divergent.get("id")
+        if msg_id is not None and int(msg_id) in graph.sent:
+            return tuple(graph.chain(int(msg_id)))
+    if raw_index is None:
+        raw_index = len(raw_events)
+    for event in reversed(raw_events[:raw_index]):
+        if event.get("event") == "msg.sent":
+            return tuple(graph.chain(int(event["id"])))
+    return ()
+
+
+def diff_traces(
+    left_events: List[Dict[str, Any]],
+    right_events: List[Dict[str, Any]],
+    rounds_only: bool = False,
+    left_label: str = "left",
+    right_label: str = "right",
+) -> TraceDiff:
+    """Align two traces and report the first behavioural divergence."""
+    left, left_origins = canonicalize_events(left_events, rounds_only)
+    right, right_origins = canonicalize_events(right_events, rounds_only)
+
+    index = None
+    for position, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            index = position
+            break
+    if index is None:
+        if len(left) == len(right):
+            return TraceDiff(
+                diverged=False,
+                left_label=left_label,
+                right_label=right_label,
+                left_total=len(left),
+                right_total=len(right),
+            )
+        index = min(len(left), len(right))
+
+    left_event = left[index] if index < len(left) else None
+    right_event = right[index] if index < len(right) else None
+    differing: Tuple[str, ...] = ()
+    if left_event is not None and right_event is not None:
+        differing = tuple(
+            sorted(
+                key
+                for key in set(left_event) | set(right_event)
+                if left_event.get(key) != right_event.get(key)
+            )
+        )
+
+    def _field(name: str) -> Optional[int]:
+        for event in (left_event, right_event):
+            if event is not None and event.get(name) is not None:
+                return int(event[name])
+        return None
+
+    left_graph = CausalGraph(left_events)
+    right_graph = CausalGraph(right_events)
+    left_raw_index = left_origins[index] if index < len(left) else None
+    right_raw_index = right_origins[index] if index < len(right) else None
+    return TraceDiff(
+        diverged=True,
+        left_label=left_label,
+        right_label=right_label,
+        left_total=len(left),
+        right_total=len(right),
+        index=index,
+        left_event=left_event,
+        right_event=right_event,
+        differing_keys=differing,
+        slot=_field("slot"),
+        round_index=_field("round"),
+        left_chain=_chain_into(
+            left_events, left_graph, left_event, left_raw_index
+        ),
+        right_chain=_chain_into(
+            right_events, right_graph, right_event, right_raw_index
+        ),
+        left_graph=left_graph,
+        right_graph=right_graph,
+    )
+
+
+def format_diff(diff: TraceDiff) -> str:
+    """Render a :class:`TraceDiff` as the CLI's human-readable report."""
+    if not diff.diverged:
+        return (
+            f"no divergence: {diff.left_total} canonical events identical "
+            f"({diff.left_label} vs {diff.right_label})"
+        )
+    lines = [
+        f"divergence at canonical event {diff.index} "
+        f"({diff.left_label}: {diff.left_total} events, "
+        f"{diff.right_label}: {diff.right_total} events)"
+    ]
+    if diff.round_index is not None:
+        lines.append(f"first divergent round: {diff.round_index}")
+    elif diff.slot is not None:
+        lines.append(f"first divergent slot: {diff.slot}")
+    for label, event in (
+        (diff.left_label, diff.left_event),
+        (diff.right_label, diff.right_event),
+    ):
+        if event is None:
+            lines.append(f"  {label}: (stream ended)")
+        else:
+            lines.append(f"  {label}: {event}")
+    if diff.differing_keys:
+        lines.append(f"  differing keys: {', '.join(diff.differing_keys)}")
+    for label, chain, graph in (
+        (diff.left_label, diff.left_chain, diff.left_graph),
+        (diff.right_label, diff.right_chain, diff.right_graph),
+    ):
+        if chain and graph is not None:
+            lines.append(f"causal chain into the divergence ({label}):")
+            lines.append(format_chain(graph, list(chain)))
+    return "\n".join(lines)

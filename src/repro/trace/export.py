@@ -1,0 +1,228 @@
+"""Exporters: Chrome trace-event JSON and OpenMetrics text.
+
+Two interchange formats, chosen because both are inspectable with stock
+tooling and need no dependencies to write:
+
+* **Chrome trace-event JSON** (:func:`to_chrome_trace`) -- loadable in
+  Perfetto or ``chrome://tracing``.  Spans become complete (``"X"``)
+  events on a ``spans`` process (one track per nesting depth); kernel
+  ``msg.*`` events become instants on a ``messages`` process with one
+  track per sending agent, timed on the virtual slot clock (1 slot =
+  1 ms), so a protocol run reads as a per-agent swimlane diagram.
+* **OpenMetrics text** (:func:`to_openmetrics`) -- renders a
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` for scraping or
+  offline comparison; :func:`counters_from_events` synthesises a
+  counters-only snapshot from a raw trace so traces without an embedded
+  metrics dump can still be exported.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping
+
+__all__ = ["to_chrome_trace", "to_openmetrics", "counters_from_events"]
+
+#: Virtual-time scale for slot-clocked events: one slot = 1 ms = 1000 us.
+_SLOT_US = 1000.0
+
+_SPAN_PID = 1
+_MESSAGE_PID = 2
+
+
+def to_chrome_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert a trace's spans and message events to Chrome trace JSON.
+
+    Spans with a recorded ``start_s`` are placed on the real
+    ``perf_counter`` timeline (relative to the earliest span).  Older
+    traces whose spans lack ``start_s`` get a synthesised layout --
+    back-to-back per depth track in finish order -- which preserves
+    durations but not true concurrency gaps.
+    """
+    spans = [e for e in events if e.get("event") == "span"]
+    messages = [
+        e
+        for e in events
+        if e.get("event") in ("msg.sent", "msg.delivered", "msg.dropped")
+    ]
+
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": _SPAN_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "spans"},
+        },
+        {
+            "ph": "M",
+            "pid": _MESSAGE_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "messages"},
+        },
+    ]
+
+    starts = [e["start_s"] for e in spans if "start_s" in e]
+    t0 = min(starts) if starts else 0.0
+    depth_cursor: Dict[int, float] = {}
+    for span in spans:
+        depth = int(span.get("depth", 0))
+        duration_us = float(span.get("wall_s", 0.0)) * 1e6
+        if "start_s" in span:
+            ts = (float(span["start_s"]) - t0) * 1e6
+        else:
+            ts = depth_cursor.get(depth, 0.0)
+            depth_cursor[depth] = ts + duration_us
+        trace_events.append(
+            {
+                "ph": "X",
+                "pid": _SPAN_PID,
+                "tid": depth,
+                "ts": ts,
+                "dur": duration_us,
+                "name": str(span.get("name", "span")),
+                "args": {"cpu_s": span.get("cpu_s", 0.0)},
+            }
+        )
+
+    # One message track per agent, in first-appearance order.
+    agent_tids: Dict[str, int] = {}
+    sent_by_id: Dict[int, Dict[str, Any]] = {}
+
+    def tid_for(agent: str) -> int:
+        if agent not in agent_tids:
+            tid = len(agent_tids) + 1
+            agent_tids[agent] = tid
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": _MESSAGE_PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": agent},
+                }
+            )
+        return agent_tids[agent]
+
+    for message in messages:
+        kind = message["event"]
+        msg_id = message.get("id")
+        if kind == "msg.sent" and msg_id is not None:
+            sent_by_id[int(msg_id)] = message
+        if kind == "msg.sent":
+            agent = str(message.get("src", "?"))
+        elif kind == "msg.delivered":
+            agent = str(message.get("dst", "?"))
+        else:  # msg.dropped carries no endpoints; recover via the send
+            sent = sent_by_id.get(int(msg_id)) if msg_id is not None else None
+            agent = str(sent.get("dst", "?")) if sent else "?"
+        args = {
+            key: value
+            for key, value in message.items()
+            if key not in ("event", "slot")
+        }
+        trace_events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": _MESSAGE_PID,
+                "tid": tid_for(agent),
+                "ts": float(message.get("slot", 0)) * _SLOT_US,
+                "name": kind,
+                "args": args,
+            }
+        )
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics
+# ----------------------------------------------------------------------
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def to_openmetrics(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
+    """Render a metrics snapshot as OpenMetrics exposition text.
+
+    Counters become ``<name>_total``, gauges stay bare, timers become
+    ``summary`` count/sum pairs, and histograms become cumulative
+    ``le``-labelled buckets.  Bucket upper bounds are exported as
+    inclusive per the format even though the registry's buckets are
+    right-open; a value landing exactly on a boundary is off by one
+    bucket, which the overflow ``+Inf`` bucket always absorbs.
+    """
+    lines: List[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(value)}")
+
+    for name, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            continue
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, stats in snapshot.get("timers", {}).items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {_format_value(stats['count'])}")
+        lines.append(f"{metric}_sum {_format_value(stats['total_s'])}")
+
+    for name, stats in snapshot.get("histograms", {}).items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        boundaries = stats.get("boundaries", [])
+        bucket_counts = stats.get("bucket_counts", [])
+        for boundary, count in zip(boundaries, bucket_counts):
+            cumulative += int(count)
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(boundary)}"}} '
+                f"{cumulative}"
+            )
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {_format_value(stats["count"])}'
+        )
+        lines.append(f"{metric}_count {_format_value(stats['count'])}")
+        lines.append(f"{metric}_sum {_format_value(stats['sum'])}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def counters_from_events(
+    events: List[Dict[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """Synthesise a counters-only snapshot from a raw event stream.
+
+    Counts events by type under ``trace.events.<type>``, so any trace --
+    even one recorded without a metrics registry -- has an OpenMetrics
+    rendering.
+    """
+    counts: Dict[str, int] = {}
+    for event in events:
+        kind = str(event.get("event", "unknown"))
+        key = f"trace.events.{kind}"
+        counts[key] = counts.get(key, 0) + 1
+    return {
+        "counters": dict(sorted(counts.items())),
+        "gauges": {},
+        "timers": {},
+        "histograms": {},
+    }

@@ -1,0 +1,180 @@
+"""Kernel-level causal message tracing.
+
+These tests drive :class:`TimeSlottedSimulator` directly with tiny
+purpose-built agents, pinning the contract the offline toolkit
+(:mod:`repro.trace`) relies on:
+
+* every send occurrence gets a fresh id, stamped with the parent the
+  sender was reacting to and the root trace id;
+* replies are parented to the delivered message being handled, while
+  spontaneous sends (empty inbox) start new chains;
+* drops are emitted with the reason the kernel saw;
+* with a null recorder no tracker exists and ``ctx.send`` stays silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.distributed.messages import Message
+from repro.distributed.network import LossyNetwork
+from repro.distributed.simulator import Agent, TimeSlottedSimulator
+from repro.obs import ListEventSink, Recorder
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    n: int
+
+
+@dataclass(frozen=True)
+class Pong(Message):
+    n: int
+
+
+class Pinger(Agent):
+    """Sends one Ping per slot until `count` is exhausted; records ids."""
+
+    def __init__(self, target: str, count: int) -> None:
+        super().__init__("pinger", priority=0)
+        self.target = target
+        self.remaining = count
+        self.send_ids: List[Optional[int]] = []
+
+    def step(self, inbox, ctx):
+        for message in inbox:
+            ctx.set_cause(message)
+        if self.remaining > 0:
+            self.send_ids.append(
+                ctx.send(self.target, Ping(self.agent_id, self.remaining))
+            )
+            self.remaining -= 1
+
+    def is_done(self):
+        return self.remaining == 0
+
+    def snapshot(self):
+        return {"remaining": self.remaining}
+
+    def restore(self, state):
+        self.remaining = state["remaining"]
+
+
+class Ponger(Agent):
+    """Replies Pong to every Ping (a send caused by a delivery)."""
+
+    def __init__(self) -> None:
+        super().__init__("ponger", priority=1)
+
+    def step(self, inbox, ctx):
+        for message in inbox:
+            ctx.set_cause(message)
+            if isinstance(message, Ping):
+                ctx.send(message.sender, Pong(self.agent_id, message.n))
+
+    def is_done(self):
+        return True
+
+    def snapshot(self):
+        return {}
+
+    def restore(self, state):
+        pass
+
+
+def run_ping_pong(recorder=None, network=None, count=3, seed=0):
+    pinger = Pinger("ponger", count)
+    ponger = Ponger()
+    sim = TimeSlottedSimulator(
+        [pinger, ponger], network=network, seed=seed, recorder=recorder
+    )
+    sim.run(max_slots=10_000)
+    return pinger
+
+
+class TestCausalStamping:
+    def test_ids_unique_and_monotonic_per_send(self):
+        sink = ListEventSink()
+        run_ping_pong(recorder=Recorder(events=sink))
+        sent = sink.of_type("msg.sent")
+        ids = [e["id"] for e in sent]
+        assert len(ids) == len(set(ids))
+        assert ids == sorted(ids)
+        assert len(sent) == 6  # 3 pings + 3 pongs
+
+    def test_ping_pong_forms_one_chain_rooted_at_first_send(self):
+        sink = ListEventSink()
+        run_ping_pong(recorder=Recorder(events=sink))
+        sent = sink.of_type("msg.sent")
+        # The first ping is spontaneous (empty inbox): a chain root.
+        assert sent[0]["parent"] is None
+        assert sent[0]["trace"] == sent[0]["id"]
+        # Every later send reacts to the message delivered just before it,
+        # so the whole exchange is one alternating chain with one trace id.
+        for previous, event in zip(sent, sent[1:]):
+            assert event["parent"] == previous["id"]
+        assert {e["trace"] for e in sent} == {sent[0]["id"]}
+
+    def test_replies_parented_to_delivered_ping(self):
+        sink = ListEventSink()
+        run_ping_pong(recorder=Recorder(events=sink))
+        sent = {e["id"]: e for e in sink.of_type("msg.sent")}
+        pongs = [e for e in sent.values() if e["type"] == "Pong"]
+        assert len(pongs) == 3
+        for pong in pongs:
+            parent = sent[pong["parent"]]
+            assert parent["type"] == "Ping"
+            assert parent["src"] == pong["dst"]
+            # Reply inherits the root trace id of the chain.
+            assert pong["trace"] == parent["trace"]
+
+    def test_agent_sees_kernel_assigned_ids(self):
+        sink = ListEventSink()
+        pinger = run_ping_pong(recorder=Recorder(events=sink))
+        pings = [e for e in sink.of_type("msg.sent") if e["type"] == "Ping"]
+        assert pinger.send_ids == [e["id"] for e in pings]
+
+    def test_delivery_events_match_sends(self):
+        sink = ListEventSink()
+        run_ping_pong(recorder=Recorder(events=sink))
+        sent_ids = {e["id"] for e in sink.of_type("msg.sent")}
+        delivered = sink.of_type("msg.delivered")
+        assert {e["id"] for e in delivered} == sent_ids
+        for event in delivered:
+            assert event["dst"] in ("pinger", "ponger")
+
+
+class TestDropAccounting:
+    def test_network_drops_emitted_with_reason(self):
+        sink = ListEventSink()
+        run_ping_pong(
+            recorder=Recorder(events=sink),
+            network=LossyNetwork(0.5),
+            count=20,
+            seed=3,
+        )
+        dropped = sink.of_type("msg.dropped")
+        assert dropped, "loss rate 0.5 over 20+ sends must drop something"
+        assert all(e["reason"] == "network" for e in dropped)
+        sent_ids = {e["id"] for e in sink.of_type("msg.sent")}
+        delivered_ids = {e["id"] for e in sink.of_type("msg.delivered")}
+        dropped_ids = {e["id"] for e in dropped}
+        # Conservation: every send either delivered or dropped, never both.
+        assert delivered_ids | dropped_ids == sent_ids
+        assert delivered_ids & dropped_ids == set()
+
+
+class TestNullRecorderPath:
+    def test_no_tracker_allocated_without_event_sink(self):
+        pinger = Pinger("ponger", 1)
+        sim = TimeSlottedSimulator([pinger, Ponger()], seed=0)
+        assert sim._causal is None
+
+    def test_send_returns_none_and_behaviour_unchanged(self):
+        silent = run_ping_pong(recorder=None)
+        assert silent.send_ids == [None, None, None]
+        sink = ListEventSink()
+        traced = run_ping_pong(recorder=Recorder(events=sink))
+        # Tracing changed nothing behavioural: same number of sends.
+        assert len(traced.send_ids) == len(silent.send_ids)

@@ -112,3 +112,46 @@ class TestManifest:
         decoded = json.loads(encoded)
         assert decoded["config"]["xs"] == [1, 2]
         assert isinstance(decoded["config"]["o"], str)
+
+
+class TestBufferedFlush:
+    def test_flush_every_batches_writes(self):
+        stream = io.StringIO()
+        sink = JsonlEventSink(stream, flush_every=3)
+        sink.emit({"event": "a"})
+        sink.emit({"event": "b"})
+        assert stream.getvalue() == ""  # still buffered
+        sink.emit({"event": "c"})  # third emit drains the batch
+        assert len(stream.getvalue().splitlines()) == 3
+        sink.close()
+
+    def test_close_always_flushes_partial_buffer(self):
+        stream = io.StringIO()
+        sink = JsonlEventSink(stream, flush_every=100)
+        sink.emit({"event": "a"})
+        sink.emit({"event": "b"})
+        sink.close()
+        assert [json.loads(line)["event"] for line in
+                stream.getvalue().splitlines()] == ["a", "b"]
+
+    def test_buffered_output_identical_to_write_through(self):
+        def render(flush_every):
+            stream = io.StringIO()
+            sink = JsonlEventSink(stream, flush_every=flush_every)
+            for index in range(7):
+                sink.emit({"event": "tick", "n": index})
+            sink.close()
+            return stream.getvalue()
+
+        assert render(1) == render(3) == render(100)
+
+    def test_flush_every_validated(self):
+        with pytest.raises(ObservabilityError):
+            JsonlEventSink(io.StringIO(), flush_every=0)
+
+    def test_path_attribute_reports_file_target(self, tmp_path):
+        target = tmp_path / "t.jsonl"
+        sink = JsonlEventSink(str(target))
+        assert sink.path == str(target)
+        sink.close()
+        assert JsonlEventSink(io.StringIO()).path is None

@@ -114,3 +114,46 @@ class TestNullBackend:
             "timers": {},
             "histograms": {},
         }
+
+
+class TestQuantiles:
+    def _histogram(self, values, boundaries=(1.0, 10.0, 100.0)):
+        histogram = MetricsRegistry().histogram("h", boundaries=list(boundaries))
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def test_quantile_validates_range(self):
+        histogram = self._histogram([1.0])
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(1.5)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert self._histogram([]).quantile(0.5) == 0.0
+
+    def test_extremes_clamped_to_observed_min_max(self):
+        histogram = self._histogram([2.0, 3.0, 4.0, 50.0])
+        assert histogram.quantile(0.0) == 2.0
+        assert histogram.quantile(1.0) == 50.0
+
+    def test_median_interpolates_within_bucket(self):
+        # 100 observations spread uniformly in [0, 10): the estimated
+        # median must land near the true one, well within bucket width.
+        values = [index / 10.0 for index in range(100)]
+        histogram = self._histogram(values, boundaries=(2.0, 4.0, 6.0, 8.0))
+        assert abs(histogram.quantile(0.5) - 5.0) < 1.0
+
+    def test_single_bucket_degenerates_to_its_value(self):
+        histogram = self._histogram([5.0, 5.0, 5.0])
+        assert histogram.quantile(0.25) == 5.0
+        assert histogram.quantile(0.99) == 5.0
+
+    def test_snapshot_quantile_matches_live_instrument(self):
+        from repro.obs.metrics import snapshot_quantile
+
+        histogram = self._histogram([0.5, 5.0, 50.0, 500.0])
+        snapshot = histogram.snapshot()
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert snapshot_quantile(snapshot, q) == histogram.quantile(q)

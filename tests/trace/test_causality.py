@@ -1,0 +1,156 @@
+"""CausalGraph over kernel-emitted message events.
+
+Synthetic streams pin the graph semantics exactly; the end-to-end class
+runs the real protocol (perfect, lossy+ARQ, and crashing networks) and
+checks the invariants the kernel promises: conservation of messages,
+consistent trace ids, and retransmissions parented to their originals.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.distributed.faults import CrashFault, FaultSchedule
+from repro.distributed.network import LossyNetwork
+from repro.distributed.protocol import run_distributed_matching
+from repro.errors import ObservabilityError
+from repro.obs import ListEventSink, Recorder
+from repro.trace import CausalGraph, format_chain
+from repro.workloads.scenarios import paper_simulation_market
+
+import numpy as np
+
+
+def _sent(msg_id, parent, trace, slot=0, src="a", dst="b", mtype="Note"):
+    return {
+        "event": "msg.sent",
+        "id": msg_id,
+        "trace": trace,
+        "parent": parent,
+        "slot": slot,
+        "src": src,
+        "dst": dst,
+        "type": mtype,
+    }
+
+
+class TestGraphSemantics:
+    def _three_hop(self) -> CausalGraph:
+        return CausalGraph(
+            [
+                _sent(0, None, 0, slot=0, src="a", dst="b"),
+                {"event": "msg.delivered", "id": 0, "slot": 1, "dst": "b"},
+                _sent(1, 0, 0, slot=1, src="b", dst="c"),
+                {"event": "msg.delivered", "id": 1, "slot": 2, "dst": "c"},
+                _sent(2, 1, 0, slot=2, src="c", dst="a"),
+                {"event": "msg.dropped", "id": 2, "slot": 2, "reason": "network"},
+            ]
+        )
+
+    def test_chain_walks_root_first(self):
+        graph = self._three_hop()
+        assert [e["id"] for e in graph.chain(2)] == [0, 1, 2]
+        assert [e["id"] for e in graph.chain(0)] == [0]
+
+    def test_outcomes(self):
+        graph = self._three_hop()
+        assert graph.outcome(0) == "delivered"
+        assert graph.outcome(2) == "dropped (network)"
+        graph2 = CausalGraph([_sent(5, None, 5)])
+        assert graph2.outcome(5) == "in flight"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ObservabilityError, match="no msg.sent"):
+            self._three_hop().chain(99)
+
+    def test_cycle_detected(self):
+        graph = CausalGraph([_sent(0, 1, 0), _sent(1, 0, 0)])
+        with pytest.raises(ObservabilityError, match="cycle"):
+            graph.chain(0)
+
+    def test_explain_returns_leaf_chains_latest_first(self):
+        graph = self._three_hop()
+        chains = graph.explain("a")
+        # Single leaf (#2): one chain, ending at a's inbound drop.
+        assert len(chains) == 1
+        assert [e["id"] for e in chains[0]] == [0, 1, 2]
+        with pytest.raises(ObservabilityError, match="no traced messages"):
+            graph.explain("nobody")
+
+    def test_retransmission_detection(self):
+        graph = CausalGraph(
+            [
+                _sent(0, None, 0, mtype="DataFrame"),
+                _sent(1, 0, 0, mtype="DataFrame"),  # same type/src/dst: ARQ
+                _sent(2, 0, 0, src="b", dst="c"),   # different endpoints: not
+            ]
+        )
+        assert [e["id"] for e in graph.retransmissions()] == [1]
+
+    def test_format_chain_is_indented_and_annotated(self):
+        graph = self._three_hop()
+        text = format_chain(graph, graph.chain(2))
+        lines = text.splitlines()
+        assert lines[0].startswith("[slot 0] #0 Note a -> b: delivered")
+        assert lines[2].lstrip().startswith("[slot 2] #2 Note c -> a: dropped")
+        assert lines[2].startswith("    ")  # depth-2 indent
+
+
+class TestKernelTraces:
+    """The real protocol's traces satisfy the kernel's causal contract."""
+
+    def _run(self, **kwargs) -> List[dict]:
+        market = paper_simulation_market(12, 3, np.random.default_rng(5))
+        sink = ListEventSink()
+        run_distributed_matching(
+            market, seed=5, recorder=Recorder(events=sink), **kwargs
+        )
+        return sink.events
+
+    def test_perfect_network_conserves_messages(self):
+        events = self._run()
+        graph = CausalGraph(events)
+        assert len(graph) > 0
+        # Every send is accounted for: delivered or dropped, nothing lost.
+        for msg_id in graph.sent:
+            assert graph.outcome(msg_id) == "delivered"
+
+    def test_trace_id_is_root_of_chain(self):
+        graph = CausalGraph(self._run())
+        for msg_id, event in graph.sent.items():
+            chain = graph.chain(msg_id)
+            assert chain[0]["trace"] == event["trace"]
+            assert chain[0]["parent"] is None
+
+    def test_lossy_arq_retransmissions_parented_to_original(self):
+        events = self._run(
+            network=LossyNetwork(0.15), reliable_transport=True
+        )
+        graph = CausalGraph(events)
+        drops = [e for e in events if e["event"] == "msg.dropped"]
+        assert drops, "loss rate 0.15 should drop at least one frame"
+        assert all(d["reason"] == "network" for d in drops)
+        retransmits = graph.retransmissions()
+        assert retransmits, "ARQ must have retransmitted the dropped frames"
+        for event in retransmits:
+            original = graph.sent[int(event["parent"])]
+            assert original["type"] == event["type"]
+            assert original["slot"] <= event["slot"]
+
+    def test_crash_drops_carry_crash_reasons(self):
+        schedule = FaultSchedule(
+            crashes=[CrashFault(agent_id="seller:1", crash_slot=2, restart_slot=8)]
+        )
+        events = self._run(fault_schedule=schedule, reliable_transport=True)
+        graph = CausalGraph(events)
+        crash_reasons = {
+            reason
+            for reason in graph.dropped.values()
+            if reason in ("crashed_destination", "crash_purge")
+        }
+        assert crash_reasons, "crash faults must surface as msg.dropped"
+        # Conservation still holds: delivered or dropped, never vanished.
+        for msg_id in graph.sent:
+            assert graph.outcome(msg_id) != "in flight"

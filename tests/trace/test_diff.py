@@ -1,0 +1,181 @@
+"""Trace canonicalization and first-divergence alignment.
+
+The property test is the satellite's headline guarantee: *any* trace
+diffed against itself reports no divergence, whatever mix of rounds,
+spans, messages and lifecycle events it carries.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import canonicalize_events, diff_traces, format_diff, load_events
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "data", "golden_two_stage_trace.jsonl"
+)
+
+# ---------------------------------------------------------------------------
+# Event-stream strategy: a plausible mix of everything a real trace holds.
+# ---------------------------------------------------------------------------
+_round_event = st.fixed_dictionaries(
+    {
+        "event": st.just("stage1.round"),
+        "round": st.integers(0, 50),
+        "proposals": st.dictionaries(
+            st.integers(0, 3).map(str), st.lists(st.integers(0, 20), max_size=3),
+            max_size=3,
+        ),
+    }
+)
+_span_event = st.fixed_dictionaries(
+    {
+        "event": st.just("span"),
+        "name": st.sampled_from(["stage1.mwis", "two_stage", "solve.greedy"]),
+        "depth": st.integers(0, 3),
+        "wall_s": st.floats(0, 10, allow_nan=False),
+        "cpu_s": st.floats(0, 10, allow_nan=False),
+    }
+)
+_msg_event = st.fixed_dictionaries(
+    {
+        "event": st.sampled_from(["msg.sent", "msg.delivered"]),
+        "id": st.integers(0, 100),
+        "slot": st.integers(0, 100),
+    }
+)
+_lifecycle_event = st.fixed_dictionaries(
+    {
+        "event": st.sampled_from(["sim.slot", "two_stage.start", "market.created"]),
+        "slot": st.integers(0, 100),
+    }
+)
+_event_stream = st.lists(
+    st.one_of(_round_event, _span_event, _msg_event, _lifecycle_event),
+    max_size=25,
+)
+
+
+class TestCanonicalize:
+    def test_drops_manifest_and_spans(self):
+        events = [
+            {"event": "manifest", "schema_version": 1},
+            {"event": "span", "name": "x", "wall_s": 1.0},
+            {"event": "stage1.round", "round": 0},
+        ]
+        canonical, origins = canonicalize_events(events)
+        assert canonical == [{"event": "stage1.round", "round": 0}]
+        assert origins == [2]
+
+    def test_strips_volatile_keys_but_keeps_payload(self):
+        events = [{"event": "sim.slot", "slot": 3, "wall_s": 0.123}]
+        canonical, _ = canonicalize_events(events)
+        assert canonical == [{"event": "sim.slot", "slot": 3}]
+        # The input stream is left untouched.
+        assert "wall_s" in events[0]
+
+    def test_rounds_only_keeps_round_events(self):
+        events = [
+            {"event": "sim.slot", "slot": 0},
+            {"event": "stage1.round", "round": 0},
+            {"event": "msg.sent", "id": 1, "slot": 0},
+            {"event": "stage2.transfer_round", "round": 0},
+        ]
+        canonical, origins = canonicalize_events(events, rounds_only=True)
+        assert [e["event"] for e in canonical] == [
+            "stage1.round",
+            "stage2.transfer_round",
+        ]
+        assert origins == [1, 3]
+
+
+class TestDiff:
+    def test_golden_self_diff_is_clean(self):
+        events = load_events(GOLDEN_PATH)
+        diff = diff_traces(events, copy.deepcopy(events))
+        assert not diff.diverged
+        assert "no divergence" in format_diff(diff)
+
+    def test_timing_differences_are_not_divergence(self):
+        left = [
+            {"event": "span", "name": "solve", "wall_s": 1.0, "cpu_s": 1.0},
+            {"event": "sim.slot", "slot": 0, "wall_s": 0.5},
+        ]
+        right = [
+            {"event": "span", "name": "solve", "wall_s": 9.0, "cpu_s": 9.0},
+            {"event": "sim.slot", "slot": 0, "wall_s": 0.7},
+        ]
+        assert not diff_traces(left, right).diverged
+
+    def test_payload_difference_reports_keys_and_slot(self):
+        left = [
+            {"event": "sim.slot", "slot": 0},
+            {"event": "msg.sent", "id": 1, "slot": 1, "src": "a", "dst": "b",
+             "type": "Note", "trace": 1, "parent": None},
+        ]
+        right = [
+            {"event": "sim.slot", "slot": 0},
+            {"event": "msg.sent", "id": 1, "slot": 1, "src": "a", "dst": "c",
+             "type": "Note", "trace": 1, "parent": None},
+        ]
+        diff = diff_traces(left, right)
+        assert diff.diverged
+        assert diff.index == 1
+        assert diff.differing_keys == ("dst",)
+        assert diff.slot == 1
+        # The divergent event is a traced message: its chain is the context.
+        assert diff.left_chain and diff.left_chain[-1]["id"] == 1
+
+    def test_prefix_trace_diverges_at_truncation_point(self):
+        events = load_events(GOLDEN_PATH)
+        diff = diff_traces(events, events[:-1], left_label="full",
+                           right_label="truncated")
+        assert diff.diverged
+        assert diff.index == len(events) - 1
+        assert diff.right_event is None
+        assert "(stream ended)" in format_diff(diff)
+
+    def test_labels_flow_into_report(self):
+        diff = diff_traces([], [], left_label="a.jsonl", right_label="b.jsonl")
+        assert "a.jsonl vs b.jsonl" in format_diff(diff)
+
+    def test_rounds_only_ignores_envelope_difference(self):
+        # A CLI trace (manifest + lifecycle + rounds) aligned against the
+        # bare golden rounds: identical behaviour, different envelope.
+        golden = load_events(GOLDEN_PATH)
+        rounds = [
+            e for e in golden
+            if e["event"].startswith(("stage1.", "stage2."))
+        ]
+        wrapped = (
+            [{"event": "manifest", "schema_version": 1}]
+            + golden
+            + [{"event": "span", "name": "solve", "wall_s": 1.0}]
+        )
+        assert diff_traces(wrapped, rounds, rounds_only=True).diverged is False
+
+
+class TestDiffProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_event_stream)
+    def test_self_diff_never_diverges(self, events):
+        diff = diff_traces(events, copy.deepcopy(events))
+        assert not diff.diverged
+        assert "no divergence" in format_diff(diff)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_event_stream, st.data())
+    def test_mutating_one_canonical_event_always_diverges(self, events, data):
+        canonical, origins = canonicalize_events(events)
+        if not canonical:
+            return
+        position = data.draw(st.integers(0, len(canonical) - 1))
+        mutated = copy.deepcopy(events)
+        mutated[origins[position]]["event"] = "mutated.event"
+        diff = diff_traces(events, mutated)
+        assert diff.diverged
+        assert diff.index is not None and diff.index <= position
