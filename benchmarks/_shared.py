@@ -6,8 +6,10 @@ module runs first pays the cost.
 
 Set ``SPECTRUM_BENCH_METRICS_DIR=/some/dir`` to make each cached panel run
 dump machine-readable observability artefacts next to the printed tables:
-``fig78_<panel>_r<reps>_s<seed>.jsonl`` (the event trace with manifest)
-and ``...metrics.json`` (the metrics-registry snapshot).
+``fig78_<panel>_r<reps>_s<seed>.jsonl`` (the event trace with manifest),
+``...metrics.json`` (the metrics-registry snapshot) and ``...om`` (the
+same snapshot as OpenMetrics exposition text, scrapable/diffable with the
+live-telemetry tooling).
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from repro.obs import (
     build_manifest,
     use_recorder,
 )
+from repro.trace.export import to_openmetrics
 
 #: Environment variable naming the metrics-dump directory (unset = off).
 METRICS_DIR_ENV = "SPECTRUM_BENCH_METRICS_DIR"
@@ -76,8 +79,11 @@ def stage_rows(panel: str, repetitions: int, seed: int = 0) -> Tuple[ExperimentR
         rows = tuple(
             run_figure(spec, repetitions=repetitions, seed=seed, jobs=jobs)
         )
+    snapshot = recorder.metrics.snapshot()
     with open(f"{stem}.metrics.json", "w", encoding="utf-8") as handle:
-        json.dump(recorder.metrics.snapshot(), handle, indent=2)
+        json.dump(snapshot, handle, indent=2)
+    with open(f"{stem}.om", "w", encoding="utf-8") as handle:
+        handle.write(to_openmetrics(snapshot))
     return rows
 
 

@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.errors import ParallelExecutionError, SpectrumMatchingError
+from repro.obs.recorder import resolve_recorder
 
 __all__ = ["resolve_jobs", "parallel_map"]
 
@@ -78,14 +79,32 @@ def parallel_map(
         futures are cancelled first so the call never hangs.
     """
     worker_count = resolve_jobs(jobs)
+    rec = resolve_recorder(None)
+    # Progress heartbeats feed the live run registry / watch console;
+    # content is deterministic (completed counts in submission order).
+    report = rec.events.enabled or rec.runs.enabled
     if worker_count == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        if not report:
+            return [fn(item) for item in items]
+        results = []
+        for index, item in enumerate(items):
+            results.append(fn(item))
+            rec.emit(
+                "analysis.progress", completed=index + 1, total=len(items)
+            )
+        return results
     results: List[_R] = []
     with ProcessPoolExecutor(max_workers=min(worker_count, len(items))) as pool:
         futures = [pool.submit(fn, item) for item in items]
         try:
             for future in futures:
                 results.append(future.result())
+                if report:
+                    rec.emit(
+                        "analysis.progress",
+                        completed=len(results),
+                        total=len(futures),
+                    )
         except BaseException as exc:
             for future in futures:
                 future.cancel()

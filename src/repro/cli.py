@@ -102,6 +102,51 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
             "raise for large chaos runs)"
         ),
     )
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the final metrics snapshot as OpenMetrics text to PATH",
+    )
+    group.add_argument(
+        "--serve-metrics",
+        metavar="[HOST:]PORT",
+        default=None,
+        help=(
+            "serve live telemetry over HTTP while the command runs "
+            "(/metrics, /health, /runs, /slo); port 0 picks a free port"
+        ),
+    )
+    group.add_argument(
+        "--serve-hold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "keep the telemetry server up SECONDS after the command "
+            "finishes (lets scrapers read the final state)"
+        ),
+    )
+    group.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help=(
+            "declarative SLO rule, e.g. rounds_to_convergence<=40, "
+            "drop_rate<0.05, slot_age_s<=5, welfare_regression_pct<=10. "
+            "Repeatable; evaluated on every scrape and once at the end"
+        ),
+    )
+    group.add_argument(
+        "--slo-policy",
+        choices=["warn", "fail"],
+        default="warn",
+        help=(
+            "what a violated SLO does to the exit code: warn (report "
+            "only, default) or fail (exit nonzero)"
+        ),
+    )
 
 
 def _parse_crash_spec(spec: str):
@@ -447,10 +492,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="show at most N chains, latest first (default 3)",
     )
 
+    watch = sub.add_parser(
+        "watch",
+        help="live dashboard for a telemetry server URL or a growing trace",
+        description=(
+            "Attach to a running command's telemetry server "
+            "(http://host:port, see --serve-metrics) or tail a growing "
+            "JSONL trace file, and render a refreshing console dashboard: "
+            "run phase, welfare sparkline, message/drop counters, active "
+            "faults, agent-step latency and SLO status."
+        ),
+    )
+    watch.add_argument(
+        "target",
+        metavar="TARGET",
+        help="server URL (http://...) or trace JSONL path",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh period (default 1s)",
+    )
+    watch.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N refreshes (default: run until interrupted)",
+    )
+    watch.add_argument(
+        "--plain",
+        action="store_true",
+        help="append frames instead of clearing the screen (log-friendly)",
+    )
+
     subcommands.extend([dist, chaos, swaps, dyn, report, solve, solvers])
     for subcommand in subcommands:
         _add_observability_args(subcommand)
     return parser
+
+
+#: Flags consumed by the observability harness itself, excluded from the
+#: manifest's config record.
+_OBS_FLAGS = (
+    "trace_out",
+    "metrics",
+    "trace_flush_every",
+    "metrics_out",
+    "serve_metrics",
+    "serve_hold",
+    "slo",
+    "slo_policy",
+)
 
 
 def _build_recorder(args: argparse.Namespace) -> Recorder:
@@ -458,20 +553,31 @@ def _build_recorder(args: argparse.Namespace) -> Recorder:
 
     ``--trace-out`` turns on the event sink (with a manifest header built
     from the parsed arguments) and span tracing (spans are mirrored into
-    the trace); ``--metrics`` additionally turns on the registry and the
-    printed summary.  With neither flag this returns an all-null recorder
-    and the command runs exactly as before.
+    the trace); ``--metrics``, ``--metrics-out``, ``--serve-metrics`` and
+    ``--slo`` all turn on the metrics registry; ``--serve-metrics`` and
+    ``--slo`` additionally turn on the live run registry (the ``/runs``
+    endpoint and the SLO engine's heartbeat/liveness signals).  With no
+    flags this returns an all-null recorder and the command runs exactly
+    as before.
     """
     trace_out = getattr(args, "trace_out", None)
-    want_metrics = bool(getattr(args, "metrics", False))
-    if trace_out is None and not want_metrics:
+    want_metrics = bool(
+        getattr(args, "metrics", False)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "serve_metrics", None)
+        or getattr(args, "slo", [])
+    )
+    want_runs = bool(
+        getattr(args, "serve_metrics", None) or getattr(args, "slo", [])
+    )
+    if trace_out is None and not want_metrics and not want_runs:
         return Recorder()
     events = None
     if trace_out is not None:
         config = {
             key: value
             for key, value in vars(args).items()
-            if key not in ("trace_out", "metrics", "trace_flush_every")
+            if key not in _OBS_FLAGS
         }
         events = JsonlEventSink(
             trace_out,
@@ -480,10 +586,13 @@ def _build_recorder(args: argparse.Namespace) -> Recorder:
             ),
             flush_every=int(getattr(args, "trace_flush_every", 1)),
         )
+    from repro.obs import RunRegistry
+
     return Recorder(
         events=events,
         metrics=MetricsRegistry() if want_metrics else None,
-        spans=SpanTracer(),
+        spans=SpanTracer() if trace_out is not None or getattr(args, "metrics", False) else None,
+        runs=RunRegistry() if want_runs else None,
     )
 
 
@@ -600,6 +709,9 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     market = paper_simulation_market(args.buyers, args.sellers, rng)
     _emit_market_created(market, "paper_simulation")
     centralized = run_two_stage(market, record_trace=False)
+    engine = getattr(get_recorder(), "slo_engine", None)
+    if engine is not None:
+        engine.set_reference("welfare", centralized.social_welfare)
     print(
         f"market: N={args.buyers} buyers, M={args.sellers} channels "
         f"(seed {args.seed}); centralized welfare "
@@ -677,6 +789,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     reference = run_distributed_matching(
         market, policy=policy, recorder=NULL_RECORDER
     )
+    # The fault-free welfare is the natural baseline for the
+    # welfare_regression_pct SLO signal.
+    engine = getattr(get_recorder(), "slo_engine", None)
+    if engine is not None:
+        engine.set_reference("welfare", reference.social_welfare)
     try:
         run = run_distributed_matching(
             market,
@@ -997,6 +1114,17 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.watch import watch
+
+    return watch(
+        args.target,
+        interval_s=args.interval,
+        frames=args.frames,
+        plain=args.plain,
+    )
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command in ("fig6", "fig7", "fig8"):
         return _cmd_figure(int(args.command[3]), args)
@@ -1020,12 +1148,16 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_solvers(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.errors import ObservabilityError
+
     try:
         recorder = _build_recorder(args)
     except OSError as exc:
@@ -1034,11 +1166,80 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    with recorder, use_recorder(recorder):
-        exit_code = _dispatch(args)
+
+    engine = None
+    slo_rules = getattr(args, "slo", [])
+    if slo_rules:
+        from repro.obs import SloEngine
+
+        try:
+            engine = SloEngine(
+                slo_rules, recorder, policy=getattr(args, "slo_policy", "warn")
+            )
+        except ObservabilityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            recorder.close()
+            return 2
+        # Commands with a natural baseline (chaos's fault-free twin,
+        # distributed's centralised welfare) install references here.
+        recorder.slo_engine = engine
+
+    server = None
+    serve_address = getattr(args, "serve_metrics", None)
+    if serve_address is not None:
+        from repro.obs import TelemetryServer, parse_serve_address
+
+        try:
+            host, port = parse_serve_address(serve_address)
+            server = TelemetryServer(
+                recorder, host=host, port=port, slo_engine=engine
+            ).start()
+        except (ObservabilityError, OSError) as exc:
+            print(f"error: cannot serve telemetry: {exc}", file=sys.stderr)
+            recorder.close()
+            return 2
+        print(f"telemetry server listening on {server.url}", file=sys.stderr)
+
+    try:
+        with recorder, use_recorder(recorder):
+            exit_code = _dispatch(args)
+            if engine is not None:
+                # Final evaluation happens inside the recorder context so
+                # slo.violated events reach the trace before it closes.
+                engine.evaluate(final=True)
+    finally:
+        if server is not None:
+            hold = float(getattr(args, "serve_hold", 0.0))
+            if hold > 0:
+                import time
+
+                time.sleep(hold)
+            server.stop()
+
+    if engine is not None:
+        for rule_text, count in engine.violation_counts.items():
+            print(
+                f"slo violated: {rule_text} ({count} evaluation(s))",
+                file=sys.stderr,
+            )
+        exit_code = max(exit_code, engine.exit_code())
     if getattr(args, "metrics", False):
         print("\n-- observability summary --")
         print(format_metrics_summary(recorder))
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        from repro.trace.export import to_openmetrics
+
+        try:
+            with open(metrics_out, "w", encoding="utf-8") as stream:
+                stream.write(to_openmetrics(recorder.metrics.snapshot()))
+        except OSError as exc:
+            print(
+                f"error: cannot write metrics file {metrics_out!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"metrics written to {metrics_out}")
     trace_out = getattr(args, "trace_out", None)
     if trace_out is not None:
         print(f"trace written to {trace_out}")

@@ -699,8 +699,8 @@ class TimeSlottedSimulator:
         metrics.counter("sim.messages_dropped").inc(dropped)
         metrics.gauge("sim.inflight_depth").set(inflight)
         metrics.histogram("sim.slot_messages").observe(sent)
-        if rec.events.enabled:
-            rec.events.emit(
+        if rec.events.enabled or rec.runs.enabled:
+            rec.forward(
                 {
                     "event": "sim.slot",
                     "slot": self._now,

@@ -151,8 +151,24 @@ class OnlineMatcher:
         return outcome
 
     def run(self, epochs: List[Epoch]) -> List[EpochOutcome]:
-        """Convenience: step through a whole epoch list."""
-        return [self.step(epoch) for epoch in epochs]
+        """Convenience: step through a whole epoch list.
+
+        Emits a closing ``dynamic.run_end`` event so the live run
+        registry can mark the dynamic run finished (per-epoch ``step``
+        calls only ever heartbeat it).
+        """
+        outcomes = [self.step(epoch) for epoch in epochs]
+        rec = resolve_recorder(self._recorder)
+        if rec.enabled and outcomes:
+            rec.emit(
+                "dynamic.run_end",
+                strategy=self.strategy.value,
+                epochs=len(outcomes),
+                social_welfare=outcomes[-1].social_welfare,
+                total_churned=sum(o.churned for o in outcomes),
+                total_rounds=sum(o.rounds for o in outcomes),
+            )
+        return outcomes
 
     # ------------------------------------------------------------------
     # Strategies

@@ -13,6 +13,11 @@ the experiment harness (``repro.analysis``) all accept an optional
   registry (:mod:`repro.obs.metrics`).
 * **spans** -- nested wall/CPU timings of pipeline regions
   (:mod:`repro.obs.spans`).
+* **runs** -- a live in-process run registry fed by the event stream
+  (:mod:`repro.obs.live`), served over HTTP by the telemetry server
+  (:mod:`repro.obs.server`) together with ``/metrics`` scrapes, watched
+  from a terminal with ``repro watch`` (:mod:`repro.obs.watch`), and
+  guarded by declarative SLO rules (:mod:`repro.obs.slo`).
 
 Everything defaults to the *null* backend: with no recorder installed the
 instrumented hot paths take one branch and allocate nothing, and results
@@ -41,6 +46,7 @@ from repro.obs.events import (
     event_to_round,
     round_to_event,
 )
+from repro.obs.live import NULL_RUN_REGISTRY, NullRunRegistry, RunRegistry
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, build_manifest
 from repro.obs.metrics import (
     Counter,
@@ -58,6 +64,8 @@ from repro.obs.recorder import (
     resolve_recorder,
     use_recorder,
 )
+from repro.obs.server import TelemetryServer, parse_serve_address
+from repro.obs.slo import SloEngine, SloRule, SloViolation, parse_slo_rule
 from repro.obs.spans import NullSpanTracer, SpanRecord, SpanTracer
 from repro.obs.summary import format_metrics_summary, format_span_tree
 
@@ -87,4 +95,13 @@ __all__ = [
     "SpanTracer",
     "format_metrics_summary",
     "format_span_tree",
+    "RunRegistry",
+    "NullRunRegistry",
+    "NULL_RUN_REGISTRY",
+    "TelemetryServer",
+    "parse_serve_address",
+    "SloEngine",
+    "SloRule",
+    "SloViolation",
+    "parse_slo_rule",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.core.trace import InvitationRound, StageOneRound, TransferRound
@@ -45,6 +46,9 @@ class EventSink:
 
     def emit(self, event: Dict[str, Any]) -> None:
         raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered events to the backing store (no-op by default)."""
 
     def close(self) -> None:
         """Flush and release resources (idempotent)."""
@@ -96,6 +100,13 @@ class JsonlEventSink(EventSink):
         hundreds of thousands of message events, where per-event writes
         are a measurable cost; ``close()`` always drains the buffer, so
         a cleanly closed trace is complete regardless of batch size.
+
+    Writes are **tail-safe**: each drain is a single ``write()`` call of
+    whole ``\\n``-terminated lines, so a concurrent tail-follower (the
+    ``repro watch`` console) never observes a line split across writes,
+    and the sink may be shared by threads (the run thread and the SLO
+    engine evaluating from a telemetry-server scrape) without
+    interleaving lines.
     """
 
     def __init__(
@@ -122,32 +133,45 @@ class JsonlEventSink(EventSink):
         self._closed = False
         self._flush_every = flush_every
         self._buffer: List[str] = []
+        self._lock = threading.Lock()
         self.lines_written = 0
         if manifest is not None:
             self.emit(manifest)
 
     def emit(self, event: Dict[str, Any]) -> None:
-        if self._closed:
-            raise ObservabilityError("emit() on a closed JsonlEventSink")
-        self._buffer.append(json.dumps(event, separators=(",", ":")))
-        self.lines_written += 1
-        if len(self._buffer) >= self._flush_every:
-            self._drain()
+        line = json.dumps(event, separators=(",", ":"))
+        with self._lock:
+            if self._closed:
+                raise ObservabilityError("emit() on a closed JsonlEventSink")
+            self._buffer.append(line)
+            self.lines_written += 1
+            if len(self._buffer) >= self._flush_every:
+                self._drain()
 
     def _drain(self) -> None:
+        # One write() of complete lines (caller holds the lock): a reader
+        # tailing the file sees whole lines or nothing, never a torn one.
         if self._buffer:
-            self._stream.write("\n".join(self._buffer))
-            self._stream.write("\n")
+            self._stream.write("".join(line + "\n" for line in self._buffer))
             self._buffer.clear()
 
+    def flush(self) -> None:
+        """Drain the batch buffer and flush the OS-level stream."""
+        with self._lock:
+            if self._closed:
+                return
+            self._drain()
+            self._stream.flush()
+
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        self._drain()
-        self._stream.flush()
-        if self._owns_stream:
-            self._stream.close()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._drain()
+            self._stream.flush()
+            if self._owns_stream:
+                self._stream.close()
 
 
 # ----------------------------------------------------------------------

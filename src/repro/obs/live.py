@@ -1,0 +1,361 @@
+"""Live run registry: in-process progress tracking for running markets.
+
+The offline obs stack (events, metrics, spans) answers questions *after*
+a run; this module answers them *while* it runs.  A :class:`RunRegistry`
+is a fourth recorder backend: :meth:`~repro.obs.recorder.Recorder.emit`
+forwards every lifecycle event to :meth:`RunRegistry.observe`, which
+folds the stream into a small table of runs -- id, kind, phase,
+slot/round/epoch progress, welfare trajectory, active faults, and the
+age of the last event.  Because it rides on events the instrumented
+layers already emit (``two_stage.start``, ``sim.slot``,
+``distributed.run_end``, ``dynamic.epoch``, ...), every entry point --
+:func:`~repro.core.two_stage.run_two_stage`, the time-slotted kernel,
+:class:`~repro.dynamic.online.OnlineMatcher`, the sweep runner, chaos
+runs, benchmarks -- registers itself with **zero new plumbing at call
+sites**.
+
+The registry is thread-safe: the run thread feeds ``observe`` while the
+telemetry server (:mod:`repro.obs.server`) snapshots it from its request
+threads, and the SLO engine (:mod:`repro.obs.slo`) reads last-event ages
+from the same snapshots.  :data:`NULL_RUN_REGISTRY` is the disabled
+default; with it installed, the recorder's fast path is unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RunRegistry", "NullRunRegistry", "NULL_RUN_REGISTRY"]
+
+#: Event types that *begin* a run, mapped to the run kind they begin.
+_RUN_START_EVENTS = {
+    "two_stage.start": "two_stage",
+    "distributed.run_start": "distributed",
+}
+
+#: Round events counted toward a run's rounds-to-convergence.
+_ROUND_EVENTS = (
+    "stage1.round",
+    "stage2.transfer_round",
+    "stage2.invitation_round",
+)
+
+#: Cap on stored welfare-trajectory points per run (the watch console's
+#: sparkline never needs more; long dynamic runs stay bounded).
+_MAX_WELFARE_POINTS = 240
+
+
+class _RunEntry:
+    """Mutable per-run record (internal; snapshots are plain dicts)."""
+
+    __slots__ = (
+        "run_id", "kind", "phase", "status", "started_unix", "last_unix",
+        "_last_monotonic", "slot", "rounds", "epoch", "progress", "welfare",
+        "crashed", "partitions", "violations", "meta",
+    )
+
+    def __init__(self, run_id: int, kind: str, meta: Dict[str, Any]) -> None:
+        now_wall, now_mono = time.time(), time.monotonic()
+        self.run_id = run_id
+        self.kind = kind
+        self.phase = "starting"
+        self.status = "running"
+        self.started_unix = now_wall
+        self.last_unix = now_wall
+        self._last_monotonic = now_mono
+        self.slot: Optional[int] = None
+        self.rounds = 0
+        self.epoch: Optional[int] = None
+        self.progress: Dict[str, float] = {}
+        self.welfare: List[float] = []
+        self.crashed: List[str] = []
+        self.partitions = 0
+        self.violations: List[str] = []
+        self.meta = meta
+
+    def touch(self) -> None:
+        self.last_unix = time.time()
+        self._last_monotonic = time.monotonic()
+
+    def snapshot(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "phase": self.phase,
+            "status": self.status,
+            "started_unix": self.started_unix,
+            "last_event_unix": self.last_unix,
+            "last_event_age_s": max(
+                0.0, time.monotonic() - self._last_monotonic
+            ),
+            "rounds": self.rounds,
+            "progress": dict(self.progress),
+            "welfare": list(self.welfare),
+            "meta": dict(self.meta),
+        }
+        if self.slot is not None:
+            entry["slot"] = self.slot
+        if self.epoch is not None:
+            entry["epoch"] = self.epoch
+        if self.crashed:
+            entry["crashed"] = list(self.crashed)
+        if self.partitions:
+            entry["partitions"] = self.partitions
+        if self.violations:
+            entry["slo_violations"] = list(self.violations)
+        return entry
+
+
+class RunRegistry:
+    """Event-driven table of active and recently finished runs.
+
+    Parameters
+    ----------
+    max_finished:
+        Finished runs retained for ``/runs`` history; the oldest are
+        evicted first, so a long Monte-Carlo sweep (thousands of
+        ``run_two_stage`` calls) keeps the registry bounded.
+    """
+
+    enabled = True
+
+    def __init__(self, max_finished: int = 32) -> None:
+        self._lock = threading.RLock()
+        self._next_id = 1
+        self._entries: List[_RunEntry] = []
+        self._active: Optional[_RunEntry] = None
+        self._meta: Dict[str, Any] = {}
+        self._max_finished = max_finished
+        self.events_observed = 0
+        self.runs_started = 0
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def observe(self, event: Dict[str, Any]) -> None:
+        """Fold one emitted event into the run table."""
+        kind = event.get("event")
+        with self._lock:
+            self.events_observed += 1
+            if kind in _RUN_START_EVENTS:
+                self._begin(_RUN_START_EVENTS[kind], event)
+                return
+            if kind == "manifest":
+                self._meta.update(
+                    {
+                        key: event[key]
+                        for key in ("seed", "schema_version")
+                        if key in event
+                    }
+                )
+                return
+            if kind == "market.created":
+                self._meta["market"] = {
+                    key: value
+                    for key, value in event.items()
+                    if key != "event"
+                }
+                return
+            if kind == "analysis.progress":
+                # Sweep heartbeats arrive *between* unit runs (or from
+                # the parent of a worker pool), so they get their own
+                # sweep-level entry rather than riding the active run.
+                run = self._latest_running("sweep")
+                if run is None:
+                    run = self._begin("sweep", event)
+                run.phase = "sweep"
+                completed = float(event.get("completed", 0))
+                total = float(event.get("total", 0))
+                run.progress["completed"] = completed
+                run.progress["total"] = total
+                if total and completed >= total:
+                    run.phase = "done"
+                    run.status = "finished"
+                    if self._active is run:
+                        self._active = None
+                run.touch()
+                return
+            if kind == "dynamic.epoch":
+                run = self._active
+                if run is None or run.kind != "dynamic":
+                    run = self._begin("dynamic", event)
+                run.phase = "epoch"
+                run.epoch = int(event.get("epoch", 0))
+                if "social_welfare" in event:
+                    self._push_welfare(run, float(event["social_welfare"]))
+                for key in ("churned", "rounds", "buyers"):
+                    if key in event:
+                        run.progress[key] = (
+                            run.progress.get(key, 0) + float(event[key])
+                            if key in ("churned", "rounds")
+                            else float(event[key])
+                        )
+                run.touch()
+                return
+            if kind == "slo.violated":
+                # Final SLO evaluation happens after the run closed, so
+                # fall back to the latest entry rather than the active.
+                run = self._active or (
+                    self._entries[-1] if self._entries else None
+                )
+                if run is not None:
+                    rule = str(event.get("rule", "?"))
+                    if rule not in run.violations:
+                        run.violations.append(rule)
+                    run.touch()
+                return
+            run = self._active
+            if run is None:
+                return
+            self._update(run, kind, event)
+            run.touch()
+            if run.status != "running":
+                self._evict()
+
+    def _latest_running(self, kind: str) -> Optional[_RunEntry]:
+        for entry in reversed(self._entries):
+            if entry.kind == kind and entry.status == "running":
+                return entry
+        return None
+
+    def _begin(self, kind: str, event: Dict[str, Any]) -> _RunEntry:
+        previous = self._active
+        if (
+            previous is not None
+            and previous.status == "running"
+            and previous.kind != "sweep"
+        ):
+            # A new run starting before the previous one reported a
+            # result means the previous one ended without a lifecycle
+            # event (exception, or an API path with no end marker).  A
+            # running *sweep* is exempt: its unit runs start under it.
+            previous.status = "abandoned"
+        meta = dict(self._meta)
+        meta.update(
+            {
+                key: value
+                for key, value in event.items()
+                if key not in ("event",) and isinstance(value, (int, float, str, bool))
+            }
+        )
+        entry = _RunEntry(self._next_id, kind, meta)
+        self._next_id += 1
+        self.runs_started += 1
+        self._entries.append(entry)
+        self._active = entry
+        self._evict()
+        return entry
+
+    def _update(
+        self, run: _RunEntry, kind: Optional[str], event: Dict[str, Any]
+    ) -> None:
+        if kind in _ROUND_EVENTS:
+            run.rounds += 1
+            run.phase = "stage1" if kind == "stage1.round" else "stage2"
+        elif kind == "sim.slot":
+            run.phase = "protocol"
+            run.slot = int(event.get("slot", 0))
+            for key in ("sent", "delivered", "dropped"):
+                run.progress[f"messages_{key}"] = run.progress.get(
+                    f"messages_{key}", 0
+                ) + float(event.get(key, 0))
+            if "inflight" in event:
+                run.progress["inflight"] = float(event["inflight"])
+        elif kind == "sim.crash":
+            agent = str(event.get("agent", "?"))
+            if agent not in run.crashed:
+                run.crashed.append(agent)
+        elif kind == "sim.restart":
+            agent = str(event.get("agent", "?"))
+            if agent in run.crashed:
+                run.crashed.remove(agent)
+        elif kind == "sim.partition":
+            run.partitions += 1
+        elif kind == "sim.partition_healed":
+            run.partitions = max(0, run.partitions - 1)
+        elif kind == "two_stage.result":
+            for key in ("welfare_stage1", "welfare_phase1", "welfare_phase2"):
+                if key in event:
+                    self._push_welfare(run, float(event[key]))
+            run.phase = "done"
+            run.status = "converged"
+            self._active = None
+        elif kind == "distributed.run_end":
+            if "social_welfare" in event:
+                self._push_welfare(run, float(event["social_welfare"]))
+            if "slots" in event:
+                run.slot = int(event["slots"])
+            run.phase = "done"
+            run.status = str(event.get("status", "converged"))
+            self._active = None
+        elif kind == "dynamic.run_end":
+            run.phase = "done"
+            run.status = "finished"
+            self._active = None
+        # Any other event type still refreshes the heartbeat (caller
+        # touches the run after _update).
+
+    def _push_welfare(self, run: _RunEntry, value: float) -> None:
+        run.welfare.append(value)
+        if len(run.welfare) > _MAX_WELFARE_POINTS:
+            # Keep the head (stage welfare anchors) and the recent tail.
+            del run.welfare[1 : len(run.welfare) - _MAX_WELFARE_POINTS + 1]
+
+    def _evict(self) -> None:
+        finished = [e for e in self._entries if e.status != "running"]
+        excess = len(finished) - self._max_finished
+        if excess > 0:
+            doomed = {id(e) for e in finished[:excess]}
+            self._entries = [
+                e for e in self._entries if id(e) not in doomed
+            ]
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view of every tracked run (the ``/runs`` payload)."""
+        with self._lock:
+            runs = [entry.snapshot() for entry in self._entries]
+            active = self._active.run_id if self._active is not None else None
+            return {
+                "runs": runs,
+                "active_run": active,
+                "events_observed": self.events_observed,
+                "runs_started": self.runs_started,
+            }
+
+    def active_run(self) -> Optional[Dict[str, Any]]:
+        """Snapshot of the in-flight run, or the latest run, or ``None``."""
+        with self._lock:
+            if self._active is not None:
+                return self._active.snapshot()
+            if self._entries:
+                return self._entries[-1].snapshot()
+            return None
+
+
+class NullRunRegistry(RunRegistry):
+    """Disabled registry: observes nothing, reports nothing."""
+
+    enabled = False
+
+    def observe(self, event: Dict[str, Any]) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "runs": [],
+            "active_run": None,
+            "events_observed": 0,
+            "runs_started": 0,
+        }
+
+    def active_run(self) -> Optional[Dict[str, Any]]:
+        return None
+
+
+#: Shared disabled registry used by default recorders.
+NULL_RUN_REGISTRY = NullRunRegistry()

@@ -16,10 +16,19 @@ no-op singletons, which makes an instrumented hot path cost one ``if``
 per call site and allocate nothing.  Names are dotted
 ``component.noun[_unit]`` strings (``stage1.mwis_solve_s``); a name is
 bound to one instrument kind for the registry's lifetime.
+
+A :class:`MetricsRegistry` is **thread-safe**: every instrument it hands
+out shares the registry's re-entrant lock, and mutation, ``snapshot()``
+and ``merge()`` all run under it.  A live scrape (the telemetry server's
+``GET /metrics``) therefore sees one consistent point-in-time view, and
+counters are monotone between successive scrapes.  Instruments built
+*directly* (outside any registry) stay lock-free -- the historical
+single-threaded behaviour.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -37,18 +46,36 @@ __all__ = [
 ]
 
 
+class _NoLock:
+    """Lock stand-in for instruments created outside a registry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoLock":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+#: Shared no-op lock for standalone instruments.
+_UNLOCKED = _NoLock()
+
+
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = _UNLOCKED
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (default 1) to the count."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> int:
         return self.value
@@ -57,11 +84,12 @@ class Counter:
 class Gauge:
     """Last-write-wins level reading."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Optional[float] = None
+        self._lock = _UNLOCKED
 
     def set(self, value: float) -> None:
         """Record the current level."""
@@ -82,7 +110,8 @@ class Timer:
     or feed pre-measured durations through :meth:`observe`.
     """
 
-    __slots__ = ("name", "count", "total_s", "min_s", "max_s", "_start")
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s", "_start",
+                 "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -91,13 +120,19 @@ class Timer:
         self.min_s: Optional[float] = None
         self.max_s: Optional[float] = None
         self._start: Optional[float] = None
+        self._lock = _UNLOCKED
 
     def observe(self, seconds: float) -> None:
         """Record one occurrence that took ``seconds`` of wall clock."""
-        self.count += 1
-        self.total_s += seconds
-        self.min_s = seconds if self.min_s is None else min(self.min_s, seconds)
-        self.max_s = seconds if self.max_s is None else max(self.max_s, seconds)
+        with self._lock:
+            self.count += 1
+            self.total_s += seconds
+            self.min_s = (
+                seconds if self.min_s is None else min(self.min_s, seconds)
+            )
+            self.max_s = (
+                seconds if self.max_s is None else max(self.max_s, seconds)
+            )
 
     @property
     def mean_s(self) -> float:
@@ -113,13 +148,14 @@ class Timer:
         self._start = None
 
     def snapshot(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "total_s": self.total_s,
-            "mean_s": self.mean_s,
-            "min_s": self.min_s if self.min_s is not None else 0.0,
-            "max_s": self.max_s if self.max_s is not None else 0.0,
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "total_s": self.total_s,
+                "mean_s": self.mean_s,
+                "min_s": self.min_s if self.min_s is not None else 0.0,
+                "max_s": self.max_s if self.max_s is not None else 0.0,
+            }
 
 
 #: Default histogram boundaries: geometric decades 1e-6 .. 1e3 with a
@@ -136,7 +172,7 @@ class Histogram:
     """Distribution over fixed buckets, plus count/sum/min/max."""
 
     __slots__ = ("name", "boundaries", "bucket_counts", "count", "total",
-                 "min", "max")
+                 "min", "max", "_lock")
 
     def __init__(
         self, name: str, boundaries: Optional[Sequence[float]] = None
@@ -155,14 +191,16 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = _UNLOCKED
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.bucket_counts[bisect_right(self.boundaries, value)] += 1
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        with self._lock:
+            self.bucket_counts[bisect_right(self.boundaries, value)] += 1
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
 
     @property
     def mean(self) -> float:
@@ -177,15 +215,16 @@ class Histogram:
         return snapshot_quantile(self.snapshot(), q)
 
     def snapshot(self) -> Dict[str, object]:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.min if self.min is not None else 0.0,
-            "max": self.max if self.max is not None else 0.0,
-            "boundaries": list(self.boundaries),
-            "bucket_counts": list(self.bucket_counts),
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "mean": self.mean,
+                "min": self.min if self.min is not None else 0.0,
+                "max": self.max if self.max is not None else 0.0,
+                "boundaries": list(self.boundaries),
+                "bucket_counts": list(self.bucket_counts),
+            }
 
 
 def snapshot_quantile(stats: Dict[str, object], q: float) -> float:
@@ -237,6 +276,11 @@ class MetricsRegistry:
     ``registry.counter("stage1.rounds")`` returns the same object on every
     call, so call sites never need to cache instruments themselves (though
     hot loops may, to skip the dict lookup).
+
+    All instruments share the registry's re-entrant lock: mutation,
+    :meth:`snapshot` and :meth:`merge` are mutually atomic, so a scrape
+    from another thread (the telemetry server) always sees a consistent
+    view and successive scrapes see monotone counters.
     """
 
     #: Enabled registries record; the null subclass flips this to False so
@@ -245,18 +289,21 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: Dict[str, object] = {}
+        self._lock = threading.RLock()
 
     def _get_or_create(self, name: str, kind: type, *args: object):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = kind(name, *args)
-            self._instruments[name] = instrument
-        elif type(instrument) is not kind:
-            raise ObservabilityError(
-                f"metric {name!r} already registered as "
-                f"{type(instrument).__name__}, not {kind.__name__}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name, *args)
+                instrument._lock = self._lock
+                self._instruments[name] = instrument
+            elif type(instrument) is not kind:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
 
     def counter(self, name: str) -> Counter:
         return self._get_or_create(name, Counter)
@@ -275,21 +322,26 @@ class MetricsRegistry:
         return self._get_or_create(name, Histogram, boundaries)
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """All instruments' current values, grouped by kind, JSON-safe."""
+        """All instruments' current values, grouped by kind, JSON-safe.
+
+        Taken atomically: concurrent increments either land entirely
+        before or entirely after the snapshot, never half-way through.
+        """
         out: Dict[str, Dict[str, object]] = {
             "counters": {},
             "gauges": {},
             "timers": {},
             "histograms": {},
         }
-        for name, instrument in sorted(self._instruments.items()):
-            group = {
-                Counter: "counters",
-                Gauge: "gauges",
-                Timer: "timers",
-                Histogram: "histograms",
-            }[type(instrument)]
-            out[group][name] = instrument.snapshot()
+        with self._lock:
+            for name, instrument in sorted(self._instruments.items()):
+                group = {
+                    Counter: "counters",
+                    Gauge: "gauges",
+                    Timer: "timers",
+                    Histogram: "histograms",
+                }[type(instrument)]
+                out[group][name] = instrument.snapshot()
         return out
 
     def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
@@ -302,6 +354,10 @@ class MetricsRegistry:
         value (last-write-wins, in merge order); histograms add bucket
         counts, which requires identical boundaries.
         """
+        with self._lock:
+            self._merge_locked(snapshot)
+
+    def _merge_locked(self, snapshot: Dict[str, Dict[str, object]]) -> None:
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(int(value))
         for name, value in snapshot.get("gauges", {}).items():

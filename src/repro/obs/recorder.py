@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import contextlib
 from contextvars import ContextVar
-from typing import Any, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from repro.obs.events import EventSink, NullEventSink
+from repro.obs.live import NULL_RUN_REGISTRY, RunRegistry
 from repro.obs.metrics import MetricsRegistry, NullMetrics
 from repro.obs.spans import NullSpanTracer, SpanRecord, SpanTracer
 
@@ -35,14 +36,18 @@ __all__ = [
 
 
 class Recorder:
-    """Bundle of event sink + metrics registry + span tracer.
+    """Bundle of event sink + metrics registry + span tracer + run registry.
 
     Parameters
     ----------
-    events / metrics / spans:
+    events / metrics / spans / runs:
         Backends; any omitted backend defaults to its null implementation.
         When both the tracer and the sink are live, finished spans are
-        mirrored into the event stream as ``span`` events.
+        mirrored into the event stream as ``span`` events.  When ``runs``
+        is a live :class:`~repro.obs.live.RunRegistry`, every event that
+        passes through :meth:`emit` also feeds the registry, which is how
+        instrumented entry points appear on the telemetry server's
+        ``/runs`` endpoint with no extra plumbing.
     """
 
     def __init__(
@@ -50,10 +55,12 @@ class Recorder:
         events: Optional[EventSink] = None,
         metrics: Optional[MetricsRegistry] = None,
         spans: Optional[SpanTracer] = None,
+        runs: Optional[RunRegistry] = None,
     ) -> None:
         self.events = events if events is not None else NullEventSink()
         self.metrics = metrics if metrics is not None else NullMetrics()
         self.spans = spans if spans is not None else NullSpanTracer()
+        self.runs = runs if runs is not None else NULL_RUN_REGISTRY
         if self.spans.enabled and self.events.enabled:
             previous = self.spans.on_finish
 
@@ -75,13 +82,28 @@ class Recorder:
             self.spans.on_finish = _mirror
         #: Cached master switch consulted on hot paths.
         self.enabled = bool(
-            self.events.enabled or self.metrics.enabled or self.spans.enabled
+            self.events.enabled
+            or self.metrics.enabled
+            or self.spans.enabled
+            or self.runs.enabled
         )
 
     def emit(self, event_type: str, **fields: Any) -> None:
-        """Emit one event dict (no-op when the sink is null)."""
+        """Emit one event dict (no-op when sink and run registry are null)."""
+        if self.events.enabled or self.runs.enabled:
+            self.forward({"event": event_type, **fields})
+
+    def forward(self, event: Dict[str, Any]) -> None:
+        """Route one pre-built event dict to the sink and run registry.
+
+        Used by hot paths (the simulator's per-slot loop) that build the
+        dict themselves; callers should gate on ``events.enabled or
+        runs.enabled`` to keep the disabled path allocation-free.
+        """
         if self.events.enabled:
-            self.events.emit({"event": event_type, **fields})
+            self.events.emit(event)
+        if self.runs.enabled:
+            self.runs.observe(event)
 
     def span(self, name: str):
         """Open a span context manager on the bundled tracer."""

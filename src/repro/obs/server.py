@@ -1,0 +1,220 @@
+"""In-process telemetry server: ``/metrics``, ``/health``, ``/runs``.
+
+A :class:`TelemetryServer` wraps a stdlib
+:class:`~http.server.ThreadingHTTPServer` on a daemon background thread
+(named ``repro-telemetry``) so any run -- CLI command, benchmark, test --
+can expose its live recorder over HTTP with zero dependencies:
+
+``GET /metrics``
+    OpenMetrics text rendered from an atomic
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    (:func:`repro.trace.export.to_openmetrics`).  When an SLO engine is
+    attached, each scrape also evaluates the rules -- pulled evaluation,
+    Prometheus-style, so there is no extra ticker thread to leak.
+``GET /health``
+    Liveness JSON: ``{"status": "ok", "uptime_s": ..., "run": {...}}``
+    with the active run's id/kind/phase/last-event age when one exists.
+``GET /runs``
+    The run registry's full JSON snapshot
+    (:meth:`~repro.obs.live.RunRegistry.snapshot`).
+``GET /slo``
+    Rule-by-rule status from the attached engine (404 when none is).
+
+The server binds before :meth:`start` returns (so ``port`` is always
+real, including when asked for port 0) and :meth:`stop` joins the
+thread, so ``threading.enumerate()`` is restored to its pre-start set --
+a property the CI smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.recorder import Recorder
+from repro.trace.export import to_openmetrics
+
+__all__ = ["TelemetryServer", "parse_serve_address"]
+
+
+def parse_serve_address(text: str) -> Tuple[str, int]:
+    """Parse ``"PORT"``, ``":PORT"`` or ``"HOST:PORT"`` to ``(host, port)``.
+
+    The host defaults to ``127.0.0.1``; port ``0`` asks the OS for an
+    ephemeral port (read it back from ``TelemetryServer.port``).
+    """
+    host, _, port_text = text.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ObservabilityError(
+            f"bad serve address {text!r} (expected PORT, :PORT or HOST:PORT)"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ObservabilityError(f"serve port out of range: {port}")
+    return host, port
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Request handler; the bound server carries the recorder/engine."""
+
+    server_version = "repro-telemetry/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Scrapes must not spam the run's stderr.
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        recorder: Recorder = self.server.recorder  # type: ignore[attr-defined]
+        engine = self.server.slo_engine  # type: ignore[attr-defined]
+        if path == "/metrics":
+            if engine is not None:
+                engine.evaluate()
+            body = to_openmetrics(recorder.metrics.snapshot())
+            self._reply(
+                200, body, "application/openmetrics-text; charset=utf-8"
+            )
+        elif path == "/health":
+            run = recorder.runs.active_run()
+            payload = {
+                "status": "ok",
+                "uptime_s": self.server.uptime_s(),  # type: ignore[attr-defined]
+                "run": None
+                if run is None
+                else {
+                    "run_id": run["run_id"],
+                    "kind": run["kind"],
+                    "phase": run["phase"],
+                    "status": run["status"],
+                    "last_event_age_s": run["last_event_age_s"],
+                },
+            }
+            self._reply_json(200, payload)
+        elif path == "/runs":
+            self._reply_json(200, recorder.runs.snapshot())
+        elif path == "/slo":
+            if engine is None:
+                self._reply_json(404, {"error": "no slo engine attached"})
+            else:
+                self._reply_json(200, engine.status())
+        elif path == "/":
+            self._reply_json(
+                200, {"endpoints": ["/metrics", "/health", "/runs", "/slo"]}
+            )
+        else:
+            self._reply_json(404, {"error": f"no such endpoint: {path}"})
+
+    def _reply_json(self, code: int, payload: Any) -> None:
+        self._reply(code, json.dumps(payload), "application/json")
+
+    def _reply(self, code: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # Test runs start/stop servers rapidly on the same host.
+    allow_reuse_address = True
+
+
+class TelemetryServer:
+    """Serve a recorder's live state over HTTP from a background thread.
+
+    Parameters
+    ----------
+    recorder:
+        Source of metrics and run snapshots.  Works with any recorder;
+        endpoints simply report empty state for null backends.
+    host / port:
+        Bind address; port ``0`` picks an ephemeral port.
+    slo_engine:
+        Optional :class:`~repro.obs.slo.SloEngine`, evaluated on every
+        ``/metrics`` scrape and served on ``/slo``.
+
+    Usable as a context manager (``with TelemetryServer(...) as srv:``).
+    """
+
+    def __init__(
+        self,
+        recorder: Recorder,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slo_engine: Optional[Any] = None,
+    ) -> None:
+        self._recorder = recorder
+        self._host = host
+        self._requested_port = port
+        self._slo_engine = slo_engine
+        self._httpd: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_monotonic: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetryServer":
+        """Bind and start serving; idempotent, returns ``self``."""
+        if self._httpd is not None:
+            return self
+        httpd = _Server((self._host, self._requested_port), _TelemetryHandler)
+        httpd.recorder = self._recorder  # type: ignore[attr-defined]
+        httpd.slo_engine = self._slo_engine  # type: ignore[attr-defined]
+        started = time.monotonic()
+        httpd.uptime_s = lambda: time.monotonic() - started  # type: ignore[attr-defined]
+        self._started_monotonic = started
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with port 0)."""
+        if self._httpd is None:
+            raise ObservabilityError("telemetry server is not running")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL, e.g. ``http://127.0.0.1:43215``."""
+        host = self._host if self._host not in ("", "0.0.0.0") else "127.0.0.1"
+        return f"http://{host}:{self.port}"
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,272 @@
+"""Declarative SLO rules evaluated on live telemetry snapshots.
+
+A rule is one comparison over a named *signal*: ``rounds_to_convergence
+<= 40``, ``drop_rate < 0.05``, ``slot_age_s <= 2``.  The
+:class:`SloEngine` resolves signals against the recorder's metrics
+registry and run registry at evaluation time, so the same rule text
+works for a centralised two-stage run (stage round counters), a
+distributed chaos run (kernel counters and slot heartbeats) or a dynamic
+market (epoch welfare).
+
+Evaluation is pulled, Prometheus-style: the telemetry server evaluates
+on every scrape, and the CLI evaluates once more after the command
+finishes (``final=True``).  Each rule's *first* violation emits one
+``slo.violated`` event and increments the ``slo.violations`` counter;
+repeated violations are counted but not re-emitted, so a tight rule on a
+long run does not flood the trace.  Under ``policy="fail"`` the engine's
+:meth:`~SloEngine.exit_code` turns violations into a nonzero CLI exit.
+
+Built-in signals
+----------------
+``rounds_to_convergence``
+    Sum of the stage round counters (``stage1.rounds`` +
+    ``stage2.transfer_rounds`` + ``stage2.invitation_rounds``), falling
+    back to the active run's round heartbeat count.
+``slots``
+    The kernel's ``sim.slots`` counter.
+``slot_age_s``
+    Seconds since the active run's last event -- the liveness signal
+    (``max_slot_age_s`` in operator speak: ``slot_age_s <= N``).
+``drop_rate``
+    ``sim.messages_dropped / sim.messages_sent`` (skipped until any
+    message has been sent).
+``welfare_regression_pct``
+    ``100 * (reference - current) / reference`` against a reference
+    welfare installed via :meth:`SloEngine.set_reference` (the chaos CLI
+    installs its fault-free twin's welfare automatically).
+
+Any other name resolves as a raw counter, then gauge, from the metrics
+snapshot -- e.g. ``sim.messages_dropped >= 1`` or
+``two_stage.welfare_phase2 > 25``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs.recorder import Recorder
+
+__all__ = ["SloRule", "SloViolation", "SloEngine", "parse_slo_rule"]
+
+_RULE_RE = re.compile(
+    r"^\s*(?P<signal>[A-Za-z_][A-Za-z0-9_.]*)\s*"
+    r"(?P<op><=|>=|<|>)\s*"
+    r"(?P<threshold>[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)%?\s*$"
+)
+
+_OPS = {
+    "<=": lambda value, threshold: value <= threshold,
+    "<": lambda value, threshold: value < threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    ">": lambda value, threshold: value > threshold,
+}
+
+#: Counters summed into ``rounds_to_convergence``.
+_ROUND_COUNTERS = (
+    "stage1.rounds",
+    "stage2.transfer_rounds",
+    "stage2.invitation_rounds",
+)
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative objective: ``signal op threshold``."""
+
+    signal: str
+    op: str
+    threshold: float
+
+    def holds(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    @property
+    def text(self) -> str:
+        return f"{self.signal}{self.op}{self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class SloViolation:
+    """One rule observed outside its objective."""
+
+    rule: SloRule
+    value: float
+    final: bool
+
+    def describe(self) -> str:
+        stage = "final" if self.final else "live"
+        return (
+            f"slo violated ({stage}): {self.rule.text} "
+            f"(measured {self.value:g})"
+        )
+
+
+def parse_slo_rule(text: str) -> SloRule:
+    """Parse ``"signal<=value"`` (ops ``<= < >= >``; ``%`` suffix ok)."""
+    match = _RULE_RE.match(text)
+    if match is None:
+        raise ObservabilityError(
+            f"bad SLO rule {text!r} (expected e.g. "
+            f"'rounds_to_convergence<=40' or 'drop_rate<0.05')"
+        )
+    return SloRule(
+        signal=match.group("signal"),
+        op=match.group("op"),
+        threshold=float(match.group("threshold")),
+    )
+
+
+class SloEngine:
+    """Evaluate a rule set against a recorder's live state.
+
+    Parameters
+    ----------
+    rules:
+        :class:`SloRule` instances or rule strings (parsed on the spot).
+    recorder:
+        Source of metrics/run snapshots, and the stream ``slo.violated``
+        events are emitted into.
+    policy:
+        ``"warn"`` (report only) or ``"fail"`` (:meth:`exit_code`
+        returns 1 once any rule has been violated).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Any],
+        recorder: Recorder,
+        policy: str = "warn",
+    ) -> None:
+        if policy not in ("warn", "fail"):
+            raise ObservabilityError(
+                f"slo policy must be 'warn' or 'fail', got {policy!r}"
+            )
+        self.rules: List[SloRule] = [
+            rule if isinstance(rule, SloRule) else parse_slo_rule(str(rule))
+            for rule in rules
+        ]
+        self.policy = policy
+        self._recorder = recorder
+        self._references: Dict[str, float] = {}
+        #: rule text -> times seen in violation.
+        self.violation_counts: Dict[str, int] = {}
+
+    def set_reference(self, name: str, value: float) -> None:
+        """Install a reference level (e.g. fault-free ``welfare``)."""
+        self._references[name] = float(value)
+
+    # ------------------------------------------------------------------
+    # Signal resolution
+    # ------------------------------------------------------------------
+    def _signal(
+        self,
+        name: str,
+        counters: Mapping[str, Any],
+        gauges: Mapping[str, Any],
+        active_run: Optional[Mapping[str, Any]],
+    ) -> Optional[float]:
+        if name == "rounds_to_convergence":
+            present = [c for c in _ROUND_COUNTERS if c in counters]
+            if present:
+                return float(sum(counters[c] for c in present))
+            if active_run is not None and active_run.get("rounds"):
+                return float(active_run["rounds"])
+            return None
+        if name == "slots":
+            value = counters.get("sim.slots")
+            return None if value is None else float(value)
+        if name == "slot_age_s":
+            if active_run is None or active_run.get("status") != "running":
+                return None
+            return float(active_run["last_event_age_s"])
+        if name == "drop_rate":
+            sent = counters.get("sim.messages_sent")
+            if not sent:
+                return None
+            return float(counters.get("sim.messages_dropped", 0)) / float(sent)
+        if name == "welfare_regression_pct":
+            reference = self._references.get("welfare")
+            if reference is None or reference <= 0.0:
+                return None
+            current = gauges.get("two_stage.welfare_phase2")
+            if current is None and active_run is not None:
+                welfare = active_run.get("welfare") or ()
+                current = welfare[-1] if welfare else None
+            if current is None:
+                return None
+            return 100.0 * (reference - float(current)) / reference
+        if name in counters:
+            return float(counters[name])
+        value = gauges.get(name)
+        return None if value is None else float(value)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, final: bool = False) -> List[SloViolation]:
+        """Evaluate every rule against a fresh snapshot.
+
+        Returns the violations *of this pass*.  A signal that is not yet
+        measurable (no data) never violates.  New violations (a rule's
+        first, or any violation on the ``final`` pass) are emitted as
+        ``slo.violated`` events.
+        """
+        snapshot = self._recorder.metrics.snapshot()
+        counters = snapshot.get("counters", {})
+        gauges = snapshot.get("gauges", {})
+        active_run = self._recorder.runs.active_run()
+        violations: List[SloViolation] = []
+        for rule in self.rules:
+            value = self._signal(rule.signal, counters, gauges, active_run)
+            if value is None or rule.holds(value):
+                continue
+            violation = SloViolation(rule=rule, value=value, final=final)
+            violations.append(violation)
+            seen = self.violation_counts.get(rule.text, 0)
+            self.violation_counts[rule.text] = seen + 1
+            if seen == 0 or final:
+                self._recorder.emit(
+                    "slo.violated",
+                    rule=rule.text,
+                    signal=rule.signal,
+                    value=value,
+                    threshold=rule.threshold,
+                    final=final,
+                )
+                metrics = self._recorder.metrics
+                if metrics.enabled:
+                    metrics.counter("slo.violations").inc()
+        return violations
+
+    # ------------------------------------------------------------------
+    # Outcome
+    # ------------------------------------------------------------------
+    @property
+    def violated(self) -> bool:
+        return bool(self.violation_counts)
+
+    def exit_code(self) -> int:
+        """0, or 1 when ``policy="fail"`` and any rule was violated."""
+        return 1 if self.policy == "fail" and self.violated else 0
+
+    def status(self) -> Dict[str, Any]:
+        """JSON-safe rule status (the server's ``/slo`` payload)."""
+        snapshot = self._recorder.metrics.snapshot()
+        counters = snapshot.get("counters", {})
+        gauges = snapshot.get("gauges", {})
+        active_run = self._recorder.runs.active_run()
+        rules = []
+        for rule in self.rules:
+            value = self._signal(rule.signal, counters, gauges, active_run)
+            rules.append(
+                {
+                    "rule": rule.text,
+                    "value": value,
+                    "violations": self.violation_counts.get(rule.text, 0),
+                    "ok": value is None or rule.holds(value),
+                }
+            )
+        return {"policy": self.policy, "rules": rules}

@@ -1,0 +1,306 @@
+"""The ``repro watch`` console: a refreshing live-run dashboard.
+
+Attaches to either a running telemetry server (``http://host:port``) or
+a growing trace JSONL file, and renders a compact terminal frame: run
+phase and heartbeat age, a welfare sparkline, message/drop counters,
+active faults, agent-step latency quantiles and SLO rule status.
+
+The module is deliberately split into three seams so each is testable
+without a terminal or a network:
+
+* **Sources** -- :class:`ServerSource` (HTTP, stdlib ``urllib``) and
+  :class:`TraceSource` (a :class:`~repro.trace.tail.TraceFollower`
+  replaying events into a private
+  :class:`~repro.obs.live.RunRegistry`).  Both produce the same
+  plain-dict *frame*.
+* **Renderer** -- :func:`render_frame` is a pure function from a frame
+  dict to multi-line text.
+* **Loop** -- :func:`watch` fetches/renders/sleeps, clearing the screen
+  between frames (or appending, with ``plain=True``), for a bounded
+  number of frames or until interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Mapping, Optional, TextIO
+
+from repro.errors import ObservabilityError
+from repro.obs.live import RunRegistry
+from repro.obs.metrics import snapshot_quantile
+from repro.trace.export import parse_openmetrics
+from repro.trace.tail import TraceFollower
+
+__all__ = [
+    "sparkline",
+    "render_frame",
+    "ServerSource",
+    "TraceSource",
+    "open_source",
+    "watch",
+]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+_ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+
+def sparkline(values: List[float], width: int = 32) -> str:
+    """Render a value series as a fixed-width unicode sparkline.
+
+    Keeps the *tail* of a series longer than ``width`` (the console
+    cares about recent trajectory) and maps the retained range onto the
+    eight block glyphs; a constant series renders mid-height.
+    """
+    if not values:
+        return ""
+    tail = [float(v) for v in values[-width:]]
+    lo, hi = min(tail), max(tail)
+    if hi <= lo:
+        return _SPARK_CHARS[3] * len(tail)
+    scale = (len(_SPARK_CHARS) - 1) / (hi - lo)
+    return "".join(
+        _SPARK_CHARS[int(round((v - lo) * scale))] for v in tail
+    )
+
+
+# ----------------------------------------------------------------------
+# Frame assembly helpers
+# ----------------------------------------------------------------------
+def _group_value(group: Mapping[str, Any], name: str) -> Optional[Any]:
+    """Look a metric up by raw name, then by exposition-mangled name."""
+    if name in group:
+        return group[name]
+    return group.get(name.replace(".", "_"))
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _pick_run(frame: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    runs_snapshot = frame.get("runs") or {}
+    runs = runs_snapshot.get("runs") or []
+    if not runs:
+        return None
+    active_id = runs_snapshot.get("active_run")
+    if active_id is not None:
+        for run in runs:
+            if run.get("run_id") == active_id:
+                return run
+    return runs[-1]
+
+
+def render_frame(frame: Mapping[str, Any]) -> str:
+    """Render one frame dict to display text (pure; no I/O)."""
+    lines: List[str] = []
+    source = frame.get("source", "?")
+    stamp = frame.get("now", "")
+    title = f"repro watch — {source}"
+    lines.append(f"{title}{('  ' + stamp) if stamp else ''}")
+    lines.append("-" * max(24, len(title)))
+
+    error = frame.get("error")
+    if error:
+        lines.append(f"[source error] {error}")
+
+    run = _pick_run(frame)
+    runs_snapshot = frame.get("runs") or {}
+    if run is None:
+        lines.append("no runs observed yet")
+    else:
+        slot = f"  slot={run['slot']}" if "slot" in run else ""
+        epoch = f"  epoch={run['epoch']}" if "epoch" in run else ""
+        rounds = f"  rounds={run['rounds']}" if run.get("rounds") else ""
+        lines.append(
+            f"run #{run['run_id']} {run['kind']} [{run['phase']}]  "
+            f"status={run['status']}{slot}{epoch}{rounds}  "
+            f"last event {run['last_event_age_s']:.1f}s ago"
+        )
+        progress = run.get("progress") or {}
+        if "total" in progress:
+            completed = int(progress.get("completed", 0))
+            total = int(progress["total"])
+            lines.append(f"sweep     {completed}/{total} units")
+        welfare = run.get("welfare") or []
+        if welfare:
+            lines.append(
+                f"welfare   {sparkline(welfare)}  latest {welfare[-1]:.3f}"
+            )
+        sent = progress.get("messages_sent")
+        if sent:
+            delivered = progress.get("messages_delivered", 0)
+            dropped = progress.get("messages_dropped", 0)
+            drop_pct = 100.0 * dropped / sent if sent else 0.0
+            inflight = progress.get("inflight")
+            inflight_text = (
+                f"  inflight={int(inflight)}" if inflight is not None else ""
+            )
+            lines.append(
+                f"messages  sent={int(sent)} delivered={int(delivered)} "
+                f"dropped={int(dropped)} ({drop_pct:.1f}%){inflight_text}"
+            )
+        crashed = run.get("crashed") or []
+        partitions = run.get("partitions", 0)
+        if crashed or partitions:
+            lines.append(
+                f"faults    crashed={crashed} partitions={partitions}"
+            )
+        if run.get("slo_violations"):
+            lines.append(f"slo!      violated={run['slo_violations']}")
+
+    metrics = frame.get("metrics") or {}
+    histograms = metrics.get("histograms") or {}
+    step = _group_value(histograms, "sim.agent_step_s")
+    if step and step.get("count"):
+        p50 = snapshot_quantile(step, 0.5)
+        p99 = snapshot_quantile(step, 0.99)
+        lines.append(
+            f"latency   agent step p50={_format_seconds(p50)} "
+            f"p99={_format_seconds(p99)}  n={int(step['count'])}"
+        )
+
+    slo = frame.get("slo")
+    if slo and slo.get("rules"):
+        for rule in slo["rules"]:
+            value = rule.get("value")
+            value_text = "n/a" if value is None else f"{value:g}"
+            flag = "ok" if rule.get("ok") else "VIOLATED"
+            lines.append(f"slo       {rule['rule']}: {flag} ({value_text})")
+
+    counts: List[str] = []
+    if runs_snapshot.get("runs_started"):
+        counts.append(f"runs={runs_snapshot['runs_started']}")
+    if runs_snapshot.get("events_observed"):
+        counts.append(f"events={runs_snapshot['events_observed']}")
+    if frame.get("skipped"):
+        counts.append(f"torn/skipped lines={frame['skipped']}")
+    if counts:
+        lines.append("totals    " + "  ".join(counts))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+class ServerSource:
+    """Frame source backed by a telemetry server's HTTP endpoints."""
+
+    def __init__(self, url: str, timeout_s: float = 2.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _get(self, path: str) -> Optional[bytes]:
+        try:
+            with urllib.request.urlopen(
+                f"{self.url}{path}", timeout=self.timeout_s
+            ) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            if error.code == 404:
+                return None
+            raise
+
+    def fetch(self) -> Dict[str, Any]:
+        frame: Dict[str, Any] = {"source": self.url}
+        try:
+            runs_raw = self._get("/runs")
+            health_raw = self._get("/health")
+            metrics_raw = self._get("/metrics")
+            slo_raw = self._get("/slo")
+        except (urllib.error.URLError, OSError, TimeoutError) as error:
+            frame["error"] = str(error)
+            return frame
+        if runs_raw is not None:
+            frame["runs"] = json.loads(runs_raw)
+        if health_raw is not None:
+            frame["health"] = json.loads(health_raw)
+        if metrics_raw is not None:
+            frame["metrics"] = parse_openmetrics(
+                metrics_raw.decode("utf-8")
+            )
+        if slo_raw is not None:
+            frame["slo"] = json.loads(slo_raw)
+        return frame
+
+
+class TraceSource:
+    """Frame source tailing a growing trace JSONL file.
+
+    Events are replayed into a private :class:`RunRegistry`, so a trace
+    tail renders through exactly the same run model as the live server;
+    torn or mangled lines are skipped and surfaced as a counter in the
+    frame rather than killing the console.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._follower = TraceFollower(path)
+        self._registry = RunRegistry()
+
+    def fetch(self) -> Dict[str, Any]:
+        for event in self._follower.poll():
+            self._registry.observe(event)
+        return {
+            "source": self.path,
+            "runs": self._registry.snapshot(),
+            "skipped": self._follower.skipped,
+        }
+
+
+def open_source(target: str):
+    """``http(s)://...`` targets get a :class:`ServerSource`, else a trace."""
+    if target.startswith(("http://", "https://")):
+        return ServerSource(target)
+    return TraceSource(target)
+
+
+# ----------------------------------------------------------------------
+# Loop
+# ----------------------------------------------------------------------
+def watch(
+    target: str,
+    interval_s: float = 1.0,
+    frames: Optional[int] = None,
+    plain: bool = False,
+    stream: Optional[TextIO] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Run the refreshing dashboard loop; returns a CLI exit code.
+
+    ``frames`` bounds the number of refreshes (``None`` means until
+    interrupted); ``plain`` appends frames instead of clearing the
+    screen (useful for logs and tests).  Ctrl-C exits cleanly.
+    """
+    if interval_s <= 0:
+        raise ObservabilityError(
+            f"watch interval must be positive, got {interval_s}"
+        )
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    source = open_source(target)
+    rendered = 0
+    try:
+        while frames is None or rendered < frames:
+            frame = source.fetch()
+            frame["now"] = time.strftime("%H:%M:%S")
+            text = render_frame(frame)
+            if plain:
+                out.write(text + "\n\n")
+            else:
+                out.write(_ANSI_CLEAR + text + "\n")
+            out.flush()
+            rendered += 1
+            if frames is not None and rendered >= frames:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        out.write("\n")
+    return 0

@@ -29,6 +29,7 @@ from repro.trace.causality import CausalGraph, format_chain
 from repro.trace.diff import TraceDiff, canonicalize_events, diff_traces, format_diff
 from repro.trace.export import (
     counters_from_events,
+    parse_openmetrics,
     to_chrome_trace,
     to_openmetrics,
 )
@@ -38,6 +39,7 @@ from repro.trace.reader import (
     format_summary,
     load_events,
 )
+from repro.trace.tail import TraceFollower, read_events_tolerant
 
 __all__ = [
     "CausalGraph",
@@ -47,10 +49,13 @@ __all__ = [
     "diff_traces",
     "format_diff",
     "counters_from_events",
+    "parse_openmetrics",
     "to_chrome_trace",
     "to_openmetrics",
     "TraceReader",
     "TraceSummary",
     "format_summary",
     "load_events",
+    "TraceFollower",
+    "read_events_tolerant",
 ]

@@ -19,9 +19,16 @@ tooling and need no dependencies to write:
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, List, Mapping, Optional
 
-__all__ = ["to_chrome_trace", "to_openmetrics", "counters_from_events"]
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "to_chrome_trace",
+    "to_openmetrics",
+    "parse_openmetrics",
+    "counters_from_events",
+]
 
 #: Virtual-time scale for slot-clocked events: one slot = 1 ms = 1000 us.
 _SLOT_US = 1000.0
@@ -204,6 +211,160 @@ def to_openmetrics(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
 
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LE_RE = re.compile(r'le="(?P<le>[^"]+)"')
+
+
+def _parse_number(text: str, line: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ObservabilityError(
+            f"bad OpenMetrics sample value in line {line!r}"
+        ) from None
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse OpenMetrics exposition text back into a snapshot-shaped dict.
+
+    Inverse of :func:`to_openmetrics`, used by the ``repro watch``
+    console (and the CI smoke job) to consume a telemetry server's
+    ``/metrics`` endpoint without any client library.  Returns the usual
+    ``{"counters", "gauges", "timers", "histograms"}`` groups keyed by
+    the *exposition* metric name (i.e. after ``.`` -> ``_`` mangling --
+    the mangling is lossy, so original names are not recovered).
+
+    Summaries come back as timer-shaped dicts; histograms come back with
+    de-cumulated ``bucket_counts`` plus ``min``/``max`` *approximated*
+    from the first/last occupied bucket's boundaries (the text format
+    does not carry exact extremes), which is adequate for
+    :func:`~repro.obs.metrics.snapshot_quantile` estimates.
+
+    Raises :class:`~repro.errors.ObservabilityError` on malformed input
+    or when the terminating ``# EOF`` marker is missing (a truncated
+    scrape must not be mistaken for a complete one).
+    """
+    types: Dict[str, str] = {}
+    samples: Dict[str, List[Dict[str, Any]]] = {}
+    saw_eof = False
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ObservabilityError("OpenMetrics content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            # HELP/UNIT and other comments are ignored.
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ObservabilityError(f"bad OpenMetrics sample line {line!r}")
+        value_text = match.group("value")
+        if value_text in ("+Inf", "-Inf", "NaN"):
+            value = float(value_text.replace("Inf", "inf").replace("NaN", "nan"))
+        else:
+            value = _parse_number(value_text, line)
+        samples.setdefault(match.group("name"), []).append(
+            {"labels": match.group("labels") or "", "value": value}
+        )
+    if not saw_eof:
+        raise ObservabilityError("OpenMetrics text missing # EOF terminator")
+
+    out: Dict[str, Dict[str, Any]] = {
+        "counters": {},
+        "gauges": {},
+        "timers": {},
+        "histograms": {},
+    }
+    for metric, metric_type in types.items():
+        if metric_type == "counter":
+            rows = samples.get(f"{metric}_total", [])
+            if rows:
+                out["counters"][metric] = rows[-1]["value"]
+        elif metric_type == "gauge":
+            rows = samples.get(metric, [])
+            if rows:
+                out["gauges"][metric] = rows[-1]["value"]
+        elif metric_type == "summary":
+            count_rows = samples.get(f"{metric}_count", [])
+            sum_rows = samples.get(f"{metric}_sum", [])
+            count = int(count_rows[-1]["value"]) if count_rows else 0
+            total = float(sum_rows[-1]["value"]) if sum_rows else 0.0
+            out["timers"][metric] = {
+                "count": count,
+                "total_s": total,
+                "mean_s": total / count if count else 0.0,
+                "min_s": 0.0,
+                "max_s": 0.0,
+            }
+        elif metric_type == "histogram":
+            out["histograms"][metric] = _parse_histogram(metric, samples)
+    return out
+
+
+def _parse_histogram(
+    metric: str, samples: Dict[str, List[Dict[str, Any]]]
+) -> Dict[str, Any]:
+    boundaries: List[float] = []
+    cumulatives: List[float] = []
+    overflow_cumulative: Optional[float] = None
+    for row in samples.get(f"{metric}_bucket", []):
+        le_match = _LE_RE.search(row["labels"])
+        if le_match is None:
+            raise ObservabilityError(
+                f"histogram bucket without le label: {metric}"
+            )
+        le = le_match.group("le")
+        if le == "+Inf":
+            overflow_cumulative = row["value"]
+        else:
+            boundaries.append(float(le))
+            cumulatives.append(row["value"])
+    count_rows = samples.get(f"{metric}_count", [])
+    sum_rows = samples.get(f"{metric}_sum", [])
+    count = int(count_rows[-1]["value"]) if count_rows else 0
+    if count == 0 and overflow_cumulative is not None:
+        count = int(overflow_cumulative)
+    total = float(sum_rows[-1]["value"]) if sum_rows else 0.0
+    bucket_counts: List[int] = []
+    previous = 0.0
+    for cumulative in cumulatives:
+        bucket_counts.append(int(cumulative - previous))
+        previous = cumulative
+    bucket_counts.append(max(0, count - int(previous)))
+
+    # The text format carries no exact extremes; approximate them from
+    # the occupied bucket boundaries so quantile estimates stay sane.
+    approx_min = 0.0
+    approx_max = 0.0
+    occupied = [i for i, c in enumerate(bucket_counts) if c]
+    if occupied:
+        first, last = occupied[0], occupied[-1]
+        approx_min = boundaries[first - 1] if first > 0 else 0.0
+        approx_max = (
+            boundaries[last] if last < len(boundaries) else boundaries[-1]
+        ) if boundaries else 0.0
+    return {
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else 0.0,
+        "min": approx_min,
+        "max": approx_max,
+        "boundaries": boundaries,
+        "bucket_counts": bucket_counts,
+    }
 
 
 def counters_from_events(

@@ -1,0 +1,117 @@
+"""Tolerant tail-following for growing trace JSONL files.
+
+:func:`repro.trace.reader.load_events` is deliberately strict: a
+malformed line in a *finished* trace is corruption and raises.  A trace
+that is still being written is different -- the final line may be torn
+(the writer's buffered batch not yet newline-terminated, or a crash
+mid-write), and new lines keep arriving.  :class:`TraceFollower` handles
+that case for the ``repro watch`` console:
+
+* :meth:`~TraceFollower.poll` returns only the events that arrived since
+  the previous poll, reading from a remembered byte offset.
+* Bytes after the last ``\\n`` are retained, not parsed: a torn final
+  line is invisible until its newline lands (the
+  :class:`~repro.obs.events.JsonlEventSink` writes whole-line batches,
+  so in practice only an unflushed or crashed tail is ever partial).
+* A *complete* line that still fails to parse is skipped and counted in
+  :attr:`~TraceFollower.skipped` rather than raising -- a live console
+  must not die because one record was mangled.
+* If the file shrinks (truncated and rewritten), the follower restarts
+  from the top rather than reading garbage from a stale offset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ObservabilityError
+
+__all__ = ["TraceFollower", "read_events_tolerant"]
+
+
+class TraceFollower:
+    """Incremental reader of a growing JSONL trace.
+
+    Parameters
+    ----------
+    path:
+        The trace file.  It may not exist yet; polls return nothing
+        until it does.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._offset = 0
+        #: Bytes after the last newline seen, carried between polls.
+        self._partial = b""
+        #: Complete-but-unparseable lines skipped so far.
+        self.skipped = 0
+        #: Total events returned so far.
+        self.events_read = 0
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Return events appended since the last poll (possibly none)."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size < self._offset:
+            # Truncated/rewritten underneath us: start over.
+            self._offset = 0
+            self._partial = b""
+        if size == self._offset:
+            return []
+        with open(self.path, "rb") as stream:
+            stream.seek(self._offset)
+            chunk = stream.read()
+        self._offset += len(chunk)
+        data = self._partial + chunk
+        head, sep, tail = data.rpartition(b"\n")
+        if not sep:
+            # No newline yet: everything is one growing torn line.
+            self._partial = data
+            return []
+        self._partial = tail
+        events: List[Dict[str, Any]] = []
+        for raw in head.split(b"\n"):
+            if not raw.strip():
+                continue
+            try:
+                event = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self.skipped += 1
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+            else:
+                self.skipped += 1
+        self.events_read += len(events)
+        return events
+
+
+def read_events_tolerant(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """One-shot tolerant read: ``(events, skipped_line_count)``.
+
+    Unlike :func:`repro.trace.reader.load_events`, a torn final line or
+    a mangled record is skipped (and counted), not fatal.  Raises
+    :class:`~repro.errors.ObservabilityError` only when the file itself
+    cannot be opened.
+    """
+    follower = TraceFollower(path)
+    if not os.path.exists(path):
+        raise ObservabilityError(f"trace file not found: {path}")
+    events = follower.poll()
+    # A file with no trailing newline leaves its last line in the
+    # partial buffer; for a one-shot read, try to parse it anyway.
+    if follower._partial.strip():
+        try:
+            event = json.loads(follower._partial.decode("utf-8"))
+            if isinstance(event, dict):
+                events.append(event)
+            else:
+                follower.skipped += 1
+        except (ValueError, UnicodeDecodeError):
+            follower.skipped += 1
+    return events, follower.skipped

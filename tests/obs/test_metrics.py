@@ -157,3 +157,77 @@ class TestQuantiles:
         snapshot = histogram.snapshot()
         for q in (0.0, 0.25, 0.5, 0.9, 1.0):
             assert snapshot_quantile(snapshot, q) == histogram.quantile(q)
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_lossless(self):
+        import threading
+
+        registry = MetricsRegistry()
+        workers, per_worker = 8, 2000
+
+        def hammer():
+            for _ in range(per_worker):
+                registry.counter("hits").inc()
+                registry.histogram("load").observe(1.0)
+                registry.timer("step_s").observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = workers * per_worker
+        assert registry.counter("hits").value == expected
+        assert registry.histogram("load").count == expected
+        assert registry.timer("step_s").count == expected
+
+    def test_counters_monotone_under_concurrent_scrapes(self):
+        import threading
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                registry.counter("ticks").inc()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            previous = -1
+            for _ in range(200):
+                snapshot = registry.snapshot()
+                value = snapshot["counters"].get("ticks", 0)
+                assert value >= previous
+                previous = value
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_snapshot_is_atomic_across_instruments(self):
+        # Writers bump two counters in lockstep under the registry lock's
+        # instrument propagation; a snapshot must never observe the pair
+        # torn apart by more than the in-flight increment.
+        import threading
+
+        registry = MetricsRegistry()
+        a, b = registry.counter("a"), registry.counter("b")
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                a.inc()
+                b.inc()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                snapshot = registry.snapshot()
+                counters = snapshot["counters"]
+                delta = counters.get("a", 0) - counters.get("b", 0)
+                assert 0 <= delta <= 1
+        finally:
+            stop.set()
+            thread.join()

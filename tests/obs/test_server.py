@@ -1,0 +1,126 @@
+"""Telemetry server: endpoints, lifecycle and thread hygiene."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    MetricsRegistry,
+    Recorder,
+    RunRegistry,
+    SloEngine,
+    TelemetryServer,
+    parse_serve_address,
+)
+from repro.trace.export import parse_openmetrics
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.read().decode("utf-8")
+
+
+@pytest.fixture()
+def live_recorder():
+    return Recorder(metrics=MetricsRegistry(), runs=RunRegistry())
+
+
+class TestParseServeAddress:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("9100", ("127.0.0.1", 9100)),
+            (":0", ("127.0.0.1", 0)),
+            ("0.0.0.0:8000", ("0.0.0.0", 8000)),
+            ("localhost:8000", ("localhost", 8000)),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_serve_address(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "abc", "host:", "host:port", ":70000"])
+    def test_invalid(self, text):
+        with pytest.raises(ObservabilityError):
+            parse_serve_address(text)
+
+
+class TestEndpoints:
+    def test_metrics_scrape_parses_and_matches_registry(self, live_recorder):
+        live_recorder.metrics.counter("sim.slots").inc(42)
+        live_recorder.metrics.gauge("two_stage.welfare_phase2").set(30.0)
+        with TelemetryServer(live_recorder) as server:
+            text = _get(server.url + "/metrics")
+        snapshot = parse_openmetrics(text)
+        assert snapshot["counters"]["sim_slots"] == 42
+        assert snapshot["gauges"]["two_stage_welfare_phase2"] == 30.0
+
+    def test_health_reports_active_run(self, live_recorder):
+        with TelemetryServer(live_recorder) as server:
+            empty = json.loads(_get(server.url + "/health"))
+            assert empty["status"] == "ok"
+            assert empty["run"] is None
+            assert empty["uptime_s"] >= 0.0
+            live_recorder.emit("two_stage.start", buyers=5)
+            payload = json.loads(_get(server.url + "/health"))
+        assert payload["run"]["kind"] == "two_stage"
+        assert payload["run"]["status"] == "running"
+
+    def test_runs_endpoint_serves_registry_snapshot(self, live_recorder):
+        live_recorder.emit("two_stage.start", buyers=5)
+        live_recorder.emit("stage1.round", round=0)
+        with TelemetryServer(live_recorder) as server:
+            payload = json.loads(_get(server.url + "/runs"))
+        (run,) = payload["runs"]
+        assert run["rounds"] == 1
+        assert payload["active_run"] == run["run_id"]
+
+    def test_scrape_evaluates_slo_and_serves_status(self, live_recorder):
+        live_recorder.metrics.counter("sim.slots").inc(10)
+        engine = SloEngine(["slots<=1"], live_recorder, policy="warn")
+        with TelemetryServer(live_recorder, slo_engine=engine) as server:
+            _get(server.url + "/metrics")  # scrape triggers evaluation
+            status = json.loads(_get(server.url + "/slo"))
+        assert engine.violation_counts == {"slots<=1": 1}
+        assert status["rules"][0]["ok"] is False
+
+    def test_slo_404_without_engine_and_unknown_path(self, live_recorder):
+        with TelemetryServer(live_recorder) as server:
+            for path in ("/slo", "/nonsense"):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    _get(server.url + path)
+                assert excinfo.value.code == 404
+            index = json.loads(_get(server.url + "/"))
+        assert "/metrics" in index["endpoints"]
+
+
+class TestLifecycle:
+    def test_port_zero_resolves_and_stop_joins_threads(self, live_recorder):
+        before = set(threading.enumerate())
+        server = TelemetryServer(live_recorder, port=0).start()
+        try:
+            assert server.port > 0
+            assert server.url.startswith("http://127.0.0.1:")
+            assert any(
+                t.name == "repro-telemetry" for t in threading.enumerate()
+            )
+            _get(server.url + "/health")
+        finally:
+            server.stop()
+        assert set(threading.enumerate()) == before
+        assert not server.running
+
+    def test_start_and_stop_are_idempotent(self, live_recorder):
+        server = TelemetryServer(live_recorder)
+        server.start()
+        port = server.port
+        assert server.start().port == port
+        server.stop()
+        server.stop()
+        with pytest.raises(ObservabilityError):
+            _ = server.port

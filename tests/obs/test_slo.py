@@ -1,0 +1,155 @@
+"""SLO rules: parsing, signal resolution, policies and emission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    ListEventSink,
+    MetricsRegistry,
+    Recorder,
+    RunRegistry,
+    SloEngine,
+    parse_slo_rule,
+)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text, signal, op, threshold",
+        [
+            ("rounds_to_convergence<=40", "rounds_to_convergence", "<=", 40.0),
+            ("drop_rate<0.05", "drop_rate", "<", 0.05),
+            ("slot_age_s <= 2.5", "slot_age_s", "<=", 2.5),
+            ("welfare_regression_pct<=10%", "welfare_regression_pct", "<=", 10.0),
+            ("two_stage.welfare_phase2>=30", "two_stage.welfare_phase2", ">=", 30.0),
+            ("slots>1e2", "slots", ">", 100.0),
+        ],
+    )
+    def test_valid_rules(self, text, signal, op, threshold):
+        rule = parse_slo_rule(text)
+        assert rule.signal == signal
+        assert rule.op == op
+        assert rule.threshold == threshold
+
+    @pytest.mark.parametrize(
+        "text", ["", "slots", "slots==3", "<=40", "slots<=abc", "a b<=1"]
+    )
+    def test_invalid_rules(self, text):
+        with pytest.raises(ObservabilityError):
+            parse_slo_rule(text)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ObservabilityError):
+            SloEngine([], Recorder(), policy="explode")
+
+
+def _live_recorder():
+    return Recorder(
+        events=ListEventSink(), metrics=MetricsRegistry(), runs=RunRegistry()
+    )
+
+
+class TestSignals:
+    def test_rounds_to_convergence_sums_stage_counters(self):
+        recorder = _live_recorder()
+        recorder.metrics.counter("stage1.rounds").inc(5)
+        recorder.metrics.counter("stage2.transfer_rounds").inc(2)
+        engine = SloEngine(["rounds_to_convergence<=4"], recorder)
+        (violation,) = engine.evaluate()
+        assert violation.value == 7.0
+
+    def test_drop_rate_needs_traffic(self):
+        recorder = _live_recorder()
+        engine = SloEngine(["drop_rate<0.01"], recorder)
+        assert engine.evaluate() == []  # no messages yet: not measurable
+        recorder.metrics.counter("sim.messages_sent").inc(100)
+        recorder.metrics.counter("sim.messages_dropped").inc(10)
+        (violation,) = engine.evaluate()
+        assert violation.value == pytest.approx(0.1)
+
+    def test_slot_age_only_for_running_run(self):
+        recorder = _live_recorder()
+        engine = SloEngine(["slot_age_s<=0.000001"], recorder)
+        assert engine.evaluate() == []  # no run at all
+        recorder.emit("two_stage.start")
+        assert len(engine.evaluate()) == 1  # any age beats a 1us budget
+        recorder.emit("two_stage.result", welfare_phase2=1.0)
+        engine.violation_counts.clear()
+        assert engine.evaluate() == []  # finished runs aren't stale
+
+    def test_welfare_regression_against_reference(self):
+        recorder = _live_recorder()
+        recorder.metrics.gauge("two_stage.welfare_phase2").set(18.0)
+        engine = SloEngine(["welfare_regression_pct<=5"], recorder)
+        assert engine.evaluate() == []  # no reference installed
+        engine.set_reference("welfare", 20.0)
+        (violation,) = engine.evaluate()
+        assert violation.value == pytest.approx(10.0)
+
+    def test_generic_counter_and_gauge_fallback(self):
+        recorder = _live_recorder()
+        recorder.metrics.counter("sim.messages_dropped").inc(3)
+        recorder.metrics.gauge("custom.level").set(0.5)
+        engine = SloEngine(
+            ["sim.messages_dropped<=2", "custom.level>=0.9"], recorder
+        )
+        violations = engine.evaluate()
+        assert {v.rule.signal for v in violations} == {
+            "sim.messages_dropped",
+            "custom.level",
+        }
+
+
+class TestPolicyAndEmission:
+    def test_first_violation_emits_event_and_counter(self):
+        recorder = _live_recorder()
+        recorder.metrics.counter("sim.slots").inc(10)
+        engine = SloEngine(["slots<=1"], recorder)
+        engine.evaluate()
+        engine.evaluate()
+        violated = recorder.events.of_type("slo.violated")
+        assert len(violated) == 1  # deduplicated across scrapes
+        assert violated[0]["rule"] == "slots<=1"
+        assert violated[0]["value"] == 10.0
+        assert recorder.metrics.counter("slo.violations").value == 1
+        assert engine.violation_counts["slots<=1"] == 2
+
+    def test_final_evaluation_re_emits(self):
+        recorder = _live_recorder()
+        recorder.metrics.counter("sim.slots").inc(10)
+        engine = SloEngine(["slots<=1"], recorder)
+        engine.evaluate()
+        engine.evaluate(final=True)
+        finals = [
+            e
+            for e in recorder.events.of_type("slo.violated")
+            if e.get("final")
+        ]
+        assert len(finals) == 1
+
+    def test_exit_code_follows_policy(self):
+        recorder = _live_recorder()
+        recorder.metrics.counter("sim.slots").inc(10)
+        warn = SloEngine(["slots<=1"], recorder, policy="warn")
+        warn.evaluate()
+        assert warn.violated and warn.exit_code() == 0
+        fail = SloEngine(["slots<=1"], recorder, policy="fail")
+        fail.evaluate()
+        assert fail.exit_code() == 1
+        clean = SloEngine(["slots<=100"], recorder, policy="fail")
+        clean.evaluate()
+        assert clean.exit_code() == 0
+
+    def test_status_payload(self):
+        recorder = _live_recorder()
+        recorder.metrics.counter("sim.slots").inc(10)
+        engine = SloEngine(["slots<=1", "drop_rate<0.5"], recorder)
+        engine.evaluate()
+        status = engine.status()
+        by_rule = {row["rule"]: row for row in status["rules"]}
+        assert by_rule["slots<=1"]["ok"] is False
+        assert by_rule["slots<=1"]["violations"] == 1
+        assert by_rule["drop_rate<0.5"]["value"] is None
+        assert by_rule["drop_rate<0.5"]["ok"] is True

@@ -1,0 +1,174 @@
+"""Watch console: sparkline, frame rendering, sources and the loop."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    JsonlEventSink,
+    MetricsRegistry,
+    Recorder,
+    RunRegistry,
+    TelemetryServer,
+)
+from repro.obs.watch import (
+    ServerSource,
+    TraceSource,
+    open_source,
+    render_frame,
+    sparkline,
+    watch,
+)
+
+
+class TestSparkline:
+    def test_empty_and_constant(self):
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_monotone_rises(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_width_keeps_tail(self):
+        line = sparkline([float(i) for i in range(100)], width=10)
+        assert len(line) == 10
+        assert line[-1] == "█"
+
+
+class TestRenderFrame:
+    def test_empty_frame(self):
+        text = render_frame({"source": "x.jsonl"})
+        assert "no runs observed yet" in text
+
+    def test_full_frame_sections(self):
+        frame = {
+            "source": "http://127.0.0.1:9100",
+            "runs": {
+                "active_run": 1,
+                "runs_started": 1,
+                "events_observed": 40,
+                "runs": [
+                    {
+                        "run_id": 1,
+                        "kind": "distributed",
+                        "phase": "protocol",
+                        "status": "running",
+                        "slot": 17,
+                        "rounds": 0,
+                        "last_event_age_s": 0.2,
+                        "welfare": [20.0, 22.0, 25.0],
+                        "progress": {
+                            "messages_sent": 100.0,
+                            "messages_delivered": 93.0,
+                            "messages_dropped": 7.0,
+                            "inflight": 4.0,
+                        },
+                        "crashed": ["buyer:3"],
+                        "partitions": 1,
+                        "slo_violations": ["drop_rate<0.05"],
+                        "meta": {},
+                    }
+                ],
+            },
+            "metrics": {
+                "histograms": {
+                    "sim_agent_step_s": {
+                        "count": 10,
+                        "sum": 0.02,
+                        "min": 0.001,
+                        "max": 0.005,
+                        "boundaries": [0.001, 0.01],
+                        "bucket_counts": [5, 5, 0],
+                    }
+                }
+            },
+            "slo": {
+                "policy": "warn",
+                "rules": [
+                    {"rule": "drop_rate<0.05", "value": 0.07, "ok": False,
+                     "violations": 1}
+                ],
+            },
+        }
+        text = render_frame(frame)
+        assert "run #1 distributed [protocol]" in text
+        assert "slot=17" in text
+        assert "welfare" in text and "25.000" in text
+        assert "sent=100 delivered=93 dropped=7 (7.0%)" in text
+        assert "crashed=['buyer:3'] partitions=1" in text
+        assert "agent step p50=" in text and "p99=" in text
+        assert "drop_rate<0.05: VIOLATED (0.07)" in text
+
+    def test_source_error_surfaces(self):
+        text = render_frame({"source": "http://down", "error": "refused"})
+        assert "[source error] refused" in text
+
+
+class TestSources:
+    def test_trace_source_replays_into_registry(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlEventSink(path) as sink:
+            sink.emit({"event": "two_stage.start", "buyers": 5})
+            sink.emit({"event": "stage1.round", "round": 0})
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"torn...')  # in-flight final line
+        source = TraceSource(path)
+        frame = source.fetch()
+        (run,) = frame["runs"]["runs"]
+        assert run["kind"] == "two_stage"
+        assert run["rounds"] == 1
+        assert frame["skipped"] == 0  # torn line pending, not skipped
+        assert "torn" not in str(frame)
+
+    def test_server_source_fetches_all_endpoints(self):
+        recorder = Recorder(metrics=MetricsRegistry(), runs=RunRegistry())
+        recorder.metrics.counter("sim.slots").inc(3)
+        recorder.emit("two_stage.start", buyers=2)
+        with TelemetryServer(recorder) as server:
+            frame = ServerSource(server.url).fetch()
+        assert frame["health"]["status"] == "ok"
+        assert frame["metrics"]["counters"]["sim_slots"] == 3
+        assert frame["runs"]["runs"][0]["kind"] == "two_stage"
+        assert "slo" not in frame  # 404 tolerated, key omitted
+
+    def test_server_source_reports_connection_error(self):
+        frame = ServerSource("http://127.0.0.1:1", timeout_s=0.5).fetch()
+        assert "error" in frame
+
+    def test_open_source_dispatch(self, tmp_path):
+        assert isinstance(open_source("http://x:1"), ServerSource)
+        assert isinstance(
+            open_source(str(tmp_path / "t.jsonl")), TraceSource
+        )
+
+
+class TestLoop:
+    def test_bounded_frames_plain(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlEventSink(path) as sink:
+            sink.emit({"event": "two_stage.start"})
+        out = io.StringIO()
+        code = watch(
+            path, interval_s=0.01, frames=2, plain=True, stream=out,
+            sleep=lambda _s: None,
+        )
+        assert code == 0
+        assert out.getvalue().count("repro watch —") == 2
+        assert "\x1b[2J" not in out.getvalue()
+
+    def test_ansi_clear_by_default(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlEventSink(path) as sink:
+            sink.emit({"event": "two_stage.start"})
+        out = io.StringIO()
+        watch(path, frames=1, stream=out, sleep=lambda _s: None)
+        assert out.getvalue().startswith("\x1b[2J")
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ObservabilityError):
+            watch("x.jsonl", interval_s=0.0, frames=1)

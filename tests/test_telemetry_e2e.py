@@ -1,0 +1,240 @@
+"""End-to-end live telemetry: server scraped during a real chaos run.
+
+The scraping trick: an event-sink wrapper performs HTTP ``GET`` s from
+*inside* the run (whenever chosen ``sim.slot`` events pass through), so
+mid-run scrapes land at deterministic points of the protocol while the
+telemetry server answers from its own thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from typing import Any, Dict, List
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.distributed.faults import CrashFault, FaultSchedule
+from repro.distributed.protocol import run_distributed_matching
+from repro.distributed.transition import default_policy
+from repro.obs import (
+    MetricsRegistry,
+    Recorder,
+    RunRegistry,
+    SloEngine,
+    TelemetryServer,
+)
+from repro.obs.events import EventSink
+from repro.trace.export import parse_openmetrics
+from repro.trace.tail import read_events_tolerant
+from repro.workloads.scenarios import paper_simulation_market
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.read()
+
+
+class _ScrapingSink(EventSink):
+    """Scrape the server whenever selected ``sim.slot`` events pass by."""
+
+    def __init__(self, scrape_slots):
+        self.scrape_slots = set(scrape_slots)
+        self.url = None  # filled in once the server is up
+        self.scrapes: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if (
+            event.get("event") == "sim.slot"
+            and event.get("slot") in self.scrape_slots
+            and self.url is not None
+        ):
+            self.scrapes.append(
+                {
+                    "slot": event["slot"],
+                    "metrics": parse_openmetrics(
+                        _get(self.url + "/metrics").decode("utf-8")
+                    ),
+                    "runs": json.loads(_get(self.url + "/runs")),
+                    "health": json.loads(_get(self.url + "/health")),
+                }
+            )
+
+
+class TestLiveScrapes:
+    def test_chaos_run_scraped_during_and_after(self):
+        market = paper_simulation_market(8, 3, np.random.default_rng(2))
+        sink = _ScrapingSink(scrape_slots={3, 9, 15})
+        recorder = Recorder(
+            events=sink, metrics=MetricsRegistry(), runs=RunRegistry()
+        )
+        schedule = FaultSchedule(
+            crashes=[CrashFault("buyer:1", crash_slot=4, restart_slot=8)]
+        )
+        threads_before = set(threading.enumerate())
+        with TelemetryServer(recorder) as server:
+            sink.url = server.url
+            run = run_distributed_matching(
+                market,
+                policy=default_policy(),
+                fault_schedule=schedule,
+                recorder=recorder,
+            )
+            final_metrics = parse_openmetrics(
+                _get(server.url + "/metrics").decode("utf-8")
+            )
+            final_runs = json.loads(_get(server.url + "/runs"))
+        assert set(threading.enumerate()) == threads_before
+
+        # Mid-run scrapes happened at the requested slots and saw a
+        # *running* distributed run.
+        assert [s["slot"] for s in sink.scrapes] == [3, 9, 15]
+        for scrape in sink.scrapes:
+            (entry,) = scrape["runs"]["runs"]
+            assert entry["kind"] == "distributed"
+            assert entry["status"] == "running"
+            assert scrape["health"]["run"]["kind"] == "distributed"
+
+        # Counters are monotone across scrapes (and into the final one).
+        sequence = [s["metrics"] for s in sink.scrapes] + [final_metrics]
+        for name in ("sim_slots", "sim_messages_sent", "sim_messages_delivered"):
+            values = [snap["counters"].get(name, 0) for snap in sequence]
+            assert values == sorted(values), name
+            assert values[-1] > 0
+        # The crash window is visible mid-run: scrape at slot 9 happens
+        # after the slot-4 crash.
+        assert sequence[1]["counters"].get("sim_crashes", 0) >= 1
+
+        # After the run the registry reports it finished with the run's
+        # actual outcome.
+        (entry,) = final_runs["runs"]
+        assert entry["status"] == run.status
+        assert entry["slot"] == run.slots
+        assert entry["welfare"][-1] == pytest.approx(run.social_welfare)
+
+    def test_tight_slo_rule_fires_during_scrape(self):
+        market = paper_simulation_market(6, 3, np.random.default_rng(3))
+        sink = _ScrapingSink(scrape_slots={5})
+        recorder = Recorder(
+            events=sink, metrics=MetricsRegistry(), runs=RunRegistry()
+        )
+        engine = SloEngine(["slots<=1"], recorder, policy="fail")
+        with TelemetryServer(recorder, slo_engine=engine) as server:
+            sink.url = server.url
+            run_distributed_matching(
+                market, policy=default_policy(), recorder=recorder
+            )
+        assert engine.violation_counts == {"slots<=1": 1}
+        assert engine.exit_code() == 1
+        # The violation flowed back through the recorder into both the
+        # event stream and the run registry.
+        (entry,) = recorder.runs.snapshot()["runs"]
+        assert entry["slo_violations"] == ["slots<=1"]
+
+
+class TestCliIntegration:
+    def test_slo_fail_policy_sets_exit_code_and_traces(self, tmp_path, capsys):
+        trace = str(tmp_path / "chaos.jsonl")
+        code = main(
+            [
+                "chaos",
+                "--buyers", "6", "--sellers", "3", "--seed", "0",
+                "--crash", "buyer:1@3-6",
+                "--slo", "slots<=1",
+                "--slo-policy", "fail",
+                "--trace-out", trace,
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "slo violated: slots<=1" in captured.err
+        events, skipped = read_events_tolerant(trace)
+        assert skipped == 0
+        violated = [e for e in events if e.get("event") == "slo.violated"]
+        assert violated and violated[0]["rule"] == "slots<=1"
+        assert violated[0]["final"] is True
+
+    def test_slo_warn_policy_keeps_exit_code(self, capsys):
+        code = main(
+            ["chaos", "--buyers", "6", "--sellers", "3",
+             "--slo", "slots<=1", "--slo-policy", "warn"]
+        )
+        assert code == 0
+        assert "slo violated" in capsys.readouterr().err
+
+    def test_satisfied_slo_is_silent(self, capsys):
+        code = main(
+            ["chaos", "--buyers", "6", "--sellers", "3",
+             "--slo", "slots<=10000", "--slo-policy", "fail"]
+        )
+        assert code == 0
+        assert "slo violated" not in capsys.readouterr().err
+
+    def test_welfare_regression_reference_wired_for_chaos(self, capsys):
+        # An impossible welfare target: any chaos run "regresses" by less
+        # than 200%, so this must NOT violate ...
+        code = main(
+            ["chaos", "--buyers", "6", "--sellers", "3",
+             "--slo", "welfare_regression_pct<=200", "--slo-policy", "fail"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_metrics_out_writes_parsable_exposition(self, tmp_path, capsys):
+        path = str(tmp_path / "toy.om")
+        code = main(["toy", "--metrics-out", path])
+        assert code == 0
+        assert f"metrics written to {path}" in capsys.readouterr().out
+        snapshot = parse_openmetrics(open(path, encoding="utf-8").read())
+        assert snapshot["counters"]["stage1_rounds"] >= 1
+
+    def test_bad_slo_rule_is_a_usage_error(self, capsys):
+        code = main(["toy", "--slo", "nonsense=="])
+        assert code == 2
+        assert "bad SLO rule" in capsys.readouterr().err
+
+    def test_serve_metrics_lifecycle_leaves_no_threads(self, capsys):
+        threads_before = set(threading.enumerate())
+        code = main(["toy", "--serve-metrics", ":0"])
+        assert code == 0
+        assert set(threading.enumerate()) == threads_before
+        assert "telemetry server listening on http://" in capsys.readouterr().err
+
+    def test_every_run_subcommand_has_telemetry_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub_actions = [
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        ]
+        run_commands = [
+            "fig6", "fig7", "fig8", "toy", "counterexample", "distributed",
+            "chaos", "swaps", "dynamic", "report", "solve", "solvers",
+        ]
+        for name in run_commands:
+            sub = sub_actions[0].choices[name]
+            flags = {
+                option
+                for action in sub._actions
+                for option in action.option_strings
+            }
+            for flag in ("--metrics-out", "--serve-metrics", "--slo",
+                         "--slo-policy", "--trace-out"):
+                assert flag in flags, (name, flag)
+
+    def test_watch_renders_cli_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        assert main(["toy", "--trace-out", trace]) == 0
+        capsys.readouterr()
+        code = main(
+            ["watch", trace, "--frames", "1", "--plain", "--interval", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro watch" in out
+        assert "two_stage" in out

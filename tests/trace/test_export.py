@@ -145,3 +145,78 @@ class TestCountersFromEvents:
         text = to_openmetrics(counters_from_events(load_events(GOLDEN_PATH)))
         assert "trace_events_stage1_round_total 4" in text
         assert text.endswith("# EOF\n")
+
+
+class TestParseOpenMetrics:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.slots").inc(40)
+        registry.counter("sim.messages_sent").inc(1200)
+        registry.gauge("two_stage.welfare_phase2").set(30.25)
+        timer = registry.timer("stage1.solve_s")
+        timer.observe(0.5)
+        timer.observe(1.5)
+        histogram = registry.histogram("sim.agent_step_s")
+        for value in (0.0015, 0.003, 0.02, 0.02, 0.4):
+            histogram.observe(value)
+        return registry
+
+    def test_round_trips_counters_gauges_timers(self):
+        from repro.trace import parse_openmetrics
+
+        snapshot = parse_openmetrics(to_openmetrics(self._registry().snapshot()))
+        assert snapshot["counters"]["sim_slots"] == 40
+        assert snapshot["counters"]["sim_messages_sent"] == 1200
+        assert snapshot["gauges"]["two_stage_welfare_phase2"] == 30.25
+        timer = snapshot["timers"]["stage1_solve_s"]
+        assert timer["count"] == 2
+        assert timer["total_s"] == 2.0
+        assert timer["mean_s"] == 1.0
+
+    def test_histogram_buckets_decumulated(self):
+        from repro.trace import parse_openmetrics
+
+        original = self._registry().snapshot()["histograms"]["sim.agent_step_s"]
+        parsed = parse_openmetrics(to_openmetrics(self._registry().snapshot()))
+        histogram = parsed["histograms"]["sim_agent_step_s"]
+        assert histogram["count"] == original["count"]
+        assert histogram["sum"] == original["sum"]
+        assert histogram["bucket_counts"] == original["bucket_counts"]
+        assert histogram["boundaries"] == original["boundaries"]
+
+    def test_histogram_quantiles_usable_after_round_trip(self):
+        from repro.obs.metrics import snapshot_quantile
+        from repro.trace import parse_openmetrics
+
+        parsed = parse_openmetrics(to_openmetrics(self._registry().snapshot()))
+        histogram = parsed["histograms"]["sim_agent_step_s"]
+        p50 = snapshot_quantile(histogram, 0.5)
+        p99 = snapshot_quantile(histogram, 0.99)
+        assert 0.0 < p50 <= p99  # approximated extremes stay ordered
+
+    def test_missing_eof_rejected(self):
+        import pytest
+
+        from repro.errors import ObservabilityError
+        from repro.trace import parse_openmetrics
+
+        text = to_openmetrics(self._registry().snapshot())
+        with pytest.raises(ObservabilityError):
+            parse_openmetrics(text.replace("# EOF\n", ""))
+
+    def test_malformed_sample_rejected(self):
+        import pytest
+
+        from repro.errors import ObservabilityError
+        from repro.trace import parse_openmetrics
+
+        with pytest.raises(ObservabilityError):
+            parse_openmetrics("# TYPE x counter\nx_total not-a-number\n# EOF\n")
+
+    def test_empty_exposition_parses(self):
+        from repro.trace import parse_openmetrics
+
+        snapshot = parse_openmetrics("# EOF\n")
+        assert snapshot == {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {}
+        }

@@ -1,0 +1,100 @@
+"""Tolerant tail-following of growing JSONL traces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.events import JsonlEventSink
+from repro.trace.tail import TraceFollower, read_events_tolerant
+
+
+def _append(path, text):
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(text)
+
+
+class TestFollower:
+    def test_incremental_polls(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        follower = TraceFollower(path)
+        assert follower.poll() == []  # file does not exist yet
+        _append(path, '{"event":"a"}\n')
+        assert [e["event"] for e in follower.poll()] == ["a"]
+        assert follower.poll() == []  # nothing new
+        _append(path, '{"event":"b"}\n{"event":"c"}\n')
+        assert [e["event"] for e in follower.poll()] == ["b", "c"]
+        assert follower.events_read == 3
+
+    def test_torn_final_line_held_until_complete(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        _append(path, '{"event":"a"}\n{"event":"b",')
+        follower = TraceFollower(path)
+        assert [e["event"] for e in follower.poll()] == ["a"]
+        assert follower.skipped == 0  # torn line is pending, not bad
+        _append(path, '"x":1}\n')
+        (event,) = follower.poll()
+        assert event == {"event": "b", "x": 1}
+
+    def test_mangled_complete_line_skipped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        _append(path, '{"event":"a"}\nnot json at all\n[1,2]\n{"event":"b"}\n')
+        follower = TraceFollower(path)
+        events = follower.poll()
+        assert [e["event"] for e in events] == ["a", "b"]
+        assert follower.skipped == 2  # bad syntax + non-dict
+
+    def test_truncation_restarts_from_top(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        _append(path, '{"event":"a"}\n{"event":"b"}\n')
+        follower = TraceFollower(path)
+        assert len(follower.poll()) == 2
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write('{"event":"fresh"}\n')
+        assert [e["event"] for e in follower.poll()] == ["fresh"]
+
+    def test_follows_jsonl_sink_batches(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlEventSink(path, flush_every=3)
+        follower = TraceFollower(path)
+        sink.emit({"event": "a"})
+        sink.emit({"event": "b"})
+        sink.flush()
+        assert [e["event"] for e in follower.poll()] == ["a", "b"]
+        sink.emit({"event": "c"})
+        sink.close()
+        assert [e["event"] for e in follower.poll()] == ["c"]
+        assert follower.skipped == 0
+
+
+class TestOneShot:
+    def test_reads_whole_file_including_unterminated_tail(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        _append(path, '{"event":"a"}\n{"event":"b"}')  # no trailing newline
+        events, skipped = read_events_tolerant(path)
+        assert [e["event"] for e in events] == ["a", "b"]
+        assert skipped == 0
+
+    def test_counts_torn_tail_as_skipped(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        _append(path, '{"event":"a"}\n{"event":"b", "trunc')
+        events, skipped = read_events_tolerant(path)
+        assert [e["event"] for e in events] == ["a"]
+        assert skipped == 1
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            read_events_tolerant(str(tmp_path / "nope.jsonl"))
+
+    def test_round_trips_sink_output(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        events_in = [{"event": "x", "i": i} for i in range(5)]
+        with JsonlEventSink(path) as sink:
+            for event in events_in:
+                sink.emit(event)
+        events_out, skipped = read_events_tolerant(path)
+        assert events_out == events_in
+        assert skipped == 0
+        assert json.loads(open(path).readline())["event"] == "x"
