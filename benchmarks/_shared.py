@@ -14,7 +14,6 @@ live-telemetry tooling).
 
 from __future__ import annotations
 
-import json
 import os
 from functools import lru_cache
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -23,6 +22,7 @@ from repro.analysis.experiments import ExperimentRow
 from repro.analysis.paper_figures import figure_spec, run_figure
 from repro.analysis.reporting import format_experiment_rows
 from repro.engine import Capability, list_solvers
+from repro.ioutil import atomic_write_json, atomic_write_text
 from repro.obs import (
     JsonlEventSink,
     MetricsRegistry,
@@ -80,10 +80,10 @@ def stage_rows(panel: str, repetitions: int, seed: int = 0) -> Tuple[ExperimentR
             run_figure(spec, repetitions=repetitions, seed=seed, jobs=jobs)
         )
     snapshot = recorder.metrics.snapshot()
-    with open(f"{stem}.metrics.json", "w", encoding="utf-8") as handle:
-        json.dump(snapshot, handle, indent=2)
-    with open(f"{stem}.om", "w", encoding="utf-8") as handle:
-        handle.write(to_openmetrics(snapshot))
+    # Atomic: a crash mid-dump must not leave a torn artefact that
+    # poisons later scrapes/diffs of the exposition.
+    atomic_write_json(f"{stem}.metrics.json", snapshot, sort_keys=False)
+    atomic_write_text(f"{stem}.om", to_openmetrics(snapshot))
     return rows
 
 

@@ -24,7 +24,6 @@ against the baselines and fails on regressions.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import platform
 import statistics
@@ -38,6 +37,7 @@ from repro.core.deferred_acceptance import deferred_acceptance
 from repro.core.two_stage import run_two_stage
 from repro.engine import get_solver
 from repro.interference.bitset import FAST_KERNELS_ENV
+from repro.ioutil import atomic_write_json
 from repro.obs import MetricsRegistry, Recorder, use_recorder
 from repro.workloads.scenarios import paper_simulation_market
 
@@ -288,9 +288,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         reports["BENCH_dispatch.json"] = {**bench_dispatch(args.quick, runs), **{"env": meta}}
     for name, report in reports.items():
         path = os.path.join(args.output_dir, name)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        # Atomic replace: an interrupted harness run keeps the previous
+        # baseline intact instead of leaving a torn BENCH_*.json.
+        atomic_write_json(path, report)
         if "speedup" in report:
             headline = f"speedup {report['speedup']:.2f}x"
         elif "overhead" in report:

@@ -15,10 +15,19 @@ results:
   *submission* order, not completion order, so downstream aggregation
   (``summarize`` over the repetition list) sees the same sequence as a
   serial run.
-* **Clean failure.**  A worker that raises -- or dies outright, breaking
-  the pool -- surfaces as :class:`~repro.errors.ParallelExecutionError`
-  in the parent with the worker-side error attached; pending work is
-  cancelled rather than left to hang.
+* **Clean failure.**  A worker that *raises* surfaces immediately as
+  :class:`~repro.errors.ParallelExecutionError` in the parent with the
+  worker-side error attached; pending work is cancelled rather than
+  left to hang.
+* **Worker-death resilience.**  A worker that *dies* (OOM kill, signal,
+  hard crash) breaks the whole :class:`ProcessPoolExecutor`; rather than
+  failing a multi-hour sweep for one lost worker, :func:`parallel_map`
+  rebuilds the pool and resubmits only the tasks whose results were
+  lost, under a bounded per-task retry budget with exponential backoff
+  (``analysis.retry`` events record each resubmission).  ``retries=0``
+  restores the historical strict mode: any worker death fails the
+  sweep.  Retrying is safe precisely because tasks are deterministic
+  pure functions of their arguments (seed stability above).
 
 Worker functions and their arguments must be picklable (module-level
 functions and plain dataclasses), which is why
@@ -29,8 +38,9 @@ module-level task functions shared by the serial and parallel paths.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro.errors import ParallelExecutionError, SpectrumMatchingError
 from repro.obs.recorder import resolve_recorder
@@ -62,6 +72,8 @@ def parallel_map(
     fn: Callable[[_T], _R],
     items: Sequence[_T],
     jobs: Optional[int] = None,
+    retries: int = 2,
+    retry_backoff_s: float = 0.05,
 ) -> List[_R]:
     """Apply ``fn`` to every item, optionally across worker processes.
 
@@ -71,44 +83,101 @@ def parallel_map(
     a :class:`~concurrent.futures.ProcessPoolExecutor` and the results
     are collected in submission order.
 
+    A worker *exception* fails the sweep immediately (the task itself is
+    broken; re-running it would raise again).  A worker *death* breaks
+    the pool and loses the results of every in-flight task; those tasks
+    -- and only those -- are resubmitted to a fresh pool, each up to
+    ``retries`` times with exponential backoff (``retry_backoff_s``
+    doubling per attempt).  ``retries=0`` disables resubmission: any
+    worker death fails the sweep (strict mode).
+
     Raises
     ------
     ParallelExecutionError
-        If any worker raises or the pool breaks (worker killed).  The
-        original exception is chained as ``__cause__``; remaining
-        futures are cancelled first so the call never hangs.
+        If any worker raises, or a task is lost to worker death more
+        than ``retries`` times.  The original exception is chained as
+        ``__cause__``; remaining futures are cancelled first so the
+        call never hangs.
     """
+    if retries < 0:
+        raise SpectrumMatchingError(f"retries must be >= 0, got {retries}")
     worker_count = resolve_jobs(jobs)
     rec = resolve_recorder(None)
     # Progress heartbeats feed the live run registry / watch console;
     # content is deterministic (completed counts in submission order).
     report = rec.events.enabled or rec.runs.enabled
-    if worker_count == 1 or len(items) <= 1:
+    total = len(items)
+    if worker_count == 1 or total <= 1:
         if not report:
             return [fn(item) for item in items]
         results = []
         for index, item in enumerate(items):
             results.append(fn(item))
-            rec.emit(
-                "analysis.progress", completed=index + 1, total=len(items)
-            )
+            rec.emit("analysis.progress", completed=index + 1, total=total)
         return results
-    results: List[_R] = []
-    with ProcessPoolExecutor(max_workers=min(worker_count, len(items))) as pool:
-        futures = [pool.submit(fn, item) for item in items]
-        try:
-            for future in futures:
-                results.append(future.result())
-                if report:
-                    rec.emit(
-                        "analysis.progress",
-                        completed=len(results),
-                        total=len(futures),
-                    )
-        except BaseException as exc:
-            for future in futures:
-                future.cancel()
+
+    done: Dict[int, _R] = {}
+    attempts = [0] * total
+    pending = list(range(total))
+    while pending:
+        lost: List[int] = []
+        pool_error: Optional[BaseException] = None
+        with ProcessPoolExecutor(
+            max_workers=min(worker_count, len(pending))
+        ) as pool:
+            try:
+                futures = {
+                    index: pool.submit(fn, items[index]) for index in pending
+                }
+            except BrokenExecutor as exc:
+                # Pool died mid-submission: everything this round is lost.
+                pool_error, futures = exc, {}
+                lost.extend(pending)
+            for index, future in futures.items():
+                try:
+                    done[index] = future.result()
+                    if report:
+                        rec.emit(
+                            "analysis.progress",
+                            completed=len(done),
+                            total=total,
+                        )
+                except BrokenExecutor as exc:
+                    pool_error = exc
+                    lost.append(index)
+                except BaseException as exc:
+                    for pending_future in futures.values():
+                        pending_future.cancel()
+                    raise ParallelExecutionError(
+                        f"parallel sweep worker failed: {exc!r}"
+                    ) from exc
+        if not lost:
+            break
+        # Worker death: the pool is unusable, but the completed results
+        # are intact.  Resubmit only the lost tasks to a fresh pool.
+        for index in lost:
+            attempts[index] += 1
+        exhausted = [index for index in lost if attempts[index] > retries]
+        if exhausted:
             raise ParallelExecutionError(
-                f"parallel sweep worker failed: {exc!r}"
-            ) from exc
-    return results
+                f"parallel sweep lost task(s) {exhausted} to worker death "
+                f"after {retries} retr{'y' if retries == 1 else 'ies'}: "
+                f"{pool_error!r}"
+            ) from pool_error
+        delay = retry_backoff_s * (
+            2.0 ** (max(attempts[index] for index in lost) - 1)
+        )
+        if rec.enabled:
+            rec.emit(
+                "analysis.retry",
+                tasks=sorted(lost),
+                attempts=[attempts[index] for index in sorted(lost)],
+                backoff_s=delay,
+                reason=repr(pool_error),
+            )
+        if rec.metrics.enabled:
+            rec.metrics.counter("analysis.retries").inc(len(lost))
+        if delay > 0:
+            time.sleep(delay)
+        pending = sorted(lost)
+    return [done[index] for index in range(total)]

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.analysis.experiments import ExperimentRow
 from repro.analysis.stats import SeriesStats
 from repro.errors import SpectrumMatchingError
+from repro.ioutil import atomic_write_json
 
 __all__ = ["experiment_rows_to_dict", "dict_to_experiment_rows", "save_rows", "load_rows"]
 
@@ -76,9 +77,10 @@ def save_rows(
     rows: Sequence[ExperimentRow],
     metadata: Optional[Dict[str, object]] = None,
 ) -> None:
-    """Write rows to ``path`` as indented JSON."""
+    """Write rows to ``path`` as indented JSON (atomically: a crash
+    mid-write leaves the previous file intact, never a torn one)."""
     payload = experiment_rows_to_dict(rows, metadata)
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    atomic_write_json(path, payload)
 
 
 def load_rows(path: Union[str, Path]) -> List[ExperimentRow]:

@@ -151,23 +151,12 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
 
 def _parse_crash_spec(spec: str):
     """Parse ``AGENT@CRASH[-RESTART][/MODE]`` into a :class:`CrashFault`."""
-    from repro.distributed.faults import CrashFault, RestartMode
+    from repro.distributed.faults import CrashFault
     from repro.errors import SimulationError
 
     try:
-        body, _, mode_text = spec.partition("/")
-        agent, at, window = body.rpartition("@")
-        if not at:
-            raise ValueError("missing '@CRASH_SLOT'")
-        crash_text, dash, restart_text = window.partition("-")
-        mode = RestartMode(mode_text) if mode_text else RestartMode.CHECKPOINT
-        return CrashFault(
-            agent_id=agent,
-            crash_slot=int(crash_text),
-            restart_slot=int(restart_text) if dash else None,
-            mode=mode,
-        )
-    except (ValueError, SimulationError) as exc:
+        return CrashFault.parse(spec)
+    except SimulationError as exc:
         raise argparse.ArgumentTypeError(
             f"bad crash spec {spec!r} "
             f"(expected AGENT@CRASH[-RESTART][/checkpoint|amnesia]): {exc}"
@@ -185,25 +174,44 @@ def _parse_partition_spec(spec: str):
     from repro.errors import SimulationError
 
     try:
-        body, at, window = spec.rpartition("@")
-        if not at:
-            raise ValueError("missing '@START_SLOT'")
-        start_text, dash, end_text = window.partition("-")
-        groups = tuple(
-            frozenset(part for part in group.split(",") if part)
-            for group in body.split("|")
-            if group and group != "rest"
-        )
-        return PartitionFault(
-            groups=groups,
-            start_slot=int(start_text),
-            end_slot=int(end_text) if dash else None,
-        )
-    except (ValueError, SimulationError) as exc:
+        return PartitionFault.parse(spec)
+    except SimulationError as exc:
         raise argparse.ArgumentTypeError(
             f"bad partition spec {spec!r} "
             f"(expected G1|G2|...@START[-END]): {exc}"
         )
+
+
+def _add_durability_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the durable-run flags to one run subcommand."""
+    group = parser.add_argument_group("durability")
+    group.add_argument(
+        "--checkpoint-dir",
+        metavar="RUN_DIR",
+        default=None,
+        help=(
+            "run durably: write a WAL, periodic state checkpoints and the "
+            "run's own trace into RUN_DIR (resume later with "
+            "'repro resume RUN_DIR')"
+        ),
+    )
+    group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="snapshot state every N committed epochs/slots (default 10)",
+    )
+    group.add_argument(
+        "--inject-stall-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "testing hook: stop making progress after N WAL records (the "
+            "run then waits to be SIGKILLed; requires --checkpoint-dir)"
+        ),
+    )
 
 
 def _parse_config_entry(text: str) -> Tuple[str, object]:
@@ -374,6 +382,91 @@ def build_parser() -> argparse.ArgumentParser:
     dyn.add_argument("--departure-prob", type=float, default=0.12)
     dyn.add_argument("--drift", type=float, default=0.05)
     dyn.add_argument("--seed", type=int, default=0)
+    dyn.add_argument(
+        "--strategy",
+        choices=["warm", "cold", "both"],
+        default="both",
+        help=(
+            "re-matching strategy to run (default: both, for the "
+            "warm-vs-cold comparison; durable runs need a single one)"
+        ),
+    )
+
+    resume = sub.add_parser(
+        "resume",
+        help="continue a durable run from its latest checkpoint",
+        description=(
+            "Crash-consistent resume: reload RUN_DIR's newest valid "
+            "checkpoint, truncate the trace and WAL to its recorded "
+            "offsets, replay deterministically (verifying every "
+            "re-executed step against the write-ahead log) and finish the "
+            "run. Already-completed runs are reported idempotently."
+        ),
+    )
+    resume.add_argument(
+        "run_dir", metavar="RUN_DIR", help="durable run directory"
+    )
+
+    supervise = sub.add_parser(
+        "supervise",
+        help="run a command under stall detection and bounded retries",
+        description=(
+            "Launch COMMAND as a child process; SIGKILL it if its durable "
+            "run directory's WAL stops advancing for --stall-timeout "
+            "seconds, then restart from the latest checkpoint ('repro "
+            "resume') with exponential backoff until the retry budget or "
+            "deadline runs out."
+        ),
+    )
+    supervise.add_argument(
+        "--run-dir",
+        metavar="RUN_DIR",
+        default=None,
+        help=(
+            "durable run directory COMMAND writes (enables stall "
+            "detection and checkpoint-based resume on retry)"
+        ),
+    )
+    supervise.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill an attempt whose WAL stops advancing for this long",
+    )
+    supervise.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="overall wall-clock budget across all attempts",
+    )
+    supervise.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="retry budget after the first attempt (default 3)",
+    )
+    supervise.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base exponential-backoff delay between attempts (default 0.5)",
+    )
+    supervise.add_argument(
+        "--retry-seed",
+        type=int,
+        default=0,
+        help="seed for the backoff jitter stream (default 0)",
+    )
+    supervise.add_argument(
+        "child_command",
+        nargs=argparse.REMAINDER,
+        metavar="COMMAND",
+        help="command to supervise (prefix with -- to pass flags)",
+    )
 
     report = sub.add_parser(
         "report",
@@ -528,9 +621,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="append frames instead of clearing the screen (log-friendly)",
     )
 
-    subcommands.extend([dist, chaos, swaps, dyn, report, solve, solvers])
+    subcommands.extend(
+        [dist, chaos, swaps, dyn, report, solve, solvers, resume, supervise]
+    )
     for subcommand in subcommands:
         _add_observability_args(subcommand)
+    for subcommand in (chaos, dyn):
+        _add_durability_args(subcommand)
     return parser
 
 
@@ -747,10 +844,67 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_durable(args: argparse.Namespace) -> int:
+    from repro.errors import CheckpointError
+    from repro.runtime import run_durable_chaos
+
+    config = {
+        "buyers": args.buyers,
+        "sellers": args.sellers,
+        "seed": args.seed,
+        "policy": args.policy,
+        "loss": args.loss,
+        "crashes": [fault.to_spec() for fault in args.crash],
+        "partitions": [fault.to_spec() for fault in args.partition],
+        "deadline_slots": args.deadline_slots,
+        "on_timeout": args.on_timeout,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    try:
+        result = run_durable_chaos(
+            args.checkpoint_dir,
+            config,
+            recorder=get_recorder(),
+            inject_stall_after=args.inject_stall_after,
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_durable_chaos_result(args.checkpoint_dir, result)
+    return 0
+
+
+def _print_durable_chaos_result(run_dir: str, result: dict) -> None:
+    print(f"durable chaos run complete in {run_dir}")
+    print(
+        f"status={result['status']} slots={result['slots']} "
+        f"welfare={result['social_welfare']:.4f} "
+        f"matched={result['matched']}"
+    )
+    print(
+        f"faults: crashes={result['crashes']} restarts={result['restarts']} "
+        f"lost_to_crash={result['messages_lost_to_crash']} "
+        f"partition_drops={result['partition_drops']} "
+        f"view_divergences={result['view_divergences']}"
+    )
+    print(
+        f"traffic: sent={result['messages_sent']} "
+        f"delivered={result['messages_delivered']} "
+        f"dropped={result['messages_dropped']}"
+    )
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.distributed.faults import FaultSchedule
     from repro.distributed.transition import adaptive_policy, default_policy
     from repro.errors import SimulationError
+
+    error = _require_durable_flags(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir is not None:
+        return _cmd_chaos_durable(args)
 
     rng = np.random.default_rng(args.seed)
     market = paper_simulation_market(args.buyers, args.sellers, rng)
@@ -860,12 +1014,79 @@ def _cmd_swaps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_durable_flags(args: argparse.Namespace) -> Optional[str]:
+    """Validate the durability flag combination; returns an error or None."""
+    if args.checkpoint_dir is None:
+        if args.inject_stall_after is not None:
+            return "--inject-stall-after requires --checkpoint-dir"
+        return None
+    if args.checkpoint_every < 1:
+        return "--checkpoint-every must be >= 1"
+    return None
+
+
+def _cmd_dynamic_durable(args: argparse.Namespace) -> int:
+    from repro.errors import CheckpointError
+    from repro.runtime import run_durable_dynamic
+
+    if args.strategy == "both":
+        print(
+            "error: a durable dynamic run needs a single strategy "
+            "(--strategy warm|cold)",
+            file=sys.stderr,
+        )
+        return 2
+    config = {
+        "sellers": args.sellers,
+        "buyers": args.buyers,
+        "arrival_rate": args.arrival_rate,
+        "departure_prob": args.departure_prob,
+        "drift": args.drift,
+        "epochs": args.epochs,
+        "seed": args.seed,
+        "strategy": args.strategy,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    try:
+        result = run_durable_dynamic(
+            args.checkpoint_dir,
+            config,
+            recorder=get_recorder(),
+            inject_stall_after=args.inject_stall_after,
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"durable dynamic run complete in {args.checkpoint_dir} "
+        f"({result['epochs']} epochs, strategy {result['strategy']})"
+    )
+    print(
+        f"{result['strategy']:>5}: total welfare "
+        f"{result['total_welfare']:.2f}, incumbents moved "
+        f"{result['total_churned']}, protocol rounds {result['total_rounds']}"
+    )
+    return 0
+
+
 def _cmd_dynamic(args: argparse.Namespace) -> int:
     from repro.dynamic.generator import DynamicMarketGenerator
     from repro.dynamic.online import OnlineMatcher, RematchStrategy
 
+    error = _require_durable_flags(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir is not None:
+        return _cmd_dynamic_durable(args)
+
+    strategies = (
+        list(RematchStrategy)
+        if args.strategy == "both"
+        else [RematchStrategy(args.strategy)]
+    )
     results = {}
-    for strategy in RematchStrategy:
+    for strategy in strategies:
         generator = DynamicMarketGenerator(
             num_channels=args.sellers,
             initial_buyers=args.buyers,
@@ -1065,10 +1286,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             if args.output is None:
                 print(rendered, end="" if rendered.endswith("\n") else "\n")
             else:
-                with open(args.output, "w", encoding="utf-8") as stream:
-                    stream.write(rendered)
-                    if not rendered.endswith("\n"):
-                        stream.write("\n")
+                from repro.ioutil import atomic_write_text
+
+                if not rendered.endswith("\n"):
+                    rendered += "\n"
+                atomic_write_text(args.output, rendered)
                 print(f"{args.format} export written to {args.output}")
             return 0
 
@@ -1114,6 +1336,66 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.errors import CheckpointError
+    from repro.runtime import CheckpointStore, resume_run
+
+    try:
+        kind = CheckpointStore.open(args.run_dir).kind
+        result = resume_run(args.run_dir, recorder=get_recorder())
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if kind == "dynamic":
+        print(
+            f"durable dynamic run complete in {args.run_dir} "
+            f"({result['epochs']} epochs, strategy {result['strategy']})"
+        )
+        print(
+            f"{result['strategy']:>5}: total welfare "
+            f"{result['total_welfare']:.2f}, incumbents moved "
+            f"{result['total_churned']}, protocol rounds "
+            f"{result['total_rounds']}"
+        )
+    else:
+        _print_durable_chaos_result(args.run_dir, result)
+    return 0
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    from repro.errors import RetryBudgetExceeded
+    from repro.runtime import RetryPolicy, Supervisor
+
+    command = list(args.child_command)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print("error: supervise needs a COMMAND to run", file=sys.stderr)
+        return 2
+    policy = RetryPolicy(
+        max_retries=args.max_retries,
+        base_backoff_s=args.backoff,
+        seed=args.retry_seed,
+    )
+    supervisor = Supervisor(
+        policy=policy,
+        recorder=get_recorder(),
+        stall_timeout_s=args.stall_timeout,
+        deadline_s=args.deadline,
+    )
+    try:
+        supervisor.run_command(command, run_dir=args.run_dir)
+    except RetryBudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    attempts = len(supervisor.history)
+    print(
+        f"supervised command succeeded after {attempts} attempt(s) "
+        f"({attempts - 1} retr{'y' if attempts == 2 else 'ies'})"
+    )
+    return 0
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     from repro.obs.watch import watch
 
@@ -1148,6 +1430,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_solvers(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
+    if args.command == "supervise":
+        return _cmd_supervise(args)
     if args.command == "watch":
         return _cmd_watch(args)
     raise AssertionError(f"unhandled command {args.command!r}")
@@ -1228,11 +1514,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(format_metrics_summary(recorder))
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out is not None:
+        from repro.ioutil import atomic_write_text
         from repro.trace.export import to_openmetrics
 
         try:
-            with open(metrics_out, "w", encoding="utf-8") as stream:
-                stream.write(to_openmetrics(recorder.metrics.snapshot()))
+            atomic_write_text(
+                metrics_out, to_openmetrics(recorder.metrics.snapshot())
+            )
         except OSError as exc:
             print(
                 f"error: cannot write metrics file {metrics_out!r}: {exc}",

@@ -93,6 +93,41 @@ class CrashFault:
                 f"{self.crash_slot}, restart at {self.restart_slot}"
             )
 
+    @classmethod
+    def parse(cls, spec: str) -> "CrashFault":
+        """Parse ``AGENT@CRASH[-RESTART][/MODE]`` (the CLI/manifest syntax).
+
+        Examples: ``buyer:3@10`` (permanent crash at slot 10),
+        ``seller:0@5-12/amnesia`` (restart at slot 12, amnesiac).  The
+        same strings round-trip through durable-run manifests, so a
+        resumed run reconstructs its fault schedule exactly.
+        """
+        body, _, mode_text = spec.partition("/")
+        agent, at, window = body.rpartition("@")
+        if not at or not agent:
+            raise SimulationError(
+                f"bad crash spec {spec!r}: missing 'AGENT@CRASH_SLOT'"
+            )
+        crash_text, dash, restart_text = window.partition("-")
+        try:
+            mode = RestartMode(mode_text) if mode_text else RestartMode.CHECKPOINT
+            return cls(
+                agent_id=agent,
+                crash_slot=int(crash_text),
+                restart_slot=int(restart_text) if dash else None,
+                mode=mode,
+            )
+        except ValueError as exc:
+            raise SimulationError(f"bad crash spec {spec!r}: {exc}") from None
+
+    def to_spec(self) -> str:
+        """Inverse of :meth:`parse` (used by durable-run manifests)."""
+        window = str(self.crash_slot)
+        if self.restart_slot is not None:
+            window += f"-{self.restart_slot}"
+        suffix = "" if self.mode is RestartMode.CHECKPOINT else f"/{self.mode.value}"
+        return f"{self.agent_id}@{window}{suffix}"
+
 
 @dataclass(frozen=True)
 class PartitionFault:
@@ -131,6 +166,47 @@ class PartitionFault:
                 f"end_slot must be after start_slot, got "
                 f"[{self.start_slot}, {self.end_slot})"
             )
+
+    @classmethod
+    def parse(cls, spec: str) -> "PartitionFault":
+        """Parse ``G1|G2|...@START[-END]`` (the CLI/manifest syntax).
+
+        Groups are comma-separated agent ids; the literal group ``rest``
+        is shorthand for the implicit remainder group and is dropped
+        (unnamed agents always form their own group).  Example:
+        ``buyer:0,buyer:1|rest@5-20``.
+        """
+        body, at, window = spec.rpartition("@")
+        if not at or not body:
+            raise SimulationError(
+                f"bad partition spec {spec!r}: missing 'GROUPS@START_SLOT'"
+            )
+        start_text, dash, end_text = window.partition("-")
+        groups = tuple(
+            frozenset(part for part in group.split(",") if part)
+            for group in body.split("|")
+            if group and group != "rest"
+        )
+        try:
+            return cls(
+                groups=groups,
+                start_slot=int(start_text),
+                end_slot=int(end_text) if dash else None,
+            )
+        except ValueError as exc:
+            raise SimulationError(
+                f"bad partition spec {spec!r}: {exc}"
+            ) from None
+
+    def to_spec(self) -> str:
+        """Inverse of :meth:`parse` (used by durable-run manifests)."""
+        body = "|".join(
+            ",".join(sorted(group)) for group in self.groups
+        ) or "rest"
+        window = str(self.start_slot)
+        if self.end_slot is not None:
+            window += f"-{self.end_slot}"
+        return f"{body}@{window}"
 
     def active(self, now: int) -> bool:
         """Whether the partition is in force at slot ``now``."""
@@ -348,6 +424,24 @@ class PartitionedNetwork(Network):
     def targeted_drops(self) -> int:
         """Messages dropped by type-targeted :class:`MessageFault` rules."""
         return self._targeted_drops
+
+    def drops_snapshot(self) -> Dict[str, int]:
+        """Checkpointable view of the wrapper's drop counters.
+
+        The wrapped ``base`` network is stateless (its verdicts depend
+        only on the simulator RNG, which is checkpointed separately), so
+        these two counters are the only mutable state a durable run must
+        carry across a crash/resume boundary.
+        """
+        return {
+            "partition_drops": self._partition_drops,
+            "targeted_drops": self._targeted_drops,
+        }
+
+    def restore_drops(self, state: Dict[str, int]) -> None:
+        """Reset the drop counters from a :meth:`drops_snapshot`."""
+        self._partition_drops = int(state["partition_drops"])
+        self._targeted_drops = int(state["targeted_drops"])
 
     def route(self, now: int, rng: np.random.Generator) -> Optional[int]:
         raise SimulationError(

@@ -30,7 +30,12 @@ from repro.engine.validation import matching_welfare, require_interference_free
 from repro.errors import ProtocolError
 from repro.obs.recorder import Recorder, resolve_recorder
 
-__all__ = ["DistributedResult", "run_distributed_matching"]
+__all__ = [
+    "DistributedResult",
+    "DistributedSimulation",
+    "build_distributed_simulation",
+    "run_distributed_matching",
+]
 
 
 @dataclass(frozen=True)
@@ -130,6 +135,205 @@ def _extract_reconciled(
     return matching, divergences
 
 
+@dataclass
+class DistributedSimulation:
+    """A built-but-not-finalised distributed run.
+
+    Produced by :func:`build_distributed_simulation`; holds the simulator
+    plus the agent lists and enough context to extract the final
+    :class:`DistributedResult` once the kernel quiesces.  Splitting
+    construction from finalisation is what lets the durable runtime
+    (:mod:`repro.runtime`) restore a checkpointed simulator into a
+    freshly built population and then finalise exactly like an
+    uninterrupted run would.
+    """
+
+    market: SpectrumMarket
+    simulator: TimeSlottedSimulator
+    buyers: List[BuyerAgent]
+    sellers: List[SellerAgent]
+    recorder: Recorder
+    seed: int
+    reliable_transport: bool
+    warm_start: bool
+    #: Strict two-sided extraction applies only to fault-free runs.
+    fault_free: bool
+
+    def emit_run_start(self) -> None:
+        """Emit the ``distributed.run_start`` lifecycle event."""
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "distributed.run_start",
+                buyers=self.market.num_buyers,
+                channels=self.market.num_channels,
+                seed=self.seed,
+                warm_start=self.warm_start,
+                reliable_transport=self.reliable_transport,
+            )
+
+    def finalize(self, slots: int) -> DistributedResult:
+        """Extract the result and emit ``distributed.run_end``.
+
+        ``slots`` is the kernel's return value from ``run()``.  Fault-free
+        converged runs use the strict historical extraction (buyer and
+        seller views must agree exactly); fault or timed-out runs use the
+        reconciling extraction.  Safety is validated on every path.
+        """
+        market = self.market
+        simulator = self.simulator
+        divergences = 0
+        if self.fault_free and not simulator.timed_out:
+            # Fault-free convergence: the strict historical path, unchanged.
+            matching = Matching(market.num_channels, market.num_buyers)
+            for seller in self.sellers:
+                for buyer in sorted(seller.waitlist):
+                    matching.match(buyer, seller.channel)
+            # Cross-check both sides' local views.
+            for buyer_agent in self.buyers:
+                believed = buyer_agent.current_channel
+                actual = matching.channel_of(buyer_agent.buyer)
+                if believed != actual:
+                    raise ProtocolError(
+                        f"buyer {buyer_agent.buyer} believes she is matched "
+                        f"to {believed} but sellers record {actual}"
+                    )
+        else:
+            matching, divergences = _extract_reconciled(
+                market, self.buyers, self.sellers
+            )
+        require_interference_free(
+            market,
+            matching,
+            error=ProtocolError,
+            context="distributed run output",
+        )
+
+        effective_network = simulator.network
+        partition_drops = 0
+        if isinstance(effective_network, PartitionedNetwork):
+            partition_drops = (
+                effective_network.partition_drops
+                + effective_network.targeted_drops
+            )
+        result = DistributedResult(
+            matching=matching,
+            slots=slots,
+            messages_sent=simulator.messages_sent,
+            messages_delivered=simulator.messages_delivered,
+            messages_dropped=simulator.messages_dropped,
+            social_welfare=matching_welfare(market.utilities, matching),
+            events=simulator.events,
+            status="degraded" if simulator.timed_out else "converged",
+            crashes=simulator.crashes,
+            restarts=simulator.restarts,
+            messages_lost_to_crash=simulator.messages_lost_to_crash,
+            partition_drops=partition_drops,
+            recovery_slots=simulator.recovery_slots,
+            view_divergences=divergences,
+        )
+        rec = self.recorder
+        if rec.enabled:
+            rec.emit(
+                "distributed.run_end",
+                slots=result.slots,
+                status=result.status,
+                messages_sent=result.messages_sent,
+                messages_delivered=result.messages_delivered,
+                messages_dropped=result.messages_dropped,
+                social_welfare=result.social_welfare,
+                matched=matching.num_matched(),
+                crashes=result.crashes,
+                restarts=result.restarts,
+                messages_lost_to_crash=result.messages_lost_to_crash,
+            )
+        return result
+
+
+def build_distributed_simulation(
+    market: SpectrumMarket,
+    policy: Optional[TransitionPolicy] = None,
+    network: Optional[Network] = None,
+    seed: int = 0,
+    reliable_transport: bool = False,
+    retransmit_interval: int = 4,
+    initial_matching: Optional[Matching] = None,
+    record_events: bool = False,
+    recorder: Optional[Recorder] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+) -> DistributedSimulation:
+    """Wire agents and kernel for a distributed run without running it.
+
+    Construction is deterministic in its arguments, which is what makes
+    checkpoint/resume sound: the durable runtime rebuilds the identical
+    population from the run manifest, restores the kernel snapshot into
+    it, and continues.  Does *not* emit ``distributed.run_start`` -- call
+    :meth:`DistributedSimulation.emit_run_start` for fresh runs (resumed
+    runs already carry the original event in their trace).
+    """
+    if policy is None:
+        policy = default_policy()
+    rec = resolve_recorder(recorder)
+    if initial_matching is not None:
+        if (
+            initial_matching.num_buyers != market.num_buyers
+            or initial_matching.num_channels != market.num_channels
+        ):
+            raise ProtocolError(
+                "initial_matching dimensions do not match the market"
+            )
+        require_interference_free(
+            market,
+            initial_matching,
+            error=ProtocolError,
+            context="initial_matching",
+        )
+        buyers = [
+            BuyerAgent(
+                j, market, policy,
+                initial_channel=initial_matching.channel_of(j),
+            )
+            for j in range(market.num_buyers)
+        ]
+        sellers = [
+            SellerAgent(
+                i, market, policy,
+                initial_coalition=set(initial_matching.coalition(i)),
+            )
+            for i in range(market.num_channels)
+        ]
+    else:
+        buyers = [
+            BuyerAgent(j, market, policy) for j in range(market.num_buyers)
+        ]
+        sellers = [
+            SellerAgent(i, market, policy) for i in range(market.num_channels)
+        ]
+    agents = [*buyers, *sellers]
+    if reliable_transport:
+        from repro.distributed.transport import wrap_reliable
+
+        agents = wrap_reliable(agents, retransmit_interval)
+    simulator = TimeSlottedSimulator(
+        agents=agents,
+        network=network,
+        seed=seed,
+        record_events=record_events,
+        recorder=rec,
+        fault_schedule=fault_schedule,
+    )
+    return DistributedSimulation(
+        market=market,
+        simulator=simulator,
+        buyers=buyers,
+        sellers=sellers,
+        recorder=rec,
+        seed=seed,
+        reliable_transport=reliable_transport,
+        warm_start=initial_matching is not None,
+        fault_free=fault_schedule is None,
+    )
+
+
 def run_distributed_matching(
     market: SpectrumMarket,
     policy: Optional[TransitionPolicy] = None,
@@ -220,129 +424,22 @@ def run_distributed_matching(
         raise ProtocolError(
             f"on_timeout must be 'raise' or 'degrade', got {on_timeout!r}"
         )
-    if policy is None:
-        policy = default_policy()
-    rec = resolve_recorder(recorder)
-    if rec.enabled:
-        rec.emit(
-            "distributed.run_start",
-            buyers=market.num_buyers,
-            channels=market.num_channels,
-            seed=seed,
-            warm_start=initial_matching is not None,
-            reliable_transport=reliable_transport,
-        )
-
-    if initial_matching is not None:
-        if (
-            initial_matching.num_buyers != market.num_buyers
-            or initial_matching.num_channels != market.num_channels
-        ):
-            raise ProtocolError(
-                "initial_matching dimensions do not match the market"
-            )
-        require_interference_free(
-            market,
-            initial_matching,
-            error=ProtocolError,
-            context="initial_matching",
-        )
-        buyers = [
-            BuyerAgent(
-                j, market, policy,
-                initial_channel=initial_matching.channel_of(j),
-            )
-            for j in range(market.num_buyers)
-        ]
-        sellers = [
-            SellerAgent(
-                i, market, policy,
-                initial_coalition=set(initial_matching.coalition(i)),
-            )
-            for i in range(market.num_channels)
-        ]
-    else:
-        buyers = [
-            BuyerAgent(j, market, policy) for j in range(market.num_buyers)
-        ]
-        sellers = [
-            SellerAgent(i, market, policy) for i in range(market.num_channels)
-        ]
-    agents = [*buyers, *sellers]
-    if reliable_transport:
-        from repro.distributed.transport import wrap_reliable
-
-        agents = wrap_reliable(agents, retransmit_interval)
-    simulator = TimeSlottedSimulator(
-        agents=agents,
+    sim = build_distributed_simulation(
+        market,
+        policy=policy,
         network=network,
         seed=seed,
+        reliable_transport=reliable_transport,
+        retransmit_interval=retransmit_interval,
+        initial_matching=initial_matching,
         record_events=record_events,
-        recorder=rec,
+        recorder=recorder,
         fault_schedule=fault_schedule,
     )
+    sim.emit_run_start()
     bound = deadline_slots if deadline_slots is not None else max_slots
-    slots = simulator.run(
+    slots = sim.simulator.run(
         max_slots=bound,
         on_timeout="stop" if on_timeout == "degrade" else "raise",
     )
-
-    divergences = 0
-    if fault_schedule is None and not simulator.timed_out:
-        # Fault-free convergence: the strict historical path, unchanged.
-        matching = Matching(market.num_channels, market.num_buyers)
-        for seller in sellers:
-            for buyer in sorted(seller.waitlist):
-                matching.match(buyer, seller.channel)
-        # Cross-check both sides' local views.
-        for buyer_agent in buyers:
-            believed = buyer_agent.current_channel
-            actual = matching.channel_of(buyer_agent.buyer)
-            if believed != actual:
-                raise ProtocolError(
-                    f"buyer {buyer_agent.buyer} believes she is matched to "
-                    f"{believed} but sellers record {actual}"
-                )
-    else:
-        matching, divergences = _extract_reconciled(market, buyers, sellers)
-    require_interference_free(
-        market, matching, error=ProtocolError, context="distributed run output"
-    )
-
-    effective_network = simulator.network
-    partition_drops = 0
-    if isinstance(effective_network, PartitionedNetwork):
-        partition_drops = (
-            effective_network.partition_drops + effective_network.targeted_drops
-        )
-    result = DistributedResult(
-        matching=matching,
-        slots=slots,
-        messages_sent=simulator.messages_sent,
-        messages_delivered=simulator.messages_delivered,
-        messages_dropped=simulator.messages_dropped,
-        social_welfare=matching_welfare(market.utilities, matching),
-        events=simulator.events,
-        status="degraded" if simulator.timed_out else "converged",
-        crashes=simulator.crashes,
-        restarts=simulator.restarts,
-        messages_lost_to_crash=simulator.messages_lost_to_crash,
-        partition_drops=partition_drops,
-        recovery_slots=simulator.recovery_slots,
-        view_divergences=divergences,
-    )
-    if rec.enabled:
-        rec.emit(
-            "distributed.run_end",
-            slots=result.slots,
-            status=result.status,
-            messages_sent=result.messages_sent,
-            messages_delivered=result.messages_delivered,
-            messages_dropped=result.messages_dropped,
-            social_welfare=result.social_welfare,
-            matched=matching.num_matched(),
-            crashes=result.crashes,
-            restarts=result.restarts,
-            messages_lost_to_crash=result.messages_lost_to_crash,
-        )
-    return result
+    return sim.finalize(slots)

@@ -734,7 +734,138 @@ class TimeSlottedSimulator:
             )
         return all(a.is_done() for a in self._order)
 
-    def run(self, max_slots: int = 100_000, on_timeout: str = "raise") -> int:
+    # ------------------------------------------------------------------
+    # Process-level durability (crash-consistent resume)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Capture the whole simulation at a slot boundary.
+
+        Unlike the per-agent :meth:`Agent.snapshot` hooks (which model
+        *node* crashes inside the simulated world), this captures the
+        entire kernel -- agents, in-flight messages, RNG stream, fault
+        bookkeeping, causal-tracing cursors -- so that the *process*
+        hosting the simulation can be SIGKILLed and a fresh process can
+        continue the run deterministically (:mod:`repro.runtime`).
+
+        Must be called between slots (never from inside an agent step).
+        The returned dict holds arbitrary picklable Python objects, not
+        JSON; the checkpoint layer serialises it opaquely.  Every agent
+        must implement ``snapshot()``/``restore()``.
+        """
+        state: Dict[str, Any] = {
+            "now": self._now,
+            "sequence": self._sequence,
+            "rng_state": self._rng.bit_generator.state,
+            "agents": {
+                agent_id: agent.snapshot()
+                for agent_id, agent in sorted(self._agents.items())
+            },
+            "queue": list(self._queue),
+            "slot_inboxes": {
+                dst: list(msgs) for dst, msgs in self._slot_inboxes.items()
+            },
+            "messages_sent": self._messages_sent,
+            "messages_delivered": self._messages_delivered,
+            "messages_dropped": self._messages_dropped,
+            "finished": self._finished,
+            "timed_out": self._timed_out,
+            "events": list(self._events),
+            "crashed": sorted(self._crashed),
+            "checkpoints": dict(self._checkpoints),
+            "crash_slot": dict(self._crash_slot),
+            "crash_count": self._crash_count,
+            "restart_count": self._restart_count,
+            "messages_lost_to_crash": self._messages_lost_to_crash,
+            "recovery_slots": list(self._recovery_slots),
+            "pristine": dict(self._pristine),
+        }
+        if isinstance(self._network, PartitionedNetwork):
+            state["network_drops"] = self._network.drops_snapshot()
+        # ARQ wrappers drop pending frames' causal ids from their in-world
+        # snapshots on purpose; a process-level resume must keep them so
+        # post-resume retransmissions stay on their original causal chains.
+        transport_ids = {
+            agent_id: agent.causal_sent_ids()
+            for agent_id, agent in sorted(self._agents.items())
+            if hasattr(agent, "causal_sent_ids")
+        }
+        if transport_ids:
+            state["transport_sent_ids"] = transport_ids
+        tracker = self._causal
+        if tracker is not None:
+            state["causal"] = {
+                "next_id": tracker.next_id,
+                "trace_of": dict(tracker.trace_of),
+                "inbox_ids": {
+                    dst: list(ids) for dst, ids in tracker.inbox_ids.items()
+                },
+            }
+        return state
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Reset the kernel from a :meth:`snapshot_state` checkpoint.
+
+        The simulator must have been constructed with the same agent
+        population, network model, fault schedule and observability wiring
+        as the one that took the snapshot (the durable runtime rebuilds it
+        from the run manifest before calling this).
+        """
+        unknown = set(state["agents"]) - set(self._agents)
+        if unknown:
+            raise SimulationError(
+                f"checkpoint names unknown agents: {sorted(unknown)[:5]}"
+            )
+        for agent_id, agent_state in state["agents"].items():
+            self._agents[agent_id].restore(agent_state)
+        self._now = int(state["now"])
+        self._sequence = int(state["sequence"])
+        self._rng.bit_generator.state = state["rng_state"]
+        self._queue = list(state["queue"])
+        heapq.heapify(self._queue)
+        self._slot_inboxes = {
+            dst: list(msgs) for dst, msgs in state["slot_inboxes"].items()
+        }
+        self._stepped_this_slot = set()
+        self._messages_sent = int(state["messages_sent"])
+        self._messages_delivered = int(state["messages_delivered"])
+        self._messages_dropped = int(state["messages_dropped"])
+        self._finished = bool(state["finished"])
+        self._timed_out = bool(state["timed_out"])
+        self._events = list(state["events"])
+        self._crashed = set(state["crashed"])
+        self._checkpoints = dict(state["checkpoints"])
+        self._crash_slot = dict(state["crash_slot"])
+        self._crash_count = int(state["crash_count"])
+        self._restart_count = int(state["restart_count"])
+        self._messages_lost_to_crash = int(state["messages_lost_to_crash"])
+        self._recovery_slots = list(state["recovery_slots"])
+        self._pristine = dict(state["pristine"])
+        if isinstance(self._network, PartitionedNetwork) and (
+            "network_drops" in state
+        ):
+            self._network.restore_drops(state["network_drops"])
+        for agent_id, ids in state.get("transport_sent_ids", {}).items():
+            agent = self._agents.get(agent_id)
+            if agent is not None and hasattr(agent, "restore_causal_sent_ids"):
+                agent.restore_causal_sent_ids(ids)
+        tracker = self._causal
+        causal_state = state.get("causal")
+        if tracker is not None and causal_state is not None:
+            tracker.next_id = int(causal_state["next_id"])
+            tracker.current_parent = None
+            tracker.trace_of = dict(causal_state["trace_of"])
+            tracker.delivered_ids = {}
+            tracker.inbox_ids = {
+                dst: list(ids)
+                for dst, ids in causal_state["inbox_ids"].items()
+            }
+
+    def run(
+        self,
+        max_slots: int = 100_000,
+        on_timeout: str = "raise",
+        on_slot: Optional[Callable[["TimeSlottedSimulator"], None]] = None,
+    ) -> int:
         """Run until quiescence; returns the number of slots executed.
 
         Parameters
@@ -748,6 +879,11 @@ class TimeSlottedSimulator:
             :attr:`timed_out`; callers (e.g. the degraded-result path of
             ``run_distributed_matching``) then salvage what the agents
             agreed on so far.
+        on_slot:
+            Optional callback invoked with the simulator after every
+            completed slot (a safe boundary for
+            :meth:`snapshot_state`).  The durable runtime hooks its WAL
+            append and periodic checkpointing here.
 
         Raises
         ------
@@ -772,6 +908,8 @@ class TimeSlottedSimulator:
                         f"{busy[:10]}"
                     )
                 self.run_slot()
+                if on_slot is not None:
+                    on_slot(self)
         self._finished = True
         if self._observing:
             fields = dict(

@@ -231,6 +231,22 @@ class ReliableAgent(Agent):
         self._retransmissions = state["retransmissions"]
         self.inner.restore(state["inner"])
 
+    def causal_sent_ids(self) -> List[Optional[int]]:
+        """Causal msg ids of the pending frames, in buffer order.
+
+        Not part of :meth:`snapshot`: an *in-world* restarted agent
+        legitimately forgets the causal ids of its pre-crash sends (its
+        retransmissions start fresh chains).  A *process-level* resume
+        (:mod:`repro.runtime`) must instead reproduce the uninterrupted
+        trace exactly, so the kernel snapshot carries these separately
+        and reapplies them after :meth:`restore`.
+        """
+        return [pending.sent_id for pending in self._pending]
+
+    def restore_causal_sent_ids(self, ids: List[Optional[int]]) -> None:
+        for pending, sent_id in zip(self._pending, ids):
+            pending.sent_id = sent_id
+
 
 def wrap_reliable(
     agents: List[Agent], retransmit_interval: int = 4

@@ -146,7 +146,10 @@ class DynamicMarketGenerator:
     def _drift(self) -> None:
         if self._drift_sigma == 0.0:
             return
-        for buyer_id in self._utilities:
+        # Iterate in id order, not dict order: the RNG stream's mapping to
+        # buyers must not depend on how the population dict was built
+        # (fresh inserts vs a checkpoint restore must drift identically).
+        for buyer_id in sorted(self._utilities):
             noise = self._rng.normal(0.0, self._drift_sigma, self._num_channels)
             self._utilities[buyer_id] = np.clip(
                 self._utilities[buyer_id] + noise, 0.0, 1.0
@@ -201,3 +204,56 @@ class DynamicMarketGenerator:
     def epochs(self, count: int) -> List[Epoch]:
         """Generate the next ``count`` epochs as a list."""
         return [self.next_epoch() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe checkpoint of the full generator state.
+
+        Captures everything :meth:`next_epoch` consumes -- the buyer
+        population (locations, utilities, id counter), the epoch cursor,
+        the channel plant and the RNG stream -- so a generator restored
+        from this snapshot produces the *identical* remaining epoch
+        sequence the original would have (the property crash-consistent
+        resume relies on; see :mod:`repro.runtime`).
+        """
+        return {
+            "next_id": self._next_id,
+            "epoch_index": self._epoch_index,
+            "rng_state": self._rng.bit_generator.state,
+            "locations": {
+                str(b): self._locations[b].tolist()
+                for b in sorted(self._locations)
+            },
+            "utilities": {
+                str(b): self._utilities[b].tolist()
+                for b in sorted(self._utilities)
+            },
+            "ranges": list(self._ranges),
+            "num_channels": self._num_channels,
+            "area_side": self._area_side,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Reset the generator from a :meth:`snapshot` checkpoint."""
+        if int(state["num_channels"]) != self._num_channels:
+            raise MarketConfigurationError(
+                f"snapshot was taken with {state['num_channels']} channels, "
+                f"this generator has {self._num_channels}"
+            )
+        self._next_id = int(state["next_id"])
+        self._epoch_index = int(state["epoch_index"])
+        self._rng.bit_generator.state = state["rng_state"]
+        # Rebuild population dicts in ascending-id insertion order (JSON
+        # serialisation may have reordered keys lexicographically).
+        self._locations = {
+            buyer: np.asarray(state["locations"][str(buyer)], dtype=float)
+            for buyer in sorted(int(b) for b in state["locations"])
+        }
+        self._utilities = {
+            buyer: np.asarray(state["utilities"][str(buyer)], dtype=float)
+            for buyer in sorted(int(b) for b in state["utilities"])
+        }
+        self._ranges = tuple(float(r) for r in state["ranges"])
+        self._area_side = float(state["area_side"])

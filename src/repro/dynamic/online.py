@@ -206,6 +206,35 @@ class OnlineMatcher:
         return matching, rounds
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe checkpoint of the matcher's persistent state.
+
+        The matcher is a pure function of (strategy, carried assignment,
+        epoch cursor) and the epoch stream, so this is the entire state a
+        crash-consistent resume needs (:mod:`repro.runtime`).
+        """
+        return {
+            "strategy": self.strategy.value,
+            "assignment": {
+                str(buyer): channel
+                for buyer, channel in sorted(self._assignment.items())
+            },
+            "last_epoch_index": self._last_epoch_index,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Reset the matcher from a :meth:`snapshot` checkpoint."""
+        self.strategy = RematchStrategy(state["strategy"])
+        self._assignment = {
+            int(buyer): int(channel)
+            for buyer, channel in state["assignment"].items()
+        }
+        last = state["last_epoch_index"]
+        self._last_epoch_index = None if last is None else int(last)
+
+    # ------------------------------------------------------------------
     # Bookkeeping
     # ------------------------------------------------------------------
     def _account_churn(

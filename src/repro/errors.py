@@ -83,3 +83,23 @@ class ParallelExecutionError(SpectrumMatchingError):
     worker-side error so the failure surfaces cleanly in the parent
     instead of hanging the sweep or losing the traceback.
     """
+
+
+class CheckpointError(SpectrumMatchingError):
+    """A durable-run checkpoint or run directory is unusable.
+
+    Raised by :mod:`repro.runtime` for truncated or corrupt snapshots, a
+    manifest whose config hash no longer matches the checkpoint (stale
+    state from a different configuration), unknown format versions, or a
+    resume attempt on a directory that was never a durable run.
+    """
+
+
+class RetryBudgetExceeded(SpectrumMatchingError):
+    """The supervised runtime exhausted its retry budget (or deadline).
+
+    Raised by :mod:`repro.runtime.supervise` after the configured number
+    of restarts failed to produce a completed run, or when the overall
+    deadline expired first.  The last underlying failure is chained as
+    ``__cause__`` when there is one.
+    """

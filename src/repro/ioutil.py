@@ -1,0 +1,104 @@
+"""Crash-consistent file writes shared by every artifact writer.
+
+A process can die at any instruction -- SIGKILL, OOM, power loss -- and a
+plain ``open(path, "w"); write()`` caught mid-flight leaves a *torn* file:
+half a JSON document that poisons the next reader.  Every durable artifact
+in this repo (experiment-row JSON, ``BENCH_*.json`` baselines, OpenMetrics
+expositions, run-dir manifests and checkpoints) therefore goes through one
+helper implementing the classic recipe:
+
+1. write the full payload to a temporary file in the *same directory*
+   (same filesystem, so the final rename cannot degrade to a copy);
+2. flush and ``fsync`` the temporary file (the bytes are on disk, not in
+   the page cache);
+3. ``os.replace`` it over the destination -- atomic on POSIX and Windows,
+   so any concurrent or post-crash reader sees either the complete old
+   file or the complete new file, never a mixture;
+4. best-effort ``fsync`` of the directory so the rename itself survives a
+   power loss (skipped silently where directories cannot be opened, e.g.
+   Windows).
+
+Appending logs (the runtime WAL, JSONL traces) have different semantics
+and are handled by their owners; this module is only for whole-file
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "fsync_directory",
+]
+
+_PathLike = Union[str, "os.PathLike[str]"]
+
+
+def fsync_directory(directory: _PathLike) -> None:
+    """Best-effort fsync of a directory entry (no-op where unsupported)."""
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: _PathLike, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (tmp + fsync + rename)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    fsync_directory(directory)
+
+
+def atomic_write_text(
+    path: _PathLike, text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(
+    path: _PathLike,
+    payload: Any,
+    indent: int = 2,
+    sort_keys: bool = True,
+) -> None:
+    """Atomically replace ``path`` with ``payload`` serialised as JSON.
+
+    Serialisation happens *before* the temporary file is created, so a
+    non-serialisable payload raises without disturbing the existing file.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    atomic_write_text(path, text + "\n")
+
+
+def read_json(path: _PathLike) -> Any:
+    """Load one JSON document (thin wrapper kept next to the writer)."""
+    return json.loads(Path(os.fspath(path)).read_text(encoding="utf-8"))

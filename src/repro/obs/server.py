@@ -28,6 +28,7 @@ a property the CI smoke job asserts.
 
 from __future__ import annotations
 
+import errno
 import json
 import threading
 import time
@@ -117,17 +118,40 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
 
     def _reply(self, code: int, body: str, content_type: str) -> None:
         data = body.encode("utf-8")
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            # The scraper hung up mid-response (timeout, ^C, restart).
+            # That is its prerogative, not our error: drop the
+            # connection quietly instead of spamming stderr or killing
+            # the handler thread.
+            self.close_connection = True
 
 
 class _Server(ThreadingHTTPServer):
     daemon_threads = True
     # Test runs start/stop servers rapidly on the same host.
     allow_reuse_address = True
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        """Suppress tracebacks for routine client disconnects.
+
+        The stdlib default prints a full traceback to stderr for *every*
+        handler exception, including a scraper resetting its socket --
+        which under aggressive polling floods the run's log.  Connection
+        teardown errors are dropped; anything else still reports (via
+        the stdlib path) because it is a real bug.
+        """
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError, TimeoutError)):
+            return
+        super().handle_error(request, client_address)
 
 
 class TelemetryServer:
@@ -165,11 +189,43 @@ class TelemetryServer:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    #: How many successive ports to try when the requested one is taken.
+    BIND_ATTEMPTS = 8
+
+    def _bind(self) -> _Server:
+        """Bind, scanning ``port .. port+BIND_ATTEMPTS-1`` on EADDRINUSE.
+
+        Two runs on one box (or a supervisor restarting a run whose old
+        socket lingers in TIME_WAIT) should not die on a bind collision;
+        the scrape endpoint's exact port is advertised via :attr:`url`
+        anyway.  Port ``0`` is excluded -- the OS already guarantees a
+        free ephemeral port.  Exhausting the scan raises
+        :class:`~repro.errors.ObservabilityError` naming the full range.
+        """
+        if self._requested_port == 0:
+            return _Server((self._host, 0), _TelemetryHandler)
+        last: Optional[OSError] = None
+        for offset in range(self.BIND_ATTEMPTS):
+            port = self._requested_port + offset
+            if port > 65535:
+                break
+            try:
+                return _Server((self._host, port), _TelemetryHandler)
+            except OSError as error:
+                if error.errno != errno.EADDRINUSE:
+                    raise
+                last = error
+        raise ObservabilityError(
+            f"telemetry server: every port in "
+            f"{self._requested_port}-{self._requested_port + self.BIND_ATTEMPTS - 1} "
+            f"is in use"
+        ) from last
+
     def start(self) -> "TelemetryServer":
         """Bind and start serving; idempotent, returns ``self``."""
         if self._httpd is not None:
             return self
-        httpd = _Server((self._host, self._requested_port), _TelemetryHandler)
+        httpd = self._bind()
         httpd.recorder = self._recorder  # type: ignore[attr-defined]
         httpd.slo_engine = self._slo_engine  # type: ignore[attr-defined]
         started = time.monotonic()

@@ -1,0 +1,427 @@
+"""Durable runners: execute a market run under WAL + checkpoint protection.
+
+These runners wrap the deterministic engines -- the epoch loop of
+:class:`~repro.dynamic.online.OnlineMatcher` and the slot loop of
+:class:`~repro.distributed.simulator.TimeSlottedSimulator` -- with the
+durability protocol of :mod:`repro.runtime.checkpoint`:
+
+1. the run directory's ``trace.jsonl`` receives the run's event stream
+   (tee'd into the ambient CLI sink when one is live, so ``--trace-out``
+   and ``--serve-metrics`` keep working unchanged);
+2. after every completed epoch/slot, one WAL record is appended and
+   fsynced *before* the run advances;
+3. every ``checkpoint_every`` records, the engine state is snapshotted
+   atomically together with the trace's current byte length.
+
+Because the engines are pure functions of (config, seed), the WAL tail
+doubles as a verification oracle on resume: re-executed steps must
+reproduce the recorded outcomes bit for bit, or resume aborts with a
+:class:`~repro.errors.CheckpointError` instead of silently forking
+history.
+
+``runtime.*`` lifecycle events and counters go to the *ambient* recorder
+only -- never into the run-dir trace -- which keeps the trace a pure
+function of (config, seed): an interrupted-and-resumed run's trace
+converges byte-for-byte with an uninterrupted one.
+
+``inject_stall_after=N`` (CLI ``--inject-stall-after``) makes the runner
+stop making progress after N WAL records: a deterministic crash/stall
+site used by the resume tests, the CI ``resume-smoke`` job and supervisor
+stall-detection tests.  It is deliberately refused on resume -- a resumed
+run must run to completion.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.obs.events import EventSink, JsonlEventSink
+from repro.obs.manifest import build_manifest
+from repro.obs.recorder import Recorder, resolve_recorder
+from repro.runtime.checkpoint import CheckpointStore
+
+__all__ = ["run_durable_dynamic", "run_durable_chaos"]
+
+
+class _TeeSink(EventSink):
+    """Forward events to the run-dir sink and the ambient CLI sink."""
+
+    def __init__(self, owned: EventSink, borrowed: EventSink) -> None:
+        self._owned = owned
+        self._borrowed = borrowed
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._owned.emit(event)
+        self._borrowed.emit(event)
+
+    def flush(self) -> None:
+        self._owned.flush()
+        self._borrowed.flush()
+
+    def close(self) -> None:
+        # Ownership stays with the callers: the durable runner closes the
+        # run-dir sink explicitly; the CLI closes the ambient one.
+        self.flush()
+
+
+class _DurableRun:
+    """Shared WAL/trace/checkpoint plumbing for one durable execution."""
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        recorder: Optional[Recorder],
+        fresh: bool,
+        inject_stall_after: Optional[int],
+        prior_records: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        if not fresh and inject_stall_after is not None:
+            raise CheckpointError(
+                "--inject-stall-after applies to fresh runs only; a resumed "
+                "run must run to completion"
+            )
+        self.store = store
+        self.ambient = resolve_recorder(recorder)
+        self.inject_stall_after = inject_stall_after
+        self.checkpoint_every = int(
+            store.config.get("checkpoint_every", 0) or 0
+        )
+        #: All committed WAL records, prior (on resume) plus new.
+        self.records: List[Dict[str, Any]] = list(prior_records or [])
+        #: Recorded records past the restore point, used as the
+        #: verification oracle while re-executing.
+        self.verify_tail: Dict[int, Dict[str, Any]] = {}
+        self.checkpoints_written = 0
+
+        mode = "w" if fresh else "a"
+        self._trace_stream = open(
+            store.trace_path, mode, encoding="utf-8"
+        )
+        manifest = None
+        if fresh:
+            manifest = build_manifest(
+                seed=store.seed,
+                config={"kind": store.kind, **store.config},
+            )
+        self.sink = JsonlEventSink(self._trace_stream, manifest=manifest)
+        events: EventSink = self.sink
+        if self.ambient.events.enabled:
+            events = _TeeSink(self.sink, self.ambient.events)
+        #: Recorder handed to the engine: run-dir events (tee'd to the
+        #: ambient sink), ambient metrics and run registry, no spans (span
+        #: events carry wall-clock fields and would make the trace
+        #: nondeterministic).
+        self.recorder = Recorder(
+            events=events,
+            metrics=self.ambient.metrics,
+            runs=self.ambient.runs,
+        )
+        self._wal_handle = store.open_wal()
+
+    # ------------------------------------------------------------------
+    def commit_record(self, record: Dict[str, Any]) -> None:
+        """Append one WAL record, verifying against a recorded twin.
+
+        On resume, re-executed steps land on indices the WAL already
+        holds; determinism demands the recomputed record match exactly.
+        """
+        index = int(record["index"])
+        expected = self.verify_tail.pop(index, None)
+        if expected is not None and expected != record:
+            raise CheckpointError(
+                f"resume diverged from the WAL at index {index}: recorded "
+                f"{expected!r}, recomputed {record!r}; the run directory "
+                f"does not belong to this configuration/build"
+            )
+        self.store.append_wal(self._wal_handle, record)
+        self.records.append(record)
+
+    def maybe_checkpoint(self, state_fn, codec: str) -> None:
+        """Snapshot the engine when the checkpoint cadence is due."""
+        count = len(self.records)
+        if self.checkpoint_every <= 0 or count % self.checkpoint_every:
+            return
+        # The snapshot anchors the trace at its current durable length:
+        # flush the sink's buffer, push it to disk, then measure.
+        self.sink.flush()
+        self._trace_stream.flush()
+        os.fsync(self._trace_stream.fileno())
+        trace_bytes = self.store.trace_path.stat().st_size
+        self.store.write_checkpoint(
+            index=count,
+            state=state_fn(),
+            trace_bytes=trace_bytes,
+            wal_records=count,
+            codec=codec,
+        )
+        self.checkpoints_written += 1
+        self.ambient.emit(
+            "runtime.checkpoint",
+            index=count,
+            trace_bytes=trace_bytes,
+            run_dir=str(self.store.run_dir),
+        )
+        if self.ambient.metrics.enabled:
+            self.ambient.metrics.counter("runtime.checkpoints").inc()
+
+    def maybe_stall(self) -> None:
+        """Deterministic fault injection: stop progressing, await SIGKILL."""
+        if (
+            self.inject_stall_after is not None
+            and len(self.records) >= self.inject_stall_after
+        ):
+            while True:  # pragma: no cover - only ever exits via SIGKILL
+                time.sleep(0.05)
+
+    def close(self) -> None:
+        self.sink.close()
+        self._trace_stream.close()
+        self._wal_handle.close()
+
+
+# ----------------------------------------------------------------------
+# Dynamic (epoch-stream) runs
+# ----------------------------------------------------------------------
+def _build_dynamic_engine(store: CheckpointStore):
+    from repro.dynamic.generator import DynamicMarketGenerator
+    from repro.dynamic.online import OnlineMatcher, RematchStrategy
+
+    config = store.config
+    generator = DynamicMarketGenerator(
+        num_channels=int(config["sellers"]),
+        initial_buyers=int(config["buyers"]),
+        arrival_rate=float(config["arrival_rate"]),
+        departure_prob=float(config["departure_prob"]),
+        drift_sigma=float(config["drift"]),
+        rng=np.random.default_rng(store.seed),
+    )
+    matcher = OnlineMatcher(RematchStrategy(config["strategy"]))
+    return generator, matcher
+
+
+def _drive_dynamic(
+    run: _DurableRun, generator, matcher, start_index: int
+) -> Dict[str, Any]:
+    """Execute epochs ``start_index..epochs-1`` under WAL protection."""
+    store = run.store
+    epochs = int(store.config["epochs"])
+    matcher._recorder = run.recorder  # route dynamic.epoch into the trace
+    for index in range(start_index, epochs):
+        epoch = generator.next_epoch()
+        outcome = matcher.step(epoch)
+        run.commit_record(
+            {
+                "index": index,
+                "epoch": outcome.epoch_index,
+                "buyers": epoch.market.num_buyers,
+                "welfare": outcome.social_welfare,
+                "churned": outcome.churned,
+                "persistent": outcome.persistent,
+                "rounds": outcome.rounds,
+            }
+        )
+        run.maybe_checkpoint(
+            lambda: {
+                "generator": generator.snapshot(),
+                "matcher": matcher.snapshot(),
+            },
+            codec="json",
+        )
+        run.maybe_stall()
+    if run.verify_tail:
+        raise CheckpointError(
+            f"WAL holds records past the configured horizon: indices "
+            f"{sorted(run.verify_tail)[:5]} (epochs={epochs})"
+        )
+    records = run.records
+    if run.recorder.enabled and records:
+        # Mirror OnlineMatcher.run()'s closing lifecycle event exactly.
+        run.recorder.emit(
+            "dynamic.run_end",
+            strategy=matcher.strategy.value,
+            epochs=len(records),
+            social_welfare=records[-1]["welfare"],
+            total_churned=sum(r["churned"] for r in records),
+            total_rounds=sum(r["rounds"] for r in records),
+        )
+    result = {
+        "kind": "dynamic",
+        "strategy": matcher.strategy.value,
+        "epochs": len(records),
+        "social_welfare": records[-1]["welfare"] if records else 0.0,
+        "total_welfare": sum(r["welfare"] for r in records),
+        "total_churned": sum(r["churned"] for r in records),
+        "total_rounds": sum(r["rounds"] for r in records),
+        "assignment": matcher.snapshot()["assignment"],
+    }
+    store.write_result(result)
+    return result
+
+
+def run_durable_dynamic(
+    run_dir: "os.PathLike",
+    config: Dict[str, Any],
+    recorder: Optional[Recorder] = None,
+    inject_stall_after: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run a dynamic market durably from scratch.
+
+    ``config`` keys: ``sellers``, ``buyers``, ``arrival_rate``,
+    ``departure_prob``, ``drift``, ``epochs``, ``seed``, ``strategy``
+    (``warm`` | ``cold``), ``checkpoint_every``.
+    """
+    store = CheckpointStore.create(
+        run_dir, kind="dynamic", seed=int(config["seed"]), config=config
+    )
+    run = _DurableRun(
+        store, recorder, fresh=True, inject_stall_after=inject_stall_after
+    )
+    try:
+        generator, matcher = _build_dynamic_engine(store)
+        return _drive_dynamic(run, generator, matcher, start_index=0)
+    finally:
+        run.close()
+
+
+# ----------------------------------------------------------------------
+# Distributed chaos (slot-stream) runs
+# ----------------------------------------------------------------------
+def _build_chaos_simulation(store: CheckpointStore, recorder: Recorder):
+    from repro.distributed.faults import (
+        CrashFault,
+        FaultSchedule,
+        PartitionFault,
+    )
+    from repro.distributed.protocol import build_distributed_simulation
+    from repro.distributed.transition import adaptive_policy, default_policy
+    from repro.workloads.scenarios import paper_simulation_market
+
+    config = store.config
+    rng = np.random.default_rng(store.seed)
+    market = paper_simulation_market(
+        int(config["buyers"]), int(config["sellers"]), rng
+    )
+    policy = (
+        adaptive_policy()
+        if config.get("policy") == "adaptive"
+        else default_policy()
+    )
+    schedule = FaultSchedule(
+        crashes=[CrashFault.parse(s) for s in config.get("crashes", [])],
+        partitions=[
+            PartitionFault.parse(s) for s in config.get("partitions", [])
+        ],
+    )
+    network = None
+    reliable = False
+    loss = float(config.get("loss", 0.0))
+    if loss > 0.0:
+        from repro.distributed.network import LossyNetwork
+
+        network = LossyNetwork(loss)
+        reliable = True
+    return build_distributed_simulation(
+        market,
+        policy=policy,
+        network=network,
+        seed=store.seed,
+        reliable_transport=reliable,
+        recorder=recorder,
+        fault_schedule=schedule if not schedule.empty else None,
+    )
+
+
+def _drive_chaos(run: _DurableRun, sim) -> Dict[str, Any]:
+    """Run the simulator to quiescence under WAL protection."""
+    store = run.store
+    config = store.config
+    simulator = sim.simulator
+
+    def on_slot(s) -> None:
+        run.commit_record(
+            {
+                "index": s.now,
+                "sent": s.messages_sent,
+                "delivered": s.messages_delivered,
+                "dropped": s.messages_dropped,
+                "lost_to_crash": s.messages_lost_to_crash,
+                "crashes": s.crashes,
+                "restarts": s.restarts,
+            }
+        )
+        run.maybe_checkpoint(s.snapshot_state, codec="pickle")
+        run.maybe_stall()
+
+    deadline = config.get("deadline_slots")
+    max_slots = int(config.get("max_slots", 1_000_000))
+    bound = int(deadline) if deadline is not None else max_slots
+    on_timeout = str(config.get("on_timeout", "degrade"))
+    slots = simulator.run(
+        max_slots=bound,
+        on_timeout="stop" if on_timeout == "degrade" else "raise",
+        on_slot=on_slot,
+    )
+    if run.verify_tail:
+        raise CheckpointError(
+            f"WAL holds records past quiescence: indices "
+            f"{sorted(run.verify_tail)[:5]} (slots={slots})"
+        )
+    outcome = sim.finalize(slots)
+    matching = outcome.matching
+    result = {
+        "kind": "chaos",
+        "status": outcome.status,
+        "slots": outcome.slots,
+        "social_welfare": outcome.social_welfare,
+        "matched": matching.num_matched(),
+        "assignment": {
+            str(j): matching.channel_of(j)
+            for j in range(matching.num_buyers)
+            if matching.channel_of(j) is not None
+        },
+        "messages_sent": outcome.messages_sent,
+        "messages_delivered": outcome.messages_delivered,
+        "messages_dropped": outcome.messages_dropped,
+        "messages_lost_to_crash": outcome.messages_lost_to_crash,
+        "crashes": outcome.crashes,
+        "restarts": outcome.restarts,
+        "partition_drops": outcome.partition_drops,
+        "view_divergences": outcome.view_divergences,
+    }
+    store.write_result(result)
+    return result
+
+
+def run_durable_chaos(
+    run_dir: "os.PathLike",
+    config: Dict[str, Any],
+    recorder: Optional[Recorder] = None,
+    inject_stall_after: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run a distributed chaos market durably from scratch.
+
+    ``config`` keys: ``buyers``, ``sellers``, ``seed``, ``policy``
+    (``default`` | ``adaptive``), ``loss``, ``crashes`` /``partitions``
+    (lists of CLI fault-spec strings -- see
+    :meth:`~repro.distributed.faults.CrashFault.parse`),
+    ``deadline_slots``, ``on_timeout``, ``max_slots``,
+    ``checkpoint_every``.
+    """
+    store = CheckpointStore.create(
+        run_dir, kind="chaos", seed=int(config["seed"]), config=config
+    )
+    run = _DurableRun(
+        store, recorder, fresh=True, inject_stall_after=inject_stall_after
+    )
+    try:
+        sim = _build_chaos_simulation(store, run.recorder)
+        sim.emit_run_start()
+        return _drive_chaos(run, sim)
+    finally:
+        run.close()

@@ -1,0 +1,313 @@
+"""Supervised retry runtime: deadlines, stall detection, bounded restarts.
+
+Durable runs (:mod:`repro.runtime.durable`) make a crash *recoverable*;
+the :class:`Supervisor` makes recovery *automatic*.  It runs a market
+command as a child process and watches two progress signals:
+
+* **exit status** -- a non-zero exit (or a crash signal) fails the
+  attempt;
+* **progress age** -- how long since the run last demonstrably advanced,
+  measured from the WAL's mtime (:func:`wal_progress_age`; every
+  committed epoch/slot fsyncs the WAL, so its mtime is a durable
+  heartbeat) or from the live run registry
+  (:func:`registry_progress_age`).  An attempt whose progress age
+  exceeds the stall timeout is SIGKILLed: a stalled run is treated
+  exactly like a crashed one.
+
+Failed attempts are retried from the latest checkpoint (relaunching as
+``repro resume RUN_DIR``) under exponential backoff with seeded jitter
+and a bounded budget; exhausting the budget or the overall deadline
+raises :class:`~repro.errors.RetryBudgetExceeded` with the last failure
+chained.  Lifecycle is observable: ``runtime.retry`` / ``runtime.gave_up``
+events and ``runtime.retries`` / ``runtime.stalls`` counters flow to the
+ambient recorder, so the SLO engine and ``/metrics`` endpoint see every
+recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import RetryBudgetExceeded
+from repro.obs.recorder import Recorder, resolve_recorder
+from repro.runtime.checkpoint import CheckpointStore
+
+__all__ = [
+    "RetryPolicy",
+    "Supervisor",
+    "wal_progress_age",
+    "registry_progress_age",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with seeded jitter.
+
+    ``max_retries`` counts *re*-tries: a budget of 3 allows up to 4
+    attempts total.  Jitter is drawn from a policy-seeded PRNG so
+    supervision schedules are reproducible in tests while still
+    de-synchronising real fleets.
+    """
+
+    max_retries: int = 3
+    base_backoff_s: float = 0.5
+    max_backoff_s: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        delay = min(self.max_backoff_s, self.base_backoff_s * (2.0 ** attempt))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+def wal_progress_age(run_dir: "os.PathLike") -> float:
+    """Seconds since the run directory's WAL last advanced.
+
+    Every committed step fsyncs the WAL, so its mtime is a durable
+    progress heartbeat.  ``inf`` when the WAL does not exist yet.
+    """
+    wal = Path(run_dir) / CheckpointStore.WAL_NAME
+    try:
+        return max(0.0, time.time() - wal.stat().st_mtime)
+    except OSError:
+        return float("inf")
+
+
+def registry_progress_age(recorder: Optional[Recorder] = None) -> float:
+    """Seconds since the live run registry last saw an event.
+
+    The in-process complement of :func:`wal_progress_age`: the ambient
+    :class:`~repro.obs.live.RunRegistry` folds every lifecycle event, so
+    its ``last_event_age_s`` measures progress of a run hosted in *this*
+    process.  ``inf`` when no run is being tracked.
+    """
+    rec = resolve_recorder(recorder)
+    active = rec.runs.active_run()
+    if not active:
+        return float("inf")
+    age = active.get("last_event_age_s")
+    return float("inf") if age is None else float(age)
+
+
+class Supervisor:
+    """Run work under a deadline with stall detection and bounded retries.
+
+    Parameters
+    ----------
+    policy:
+        Retry budget and backoff schedule.
+    recorder:
+        Observability backend for ``runtime.*`` events/counters (``None``
+        resolves to the ambient recorder).
+    stall_timeout_s:
+        Kill a child whose progress age exceeds this (``None`` disables
+        stall detection).  Progress age is the *minimum* of the WAL age
+        and the attempt's own wall-clock age, so a freshly launched
+        attempt is never condemned by a stale WAL it has not touched yet.
+    deadline_s:
+        Overall wall-clock budget across *all* attempts; exceeding it
+        raises :class:`~repro.errors.RetryBudgetExceeded`.
+    poll_interval_s:
+        Child liveness/stall polling period.
+    sleep:
+        Injection point for tests (defaults to :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy = RetryPolicy(),
+        recorder: Optional[Recorder] = None,
+        stall_timeout_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        poll_interval_s: float = 0.1,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.policy = policy
+        self._recorder = recorder
+        self.stall_timeout_s = stall_timeout_s
+        self.deadline_s = deadline_s
+        self.poll_interval_s = poll_interval_s
+        self._sleep = sleep
+        self._rng = random.Random(policy.seed)
+        #: Attempt-by-attempt account of the last supervised run.
+        self.history: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _emit(self, event_type: str, **fields: Any) -> None:
+        rec = resolve_recorder(self._recorder)
+        if rec.enabled:
+            rec.emit(event_type, **fields)
+
+    def _count(self, name: str) -> None:
+        metrics = resolve_recorder(self._recorder).metrics
+        if metrics.enabled:
+            metrics.counter(name).inc()
+
+    def _give_up(self, reason: str, attempts: int, cause: Optional[BaseException]):
+        self._emit("runtime.gave_up", reason=reason, attempts=attempts)
+        self._count("runtime.gave_up")
+        error = RetryBudgetExceeded(
+            f"supervised run failed permanently after {attempts} attempt(s): "
+            f"{reason}"
+        )
+        if cause is not None:
+            raise error from cause
+        raise error
+
+    # ------------------------------------------------------------------
+    # In-process supervision
+    # ------------------------------------------------------------------
+    def run_callable(self, fn: Callable[[], Any]) -> Any:
+        """Call ``fn`` until it succeeds or the retry budget is spent.
+
+        The in-process twin of :meth:`run_command`, used where the work
+        is a Python callable (and by the unit tests to exercise the
+        retry/backoff/give-up state machine without subprocesses).
+        """
+        started = time.monotonic()
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.policy.max_retries + 1):
+            if (
+                self.deadline_s is not None
+                and time.monotonic() - started > self.deadline_s
+            ):
+                self._give_up("deadline exceeded", attempt, last_error)
+            try:
+                return fn()
+            except RetryBudgetExceeded:
+                raise
+            except Exception as exc:  # noqa: BLE001 - supervision boundary
+                last_error = exc
+                if attempt >= self.policy.max_retries:
+                    self._give_up(f"retry budget exhausted: {exc}", attempt + 1, exc)
+                delay = self.policy.backoff_s(attempt, self._rng)
+                self._emit(
+                    "runtime.retry",
+                    attempt=attempt + 1,
+                    reason=str(exc),
+                    backoff_s=delay,
+                )
+                self._count("runtime.retries")
+                self._sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Subprocess supervision
+    # ------------------------------------------------------------------
+    def _resume_command(self, run_dir: Path) -> List[str]:
+        return [sys.executable, "-m", "repro.cli", "resume", str(run_dir)]
+
+    def _watch(self, proc: "subprocess.Popen", run_dir: Optional[Path], deadline_at: Optional[float]):
+        """Poll one attempt until exit, stall-kill, or deadline-kill."""
+        attempt_started = time.monotonic()
+        while True:
+            code = proc.poll()
+            if code is not None:
+                return ("exit", code)
+            now = time.monotonic()
+            if deadline_at is not None and now >= deadline_at:
+                proc.kill()
+                proc.wait()
+                return ("deadline", None)
+            if self.stall_timeout_s is not None and run_dir is not None:
+                # A fresh attempt has not touched the WAL yet; measure
+                # progress as the newer of (WAL advance, attempt start).
+                age = min(
+                    wal_progress_age(run_dir), now - attempt_started
+                )
+                if age > self.stall_timeout_s:
+                    proc.kill()
+                    proc.wait()
+                    return ("stall", None)
+            self._sleep(self.poll_interval_s)
+
+    def run_command(
+        self,
+        command: Sequence[str],
+        run_dir: Optional["os.PathLike"] = None,
+    ) -> int:
+        """Supervise ``command`` to successful completion; return 0.
+
+        When ``run_dir`` names a durable run directory, failed attempts
+        relaunch as ``repro resume RUN_DIR`` -- continuing from the
+        latest checkpoint instead of repeating finished work -- and the
+        WAL's mtime feeds stall detection.  Without it, retries re-run
+        ``command`` verbatim and only the deadline applies.
+        """
+        started = time.monotonic()
+        deadline_at = (
+            started + self.deadline_s if self.deadline_s is not None else None
+        )
+        run_dir_path = Path(run_dir) if run_dir is not None else None
+        self.history = []
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.policy.max_retries + 1):
+            resumable = (
+                run_dir_path is not None
+                and (run_dir_path / CheckpointStore.MANIFEST_NAME).exists()
+            )
+            cmd = (
+                self._resume_command(run_dir_path)
+                if attempt > 0 and resumable
+                else list(command)
+            )
+            proc = subprocess.Popen(cmd)
+            outcome, code = self._watch(proc, run_dir_path, deadline_at)
+            self.history.append(
+                {"attempt": attempt, "outcome": outcome, "code": code,
+                 "command": cmd}
+            )
+            if outcome == "exit" and code == 0:
+                return 0
+            if outcome == "deadline":
+                self._give_up("deadline exceeded", attempt + 1, last_error)
+            if outcome == "stall":
+                reason = (
+                    f"no progress for more than {self.stall_timeout_s}s "
+                    f"(stalled; killed)"
+                )
+                self._count("runtime.stalls")
+            else:
+                reason = f"exit code {code}"
+            last_error = RuntimeError(f"attempt {attempt + 1}: {reason}")
+            if attempt >= self.policy.max_retries:
+                self._give_up(
+                    f"retry budget exhausted: {reason}", attempt + 1, last_error
+                )
+            delay = self.policy.backoff_s(attempt, self._rng)
+            if deadline_at is not None and time.monotonic() + delay >= deadline_at:
+                self._give_up("deadline exceeded", attempt + 1, last_error)
+            self._emit(
+                "runtime.retry",
+                attempt=attempt + 1,
+                reason=reason,
+                backoff_s=delay,
+                # Whether the *next* attempt can resume from the run dir
+                # (the failed attempt may have just created the manifest).
+                resumable=run_dir_path is not None
+                and (run_dir_path / CheckpointStore.MANIFEST_NAME).exists(),
+            )
+            self._count("runtime.retries")
+            self._sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.experiments import (
@@ -11,7 +13,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.parallel import parallel_map, resolve_jobs
 from repro.errors import ParallelExecutionError, SpectrumMatchingError
-from repro.obs import MetricsRegistry, Recorder, use_recorder
+from repro.obs import ListEventSink, MetricsRegistry, Recorder, use_recorder
 
 
 # Worker functions must live at module level to be picklable.
@@ -23,6 +25,28 @@ def _explode(x: int) -> int:
     if x == 3:
         raise ValueError(f"worker saw the poison value {x}")
     return x
+
+
+def _die_hard(x: int) -> int:
+    """Kill the worker process outright on the poison value."""
+    if x == 3:
+        os._exit(1)
+    return x * x
+
+
+def _die_once(arg) -> int:
+    """Kill the worker the first time it sees the poison value.
+
+    A sentinel file (passed in to keep the function picklable) records
+    that the death already happened, so the retry succeeds -- modelling
+    a transient OOM kill.
+    """
+    x, sentinel = arg
+    if x == 3 and not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8"):
+            pass
+        os._exit(1)
+    return x * x
 
 
 class TestResolveJobs:
@@ -60,6 +84,46 @@ class TestParallelMap:
         # exception propagates, nothing is wrapped.
         with pytest.raises(ValueError):
             parallel_map(_explode, [3], jobs=1)
+
+
+class TestWorkerDeathRetries:
+    """Tasks lost to worker death are resubmitted, bounded and observable."""
+
+    def test_transient_death_is_retried_to_success(self, tmp_path):
+        sentinel = str(tmp_path / "died")
+        sink, metrics = ListEventSink(), MetricsRegistry()
+        items = [(x, sentinel) for x in range(1, 6)]
+        with use_recorder(Recorder(events=sink, metrics=metrics)):
+            results = parallel_map(
+                _die_once, items, jobs=2, retry_backoff_s=0.0
+            )
+        assert results == [x * x for x in range(1, 6)]
+        retries = [e for e in sink.events if e["event"] == "analysis.retry"]
+        # The poison task (index 2) is always among the lost; the dying
+        # worker may take other in-flight tasks down with it.
+        assert retries and 2 in retries[0]["tasks"]
+        assert all(a == 1 for a in retries[0]["attempts"])
+        assert metrics.snapshot()["counters"]["analysis.retries"] >= 1
+
+    def test_persistent_death_exhausts_budget(self):
+        with pytest.raises(ParallelExecutionError, match="worker death"):
+            parallel_map(
+                _die_hard, [1, 2, 3, 4], jobs=2, retries=1, retry_backoff_s=0.0
+            )
+
+    def test_retries_zero_is_strict(self):
+        with pytest.raises(ParallelExecutionError, match="0 retries"):
+            parallel_map(_die_hard, [1, 2, 3, 4], jobs=2, retries=0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SpectrumMatchingError):
+            parallel_map(_square, [1, 2], jobs=2, retries=-1)
+
+    def test_application_exception_is_never_retried(self):
+        # A raising task is deterministic; resubmitting it would just
+        # raise again.  It must fail fast, not burn the retry budget.
+        with pytest.raises(ParallelExecutionError, match="poison value 3"):
+            parallel_map(_explode, [1, 2, 3, 4], jobs=2, retries=5)
 
 
 class TestSweepDeterminism:

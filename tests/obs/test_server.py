@@ -1,9 +1,12 @@
-"""Telemetry server: endpoints, lifecycle and thread hygiene."""
+"""Telemetry server: endpoints, lifecycle, robustness, thread hygiene."""
 
 from __future__ import annotations
 
 import json
+import socket
+import struct
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -124,3 +127,61 @@ class TestLifecycle:
         server.stop()
         with pytest.raises(ObservabilityError):
             _ = server.port
+
+
+class TestRobustness:
+    """Bind collisions and misbehaving scrapers must not kill the server."""
+
+    def test_bind_scans_past_a_taken_port(self, live_recorder):
+        with socket.socket() as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            taken = blocker.getsockname()[1]
+            server = TelemetryServer(live_recorder, port=taken).start()
+            try:
+                assert server.port == taken + 1
+                _get(server.url + "/health")
+            finally:
+                server.stop()
+
+    def test_exhausted_bind_scan_raises_named_range(self, live_recorder):
+        blockers = []
+        try:
+            first = socket.socket()
+            first.bind(("127.0.0.1", 0))
+            first.listen(1)
+            blockers.append(first)
+            base = first.getsockname()[1]
+            for offset in range(1, TelemetryServer.BIND_ATTEMPTS):
+                sock = socket.socket()
+                try:
+                    sock.bind(("127.0.0.1", base + offset))
+                    sock.listen(1)
+                except OSError:
+                    sock.close()
+                    pytest.skip("could not occupy a contiguous port range")
+                blockers.append(sock)
+            with pytest.raises(ObservabilityError, match="is in use"):
+                TelemetryServer(live_recorder, port=base).start()
+        finally:
+            for sock in blockers:
+                sock.close()
+
+    def test_survives_client_reset_mid_scrape(self, live_recorder):
+        live_recorder.metrics.counter("sim.slots").inc(7)
+        with TelemetryServer(live_recorder) as server:
+            # Hang up with an RST immediately after the request so the
+            # handler hits a broken pipe / connection reset on write.
+            for _ in range(3):
+                conn = socket.create_connection(("127.0.0.1", server.port))
+                conn.send(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+                conn.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                conn.close()
+            time.sleep(0.1)
+            # The server still answers politely-behaved scrapers.
+            text = _get(server.url + "/metrics")
+        assert "sim_slots" in text

@@ -1,0 +1,71 @@
+"""Shared helpers for the durable-runtime tests.
+
+The crash tests run the real CLI in a subprocess, SIGKILL it at a
+deterministic point (``--inject-stall-after`` parks the run after N
+committed WAL records, so the kill lands at a known logical time), then
+resume and compare against an uninterrupted golden run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import pytest
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(*args: str, check: bool = True) -> "subprocess.CompletedProcess":
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=cli_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if check and result.returncode != 0:
+        raise AssertionError(
+            f"repro {' '.join(args)} failed ({result.returncode}):\n"
+            f"{result.stdout}\n{result.stderr}"
+        )
+    return result
+
+
+def spawn_cli(*args: str) -> "subprocess.Popen":
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=cli_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_wal(run_dir: Path, records: int, timeout_s: float = 60.0) -> None:
+    """Block until the run's WAL holds at least ``records`` lines."""
+    wal = Path(run_dir) / "wal.jsonl"
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            if wal.read_text().count("\n") >= records:
+                return
+        except OSError:
+            pass
+        time.sleep(0.05)
+    raise AssertionError(f"{wal} never reached {records} records")
+
+
+def sigkill(proc: "subprocess.Popen") -> None:
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=30)

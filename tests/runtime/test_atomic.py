@@ -1,0 +1,71 @@
+"""The shared atomic-write helper: all-or-nothing file replacement."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    read_json,
+)
+
+
+class TestAtomicWrite:
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"b": 2, "a": [1, 2]})
+        assert read_json(path) == {"a": [1, 2], "b": 2}
+        assert path.read_text().endswith("\n")
+
+    def test_keys_are_sorted_for_stable_diffs(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"zeta": 1, "alpha": 2})
+        text = path.read_text()
+        assert text.index('"alpha"') < text.index('"zeta"')
+
+    def test_replace_is_complete_or_nothing(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"version": 1})
+        before = path.read_bytes()
+        # A non-serialisable payload must raise *before* touching the
+        # destination: serialisation happens ahead of the tmp file.
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert path.read_bytes() == before
+
+    def test_no_temporary_droppings(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"version": 1})
+        atomic_write_json(path, {"version": 2})
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.json"]
+
+    def test_write_failure_cleans_up_tmp(self, tmp_path, monkeypatch):
+        path = tmp_path / "doc.bin"
+        atomic_write_bytes(path, b"old")
+
+        def explode(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"new")
+        monkeypatch.undo()
+        assert path.read_bytes() == b"old"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.bin"]
+
+    def test_text_helper_encodes_utf8(self, tmp_path):
+        path = tmp_path / "note.txt"
+        atomic_write_text(path, "welfare ≥ 0\n")
+        assert path.read_bytes().decode("utf-8") == "welfare ≥ 0\n"
+
+    def test_creates_file_in_fresh_directory(self, tmp_path):
+        target = tmp_path / "nested"
+        target.mkdir()
+        path = target / "doc.json"
+        atomic_write_json(path, [1, 2, 3])
+        assert json.loads(path.read_text()) == [1, 2, 3]

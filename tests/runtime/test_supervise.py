@@ -1,0 +1,193 @@
+"""The supervised retry runtime: backoff, stall detection, give-up."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import pytest
+
+from repro.errors import RetryBudgetExceeded
+from repro.obs import ListEventSink, MetricsRegistry, Recorder
+from repro.runtime.supervise import (
+    RetryPolicy,
+    Supervisor,
+    registry_progress_age,
+    wal_progress_age,
+)
+
+from .conftest import cli_env
+
+
+@pytest.fixture
+def recorder():
+    return Recorder(events=ListEventSink(), metrics=MetricsRegistry())
+
+
+def _events(recorder, event_type):
+    return [e for e in recorder.events.events if e["event"] == event_type]
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_s=-0.1)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        import random
+
+        policy = RetryPolicy(
+            base_backoff_s=1.0, max_backoff_s=5.0, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.backoff_s(a, rng) for a in range(5)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        import random
+
+        policy = RetryPolicy(base_backoff_s=1.0, jitter=0.5)
+        one = [policy.backoff_s(0, random.Random(9)) for _ in range(3)]
+        two = [policy.backoff_s(0, random.Random(9)) for _ in range(3)]
+        assert one == two  # reproducible schedule
+        assert all(1.0 <= d <= 1.5 for d in one)
+
+
+class TestProgressAges:
+    def test_wal_age_is_inf_without_a_wal(self, tmp_path):
+        assert wal_progress_age(tmp_path) == float("inf")
+
+    def test_wal_age_tracks_mtime(self, tmp_path):
+        (tmp_path / "wal.jsonl").write_text('{"index": 0}\n')
+        assert wal_progress_age(tmp_path) < 5.0
+
+    def test_registry_age_is_inf_without_an_active_run(self, recorder):
+        assert registry_progress_age(recorder) == float("inf")
+
+
+class TestRunCallable:
+    def test_flaky_callable_retries_to_success(self, recorder):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return "done"
+
+        sleeps = []
+        supervisor = Supervisor(
+            policy=RetryPolicy(max_retries=3, base_backoff_s=0.25),
+            recorder=recorder,
+            sleep=sleeps.append,
+        )
+        assert supervisor.run_callable(flaky) == "done"
+        assert len(calls) == 3
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0]  # exponential growth
+        retries = _events(recorder, "runtime.retry")
+        assert [e["attempt"] for e in retries] == [1, 2]
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["runtime.retries"] == 2
+
+    def test_budget_exhaustion_emits_gave_up_and_chains_cause(self, recorder):
+        supervisor = Supervisor(
+            policy=RetryPolicy(max_retries=1, base_backoff_s=0.0),
+            recorder=recorder,
+            sleep=lambda _delay: None,
+        )
+
+        def always_fails():
+            raise ValueError("permanent")
+
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            supervisor.run_callable(always_fails)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        (gave_up,) = _events(recorder, "runtime.gave_up")
+        assert gave_up["attempts"] == 2
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["runtime.gave_up"] == 1
+
+    def test_deadline_bounds_total_time(self, recorder):
+        supervisor = Supervisor(
+            policy=RetryPolicy(max_retries=100, base_backoff_s=0.0),
+            recorder=recorder,
+            deadline_s=0.2,
+            sleep=lambda _delay: time.sleep(0.06),
+        )
+
+        def always_fails():
+            raise RuntimeError("nope")
+
+        started = time.monotonic()
+        with pytest.raises(RetryBudgetExceeded, match="deadline"):
+            supervisor.run_callable(always_fails)
+        assert time.monotonic() - started < 5.0
+
+
+class TestRunCommand:
+    def test_failing_command_exhausts_budget(self, recorder):
+        supervisor = Supervisor(
+            policy=RetryPolicy(max_retries=1, base_backoff_s=0.0, jitter=0.0),
+            recorder=recorder,
+        )
+        with pytest.raises(RetryBudgetExceeded, match="exit code 3"):
+            supervisor.run_command(
+                [sys.executable, "-c", "raise SystemExit(3)"]
+            )
+        assert [h["outcome"] for h in supervisor.history] == ["exit", "exit"]
+
+    def test_succeeding_command_returns_zero(self, recorder):
+        supervisor = Supervisor(recorder=recorder)
+        assert supervisor.run_command([sys.executable, "-c", "pass"]) == 0
+        assert supervisor.history[0]["outcome"] == "exit"
+
+    def test_stalled_child_is_killed_and_resumed(
+        self, recorder, tmp_path, monkeypatch
+    ):
+        """End-to-end: stall -> SIGKILL -> resume from checkpoint -> done."""
+        monkeypatch.setenv("PYTHONPATH", cli_env()["PYTHONPATH"])
+        run_dir = tmp_path / "run"
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "chaos",
+            "--buyers",
+            "8",
+            "--sellers",
+            "3",
+            "--seed",
+            "3",
+            "--loss",
+            "0.1",
+            "--checkpoint-dir",
+            str(run_dir),
+            "--checkpoint-every",
+            "5",
+            "--inject-stall-after",
+            "10",
+        ]
+        supervisor = Supervisor(
+            policy=RetryPolicy(max_retries=2, base_backoff_s=0.1, jitter=0.0),
+            recorder=recorder,
+            stall_timeout_s=2.0,
+            deadline_s=90.0,
+            poll_interval_s=0.1,
+        )
+        assert supervisor.run_command(command, run_dir=run_dir) == 0
+        outcomes = [h["outcome"] for h in supervisor.history]
+        assert outcomes[0] == "stall"
+        assert outcomes[-1] == "exit"
+        # The retry relaunched as `repro resume`, not the stalling command.
+        assert "resume" in supervisor.history[-1]["command"]
+        assert (run_dir / "result.json").exists()
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["runtime.stalls"] >= 1
+        assert counters["runtime.retries"] >= 1
+        (retry,) = _events(recorder, "runtime.retry")
+        assert retry["resumable"] is True
