@@ -1,24 +1,43 @@
 """Engine scalability beyond the paper's largest configuration.
 
 The paper stops at N = 500 buyers.  This bench pushes the centralised
-two-stage engine to N = 2000 and reports wall-clock time and rounds,
-verifying the O(MN) convergence bound stays comfortable in practice (the
-observed round counts are far below MN -- they track M, as Fig. 8
-suggests).
+two-stage engine to N = 2000 on the paper's dense 10x10 geometry and
+reports wall-clock time and rounds, verifying the O(MN) convergence
+bound stays comfortable in practice (the observed round counts are far
+below MN -- they track M, as Fig. 8 suggests).
+
+Beyond that, the constant-density sparse scenario
+(:func:`~repro.workloads.scenarios.sparse_simulation_market`, KD-tree
+interference graphs, O(E) memory) carries the engine to the virtual-
+buyer counts True-MCSA-style grouping produces: a CI-sized N = 10k
+smoke runs always; the N = 50k-100k tier is opt-in via
+``SPECTRUM_BENCH_LARGE=1`` (it needs minutes and a few GB).
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 import pytest
 
 from repro.analysis.reporting import format_table
+from repro.core.deferred_acceptance import deferred_acceptance
 from repro.core.two_stage import run_two_stage
-from repro.workloads.scenarios import paper_simulation_market
+from repro.workloads.scenarios import (
+    paper_simulation_market,
+    sparse_simulation_market,
+)
 
 SIZES = [(200, 10), (500, 10), (1000, 10), (2000, 20)]
+
+#: Constant-density tier (buyers, channels): CI smoke + opt-in large.
+SPARSE_SMOKE_SIZE = (10_000, 10)
+LARGE_SIZES = [(50_000, 20), (100_000, 20)]
+
+#: Set to ``1`` to run the N = 50k-100k tier.
+LARGE_BENCH_ENV = "SPECTRUM_BENCH_LARGE"
 
 
 def test_scalability(benchmark):
@@ -60,4 +79,58 @@ def test_scalability(benchmark):
         lambda: run_two_stage(market, record_trace=False),
         rounds=3,
         iterations=1,
+    )
+
+
+def test_sparse_market_smoke():
+    """CI-sized constant-density market through the full two-stage run."""
+    num_buyers, num_channels = SPARSE_SMOKE_SIZE
+    build_start = time.perf_counter()
+    market = sparse_simulation_market(
+        num_buyers, num_channels, np.random.default_rng([9, num_buyers])
+    )
+    build_s = time.perf_counter() - build_start
+    start = time.perf_counter()
+    result = run_two_stage(market, record_trace=False)
+    elapsed = time.perf_counter() - start
+    assert result.rounds_stage1 <= num_buyers * num_channels
+    assert result.social_welfare > 0.0
+    print(
+        f"\nN={num_buyers} sparse: build {build_s:.2f}s, "
+        f"two-stage {elapsed:.2f}s, welfare {result.social_welfare:.1f}"
+    )
+    # Keep CI honest: the sparse path must stay interactive-speed.
+    assert elapsed < 60.0
+
+
+@pytest.mark.skipif(
+    os.environ.get(LARGE_BENCH_ENV, "0") != "1",
+    reason=f"set {LARGE_BENCH_ENV}=1 to run the N=50k-100k tier",
+)
+def test_large_market_scalability():
+    """Stage I at N = 50k-100k virtual buyers (constant-density sparse)."""
+    rows = []
+    for num_buyers, num_channels in LARGE_SIZES:
+        market = sparse_simulation_market(
+            num_buyers, num_channels, np.random.default_rng([9, num_buyers])
+        )
+        start = time.perf_counter()
+        result = deferred_acceptance(market, record_trace=False)
+        elapsed = time.perf_counter() - start
+        assert result.num_rounds <= num_buyers * num_channels
+        rows.append(
+            [
+                f"N={num_buyers}, M={num_channels}",
+                elapsed,
+                result.num_rounds,
+                result.total_proposals,
+                result.matching.num_matched(),
+            ]
+        )
+    print()
+    print("== Stage I at virtual-buyer scale ==")
+    print(
+        format_table(
+            ["market", "seconds", "rounds", "proposals", "matched"], rows
+        )
     )

@@ -17,6 +17,13 @@ Reads every ``BENCH_*.json`` present in both directories and fails
   ceiling; ``identical_matching`` / ``identical_rows`` must still
   hold).  Use this in CI, where the runner's absolute speed differs
   from the machine that committed the baselines.
+
+In both modes the sweep report must show ``parallel_speedup > 1``
+whenever the *current* run's ``env.cpu_count`` is greater than one
+(:func:`check_parallel_speedup`): with persistent pools and
+shared-memory task inputs the parallel path has no excuse to lose to
+serial on a multi-core machine.  Single-core runners skip the rule --
+there a speedup above 1 is physically impossible.
 """
 
 from __future__ import annotations
@@ -54,6 +61,41 @@ _INVARIANT_KEYS = {
 _MAX_RATIO_KEYS = {"BENCH_dispatch.json": ("overhead", 1.02)}
 
 
+def check_parallel_speedup(current: Dict[str, object]) -> Optional[str]:
+    """Gate the sweep report's ``parallel_speedup`` on multi-core hosts.
+
+    Returns a failure line when the current run was produced on a
+    multi-core machine (``env.cpu_count > 1``) yet its parallel sweep
+    failed to beat serial (``parallel_speedup <= 1``).  Returns ``None``
+    -- rule satisfied or not applicable -- on single-core runners,
+    where beating serial is impossible and the rule must skip cleanly.
+    Only the *current* run's environment matters; the committed
+    baseline may come from a very different machine.
+    """
+    env = current.get("env")
+    cpu_count = 0
+    if isinstance(env, dict):
+        try:
+            cpu_count = int(env.get("cpu_count") or 0)
+        except (TypeError, ValueError):
+            cpu_count = 0
+    if cpu_count <= 1:
+        return None
+    try:
+        speedup = float(current.get("parallel_speedup"))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return (
+            f"BENCH_sweep.json: parallel_speedup missing on a "
+            f"{cpu_count}-core machine"
+        )
+    if speedup <= 1.0:
+        return (
+            f"BENCH_sweep.json: parallel_speedup {speedup:.2f}x <= 1.00x "
+            f"on a {cpu_count}-core machine (jobs should win)"
+        )
+    return None
+
+
 def _load(path: str) -> Dict[str, object]:
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
@@ -87,6 +129,10 @@ def _check_report(
                 f"{name}: {ratio_key} fell {base_ratio:.2f}x -> "
                 f"{cur_ratio:.2f}x (floor {floor:.2f}x)"
             )
+    if name == "BENCH_sweep.json":
+        parallel_failure = check_parallel_speedup(current)
+        if parallel_failure is not None:
+            yield parallel_failure
     max_ratio = _MAX_RATIO_KEYS.get(name)
     if max_ratio is not None:
         key, ceiling = max_ratio

@@ -4,9 +4,14 @@ Produces two machine-readable artefacts (median-of-N wall-clock numbers
 plus the observability layer's own ``stage1.mwis_solve_s`` timer totals):
 
 * ``BENCH_kernels.json`` -- Stage I (deferred acceptance) on the
-  ``bench_scalability`` large market, bitset kernels vs the set-based
-  reference path (``SPECTRUM_FAST_KERNELS=0``), including a check that
-  the two paths produced the identical matching.
+  ``bench_scalability`` large market, three ways: the batched SoA fast
+  path (the default), the scalar bitset kernels
+  (``SPECTRUM_BATCH_STAGE1=0``), and the set-based reference path
+  (``SPECTRUM_FAST_KERNELS=0``), including a check that all three
+  produced the identical matching.  ``speedup`` stays
+  reference-vs-fast (the ratio the perf gate guards);
+  ``batch_speedup`` isolates the SoA batching win over the scalar
+  kernels.
 * ``BENCH_sweep.json`` -- a Fig. 7-style sweep run serially vs through
   the parallel runner, proving the ``--jobs`` path and recording its
   overhead/speedup on this machine.
@@ -34,6 +39,7 @@ import numpy as np
 
 from repro.analysis.experiments import SweepAxis, stage_breakdown_series
 from repro.core.deferred_acceptance import deferred_acceptance
+from repro.core.soa import BATCH_STAGE1_ENV
 from repro.core.two_stage import run_two_stage
 from repro.engine import get_solver
 from repro.interference.bitset import FAST_KERNELS_ENV
@@ -78,15 +84,19 @@ def _timed_runs(
     return times, outputs
 
 
-def _stage1_once(market, fast: bool) -> Tuple[object, float]:
+def _stage1_once(
+    market, fast: bool, batched: bool = True
+) -> Tuple[object, float]:
     """One recorded Stage-I run; returns (result, mwis timer total_s)."""
     os.environ[FAST_KERNELS_ENV] = "1" if fast else "0"
+    os.environ[BATCH_STAGE1_ENV] = "1" if batched else "0"
     registry = MetricsRegistry()
     try:
         with use_recorder(Recorder(metrics=registry)):
             result = deferred_acceptance(market, record_trace=False)
     finally:
         os.environ.pop(FAST_KERNELS_ENV, None)
+        os.environ.pop(BATCH_STAGE1_ENV, None)
     timers = registry.snapshot()["timers"]
     return result, timers.get("stage1.mwis_solve_s", {}).get("total_s", 0.0)
 
@@ -99,17 +109,21 @@ def _coalitions(market, result) -> Dict[int, Tuple[int, ...]]:
 
 
 def bench_kernels(quick: bool, runs: int) -> Dict[str, object]:
-    """Stage I fast-vs-reference on the scalability market."""
+    """Stage I batched-vs-scalar-vs-reference on the scalability market."""
     params = QUICK_MARKET if quick else FULL_MARKET
     market = _build_market(params)
     sides: Dict[str, Dict[str, object]] = {}
     matchings = {}
-    for label, fast in (("fast", True), ("reference", False)):
+    for label, fast, batched in (
+        ("fast", True, True),
+        ("scalar", True, False),
+        ("reference", False, True),
+    ):
         mwis_totals: List[float] = []
         results: List[object] = []
 
         def run_once() -> object:
-            result, mwis_s = _stage1_once(market, fast)
+            result, mwis_s = _stage1_once(market, fast, batched)
             mwis_totals.append(mwis_s)
             return result
 
@@ -128,11 +142,18 @@ def bench_kernels(quick: bool, runs: int) -> Dict[str, object]:
         "runs": runs,
         "market": params,
         "fast": sides["fast"],
+        "scalar": sides["scalar"],
         "reference": sides["reference"],
         "speedup": (
             sides["reference"]["median_s"] / fast_median if fast_median else 0.0
         ),
-        "identical_matching": matchings["fast"] == matchings["reference"],
+        "batch_speedup": (
+            sides["scalar"]["median_s"] / fast_median if fast_median else 0.0
+        ),
+        "identical_matching": (
+            matchings["fast"] == matchings["reference"]
+            and matchings["fast"] == matchings["scalar"]
+        ),
     }
 
 
@@ -274,10 +295,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     runs = args.runs if args.runs is not None else (3 if args.quick else 5)
 
     os.makedirs(args.output_dir, exist_ok=True)
+    # Honest environment metadata: compare_perf.py keys its
+    # multi-core-only parallel_speedup rule off env.cpu_count, and a
+    # reader of a committed baseline needs to know how many workers the
+    # sweep actually used.
     meta = {
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
     }
     reports = {}
     if args.only in (None, "kernels"):

@@ -1,0 +1,241 @@
+"""Zero-copy numpy array transport for persistent worker pools.
+
+:func:`repro.analysis.parallel.parallel_map` historically shipped every
+byte of every task through the pickle pipe.  For sweeps over one large
+shared market that is pure waste: the market's arrays are identical for
+every task, so the parent should publish them *once* and tasks should
+carry only indices and seeds.  This module is that transport:
+
+* :class:`SharedArrayBundle` copies a mapping of numpy arrays into
+  named POSIX shared-memory segments (``/dev/shm`` on Linux) and hands
+  out a tiny picklable :class:`SharedArrayManifest` describing them.
+* Workers call :func:`attach` with the manifest and get read-only numpy
+  views of the *same physical pages* -- no copy, no pickling, attached
+  lazily and cached per process so a persistent worker maps each bundle
+  exactly once no matter how many tasks it runs.
+
+Lifecycle is strictly creator-owned: the parent that published the
+bundle unlinks it (``close()``), normally from a ``finally`` block so
+segments never outlive the sweep -- including when the sweep dies with
+an exception or a worker is SIGKILLed mid-task.  A ``weakref.finalize``
+guard also unlinks on garbage collection / interpreter exit, so even a
+bundle leaked by buggy calling code cannot survive the process.
+Workers never unlink: their attached segments are unregistered from the
+per-process :mod:`multiprocessing.resource_tracker` (the tracker would
+otherwise "helpfully" destroy the creator's segments when the *worker*
+exits, the classic double-unlink footgun).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import secrets
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import SpectrumMatchingError
+
+__all__ = [
+    "SharedArrayBundle",
+    "SharedArrayManifest",
+    "attach",
+    "clear_attach_cache",
+]
+
+
+@dataclass(frozen=True)
+class _SegmentSpec:
+    """One published array: segment name + how to view it as numpy."""
+
+    shm_name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedArrayManifest:
+    """Picklable description of a published bundle.
+
+    A few hundred bytes regardless of array sizes -- this is what rides
+    the task pipe instead of the arrays themselves.  ``token`` is unique
+    per bundle and keys the worker-side attach cache.
+    """
+
+    token: str
+    segments: Tuple[Tuple[str, _SegmentSpec], ...]
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.segments)
+
+
+def _unregister_from_tracker(shm: shared_memory.SharedMemory) -> None:
+    """Detach a worker-side mapping from its resource tracker.
+
+    ``SharedMemory(name=...)`` registers the segment with the attaching
+    process's resource tracker.  Under the default *fork* start method
+    the worker inherits the creator's tracker, whose cache is a set --
+    the duplicate register is a no-op and the creator's ``unlink``
+    cleans the single entry, so unregistering here would instead strip
+    the creator's own registration (and the tracker then logs KeyError
+    noise at teardown).  Under *spawn* the worker owns a private
+    tracker that would destroy the creator's segments when the worker
+    exits; there the explicit unregister (CPython's documented
+    workaround until the 3.13 ``track=False`` flag) is required.
+    """
+    if multiprocessing.get_start_method(allow_none=True) in (None, "fork"):
+        return
+    try:  # pragma: no cover - spawn-only; tracker internals vary
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+class SharedArrayBundle:
+    """Creator-side handle for a set of arrays published to ``/dev/shm``.
+
+    Parameters
+    ----------
+    arrays:
+        Name -> numpy array.  Each array is copied once into its own
+        shared segment (C-contiguous); dtype and shape are preserved.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
+        if not arrays:
+            raise SpectrumMatchingError(
+                "a SharedArrayBundle needs at least one array"
+            )
+        self.token = secrets.token_hex(8)
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        specs = []
+        try:
+            for name, array in arrays.items():
+                source = np.ascontiguousarray(array)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, source.nbytes)
+                )
+                view = np.ndarray(
+                    source.shape, dtype=source.dtype, buffer=shm.buf
+                )
+                view[...] = source
+                self._segments[name] = shm
+                specs.append(
+                    (
+                        name,
+                        _SegmentSpec(
+                            shm_name=shm.name,
+                            shape=tuple(source.shape),
+                            dtype=source.dtype.str,
+                        ),
+                    )
+                )
+        except BaseException:
+            self._destroy(self._segments)
+            raise
+        self.manifest = SharedArrayManifest(
+            token=self.token, segments=tuple(specs)
+        )
+        # Safety net: unlink on GC / interpreter exit even if the caller
+        # forgot close().  Deliberately bound to the segment dict, not
+        # self, so the finalizer keeps no reference cycle alive.
+        self._finalizer = weakref.finalize(
+            self, SharedArrayBundle._destroy, self._segments
+        )
+
+    @staticmethod
+    def _destroy(segments: Dict[str, shared_memory.SharedMemory]) -> None:
+        for shm in segments.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        segments.clear()
+
+    def close(self) -> None:
+        """Unmap and unlink every segment (idempotent)."""
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "SharedArrayBundle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+#: Per-process cache of attached bundles, keyed by manifest token.  A
+#: persistent worker serving hundreds of tasks against the same bundle
+#: maps it exactly once.  Entries keep the SharedMemory objects alive
+#: (the numpy views borrow their buffers).
+_ATTACHED: Dict[
+    str,
+    Tuple[Dict[str, np.ndarray], Tuple[shared_memory.SharedMemory, ...]],
+] = {}
+
+
+def attach(manifest: SharedArrayManifest) -> Dict[str, np.ndarray]:
+    """Map a published bundle into this process as read-only arrays.
+
+    Safe to call repeatedly (cached by ``manifest.token``).  The views
+    are marked non-writable: tasks are pure functions of their inputs
+    and a worker scribbling on shared pages would corrupt every sibling.
+    """
+    cached = _ATTACHED.get(manifest.token)
+    if cached is not None:
+        return cached[0]
+    # A worker serves one sweep at a time; a new token means the old
+    # bundle's sweep is over (its creator is about to unlink it), so
+    # evict stale mappings instead of accumulating them for the life of
+    # a persistent worker.
+    if _ATTACHED:
+        clear_attach_cache()
+    arrays: Dict[str, np.ndarray] = {}
+    handles = []
+    try:
+        for name, spec in manifest.segments:
+            shm = shared_memory.SharedMemory(name=spec.shm_name)
+            _unregister_from_tracker(shm)
+            handles.append(shm)
+            view = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+            )
+            view.setflags(write=False)
+            arrays[name] = view
+    except BaseException:
+        for shm in handles:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        raise
+    _ATTACHED[manifest.token] = (arrays, tuple(handles))
+    return arrays
+
+
+def clear_attach_cache() -> None:
+    """Drop every cached attachment (unmaps; never unlinks).
+
+    Called by the pool machinery when a worker is about to go away, and
+    by tests that need a clean slate in-process.
+    """
+    for arrays, handles in _ATTACHED.values():
+        del arrays
+        for shm in handles:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+    _ATTACHED.clear()

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.market import SpectrumMarket
 from repro.core.matching import Matching
 from repro.core.preferences import buyer_preference_order
+from repro.core.soa import batch_stage1_enabled, batched_deferred_acceptance
 from repro.core.trace import StageOneRound
 from repro.interference.bitset import (
     fast_kernels_enabled,
@@ -311,6 +312,23 @@ def _deferred_acceptance_impl(
         if fast_kernels_enabled()
         else None
     )
+    if kernel is not None and batch_stage1_enabled():
+        # Struct-of-arrays fast path: one vectorised proposal/score/
+        # acceptance pass per round across all sellers, byte-identical
+        # to the scalar loops below (differential- and golden-trace
+        # tested).  SPECTRUM_BATCH_STAGE1=0 falls back to the scalar
+        # per-seller kernel path.
+        matching, rounds, num_rounds, total_proposals = (
+            batched_deferred_acceptance(
+                market, record_trace, monotone_guard, rec
+            )
+        )
+        return StageOneResult(
+            matching=matching,
+            rounds=rounds,
+            num_rounds=num_rounds,
+            total_proposals=total_proposals,
+        )
     caches: Dict[int, _SellerMwisCache] = {}
 
     def select_coalition(channel: int, pool: List[int], incumbent: List[int]):

@@ -44,7 +44,8 @@ class InterferenceGraph:
     caches.
     """
 
-    __slots__ = ("_num_buyers", "_adjacency", "_adjacency_bits")
+    __slots__ = ("_num_buyers", "_adjacency", "_adjacency_bits", "_csr",
+                 "_packed")
 
     def __init__(self, num_buyers: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
         if num_buyers < 0:
@@ -66,6 +67,8 @@ class InterferenceGraph:
             frozenset(neighbours) for neighbours in adjacency
         )
         self._adjacency_bits: Optional[Tuple[int, ...]] = None
+        self._csr = None
+        self._packed = None
 
     @classmethod
     def from_adjacency_matrix(cls, matrix) -> "InterferenceGraph":
@@ -101,6 +104,71 @@ class InterferenceGraph:
         graph._adjacency_bits = tuple(
             int.from_bytes(row.tobytes(), "little") for row in packed
         )
+        graph._csr = None
+        graph._packed = None
+        return graph
+
+    @classmethod
+    def from_edge_arrays(cls, num_buyers: int, u, v) -> "InterferenceGraph":
+        """Build a graph from parallel edge-endpoint arrays (sparse path).
+
+        ``u`` and ``v`` are equal-length integer arrays; each position is
+        one undirected edge ``(u[i], v[i])``.  Unlike
+        :meth:`from_adjacency_matrix` this never materialises an ``N x N``
+        matrix, so it is the constructor of choice for large sparse
+        geometric deployments (``N`` in the tens of thousands).  The CSR
+        neighbour index is built directly from the arrays, so
+        :meth:`neighbor_csr` is free afterwards.
+        """
+        import numpy as np
+
+        if num_buyers < 0:
+            raise MarketConfigurationError(
+                f"num_buyers must be non-negative, got {num_buyers}"
+            )
+        u = np.asarray(u, dtype=np.int64).ravel()
+        v = np.asarray(v, dtype=np.int64).ravel()
+        if u.shape != v.shape:
+            raise MarketConfigurationError(
+                f"edge arrays must have equal length, got {u.size} and {v.size}"
+            )
+        if u.size:
+            lo = min(int(u.min()), int(v.min()))
+            hi = max(int(u.max()), int(v.max()))
+            if lo < 0 or hi >= num_buyers:
+                raise MarketConfigurationError(
+                    f"edge endpoint out of range [0, {num_buyers})"
+                )
+            if bool((u == v).any()):
+                raise MarketConfigurationError(
+                    "self-interference edges are not allowed"
+                )
+        # Symmetrise, sort lexicographically by (node, neighbour) and
+        # deduplicate to get a canonical CSR layout with ascending
+        # neighbour lists per node.
+        src = np.concatenate([u, v])
+        dst = np.concatenate([v, u])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        if src.size:
+            keep = np.empty(src.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(src[1:], src[:-1], out=keep[1:])
+            keep[1:] |= dst[1:] != dst[:-1]
+            src, dst = src[keep], dst[keep]
+        indptr = np.zeros(num_buyers + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=num_buyers), out=indptr[1:])
+        indices = dst.astype(np.int32)
+        graph = cls.__new__(cls)
+        graph._num_buyers = int(num_buyers)
+        bounds = indptr.tolist()
+        neighbour_lists = np.split(indices, bounds[1:-1])
+        graph._adjacency = tuple(
+            frozenset(chunk.tolist()) for chunk in neighbour_lists
+        )
+        graph._adjacency_bits = None
+        graph._csr = (indptr, indices)
+        graph._packed = None
         return graph
 
     def _check_node(self, j: int) -> None:
@@ -177,6 +245,95 @@ class InterferenceGraph:
                 masks.append(mask)
             self._adjacency_bits = tuple(masks)
         return self._adjacency_bits
+
+    def neighbor_csr(self):
+        """Per-node neighbour lists in CSR form: ``(indptr, indices)``.
+
+        ``indices[indptr[j]:indptr[j + 1]]`` is buyer ``j``'s neighbour
+        set as an ascending ``int32`` array.  This is the zero-copy,
+        array-native view the struct-of-arrays Stage-I path consumes when
+        linking pool arrivals into the packed adjacency rows.  Built
+        lazily (vectorised from the bitmasks when they exist, otherwise
+        from the adjacency sets) and cached for the graph's lifetime.
+        """
+        if self._csr is None:
+            import numpy as np
+
+            n = self._num_buyers
+            if self._adjacency_bits is not None and n:
+                # Unpack the cached Python-int masks in bulk: fixed-width
+                # little-endian bytes -> a (N, N) bit matrix -> nonzero.
+                width = (n + 7) // 8
+                raw = b"".join(
+                    mask.to_bytes(width, "little")
+                    for mask in self._adjacency_bits
+                )
+                bits = np.unpackbits(
+                    np.frombuffer(raw, dtype=np.uint8).reshape(n, width),
+                    axis=1,
+                    bitorder="little",
+                )[:, :n]
+                rows, cols = np.nonzero(bits)
+                indptr = np.zeros(n + 1, dtype=np.int64)
+                np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+                indices = cols.astype(np.int32)
+            else:
+                counts = [len(nbrs) for nbrs in self._adjacency]
+                indptr = np.zeros(n + 1, dtype=np.int64)
+                np.cumsum(np.asarray(counts, dtype=np.int64), out=indptr[1:])
+                indices = np.empty(int(indptr[-1]), dtype=np.int32)
+                for j, nbrs in enumerate(self._adjacency):
+                    if nbrs:
+                        chunk = np.fromiter(nbrs, dtype=np.int32, count=len(nbrs))
+                        chunk.sort()
+                        indices[indptr[j] : indptr[j + 1]] = chunk
+            self._csr = (indptr, indices)
+        return self._csr
+
+    def packed_rows(self):
+        """Adjacency as a dense ``(N, ceil(N/64))`` uint64 bit matrix.
+
+        Row ``j`` packs buyer ``j``'s neighbourhood little-endian over
+        buyer-id bit positions -- the array-native counterpart of
+        :attr:`adjacency_bits` consumed by the struct-of-arrays Stage-I
+        pool caches.  Dense in ``N``, so callers should only use it for
+        small-to-medium markets (the SoA layer falls back to CSR-based
+        pool rows above its density threshold).  Built lazily and cached
+        for the graph's lifetime.
+        """
+        if self._packed is None:
+            import numpy as np
+
+            n = self._num_buyers
+            words = (n + 63) // 64 if n else 1
+            indptr, indices = self.neighbor_csr()
+            bits = np.zeros((n, words * 64), dtype=bool)
+            if indices.size:
+                src = np.repeat(
+                    np.arange(n, dtype=np.int64), np.diff(indptr)
+                )
+                bits[src, indices] = True
+            self._packed = np.packbits(
+                bits, axis=1, bitorder="little"
+            ).view(np.uint64)
+        return self._packed
+
+    def edge_arrays(self):
+        """Edges as parallel arrays ``(u, v)`` with ``u < v``, lexsorted.
+
+        The inverse of :meth:`from_edge_arrays`: a compact, picklable and
+        shareable description of the graph used to ship interference
+        structure across process boundaries (shared-memory sweeps)
+        without serialising per-node Python sets.
+        """
+        import numpy as np
+
+        indptr, indices = self.neighbor_csr()
+        src = np.repeat(
+            np.arange(self._num_buyers, dtype=np.int32), np.diff(indptr)
+        )
+        upper = src < indices
+        return src[upper], indices[upper].copy()
 
     # ------------------------------------------------------------------
     # Coalition-level queries

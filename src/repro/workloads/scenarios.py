@@ -35,6 +35,7 @@ __all__ = [
     "toy_example_market",
     "counterexample_market",
     "paper_simulation_market",
+    "sparse_simulation_market",
     "physical_market_example",
     "homogeneous_market",
 ]
@@ -165,6 +166,49 @@ def paper_simulation_market(
         utilities,
         deployment.interference_map(),
         mwis_algorithm=mwis_algorithm,
+    )
+
+
+def sparse_simulation_market(
+    num_buyers: int,
+    num_channels: int,
+    rng: np.random.Generator,
+    density: float = 5.0,
+    max_range: float = 1.0,
+    mwis_algorithm: MwisAlgorithm = MwisAlgorithm.GWMIN,
+) -> SpectrumMarket:
+    """A constant-density large market for the scalability benches.
+
+    :func:`paper_simulation_market` keeps the paper's fixed ``10 x 10``
+    area, so pushing ``N`` to the tens of thousands makes every disk
+    cover a constant *fraction* of the buyers -- ``O(N^2)`` edges and an
+    ``O(N^2)`` distance matrix.  Scalability runs instead hold the
+    spatial buyer *density* fixed (``area_side = sqrt(N / density)``),
+    which keeps expected interference degree bounded (at most
+    ``density * pi * max_range^2``) while ``N`` grows, and build each
+    channel's graph through the KD-tree sparse path
+    (:func:`~repro.interference.geometric.sparse_disk_interference_graph`,
+    ``O(E)`` memory).  Everything else follows Section V-A: uniform
+    locations, per-channel ranges uniform on ``(0, max_range]``, i.i.d.
+    U[0,1] utilities.
+    """
+    from repro.interference.geometric import sparse_disk_interference_graph
+    from repro.interference.graph import InterferenceMap
+    from repro.workloads.deployment import random_transmission_ranges
+
+    if density <= 0:
+        raise ValueError(f"density must be positive, got {density}")
+    area_side = float(np.sqrt(num_buyers / density))
+    locations = rng.uniform(0.0, area_side, size=(num_buyers, 2))
+    ranges = random_transmission_ranges(
+        num_channels, rng, max_range=max_range
+    )
+    interference = InterferenceMap(
+        [sparse_disk_interference_graph(locations, r) for r in ranges]
+    )
+    utilities = iid_uniform_utilities(num_buyers, num_channels, rng)
+    return SpectrumMarket(
+        utilities, interference, mwis_algorithm=mwis_algorithm
     )
 
 

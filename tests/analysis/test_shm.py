@@ -1,0 +1,115 @@
+"""Shared-memory array transport: lifecycle, caching, leak hygiene."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis import shm
+from repro.analysis.shm import (
+    SharedArrayBundle,
+    attach,
+    clear_attach_cache,
+)
+from repro.errors import SpectrumMatchingError
+
+SHM_DIR = "/dev/shm"
+
+
+def _segment_files(bundle: SharedArrayBundle):
+    return [
+        os.path.join(SHM_DIR, spec.shm_name.lstrip("/"))
+        for _, spec in bundle.manifest.segments
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _clean_attach_cache():
+    clear_attach_cache()
+    yield
+    clear_attach_cache()
+
+
+class TestBundleLifecycle:
+    def test_roundtrip_preserves_values_dtype_shape(self):
+        arrays = {
+            "matrix": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "ids": np.array([5, 7], dtype=np.int32),
+            "empty": np.zeros((0,), dtype=np.float64),
+        }
+        with SharedArrayBundle(arrays) as bundle:
+            attached = attach(bundle.manifest)
+            assert set(attached) == set(arrays)
+            for name, original in arrays.items():
+                np.testing.assert_array_equal(attached[name], original)
+                assert attached[name].dtype == original.dtype
+                assert attached[name].shape == original.shape
+            clear_attach_cache()
+
+    def test_attached_views_are_read_only(self):
+        with SharedArrayBundle({"a": np.ones(4)}) as bundle:
+            view = attach(bundle.manifest)["a"]
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0] = 2.0
+            clear_attach_cache()
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(SpectrumMatchingError):
+            SharedArrayBundle({})
+
+    def test_manifest_is_small_and_picklable(self):
+        with SharedArrayBundle({"big": np.zeros((512, 512))}) as bundle:
+            blob = pickle.dumps(bundle.manifest)
+            # The whole point: ~2 MiB of array rides the pipe as a few
+            # hundred manifest bytes.
+            assert len(blob) < 1024
+            assert pickle.loads(blob) == bundle.manifest
+            clear_attach_cache()
+
+    def test_close_unlinks_segments(self):
+        bundle = SharedArrayBundle({"a": np.ones(8), "b": np.zeros(3)})
+        files = _segment_files(bundle)
+        assert all(os.path.exists(path) for path in files)
+        bundle.close()
+        assert bundle.closed
+        assert not any(os.path.exists(path) for path in files)
+        bundle.close()  # idempotent
+
+    def test_attach_after_close_fails_cleanly(self):
+        bundle = SharedArrayBundle({"a": np.ones(2)})
+        manifest = bundle.manifest
+        bundle.close()
+        with pytest.raises(FileNotFoundError):
+            attach(manifest)
+
+    def test_gc_finalizer_unlinks_leaked_bundle(self):
+        bundle = SharedArrayBundle({"a": np.ones(4)})
+        files = _segment_files(bundle)
+        del bundle
+        assert not any(os.path.exists(path) for path in files)
+
+
+class TestAttachCache:
+    def test_attach_is_cached_per_token(self):
+        with SharedArrayBundle({"a": np.arange(3.0)}) as bundle:
+            first = attach(bundle.manifest)
+            second = attach(bundle.manifest)
+            assert first["a"] is second["a"]
+            clear_attach_cache()
+
+    def test_new_token_evicts_stale_mappings(self):
+        first = SharedArrayBundle({"a": np.ones(2)})
+        try:
+            attach(first.manifest)
+            assert first.token in shm._ATTACHED
+            with SharedArrayBundle({"b": np.zeros(2)}) as second:
+                attach(second.manifest)
+                assert first.token not in shm._ATTACHED
+                assert second.token in shm._ATTACHED
+                clear_attach_cache()
+        finally:
+            first.close()

@@ -1,0 +1,121 @@
+"""Unit tests for the perf gate's multi-core parallel-speedup rule.
+
+``benchmarks/compare_perf.py`` must fail a run whose sweep report shows
+``parallel_speedup <= 1`` on a multi-core machine, and skip the rule
+cleanly on single-core runners where beating serial is impossible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.compare_perf import check_parallel_speedup, main
+
+
+def _sweep_report(speedup, cpu_count, **overrides):
+    report = {
+        "benchmark": "sweep",
+        "serial": {"median_s": 0.40},
+        "parallel": {"median_s": 0.40 / speedup if speedup else 0.40},
+        "parallel_speedup": speedup,
+        "identical_rows": True,
+        "jobs": 2,
+        "env": {"python": "3.11.7", "cpu_count": cpu_count, "jobs": 2},
+    }
+    report.update(overrides)
+    return report
+
+
+class TestCheckParallelSpeedup:
+    def test_single_core_skips_cleanly(self):
+        assert check_parallel_speedup(_sweep_report(0.67, cpu_count=1)) is None
+
+    def test_multi_core_winning_passes(self):
+        assert check_parallel_speedup(_sweep_report(1.62, cpu_count=4)) is None
+
+    def test_multi_core_losing_fails(self):
+        failure = check_parallel_speedup(_sweep_report(0.93, cpu_count=4))
+        assert failure is not None
+        assert "0.93x" in failure and "4-core" in failure
+
+    def test_exactly_one_is_not_a_win(self):
+        assert check_parallel_speedup(_sweep_report(1.0, cpu_count=2))
+
+    def test_missing_speedup_fails_on_multi_core(self):
+        report = _sweep_report(1.5, cpu_count=8)
+        del report["parallel_speedup"]
+        failure = check_parallel_speedup(report)
+        assert failure is not None and "missing" in failure
+
+    def test_unknown_environment_skips(self):
+        # A report with no env block (or a mangled one) cannot prove the
+        # machine was multi-core, so the rule must not fire.
+        report = _sweep_report(0.5, cpu_count=1)
+        del report["env"]
+        assert check_parallel_speedup(report) is None
+        assert (
+            check_parallel_speedup(_sweep_report(0.5, cpu_count="n/a")) is None
+        )
+
+
+class TestGateIntegration:
+    """End-to-end through ``compare_perf.main`` on tmp report dirs."""
+
+    def _write(self, directory, report):
+        os.makedirs(directory, exist_ok=True)
+        with open(
+            os.path.join(directory, "BENCH_sweep.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(report, handle)
+
+    def _run(self, tmp_path, baseline, current, *extra):
+        base_dir = str(tmp_path / "baseline")
+        cur_dir = str(tmp_path / "current")
+        self._write(base_dir, baseline)
+        self._write(cur_dir, current)
+        return main([cur_dir, "--baseline-dir", base_dir, *extra])
+
+    def test_multi_core_regression_fails(self, tmp_path, capsys):
+        baseline = _sweep_report(1.5, cpu_count=4)
+        current = _sweep_report(0.85, cpu_count=4)
+        assert self._run(tmp_path, baseline, current) == 1
+        assert "parallel_speedup" in capsys.readouterr().out
+
+    def test_rule_applies_in_ratios_only_mode(self, tmp_path):
+        # The rule keys off the *current* machine, so CI's ratios-only
+        # mode must enforce it too.
+        baseline = _sweep_report(1.5, cpu_count=4)
+        current = _sweep_report(0.85, cpu_count=4)
+        assert self._run(tmp_path, baseline, current, "--ratios-only") == 1
+
+    def test_single_core_current_passes(self, tmp_path):
+        # Baseline from a multi-core box, current run on a single-core
+        # runner (CI's cross-machine ratios-only mode): the rule skips,
+        # nothing else regressed, gate passes.
+        baseline = _sweep_report(1.5, cpu_count=4)
+        current = _sweep_report(0.67, cpu_count=1)
+        assert self._run(tmp_path, baseline, current, "--ratios-only") == 0
+
+    def test_multi_core_win_passes(self, tmp_path):
+        baseline = _sweep_report(1.2, cpu_count=4)
+        current = _sweep_report(1.4, cpu_count=4)
+        assert self._run(tmp_path, baseline, current) == 0
+
+
+class TestCommittedBaselines:
+    """The committed baselines must themselves satisfy the gate."""
+
+    def test_committed_sweep_reports_pass_the_rule(self):
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        for rel in (
+            "benchmarks/baselines/BENCH_sweep.json",
+            "benchmarks/baselines/quick/BENCH_sweep.json",
+        ):
+            with open(os.path.join(root, rel), "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+            assert check_parallel_speedup(report) is None, rel
+            # Honest metadata: the env block records the producing
+            # machine and the sweep's worker count.
+            assert report["env"]["cpu_count"] >= 1
+            assert report["env"]["jobs"] >= 2

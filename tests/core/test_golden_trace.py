@@ -23,6 +23,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.core.soa import BATCH_STAGE1_ENV
 from repro.core.two_stage import run_two_stage
 from repro.interference.bitset import FAST_KERNELS_ENV
 from repro.obs import JsonlEventSink, Recorder, use_recorder
@@ -56,11 +57,19 @@ def generate_trace() -> str:
     return buffer.getvalue()
 
 
-@pytest.mark.parametrize("kernel_mode", ["fast", "reference"])
+@pytest.mark.parametrize("kernel_mode", ["batched", "scalar", "reference"])
 def test_trace_matches_golden_file(monkeypatch, kernel_mode):
-    if kernel_mode == "fast":
-        monkeypatch.delenv(FAST_KERNELS_ENV, raising=False)
-    else:
+    """All three Stage-I paths must replay the golden trace byte-exactly.
+
+    ``batched`` is the default SoA fast path, ``scalar`` the per-seller
+    bitset kernels (``SPECTRUM_BATCH_STAGE1=0``), ``reference`` the
+    set-based loops (``SPECTRUM_FAST_KERNELS=0``).
+    """
+    monkeypatch.delenv(FAST_KERNELS_ENV, raising=False)
+    monkeypatch.delenv(BATCH_STAGE1_ENV, raising=False)
+    if kernel_mode == "scalar":
+        monkeypatch.setenv(BATCH_STAGE1_ENV, "0")
+    elif kernel_mode == "reference":
         monkeypatch.setenv(FAST_KERNELS_ENV, "0")
     with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
         golden = handle.read()

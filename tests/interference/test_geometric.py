@@ -9,6 +9,7 @@ from repro.errors import MarketConfigurationError
 from repro.interference.geometric import (
     build_geometric_interference_map,
     disk_interference_graph,
+    sparse_disk_interference_graph,
 )
 
 
@@ -72,3 +73,34 @@ class TestGeometricMap:
     def test_requires_a_channel(self):
         with pytest.raises(MarketConfigurationError):
             build_geometric_interference_map([(0.0, 0.0)], [])
+
+
+class TestSparseDiskGraph:
+    """The KD-tree builder must produce the *same graph* as the dense one."""
+
+    @pytest.mark.parametrize("transmission_range", [0.5, 2.0, 5.0])
+    def test_identical_to_dense_builder(self, rng, transmission_range):
+        locations = rng.uniform(0, 10, size=(120, 2))
+        dense = disk_interference_graph(locations, transmission_range)
+        sparse = sparse_disk_interference_graph(locations, transmission_range)
+        assert sparse.num_buyers == dense.num_buyers
+        assert sparse.num_edges == dense.num_edges
+        for node in range(dense.num_buyers):
+            assert sorted(sparse.neighbors(node)) == sorted(
+                dense.neighbors(node)
+            )
+
+    def test_boundary_distance_included(self):
+        # dist == r is an edge under the disk model, both builders.
+        locations = [(0.0, 0.0), (2.0, 0.0)]
+        assert sparse_disk_interference_graph(locations, 2.0).interferes(0, 1)
+        assert not sparse_disk_interference_graph(locations, 1.99).interferes(
+            0, 1
+        )
+
+    def test_empty_and_invalid_inputs(self):
+        assert sparse_disk_interference_graph(
+            np.zeros((0, 2)), 1.0
+        ).num_buyers == 0
+        with pytest.raises(MarketConfigurationError):
+            sparse_disk_interference_graph([(0.0, 0.0)], 0.0)

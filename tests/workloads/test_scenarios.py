@@ -10,6 +10,7 @@ from repro.workloads.scenarios import (
     counterexample_market,
     paper_simulation_market,
     physical_market_example,
+    sparse_simulation_market,
     toy_example_market,
 )
 
@@ -99,3 +100,37 @@ class TestPhysicalExample:
         # clones of isp0 are virtual buyers 0 and 1
         for channel in range(market.num_channels):
             assert market.interference.interferes(channel, 0, 1)
+
+
+class TestSparseSimulationMarket:
+    def test_constant_density_caps_degree(self):
+        # Doubling N doubles the area, so the average interference
+        # degree stays bounded by density * pi * max_range^2 instead of
+        # growing with N.
+        degrees = []
+        for num_buyers in (400, 800):
+            market = sparse_simulation_market(
+                num_buyers, 3, np.random.default_rng([5, num_buyers])
+            )
+            total = sum(
+                market.graph(c).num_edges for c in range(market.num_channels)
+            )
+            degrees.append(2.0 * total / (num_buyers * market.num_channels))
+        cap = 5.0 * np.pi * 1.0**2  # density * pi * max_range^2
+        assert all(avg <= 2.0 * cap for avg in degrees)
+
+    def test_market_is_well_formed(self):
+        market = sparse_simulation_market(
+            60, 4, np.random.default_rng(3), mwis_algorithm=MwisAlgorithm.GWMIN2
+        )
+        assert market.num_buyers == 60
+        assert market.num_channels == 4
+        assert market.mwis_algorithm is MwisAlgorithm.GWMIN2
+        assert np.all(market.utilities >= 0.0)
+
+    def test_deterministic_for_a_seed(self):
+        a = sparse_simulation_market(50, 3, np.random.default_rng([7, 50]))
+        b = sparse_simulation_market(50, 3, np.random.default_rng([7, 50]))
+        np.testing.assert_array_equal(a.utilities, b.utilities)
+        for channel in range(3):
+            assert a.graph(channel).num_edges == b.graph(channel).num_edges
