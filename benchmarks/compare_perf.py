@@ -60,6 +60,53 @@ _INVARIANT_KEYS = {
 #: over calling the backend directly.
 _MAX_RATIO_KEYS = {"BENCH_dispatch.json": ("overhead", 1.02)}
 
+#: Ratchet on the committed sweep baseline's recorded environment: a
+#: regenerated BENCH_sweep.json must come from a machine with at least
+#: this many cores.  The current baselines were produced on a
+#: single-core container (env.cpu_count == 1, where the
+#: ``parallel_speedup > 1`` rule is physically unsatisfiable and skips),
+#: so the ratchet starts at 1.  The day a multi-core baseline lands,
+#: bump this to 2: from then on any regeneration that silently degrades
+#: back to single-core env metadata fails the gate instead of quietly
+#: re-disabling the speedup rule.
+REQUIRED_BASELINE_CPUS = 1
+
+
+def check_baseline_env(
+    baseline: Dict[str, object],
+    required_cpus: int = REQUIRED_BASELINE_CPUS,
+) -> Optional[str]:
+    """Guard the *baseline* sweep report's environment metadata.
+
+    Returns a failure line when the committed baseline lacks an ``env``
+    block, does not record ``cpu_count``, or was produced on fewer than
+    ``required_cpus`` cores -- i.e. when a regeneration regressed the
+    baseline to an environment where the multi-core
+    ``parallel_speedup`` rule cannot engage.  Returns ``None`` when the
+    metadata holds.
+    """
+    env = baseline.get("env")
+    if not isinstance(env, dict) or "cpu_count" not in env:
+        return (
+            "BENCH_sweep.json: baseline has no env.cpu_count record "
+            "(regenerate with benchmarks/perf_harness.py)"
+        )
+    try:
+        cpu_count = int(env["cpu_count"])
+    except (TypeError, ValueError):
+        return (
+            f"BENCH_sweep.json: baseline env.cpu_count "
+            f"{env['cpu_count']!r} is not an integer"
+        )
+    if cpu_count < required_cpus:
+        return (
+            f"BENCH_sweep.json: baseline env.cpu_count {cpu_count} is "
+            f"below the required {required_cpus} (baseline regenerated "
+            f"on a weaker machine; the parallel_speedup rule would "
+            f"silently stop engaging)"
+        )
+    return None
+
 
 def check_parallel_speedup(current: Dict[str, object]) -> Optional[str]:
     """Gate the sweep report's ``parallel_speedup`` on multi-core hosts.
@@ -133,6 +180,9 @@ def _check_report(
         parallel_failure = check_parallel_speedup(current)
         if parallel_failure is not None:
             yield parallel_failure
+        env_failure = check_baseline_env(baseline)
+        if env_failure is not None:
+            yield env_failure
     max_ratio = _MAX_RATIO_KEYS.get(name)
     if max_ratio is not None:
         key, ceiling = max_ratio

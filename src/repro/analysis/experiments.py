@@ -18,7 +18,6 @@ perturbs earlier ones.
 from __future__ import annotations
 
 import enum
-import warnings
 from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -243,22 +242,20 @@ def _run_tasks(
 def _resolve_optimal_solver(
     solver: Optional[str], use_bruteforce: Optional[bool]
 ) -> str:
-    """Fold the deprecated ``use_bruteforce`` flag into a registry name."""
-    if use_bruteforce is not None:
-        warnings.warn(
-            "use_bruteforce= is deprecated; pass solver='bruteforce' or "
-            "solver='branch_and_bound' instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        mapped = "bruteforce" if use_bruteforce else DEFAULT_OPTIMAL_SOLVER
-        if solver is not None and solver != mapped:
-            raise SpectrumMatchingError(
-                f"conflicting benchmark selection: solver={solver!r} vs "
-                f"use_bruteforce={use_bruteforce!r} (which means {mapped!r})"
-            )
-        return mapped
-    return solver if solver is not None else DEFAULT_OPTIMAL_SOLVER
+    """Fold the deprecated ``use_bruteforce`` flag into a registry name.
+
+    Delegates to :meth:`repro.run.spec.EngineSpec.from_use_bruteforce`
+    so the deprecation warning, the conflict diagnostic and the mapping
+    live in exactly one place (the CLI's ``repro run`` path shares it).
+    """
+    from repro.run.spec import EngineSpec
+
+    return EngineSpec.from_use_bruteforce(
+        use_bruteforce,
+        solver=solver,
+        default=DEFAULT_OPTIMAL_SOLVER,
+        stacklevel=4,
+    ).name
 
 
 def optimal_comparison_series(

@@ -24,6 +24,11 @@ Commands
 ``solvers``
     List the solver registry (``solvers list``), optionally filtered by
     capability.
+``run``
+    Execute a declarative :class:`~repro.run.spec.RunSpec` JSON file --
+    the spec any run subcommand prints with ``--dry-run``.  One spec file
+    replaces an arbitrarily flag-heavy invocation and executes through
+    the identical Session path.
 ``trace``
     Offline trace analysis: ``summarize`` one JSONL trace, ``diff`` two
     traces to the first behavioural divergence (with its causal message
@@ -31,9 +36,15 @@ Commands
     ``causality`` to explain one agent's outcome as message chains.
 
 Every run command additionally accepts ``--trace-out PATH`` (stream a
-JSONL event trace with a run manifest) and ``--metrics`` (print a metrics
-and span summary after the command's normal output); see the
-Observability and Trace analysis sections of ``docs/architecture.md``.
+JSONL event trace with a run manifest), ``--metrics`` (print a metrics
+and span summary after the command's normal output) and ``--dry-run``
+(print the equivalent RunSpec JSON instead of executing); see the
+Observability and Run model sections of ``docs/architecture.md``.
+
+Internally every run subcommand is a thin adapter: parsed flags become a
+:class:`~repro.run.spec.RunSpec` (see :func:`_spec_from_args`) and the
+command bodies consume the spec, so ``repro toy`` and ``repro run
+toy-spec.json`` execute byte-identically.
 """
 
 from __future__ import annotations
@@ -41,9 +52,7 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
-from typing import List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Optional, Sequence, Tuple
 
 from repro.analysis.paper_figures import figure_spec, run_figure
 from repro.analysis.reporting import format_experiment_rows, rows_to_csv
@@ -52,18 +61,26 @@ from repro.core.stability import (
     is_pairwise_stable,
     pairwise_blocking_pairs,
 )
-from repro.core.two_stage import run_two_stage
-from repro.distributed.protocol import run_distributed_matching
-from repro.distributed.transition import adaptive_policy, default_policy
-from repro.obs import (
-    JsonlEventSink,
-    MetricsRegistry,
-    Recorder,
-    SpanTracer,
-    build_manifest,
-    format_metrics_summary,
-    get_recorder,
-    use_recorder,
+from repro.obs import format_metrics_summary, get_recorder, use_recorder
+from repro.run.session import (
+    build_market,
+    build_recorder,
+    build_slo_engine,
+    execute_distributed,
+    execute_durable,
+    execute_two_stage,
+    start_telemetry_server,
+)
+from repro.run.spec import (
+    RUN_COMMANDS,
+    DurabilitySpec,
+    EngineSpec,
+    FaultSpec,
+    MarketSpec,
+    ParallelSpec,
+    RunSpec,
+    TelemetrySpec,
+    WorkloadSpec,
 )
 from repro.workloads.scenarios import (
     counterexample_market,
@@ -78,9 +95,13 @@ _FIG7_SERIES = ["welfare_stage1", "welfare_phase1", "welfare_phase2"]
 _FIG8_SERIES = ["rounds_stage1", "rounds_phase1", "rounds_phase2"]
 
 
-def _add_observability_args(parser: argparse.ArgumentParser) -> None:
-    """Attach the cross-command observability flags to one subcommand."""
-    group = parser.add_argument_group("observability")
+# ----------------------------------------------------------------------
+# Shared parent parsers (each cross-command flag is defined exactly once)
+# ----------------------------------------------------------------------
+def _observability_parent() -> argparse.ArgumentParser:
+    """The observability flags every run subcommand shares."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
     group.add_argument(
         "--trace-out",
         metavar="PATH",
@@ -147,6 +168,55 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
             "only, default) or fail (exit nonzero)"
         ),
     )
+    return parent
+
+
+def _durability_parent() -> argparse.ArgumentParser:
+    """The durable-run flags shared by checkpointable subcommands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("durability")
+    group.add_argument(
+        "--checkpoint-dir",
+        metavar="RUN_DIR",
+        default=None,
+        help=(
+            "run durably: write a WAL, periodic state checkpoints and the "
+            "run's own trace into RUN_DIR (resume later with "
+            "'repro resume RUN_DIR')"
+        ),
+    )
+    group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="snapshot state every N committed epochs/slots (default 10)",
+    )
+    group.add_argument(
+        "--inject-stall-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "testing hook: stop making progress after N WAL records (the "
+            "run then waits to be SIGKILLed; requires --checkpoint-dir)"
+        ),
+    )
+    return parent
+
+
+def _dry_run_parent() -> argparse.ArgumentParser:
+    """The ``--dry-run`` flag every spec-driven subcommand shares."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--dry-run",
+        action="store_true",
+        help=(
+            "print the run's declarative spec as JSON and exit without "
+            "executing (feed it back with 'repro run SPEC.json')"
+        ),
+    )
+    return parent
 
 
 def _parse_crash_spec(spec: str):
@@ -182,38 +252,6 @@ def _parse_partition_spec(spec: str):
         )
 
 
-def _add_durability_args(parser: argparse.ArgumentParser) -> None:
-    """Attach the durable-run flags to one run subcommand."""
-    group = parser.add_argument_group("durability")
-    group.add_argument(
-        "--checkpoint-dir",
-        metavar="RUN_DIR",
-        default=None,
-        help=(
-            "run durably: write a WAL, periodic state checkpoints and the "
-            "run's own trace into RUN_DIR (resume later with "
-            "'repro resume RUN_DIR')"
-        ),
-    )
-    group.add_argument(
-        "--checkpoint-every",
-        type=int,
-        default=10,
-        metavar="N",
-        help="snapshot state every N committed epochs/slots (default 10)",
-    )
-    group.add_argument(
-        "--inject-stall-after",
-        type=int,
-        default=None,
-        metavar="N",
-        help=(
-            "testing hook: stop making progress after N WAL records (the "
-            "run then waits to be SIGKILLed; requires --checkpoint-dir)"
-        ),
-    )
-
-
 def _parse_config_entry(text: str) -> Tuple[str, object]:
     """Parse one ``--config KEY=VALUE`` pair.
 
@@ -240,11 +278,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="Spectrum Matching (ICDCS 2016) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    subcommands = []
+
+    obs = _observability_parent()
+    durability = _durability_parent()
+    dry_run = _dry_run_parent()
+    run_parents = [obs, dry_run]
 
     for figure in (6, 7, 8):
         fig_parser = sub.add_parser(
-            f"fig{figure}", help=f"regenerate a panel of the paper's Fig. {figure}"
+            f"fig{figure}",
+            help=f"regenerate a panel of the paper's Fig. {figure}",
+            parents=run_parents,
         )
         fig_parser.add_argument(
             "--panel", choices=["a", "b", "c"], default="a", help="figure panel"
@@ -271,20 +315,22 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="also save the full series (mean/std/CI) as JSON",
         )
-        subcommands.append(fig_parser)
 
-    subcommands.append(
-        sub.add_parser("toy", help="replay the paper's toy example (Figs. 1-2)")
+    sub.add_parser(
+        "toy",
+        help="replay the paper's toy example (Figs. 1-2)",
+        parents=run_parents,
     )
-    subcommands.append(
-        sub.add_parser(
-            "counterexample",
-            help="show the Section III-D pairwise-instability counterexample",
-        )
+    sub.add_parser(
+        "counterexample",
+        help="show the Section III-D pairwise-instability counterexample",
+        parents=run_parents,
     )
 
     dist = sub.add_parser(
-        "distributed", help="run the Section IV message-level protocol"
+        "distributed",
+        help="run the Section IV message-level protocol",
+        parents=run_parents,
     )
     dist.add_argument("--buyers", type=int, default=30)
     dist.add_argument("--sellers", type=int, default=5)
@@ -306,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Run the Section IV protocol with a declarative fault schedule "
             "and report convergence, welfare and fault accounting."
         ),
+        parents=[obs, durability, dry_run],
     )
     chaos.add_argument("--buyers", type=int, default=10)
     chaos.add_argument("--sellers", type=int, default=3)
@@ -361,7 +408,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     swaps = sub.add_parser(
-        "swaps", help="run Stage III coordinated swaps (Section III-D future work)"
+        "swaps",
+        help="run Stage III coordinated swaps (Section III-D future work)",
+        parents=run_parents,
     )
     swaps.add_argument("--buyers", type=int, default=14)
     swaps.add_argument("--sellers", type=int, default=4)
@@ -373,7 +422,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     dyn = sub.add_parser(
-        "dynamic", help="simulate an evolving market (warm vs cold re-matching)"
+        "dynamic",
+        help="simulate an evolving market (warm vs cold re-matching)",
+        parents=[obs, durability, dry_run],
     )
     dyn.add_argument("--epochs", type=int, default=12)
     dyn.add_argument("--buyers", type=int, default=40)
@@ -402,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
             "re-executed step against the write-ahead log) and finish the "
             "run. Already-completed runs are reported idempotently."
         ),
+        parents=[obs],
     )
     resume.add_argument(
         "run_dir", metavar="RUN_DIR", help="durable run directory"
@@ -417,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
             "resume') with exponential backoff until the retry budget or "
             "deadline runs out."
         ),
+        parents=[obs],
     )
     supervise.add_argument(
         "--run-dir",
@@ -471,11 +524,14 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report",
         help="fast one-page replication check of the paper's headline claims",
+        parents=run_parents,
     )
     report.add_argument("--seed", type=int, default=0)
 
     solve = sub.add_parser(
-        "solve", help="run one registered solver and print its report"
+        "solve",
+        help="run one registered solver and print its report",
+        parents=run_parents,
     )
     solve.add_argument(
         "--solver",
@@ -509,13 +565,32 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
-    solvers = sub.add_parser("solvers", help="inspect the solver registry")
+    solvers = sub.add_parser(
+        "solvers", help="inspect the solver registry", parents=[obs]
+    )
     solvers.add_argument("action", choices=["list"], help="what to do")
     solvers.add_argument(
         "--capability",
         choices=["exact", "heuristic", "bound_only", "decentralized"],
         default=None,
         help="only show solvers with this capability",
+    )
+
+    run_cmd = sub.add_parser(
+        "run",
+        help="execute a declarative RunSpec JSON file",
+        description=(
+            "Execute a run described by a RunSpec JSON document -- the "
+            "spec any run subcommand emits with --dry-run. Telemetry, "
+            "faults and durability all come from the spec, so one file "
+            "replaces an arbitrarily flag-heavy invocation."
+        ),
+        parents=[dry_run],
+    )
+    run_cmd.add_argument(
+        "spec",
+        metavar="SPEC",
+        help="RunSpec JSON path (write one with '<subcommand> --dry-run')",
     )
 
     trace = sub.add_parser(
@@ -621,18 +696,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="append frames instead of clearing the screen (log-friendly)",
     )
 
-    subcommands.extend(
-        [dist, chaos, swaps, dyn, report, solve, solvers, resume, supervise]
-    )
-    for subcommand in subcommands:
-        _add_observability_args(subcommand)
-    for subcommand in (chaos, dyn):
-        _add_durability_args(subcommand)
     return parser
 
 
 #: Flags consumed by the observability harness itself, excluded from the
-#: manifest's config record.
+#: manifest's config record of non-spec commands.
 _OBS_FLAGS = (
     "trace_out",
     "metrics",
@@ -645,81 +713,182 @@ _OBS_FLAGS = (
 )
 
 
-def _build_recorder(args: argparse.Namespace) -> Recorder:
-    """Assemble the run's recorder from the parsed observability flags.
+# ----------------------------------------------------------------------
+# Flags -> RunSpec adapters
+# ----------------------------------------------------------------------
+def _durability_from_args(args: argparse.Namespace) -> DurabilitySpec:
+    return DurabilitySpec(
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_every=int(getattr(args, "checkpoint_every", 10)),
+        inject_stall_after=getattr(args, "inject_stall_after", None),
+    )
 
-    ``--trace-out`` turns on the event sink (with a manifest header built
-    from the parsed arguments) and span tracing (spans are mirrored into
-    the trace); ``--metrics``, ``--metrics-out``, ``--serve-metrics`` and
-    ``--slo`` all turn on the metrics registry; ``--serve-metrics`` and
-    ``--slo`` additionally turn on the live run registry (the ``/runs``
-    endpoint and the SLO engine's heartbeat/liveness signals).  With no
-    flags this returns an all-null recorder and the command runs exactly
-    as before.
+
+def _spec_from_args(args: argparse.Namespace) -> RunSpec:
+    """Translate one run subcommand's parsed flags into its RunSpec.
+
+    This is the single place where CLI flags meet the declarative run
+    model; the command implementations below consume only the spec, so
+    ``repro <command> <flags>`` and ``repro run <spec.json>`` execute the
+    identical path.
     """
-    trace_out = getattr(args, "trace_out", None)
-    want_metrics = bool(
-        getattr(args, "metrics", False)
-        or getattr(args, "metrics_out", None)
-        or getattr(args, "serve_metrics", None)
-        or getattr(args, "slo", [])
-    )
-    want_runs = bool(
-        getattr(args, "serve_metrics", None) or getattr(args, "slo", [])
-    )
-    if trace_out is None and not want_metrics and not want_runs:
-        return Recorder()
-    events = None
-    if trace_out is not None:
-        config = {
-            key: value
-            for key, value in vars(args).items()
-            if key not in _OBS_FLAGS
-        }
-        events = JsonlEventSink(
-            trace_out,
-            manifest=build_manifest(
-                seed=getattr(args, "seed", None), config=config
+    command = args.command
+    telemetry = TelemetrySpec.from_args(args)
+    if command in ("fig6", "fig7", "fig8"):
+        return RunSpec(
+            command=command,
+            market=MarketSpec(seed=args.seed),
+            engine=EngineSpec(
+                name="figure",
+                options={
+                    "panel": args.panel,
+                    "repetitions": args.repetitions,
+                    "csv": args.csv,
+                    "json_out": args.json,
+                },
             ),
-            flush_every=int(getattr(args, "trace_flush_every", 1)),
+            telemetry=telemetry,
+            parallel=ParallelSpec(jobs=args.jobs),
         )
-    from repro.obs import RunRegistry
+    if command == "toy":
+        return RunSpec(
+            command="toy",
+            market=MarketSpec(scenario="toy"),
+            telemetry=telemetry,
+        )
+    if command == "counterexample":
+        return RunSpec(
+            command="counterexample",
+            market=MarketSpec(scenario="counterexample"),
+            telemetry=telemetry,
+        )
+    if command == "distributed":
+        return RunSpec(
+            command="distributed",
+            market=MarketSpec(
+                buyers=args.buyers, sellers=args.sellers, seed=args.seed
+            ),
+            engine=EngineSpec(
+                name="distributed", options={"policy": args.policy}
+            ),
+            faults=FaultSpec(loss=args.loss),
+            telemetry=telemetry,
+        )
+    if command == "chaos":
+        return RunSpec(
+            command="chaos",
+            market=MarketSpec(
+                buyers=args.buyers, sellers=args.sellers, seed=args.seed
+            ),
+            engine=EngineSpec(
+                name="distributed", options={"policy": args.policy}
+            ),
+            faults=FaultSpec(
+                loss=args.loss,
+                crashes=tuple(fault.to_spec() for fault in args.crash),
+                partitions=tuple(
+                    fault.to_spec() for fault in args.partition
+                ),
+                deadline_slots=args.deadline_slots,
+                on_timeout=args.on_timeout,
+            ),
+            telemetry=telemetry,
+            durability=_durability_from_args(args),
+        )
+    if command == "swaps":
+        return RunSpec(
+            command="swaps",
+            market=MarketSpec(
+                scenario=(
+                    "counterexample" if args.counterexample else "paper"
+                ),
+                buyers=args.buyers,
+                sellers=args.sellers,
+                seed=args.seed,
+            ),
+            engine=EngineSpec(name="swaps"),
+            telemetry=telemetry,
+        )
+    if command == "dynamic":
+        return RunSpec(
+            command="dynamic",
+            market=MarketSpec(
+                buyers=args.buyers,
+                sellers=args.sellers,
+                seed=args.seed,
+                workload=WorkloadSpec(
+                    epochs=args.epochs,
+                    arrival_rate=args.arrival_rate,
+                    departure_prob=args.departure_prob,
+                    drift=args.drift,
+                    strategy=args.strategy,
+                ),
+            ),
+            engine=EngineSpec(name="dynamic"),
+            telemetry=telemetry,
+            durability=_durability_from_args(args),
+        )
+    if command == "report":
+        return RunSpec(
+            command="report",
+            market=MarketSpec(seed=args.seed),
+            telemetry=telemetry,
+        )
+    if command == "solve":
+        options = dict(args.config)
+        if args.check_stability:
+            options["check_stability"] = True
+        return RunSpec(
+            command="solve",
+            market=MarketSpec(
+                scenario=args.scenario,
+                buyers=args.buyers,
+                sellers=args.sellers,
+                seed=args.seed,
+            ),
+            engine=EngineSpec(name=args.solver, options=options),
+            telemetry=telemetry,
+        )
+    raise AssertionError(f"no spec mapping for command {command!r}")
 
-    return Recorder(
-        events=events,
-        metrics=MetricsRegistry() if want_metrics else None,
-        spans=SpanTracer() if trace_out is not None or getattr(args, "metrics", False) else None,
-        runs=RunRegistry() if want_runs else None,
-    )
 
-
-def _cmd_figure(figure: int, args: argparse.Namespace) -> int:
-    spec = figure_spec(figure, args.panel)
+# ----------------------------------------------------------------------
+# Command implementations (each consumes a RunSpec)
+# ----------------------------------------------------------------------
+def _cmd_figure(figure: int, spec: RunSpec) -> int:
+    options = spec.engine.options
+    panel = options.get("panel", "a")
+    repetitions = options.get("repetitions")
+    fig_spec = figure_spec(figure, panel)
     rows = run_figure(
-        spec, repetitions=args.repetitions, seed=args.seed, jobs=args.jobs
+        fig_spec,
+        repetitions=repetitions,
+        seed=spec.market.seed,
+        jobs=spec.parallel.jobs,
     )
     series = {6: _FIG6_SERIES, 7: _FIG7_SERIES, 8: _FIG8_SERIES}[figure]
-    x_label = spec.axis.value
-    include_srcc = spec.axis.value == "similarity"
-    if args.csv:
+    x_label = fig_spec.axis.value
+    include_srcc = fig_spec.axis.value == "similarity"
+    if options.get("csv"):
         print(rows_to_csv(rows, series, x_label=x_label), end="")
     else:
-        print(f"Fig. {figure}({args.panel}) -- sweep over {x_label}")
+        print(f"Fig. {figure}({panel}) -- sweep over {x_label}")
         print(format_experiment_rows(rows, series, x_label, include_srcc))
-    if args.json:
+    json_out = options.get("json_out")
+    if json_out:
         from repro.analysis.persistence import save_rows
 
         save_rows(
-            args.json,
+            json_out,
             rows,
             metadata={
                 "figure": figure,
-                "panel": args.panel,
-                "seed": args.seed,
-                "repetitions": args.repetitions or spec.default_repetitions,
+                "panel": panel,
+                "seed": spec.market.seed,
+                "repetitions": repetitions or fig_spec.default_repetitions,
             },
         )
-        print(f"saved series to {args.json}")
+        print(f"saved series to {json_out}")
     return 0
 
 
@@ -735,10 +904,10 @@ def _emit_market_created(market, scenario: str) -> None:
         )
 
 
-def _cmd_toy(_args: argparse.Namespace) -> int:
-    market = toy_example_market()
+def _cmd_toy(spec: RunSpec) -> int:
+    market = build_market(spec.market)
     _emit_market_created(market, "toy")
-    result = run_two_stage(market)
+    result = execute_two_stage(market)
     print("Paper toy example (5 buyers, sellers a/b/c)")
     print("-- Stage I (adapted deferred acceptance) --")
     for record in result.stage_one.rounds:
@@ -775,10 +944,10 @@ def _cmd_toy(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_counterexample(_args: argparse.Namespace) -> int:
-    market = counterexample_market()
+def _cmd_counterexample(spec: RunSpec) -> int:
+    market = build_market(spec.market)
     _emit_market_created(market, "counterexample")
-    result = run_two_stage(market)
+    result = execute_two_stage(market)
     matching = result.matching
     print("Section III-D counterexample")
     coalitions = {
@@ -801,38 +970,41 @@ def _cmd_counterexample(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_distributed(args: argparse.Namespace) -> int:
-    rng = np.random.default_rng(args.seed)
-    market = paper_simulation_market(args.buyers, args.sellers, rng)
+def _cmd_distributed(spec: RunSpec) -> int:
+    from repro.distributed.transition import adaptive_policy, default_policy
+
+    market = build_market(spec.market)
     _emit_market_created(market, "paper_simulation")
-    centralized = run_two_stage(market, record_trace=False)
+    centralized = execute_two_stage(market, record_trace=False)
     engine = getattr(get_recorder(), "slo_engine", None)
     if engine is not None:
         engine.set_reference("welfare", centralized.social_welfare)
     print(
-        f"market: N={args.buyers} buyers, M={args.sellers} channels "
-        f"(seed {args.seed}); centralized welfare "
+        f"market: N={spec.market.buyers} buyers, M={spec.market.sellers} "
+        f"channels (seed {spec.market.seed}); centralized welfare "
         f"{centralized.social_welfare:.4f}"
     )
     network = None
     reliable = False
-    if args.loss > 0.0:
+    loss = spec.faults.loss
+    if loss > 0.0:
         from repro.distributed.network import LossyNetwork
 
-        network = LossyNetwork(args.loss)
+        network = LossyNetwork(loss)
         reliable = True
-        print(f"network: {args.loss:.0%} message loss, ARQ transport enabled")
+        print(f"network: {loss:.0%} message loss, ARQ transport enabled")
+    policy_name = spec.engine.options.get("policy", "both")
     policies = []
-    if args.policy in ("default", "both"):
+    if policy_name in ("default", "both"):
         policies.append(("default", default_policy()))
-    if args.policy in ("adaptive", "both"):
+    if policy_name in ("adaptive", "both"):
         policies.append(("adaptive", adaptive_policy()))
     for name, policy in policies:
-        run = run_distributed_matching(
+        run = execute_distributed(
             market,
             policy=policy,
             network=network,
-            seed=args.seed,
+            seed=spec.market.seed,
             reliable_transport=reliable,
         )
         print(
@@ -844,33 +1016,22 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_chaos_durable(args: argparse.Namespace) -> int:
+def _cmd_chaos_durable(spec: RunSpec) -> int:
     from repro.errors import CheckpointError
-    from repro.runtime import run_durable_chaos
 
-    config = {
-        "buyers": args.buyers,
-        "sellers": args.sellers,
-        "seed": args.seed,
-        "policy": args.policy,
-        "loss": args.loss,
-        "crashes": [fault.to_spec() for fault in args.crash],
-        "partitions": [fault.to_spec() for fault in args.partition],
-        "deadline_slots": args.deadline_slots,
-        "on_timeout": args.on_timeout,
-        "checkpoint_every": args.checkpoint_every,
-    }
     try:
-        result = run_durable_chaos(
-            args.checkpoint_dir,
-            config,
+        result = execute_durable(
+            "chaos",
+            spec.durability.checkpoint_dir,
+            spec.durable_identity(),
+            seed=spec.market.seed,
             recorder=get_recorder(),
-            inject_stall_after=args.inject_stall_after,
+            inject_stall_after=spec.durability.inject_stall_after,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    _print_durable_chaos_result(args.checkpoint_dir, result)
+    _print_durable_chaos_result(spec.durability.checkpoint_dir, result)
     return 0
 
 
@@ -894,44 +1055,52 @@ def _print_durable_chaos_result(run_dir: str, result: dict) -> None:
     )
 
 
-def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.distributed.faults import FaultSchedule
+def _cmd_chaos(spec: RunSpec) -> int:
+    from repro.distributed.faults import (
+        CrashFault,
+        FaultSchedule,
+        PartitionFault,
+    )
     from repro.distributed.transition import adaptive_policy, default_policy
     from repro.errors import SimulationError
 
-    error = _require_durable_flags(args)
-    if error is not None:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    if args.checkpoint_dir is not None:
-        return _cmd_chaos_durable(args)
+    if spec.durability.durable:
+        return _cmd_chaos_durable(spec)
 
-    rng = np.random.default_rng(args.seed)
-    market = paper_simulation_market(args.buyers, args.sellers, rng)
+    market = build_market(spec.market)
     _emit_market_created(market, "paper_simulation")
-    policy = default_policy() if args.policy == "default" else adaptive_policy()
+    policy_name = spec.engine.options.get("policy", "default")
+    policy = (
+        default_policy() if policy_name == "default" else adaptive_policy()
+    )
 
-    schedule = FaultSchedule(crashes=args.crash, partitions=args.partition)
+    schedule = FaultSchedule(
+        crashes=[CrashFault.parse(s) for s in spec.faults.crashes],
+        partitions=[
+            PartitionFault.parse(s) for s in spec.faults.partitions
+        ],
+    )
     network = None
     reliable = False
-    if args.loss > 0.0:
+    loss = spec.faults.loss
+    if loss > 0.0:
         from repro.distributed.network import LossyNetwork
 
-        network = LossyNetwork(args.loss)
+        network = LossyNetwork(loss)
         reliable = True
     print(
-        f"market: N={args.buyers} buyers, M={args.sellers} channels "
-        f"(seed {args.seed}); policy {args.policy}"
+        f"market: N={spec.market.buyers} buyers, M={spec.market.sellers} "
+        f"channels (seed {spec.market.seed}); policy {policy_name}"
     )
     print(
         f"faults: {len(schedule.crashes)} crash(es), "
         f"{len(schedule.partitions)} partition(s); "
-        f"loss {args.loss:.0%}"
+        f"loss {loss:.0%}"
         + (", ARQ transport" if reliable else "")
         + (
-            f"; deadline {args.deadline_slots} slots "
-            f"({args.on_timeout} on timeout)"
-            if args.deadline_slots is not None
+            f"; deadline {spec.faults.deadline_slots} slots "
+            f"({spec.faults.on_timeout} on timeout)"
+            if spec.faults.deadline_slots is not None
             else ""
         )
     )
@@ -940,7 +1109,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     # cleanly against a separately recorded fault-free trace.
     from repro.obs import NULL_RECORDER
 
-    reference = run_distributed_matching(
+    reference = execute_distributed(
         market, policy=policy, recorder=NULL_RECORDER
     )
     # The fault-free welfare is the natural baseline for the
@@ -949,15 +1118,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if engine is not None:
         engine.set_reference("welfare", reference.social_welfare)
     try:
-        run = run_distributed_matching(
+        run = execute_distributed(
             market,
             policy=policy,
             network=network,
-            seed=args.seed,
+            seed=spec.market.seed,
             reliable_transport=reliable,
             fault_schedule=schedule if not schedule.empty else None,
-            deadline_slots=args.deadline_slots,
-            on_timeout=args.on_timeout,
+            deadline_slots=spec.faults.deadline_slots,
+            on_timeout=spec.faults.on_timeout,
         )
     except SimulationError as exc:
         print(f"run aborted: {exc}")
@@ -984,21 +1153,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_swaps(args: argparse.Namespace) -> int:
+def _cmd_swaps(spec: RunSpec) -> int:
     from repro.core.swap_extension import coordinated_swaps
 
-    if args.counterexample:
-        market = counterexample_market()
+    market = build_market(spec.market)
+    if spec.market.scenario == "counterexample":
         print("instance: Section III-D counterexample")
     else:
-        market = paper_simulation_market(
-            args.buyers, args.sellers, np.random.default_rng(args.seed)
-        )
         print(
-            f"instance: random market N={args.buyers}, M={args.sellers} "
-            f"(seed {args.seed})"
+            f"instance: random market N={spec.market.buyers}, "
+            f"M={spec.market.sellers} (seed {spec.market.seed})"
         )
-    result = run_two_stage(market, record_trace=False)
+    result = execute_two_stage(market, record_trace=False)
     stage3 = coordinated_swaps(market, result.matching)
     print(f"two-stage welfare: {stage3.welfare_before:.4f}")
     print(f"after Stage III:   {stage3.welfare_after:.4f} "
@@ -1014,51 +1180,23 @@ def _cmd_swaps(args: argparse.Namespace) -> int:
     return 0
 
 
-def _require_durable_flags(args: argparse.Namespace) -> Optional[str]:
-    """Validate the durability flag combination; returns an error or None."""
-    if args.checkpoint_dir is None:
-        if args.inject_stall_after is not None:
-            return "--inject-stall-after requires --checkpoint-dir"
-        return None
-    if args.checkpoint_every < 1:
-        return "--checkpoint-every must be >= 1"
-    return None
-
-
-def _cmd_dynamic_durable(args: argparse.Namespace) -> int:
+def _cmd_dynamic_durable(spec: RunSpec) -> int:
     from repro.errors import CheckpointError
-    from repro.runtime import run_durable_dynamic
 
-    if args.strategy == "both":
-        print(
-            "error: a durable dynamic run needs a single strategy "
-            "(--strategy warm|cold)",
-            file=sys.stderr,
-        )
-        return 2
-    config = {
-        "sellers": args.sellers,
-        "buyers": args.buyers,
-        "arrival_rate": args.arrival_rate,
-        "departure_prob": args.departure_prob,
-        "drift": args.drift,
-        "epochs": args.epochs,
-        "seed": args.seed,
-        "strategy": args.strategy,
-        "checkpoint_every": args.checkpoint_every,
-    }
     try:
-        result = run_durable_dynamic(
-            args.checkpoint_dir,
-            config,
+        result = execute_durable(
+            "dynamic",
+            spec.durability.checkpoint_dir,
+            spec.durable_identity(),
+            seed=spec.market.seed,
             recorder=get_recorder(),
-            inject_stall_after=args.inject_stall_after,
+            inject_stall_after=spec.durability.inject_stall_after,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(
-        f"durable dynamic run complete in {args.checkpoint_dir} "
+        f"durable dynamic run complete in {spec.durability.checkpoint_dir} "
         f"({result['epochs']} epochs, strategy {result['strategy']})"
     )
     print(
@@ -1069,38 +1207,38 @@ def _cmd_dynamic_durable(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_dynamic(args: argparse.Namespace) -> int:
+def _cmd_dynamic(spec: RunSpec) -> int:
+    import numpy as np
+
     from repro.dynamic.generator import DynamicMarketGenerator
     from repro.dynamic.online import OnlineMatcher, RematchStrategy
 
-    error = _require_durable_flags(args)
-    if error is not None:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    if args.checkpoint_dir is not None:
-        return _cmd_dynamic_durable(args)
+    if spec.durability.durable:
+        return _cmd_dynamic_durable(spec)
 
+    workload = spec.market.workload
     strategies = (
         list(RematchStrategy)
-        if args.strategy == "both"
-        else [RematchStrategy(args.strategy)]
+        if workload.strategy == "both"
+        else [RematchStrategy(workload.strategy)]
     )
     results = {}
     for strategy in strategies:
         generator = DynamicMarketGenerator(
-            num_channels=args.sellers,
-            initial_buyers=args.buyers,
-            arrival_rate=args.arrival_rate,
-            departure_prob=args.departure_prob,
-            drift_sigma=args.drift,
-            rng=np.random.default_rng(args.seed),
+            num_channels=spec.market.sellers,
+            initial_buyers=spec.market.buyers,
+            arrival_rate=workload.arrival_rate,
+            departure_prob=workload.departure_prob,
+            drift_sigma=workload.drift,
+            rng=np.random.default_rng(spec.market.seed),
         )
         matcher = OnlineMatcher(strategy)
-        results[strategy] = matcher.run(generator.epochs(args.epochs))
+        results[strategy] = matcher.run(generator.epochs(workload.epochs))
     print(
-        f"{args.epochs} epochs, N0={args.buyers}, M={args.sellers}, "
-        f"arrivals~Poisson({args.arrival_rate}), departures "
-        f"{args.departure_prob:.0%}, drift {args.drift}"
+        f"{workload.epochs} epochs, N0={spec.market.buyers}, "
+        f"M={spec.market.sellers}, "
+        f"arrivals~Poisson({workload.arrival_rate}), departures "
+        f"{workload.departure_prob:.0%}, drift {workload.drift}"
     )
     for strategy, outcomes in results.items():
         welfare = sum(o.social_welfare for o in outcomes[1:])
@@ -1113,11 +1251,16 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _cmd_report(spec: RunSpec) -> int:
     """Quick replication report: each headline claim, checked live."""
+    import numpy as np
+
     import repro
     from repro.core.swap_extension import coordinated_swaps
+    from repro.distributed.transition import adaptive_policy, default_policy
     from repro.optimal.branch_and_bound import optimal_matching_branch_and_bound
+
+    seed = spec.market.seed
 
     def line(ok: bool, text: str) -> None:
         print(f"  [{'PASS' if ok else 'FAIL'}] {text}")
@@ -1127,7 +1270,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     print("Toy example (Figs. 1-3):")
     toy = toy_example_market()
-    toy_result = run_two_stage(toy, record_trace=False)
+    toy_result = execute_two_stage(toy, record_trace=False)
     line(
         toy_result.welfare_stage1 == 27.0,
         f"Stage I welfare 27 (measured {toy_result.welfare_stage1:g})",
@@ -1139,7 +1282,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     print("Stability (Propositions 3-4, Section III-D):")
     ce = counterexample_market()
-    ce_result = run_two_stage(ce, record_trace=False)
+    ce_result = execute_two_stage(ce, record_trace=False)
     line(is_nash_stable(ce, ce_result.matching), "output Nash-stable")
     line(
         not is_pairwise_stable(ce, ce_result.matching),
@@ -1156,9 +1299,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     ratios = []
     for rep in range(20):
         market = paper_simulation_market(
-            8, 4, np.random.default_rng([args.seed, rep])
+            8, 4, np.random.default_rng([seed, rep])
         )
-        result = run_two_stage(market, record_trace=False)
+        result = execute_two_stage(market, record_trace=False)
         best = optimal_matching_branch_and_bound(market).social_welfare(
             market.utilities
         )
@@ -1167,15 +1310,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
     line(mean_ratio > 0.9, f"mean welfare ratio {mean_ratio:.3f} (20 markets)")
 
     print("Distributed implementation (Section IV):")
-    market = paper_simulation_market(12, 3, np.random.default_rng(args.seed))
-    centralized = run_two_stage(market, record_trace=False)
-    distributed = run_distributed_matching(market, policy=default_policy())
+    market = paper_simulation_market(12, 3, np.random.default_rng(seed))
+    centralized = execute_two_stage(market, record_trace=False)
+    distributed = execute_distributed(market, policy=default_policy())
     line(
         distributed.matching == centralized.matching,
         "default-rule protocol replays the centralised algorithm exactly",
     )
-    adaptive = run_distributed_matching(toy, policy=adaptive_policy())
-    default_run = run_distributed_matching(toy, policy=default_policy())
+    adaptive = execute_distributed(toy, policy=adaptive_policy())
+    default_run = execute_distributed(toy, policy=default_policy())
     line(
         adaptive.slots < default_run.slots,
         f"adaptive transition rules beat the default deadline "
@@ -1185,24 +1328,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
+def _cmd_solve(spec: RunSpec) -> int:
     from repro.engine import get_solver
     from repro.errors import SolverError
 
-    if args.scenario == "toy":
-        market = toy_example_market()
-    elif args.scenario == "counterexample":
-        market = counterexample_market()
-    else:
-        market = paper_simulation_market(
-            args.buyers, args.sellers, np.random.default_rng(args.seed)
-        )
-    _emit_market_created(market, args.scenario)
-    config = dict(args.config)
-    if args.check_stability:
-        config["check_stability"] = True
+    market = build_market(spec.market)
+    _emit_market_created(market, spec.market.scenario)
+    config = dict(spec.engine.options)
+    check_stability = bool(config.get("check_stability"))
     try:
-        solver = get_solver(args.solver)
+        solver = get_solver(spec.engine.name)
         report = solver.solve(market, config=config or None)
     except SolverError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1213,7 +1348,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     )
     print(
         f"market: {market.num_buyers} buyers x {market.num_channels} channels "
-        f"({args.scenario})"
+        f"({spec.market.scenario})"
     )
     print(f"status: {report.status}")
     if report.matching is None:
@@ -1225,7 +1360,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"({report.matched_fraction:.0%})"
         )
         print(f"interference-free: {report.interference_free}")
-    if args.check_stability and report.matching is not None:
+    if check_stability and report.matching is not None:
         print(
             f"stability: individually_rational={report.individually_rational} "
             f"nash={report.nash_stable} pairwise={report.pairwise_stable}"
@@ -1241,6 +1376,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Non-spec commands (registry inspection, trace toolkit, runtime ops)
+# ----------------------------------------------------------------------
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.errors import ObservabilityError
     from repro.trace import (
@@ -1407,25 +1545,41 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     )
 
 
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def _dispatch_spec(spec: RunSpec) -> int:
+    """Validate a RunSpec and execute its command implementation."""
+    from repro.errors import SpecError
+
+    try:
+        spec.validate()
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    command = spec.command
+    if command in ("fig6", "fig7", "fig8"):
+        return _cmd_figure(int(command[3]), spec)
+    if command == "toy":
+        return _cmd_toy(spec)
+    if command == "counterexample":
+        return _cmd_counterexample(spec)
+    if command == "distributed":
+        return _cmd_distributed(spec)
+    if command == "chaos":
+        return _cmd_chaos(spec)
+    if command == "swaps":
+        return _cmd_swaps(spec)
+    if command == "dynamic":
+        return _cmd_dynamic(spec)
+    if command == "report":
+        return _cmd_report(spec)
+    if command == "solve":
+        return _cmd_solve(spec)
+    raise AssertionError(f"unhandled spec command {command!r}")
+
+
 def _dispatch(args: argparse.Namespace) -> int:
-    if args.command in ("fig6", "fig7", "fig8"):
-        return _cmd_figure(int(args.command[3]), args)
-    if args.command == "toy":
-        return _cmd_toy(args)
-    if args.command == "counterexample":
-        return _cmd_counterexample(args)
-    if args.command == "distributed":
-        return _cmd_distributed(args)
-    if args.command == "chaos":
-        return _cmd_chaos(args)
-    if args.command == "swaps":
-        return _cmd_swaps(args)
-    if args.command == "dynamic":
-        return _cmd_dynamic(args)
-    if args.command == "report":
-        return _cmd_report(args)
-    if args.command == "solve":
-        return _cmd_solve(args)
     if args.command == "solvers":
         return _cmd_solvers(args)
     if args.command == "trace":
@@ -1442,44 +1596,66 @@ def _dispatch(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    from repro.errors import ObservabilityError
+    from repro.errors import ObservabilityError, SpecError
+
+    spec: Optional[RunSpec] = None
+    if args.command == "run":
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = RunSpec.from_json(handle.read())
+        except OSError as exc:
+            print(
+                f"error: cannot read spec file {args.spec!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        except SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.command in RUN_COMMANDS:
+        spec = _spec_from_args(args)
+
+    if spec is not None and getattr(args, "dry_run", False):
+        print(spec.to_json(indent=2))
+        return 0
+
+    if spec is not None:
+        telemetry = spec.telemetry
+        manifest_seed: Optional[int] = spec.market.seed
+        manifest_config: dict = spec.to_dict()
+    else:
+        telemetry = TelemetrySpec.from_args(args)
+        manifest_seed = getattr(args, "seed", None)
+        manifest_config = {
+            key: value
+            for key, value in vars(args).items()
+            if key not in _OBS_FLAGS
+        }
 
     try:
-        recorder = _build_recorder(args)
+        recorder = build_recorder(
+            telemetry, seed=manifest_seed, config=manifest_config
+        )
     except OSError as exc:
         print(
-            f"error: cannot open trace file {args.trace_out!r}: {exc}",
+            f"error: cannot open trace file {telemetry.trace_out!r}: {exc}",
             file=sys.stderr,
         )
         return 2
 
     engine = None
-    slo_rules = getattr(args, "slo", [])
-    if slo_rules:
-        from repro.obs import SloEngine
-
+    if telemetry.slo:
         try:
-            engine = SloEngine(
-                slo_rules, recorder, policy=getattr(args, "slo_policy", "warn")
-            )
+            engine = build_slo_engine(telemetry, recorder)
         except ObservabilityError as exc:
             print(f"error: {exc}", file=sys.stderr)
             recorder.close()
             return 2
-        # Commands with a natural baseline (chaos's fault-free twin,
-        # distributed's centralised welfare) install references here.
-        recorder.slo_engine = engine
 
     server = None
-    serve_address = getattr(args, "serve_metrics", None)
-    if serve_address is not None:
-        from repro.obs import TelemetryServer, parse_serve_address
-
+    if telemetry.serve_metrics is not None:
         try:
-            host, port = parse_serve_address(serve_address)
-            server = TelemetryServer(
-                recorder, host=host, port=port, slo_engine=engine
-            ).start()
+            server = start_telemetry_server(telemetry, recorder, engine)
         except (ObservabilityError, OSError) as exc:
             print(f"error: cannot serve telemetry: {exc}", file=sys.stderr)
             recorder.close()
@@ -1488,14 +1664,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         with recorder, use_recorder(recorder):
-            exit_code = _dispatch(args)
+            if spec is not None:
+                exit_code = _dispatch_spec(spec)
+            else:
+                exit_code = _dispatch(args)
             if engine is not None:
                 # Final evaluation happens inside the recorder context so
                 # slo.violated events reach the trace before it closes.
                 engine.evaluate(final=True)
     finally:
         if server is not None:
-            hold = float(getattr(args, "serve_hold", 0.0))
+            hold = float(telemetry.serve_hold)
             if hold > 0:
                 import time
 
@@ -1509,28 +1688,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
         exit_code = max(exit_code, engine.exit_code())
-    if getattr(args, "metrics", False):
+    if telemetry.metrics:
         print("\n-- observability summary --")
         print(format_metrics_summary(recorder))
-    metrics_out = getattr(args, "metrics_out", None)
-    if metrics_out is not None:
+    if telemetry.metrics_out is not None:
         from repro.ioutil import atomic_write_text
         from repro.trace.export import to_openmetrics
 
         try:
             atomic_write_text(
-                metrics_out, to_openmetrics(recorder.metrics.snapshot())
+                telemetry.metrics_out,
+                to_openmetrics(recorder.metrics.snapshot()),
             )
         except OSError as exc:
             print(
-                f"error: cannot write metrics file {metrics_out!r}: {exc}",
+                f"error: cannot write metrics file "
+                f"{telemetry.metrics_out!r}: {exc}",
                 file=sys.stderr,
             )
             return 2
-        print(f"metrics written to {metrics_out}")
-    trace_out = getattr(args, "trace_out", None)
-    if trace_out is not None:
-        print(f"trace written to {trace_out}")
+        print(f"metrics written to {telemetry.metrics_out}")
+    if telemetry.trace_out is not None:
+        print(f"trace written to {telemetry.trace_out}")
     return exit_code
 
 

@@ -85,6 +85,17 @@ class ParallelExecutionError(SpectrumMatchingError):
     """
 
 
+class SpecError(SpectrumMatchingError):
+    """A declarative run specification is malformed.
+
+    Raised by :mod:`repro.run.spec` when a ``RunSpec`` (or one of its
+    sub-specs) carries unknown fields, a schema version newer than this
+    build understands, or values outside their documented ranges.  The
+    message always names the offending field so a hand-edited spec file
+    can be repaired without reading source code.
+    """
+
+
 class CheckpointError(SpectrumMatchingError):
     """A durable-run checkpoint or run directory is unusable.
 

@@ -25,6 +25,7 @@ artifacts.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -35,6 +36,8 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "atomic_write_json",
+    "canonical_json",
+    "config_hash",
     "fsync_directory",
 ]
 
@@ -102,3 +105,28 @@ def atomic_write_json(
 def read_json(path: _PathLike) -> Any:
     """Load one JSON document (thin wrapper kept next to the writer)."""
     return json.loads(Path(os.fspath(path)).read_text(encoding="utf-8"))
+
+
+def canonical_json(payload: Any) -> str:
+    """The one canonical serialisation of a JSON-safe payload.
+
+    Sorted keys, no whitespace: two payloads serialise identically if and
+    only if they are equal, regardless of key insertion order.  This is
+    the form every identity hash in the repo is computed over -- the
+    durable-run manifest hash (:func:`config_hash`) and the
+    :class:`repro.run.spec.RunSpec` spec hash are byte-compatible because
+    both go through this function.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(config: Any) -> str:
+    """Stable short hash of a JSON-safe run configuration.
+
+    Canonical-JSON SHA-256, truncated to 16 hex chars: enough to make
+    collisions between *different* configs of the same repo vanishingly
+    unlikely, short enough to read in error messages.  Key order never
+    matters (see :func:`canonical_json`).
+    """
+    digest = hashlib.sha256(canonical_json(config).encode("utf-8"))
+    return digest.hexdigest()[:16]

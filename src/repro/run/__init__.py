@@ -1,0 +1,60 @@
+"""One run model: declarative specs plus the Session execution layer.
+
+``repro.run`` is the single front door for executing anything in this
+repo.  A :class:`RunSpec` is a frozen, JSON-round-trippable description
+of a run -- market, engine, faults, telemetry, durability, parallelism --
+and :class:`Session` validates it, assembles the observability and
+durability stacks uniformly, and dispatches to the right execution
+engine.  The legacy entrypoints (``run_two_stage``,
+``run_distributed_matching``, ``OnlineMatcher.run``, the durable
+runners, ``registry.solve``) are thin shims over the ``execute_*``
+functions exported here.
+"""
+
+from repro.run.spec import (
+    RUN_COMMANDS,
+    SPEC_SCHEMA_VERSION,
+    DurabilitySpec,
+    EngineSpec,
+    FaultSpec,
+    MarketSpec,
+    ParallelSpec,
+    RunSpec,
+    TelemetrySpec,
+    WorkloadSpec,
+)
+from repro.run.session import (
+    Session,
+    build_market,
+    build_recorder,
+    build_slo_engine,
+    execute_distributed,
+    execute_durable,
+    execute_online_run,
+    execute_solve,
+    execute_two_stage,
+    start_telemetry_server,
+)
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "RUN_COMMANDS",
+    "WorkloadSpec",
+    "MarketSpec",
+    "EngineSpec",
+    "FaultSpec",
+    "TelemetrySpec",
+    "DurabilitySpec",
+    "ParallelSpec",
+    "RunSpec",
+    "Session",
+    "build_market",
+    "build_recorder",
+    "build_slo_engine",
+    "start_telemetry_server",
+    "execute_two_stage",
+    "execute_distributed",
+    "execute_online_run",
+    "execute_durable",
+    "execute_solve",
+]

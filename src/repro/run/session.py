@@ -1,0 +1,604 @@
+"""The Session layer: one execution path for every kind of run.
+
+Historically each entrypoint -- :func:`repro.core.two_stage.run_two_stage`,
+:func:`repro.distributed.protocol.run_distributed_matching`,
+:meth:`repro.dynamic.online.OnlineMatcher.run`, the durable runners in
+:mod:`repro.runtime.durable` and the registry's
+:func:`repro.engine.registry.solve` -- hand-plumbed recorders, fault
+schedules and checkpoint stores itself.  This module is now the single
+home of those execution bodies:
+
+* the ``execute_*`` functions hold the entrypoints' original bodies,
+  byte-for-byte in observable behaviour (the golden traces lock this);
+  the legacy entrypoints are thin deprecated shims over them;
+* :func:`build_recorder` / :func:`build_slo_engine` /
+  :func:`start_telemetry_server` assemble the observability stack from a
+  :class:`~repro.run.spec.TelemetrySpec` exactly the way the CLI always
+  did from flags;
+* :class:`Session` validates a :class:`~repro.run.spec.RunSpec` and
+  dispatches it to the right engine, returning the canonical result
+  object (``TwoStageResult``, ``DistributedResult``, ``SolveReport``,
+  epoch outcomes, or the durable result dict).
+
+Durable runs store :meth:`RunSpec.durable_identity` as their manifest
+config, so the run directory's ``config_hash`` is the hash of the spec's
+canonical serialization -- resume compatibility is a spec-equality check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.deferred_acceptance import deferred_acceptance
+from repro.core.transfer_invitation import transfer_and_invitation
+from repro.core.two_stage import TwoStageResult
+from repro.distributed.protocol import build_distributed_simulation
+from repro.engine.validation import matching_welfare
+from repro.errors import ProtocolError, SpecError
+from repro.obs import (
+    JsonlEventSink,
+    MetricsRegistry,
+    Recorder,
+    RunRegistry,
+    SpanTracer,
+    build_manifest,
+)
+from repro.obs.recorder import resolve_recorder
+from repro.run.spec import MarketSpec, RunSpec, TelemetrySpec
+
+__all__ = [
+    "Session",
+    "build_market",
+    "build_recorder",
+    "build_slo_engine",
+    "start_telemetry_server",
+    "execute_two_stage",
+    "execute_distributed",
+    "execute_online_run",
+    "execute_durable",
+    "execute_solve",
+]
+
+
+# ----------------------------------------------------------------------
+# Execution engines (the five legacy entrypoints' bodies live here)
+# ----------------------------------------------------------------------
+def execute_two_stage(
+    market,
+    record_trace: bool = True,
+    monotone_guard: bool = True,
+    recorder: Optional[Recorder] = None,
+) -> TwoStageResult:
+    """Run Algorithm 1 followed by Algorithm 2 on ``market``.
+
+    The execution body behind
+    :func:`repro.core.two_stage.run_two_stage`; see that shim for the
+    full parameter documentation.  The emitted event stream is locked
+    byte-for-byte by the golden-trace test.
+    """
+    rec = resolve_recorder(recorder)
+    utilities = market.utilities
+    if rec.enabled:
+        rec.emit(
+            "two_stage.start",
+            buyers=market.num_buyers,
+            channels=market.num_channels,
+        )
+    with rec.span("two_stage"):
+        stage_one = deferred_acceptance(
+            market,
+            record_trace=record_trace,
+            monotone_guard=monotone_guard,
+            recorder=rec,
+        )
+        stage_two = transfer_and_invitation(
+            market, stage_one.matching, record_trace=record_trace, recorder=rec
+        )
+    result = TwoStageResult(
+        matching=stage_two.matching,
+        stage_one=stage_one,
+        stage_two=stage_two,
+        welfare_stage1=matching_welfare(utilities, stage_one.matching),
+        welfare_phase1=matching_welfare(utilities, stage_two.matching_after_phase1),
+        welfare_phase2=matching_welfare(utilities, stage_two.matching),
+        rounds_stage1=stage_one.num_rounds,
+        rounds_phase1=stage_two.num_transfer_rounds,
+        rounds_phase2=stage_two.num_invitation_rounds,
+    )
+    if rec.enabled:
+        rec.emit(
+            "two_stage.result",
+            welfare_stage1=result.welfare_stage1,
+            welfare_phase1=result.welfare_phase1,
+            welfare_phase2=result.welfare_phase2,
+            rounds_stage1=result.rounds_stage1,
+            rounds_phase1=result.rounds_phase1,
+            rounds_phase2=result.rounds_phase2,
+            matched=result.matching.num_matched(),
+        )
+        metrics = rec.metrics
+        if metrics.enabled:
+            metrics.counter("two_stage.runs").inc()
+            metrics.gauge("two_stage.welfare_stage1").set(result.welfare_stage1)
+            metrics.gauge("two_stage.welfare_phase1").set(result.welfare_phase1)
+            metrics.gauge("two_stage.welfare_phase2").set(result.welfare_phase2)
+    return result
+
+
+def execute_distributed(
+    market,
+    policy=None,
+    network=None,
+    seed: int = 0,
+    max_slots: int = 1_000_000,
+    reliable_transport: bool = False,
+    retransmit_interval: int = 4,
+    initial_matching=None,
+    record_events: bool = False,
+    recorder: Optional[Recorder] = None,
+    fault_schedule=None,
+    deadline_slots: Optional[int] = None,
+    on_timeout: str = "raise",
+):
+    """Run the full message-level protocol on ``market``.
+
+    The execution body behind :func:`repro.distributed.protocol.
+    run_distributed_matching`; see that shim for the full parameter
+    documentation.
+    """
+    if on_timeout not in ("raise", "degrade"):
+        raise ProtocolError(
+            f"on_timeout must be 'raise' or 'degrade', got {on_timeout!r}"
+        )
+    sim = build_distributed_simulation(
+        market,
+        policy=policy,
+        network=network,
+        seed=seed,
+        reliable_transport=reliable_transport,
+        retransmit_interval=retransmit_interval,
+        initial_matching=initial_matching,
+        record_events=record_events,
+        recorder=recorder,
+        fault_schedule=fault_schedule,
+    )
+    sim.emit_run_start()
+    bound = deadline_slots if deadline_slots is not None else max_slots
+    slots = sim.simulator.run(
+        max_slots=bound,
+        on_timeout="stop" if on_timeout == "degrade" else "raise",
+    )
+    return sim.finalize(slots)
+
+
+def execute_online_run(matcher, epochs) -> List:
+    """Step ``matcher`` through a whole epoch list.
+
+    The execution body behind
+    :meth:`repro.dynamic.online.OnlineMatcher.run` (the matcher is
+    duck-typed: anything with ``step``/``strategy`` and the private
+    recorder slot works).  Emits the closing ``dynamic.run_end`` event so
+    the live run registry can mark the dynamic run finished.
+    """
+    outcomes = [matcher.step(epoch) for epoch in epochs]
+    rec = resolve_recorder(matcher._recorder)
+    if rec.enabled and outcomes:
+        rec.emit(
+            "dynamic.run_end",
+            strategy=matcher.strategy.value,
+            epochs=len(outcomes),
+            social_welfare=outcomes[-1].social_welfare,
+            total_churned=sum(o.churned for o in outcomes),
+            total_rounds=sum(o.rounds for o in outcomes),
+        )
+    return outcomes
+
+
+def execute_durable(
+    kind: str,
+    run_dir,
+    config: Dict[str, Any],
+    *,
+    seed: int,
+    recorder: Optional[Recorder] = None,
+    inject_stall_after: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run a durable (WAL + checkpoint) execution from scratch.
+
+    The execution body behind :func:`repro.runtime.durable.
+    run_durable_dynamic` and :func:`~repro.runtime.durable.
+    run_durable_chaos`.  ``config`` is either the legacy flat mapping
+    those shims document or a spec-shaped identity from
+    :meth:`~repro.run.spec.RunSpec.durable_identity`; the durable layer's
+    ``run_params`` normalizer accepts both, so old run directories keep
+    resuming.
+    """
+    from repro.runtime.checkpoint import CheckpointStore
+    from repro.runtime.durable import (
+        _DurableRun,
+        _build_chaos_simulation,
+        _build_dynamic_engine,
+        _drive_chaos,
+        _drive_dynamic,
+    )
+
+    if kind not in ("dynamic", "chaos"):
+        raise SpecError(f"unknown durable run kind {kind!r}")
+    store = CheckpointStore.create(
+        run_dir, kind=kind, seed=int(seed), config=config
+    )
+    run = _DurableRun(
+        store, recorder, fresh=True, inject_stall_after=inject_stall_after
+    )
+    try:
+        if kind == "dynamic":
+            generator, matcher = _build_dynamic_engine(store)
+            return _drive_dynamic(run, generator, matcher, start_index=0)
+        sim = _build_chaos_simulation(store, run.recorder)
+        sim.emit_run_start()
+        return _drive_chaos(run, sim)
+    finally:
+        run.close()
+
+
+def execute_solve(
+    name: str,
+    market,
+    *,
+    recorder: Optional[Recorder] = None,
+    config=None,
+):
+    """One-shot registry dispatch: ``get_solver(name).solve(market, ...)``.
+
+    The execution body behind :func:`repro.engine.registry.solve`.
+    """
+    from repro.engine.registry import get_solver
+
+    return get_solver(name).solve(market, recorder=recorder, config=config)
+
+
+# ----------------------------------------------------------------------
+# Uniform assembly: market, recorder, SLO engine, telemetry server
+# ----------------------------------------------------------------------
+def build_market(spec: MarketSpec):
+    """Materialise a :class:`MarketSpec` into a live market instance."""
+    from repro.workloads.scenarios import (
+        counterexample_market,
+        paper_simulation_market,
+        toy_example_market,
+    )
+
+    if spec.scenario == "toy":
+        return toy_example_market()
+    if spec.scenario == "counterexample":
+        return counterexample_market()
+    if spec.scenario == "paper":
+        return paper_simulation_market(
+            spec.buyers, spec.sellers, np.random.default_rng(spec.seed)
+        )
+    raise SpecError(f"market.scenario: unknown scenario {spec.scenario!r}")
+
+
+def build_recorder(
+    telemetry: TelemetrySpec,
+    *,
+    seed: Optional[int] = None,
+    config: Optional[Dict[str, Any]] = None,
+) -> Recorder:
+    """Assemble a run's recorder from its telemetry spec.
+
+    ``trace_out`` turns on the event sink (with a manifest header carrying
+    ``seed`` and ``config``) and span tracing; ``metrics``,
+    ``metrics_out``, ``serve_metrics`` and ``slo`` all turn on the metrics
+    registry; ``serve_metrics`` and ``slo`` additionally turn on the live
+    run registry.  An all-default spec returns the null recorder and the
+    run executes exactly as without observability.
+    """
+    trace_out = telemetry.trace_out
+    want_metrics = bool(
+        telemetry.metrics
+        or telemetry.metrics_out
+        or telemetry.serve_metrics
+        or telemetry.slo
+    )
+    want_runs = bool(telemetry.serve_metrics or telemetry.slo)
+    if trace_out is None and not want_metrics and not want_runs:
+        return Recorder()
+    events = None
+    if trace_out is not None:
+        events = JsonlEventSink(
+            trace_out,
+            manifest=build_manifest(seed=seed, config=config),
+            flush_every=int(telemetry.trace_flush_every),
+        )
+    return Recorder(
+        events=events,
+        metrics=MetricsRegistry() if want_metrics else None,
+        spans=(
+            SpanTracer()
+            if trace_out is not None or telemetry.metrics
+            else None
+        ),
+        runs=RunRegistry() if want_runs else None,
+    )
+
+
+def build_slo_engine(telemetry: TelemetrySpec, recorder: Recorder):
+    """Instantiate the SLO engine (or None) and attach it to the recorder.
+
+    Raises :class:`~repro.errors.ObservabilityError` for malformed rules,
+    exactly like the CLI always did.
+    """
+    if not telemetry.slo:
+        return None
+    from repro.obs import SloEngine
+
+    engine = SloEngine(
+        list(telemetry.slo), recorder, policy=telemetry.slo_policy
+    )
+    # Commands with a natural baseline (chaos's fault-free twin,
+    # distributed's centralised welfare) install references here.
+    recorder.slo_engine = engine
+    return engine
+
+
+def start_telemetry_server(
+    telemetry: TelemetrySpec, recorder: Recorder, engine=None
+):
+    """Start the live telemetry server (or return None when not asked for)."""
+    if telemetry.serve_metrics is None:
+        return None
+    from repro.obs import TelemetryServer, parse_serve_address
+
+    host, port = parse_serve_address(telemetry.serve_metrics)
+    return TelemetryServer(
+        recorder, host=host, port=port, slo_engine=engine
+    ).start()
+
+
+# ----------------------------------------------------------------------
+# The Session runner
+# ----------------------------------------------------------------------
+class Session:
+    """Validate a :class:`RunSpec` and execute it through one pipeline.
+
+    ``Session(spec).run()`` is the programmatic equivalent of the CLI:
+    it validates the spec, assembles the recorder stack from
+    ``spec.telemetry`` (unless a live ``recorder`` is injected), builds
+    the market, dispatches to the right execution engine and returns the
+    canonical result object:
+
+    ========================  ===========================================
+    spec.command              return value of :meth:`run`
+    ========================  ===========================================
+    ``toy`` / ``counterexample``  :class:`~repro.core.two_stage.TwoStageResult`
+    ``solve``                 :class:`~repro.engine.report.SolveReport`
+    ``distributed`` / ``chaos``  :class:`~repro.distributed.protocol.DistributedResult`
+                              (or the durable result dict when
+                              ``durability.checkpoint_dir`` is set)
+    ``swaps``                 :class:`~repro.core.swap_extension.StageThreeResult`
+    ``dynamic``               ``{strategy: [EpochOutcome, ...]}`` (or the
+                              durable result dict)
+    ``fig6``/``fig7``/``fig8``  the figure's experiment rows
+    ========================  ===========================================
+
+    ``report`` is a CLI-only composite and is rejected with a
+    :class:`~repro.errors.SpecError`.
+
+    Keyword overrides (``recorder``, ``market``, ``policy``, ``network``,
+    ``initial_matching``, ``fault_schedule``) let advanced callers swap
+    in pre-built components; everything omitted is derived from the spec.
+    """
+
+    def __init__(
+        self,
+        spec: RunSpec,
+        *,
+        recorder: Optional[Recorder] = None,
+        market=None,
+        policy=None,
+        network=None,
+        initial_matching=None,
+        fault_schedule=None,
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        self._market = market
+        self._policy = policy
+        self._network = network
+        self._initial_matching = initial_matching
+        self._fault_schedule = fault_schedule
+        self._owns_recorder = recorder is None
+        if recorder is None:
+            recorder = build_recorder(
+                spec.telemetry,
+                seed=spec.market.seed,
+                config=spec.to_dict(),
+            )
+        self.recorder = recorder
+
+    # ------------------------------------------------------------------
+    @property
+    def market(self):
+        """The spec's market, built lazily and cached."""
+        if self._market is None:
+            self._market = build_market(self.spec.market)
+        return self._market
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Execute the spec and return the canonical result object."""
+        from repro.obs import use_recorder
+
+        spec = self.spec
+        slo_engine = build_slo_engine(spec.telemetry, self.recorder)
+        server = start_telemetry_server(
+            spec.telemetry, self.recorder, slo_engine
+        )
+        try:
+            if self._owns_recorder:
+                with self.recorder, use_recorder(self.recorder):
+                    result = self._dispatch()
+                    if slo_engine is not None:
+                        slo_engine.evaluate(final=True)
+            else:
+                with use_recorder(self.recorder):
+                    result = self._dispatch()
+                    if slo_engine is not None:
+                        slo_engine.evaluate(final=True)
+        finally:
+            if server is not None:
+                server.stop()
+        return result
+
+    # ------------------------------------------------------------------
+    def _dispatch(self):
+        command = self.spec.command
+        if command in ("toy", "counterexample"):
+            return execute_two_stage(self.market)
+        if command == "solve":
+            return self._run_solve()
+        if command in ("distributed", "chaos"):
+            return self._run_distributed()
+        if command == "swaps":
+            return self._run_swaps()
+        if command == "dynamic":
+            return self._run_dynamic()
+        if command in ("fig6", "fig7", "fig8"):
+            return self._run_figure()
+        raise SpecError(
+            f"spec.command {command!r} has no Session dispatch "
+            f"(the 'report' composite is CLI-only)"
+        )
+
+    def _run_solve(self):
+        spec = self.spec
+        options = dict(spec.engine.options)
+        return execute_solve(
+            spec.engine.name,
+            self.market,
+            recorder=self.recorder,
+            config=options or None,
+        )
+
+    def _resolve_policy(self):
+        from repro.distributed.transition import (
+            adaptive_policy,
+            default_policy,
+        )
+
+        if self._policy is not None:
+            return self._policy
+        name = self.spec.engine.options.get("policy", "default")
+        if name == "both":
+            raise SpecError(
+                "engine.options.policy: a Session runs a single policy; "
+                "build one spec per policy for comparisons"
+            )
+        if name not in ("default", "adaptive"):
+            raise SpecError(
+                f"engine.options.policy: must be 'default' or 'adaptive', "
+                f"got {name!r}"
+            )
+        return adaptive_policy() if name == "adaptive" else default_policy()
+
+    def _resolve_network(self):
+        if self._network is not None:
+            return self._network, True
+        loss = float(self.spec.faults.loss)
+        if loss > 0.0:
+            from repro.distributed.network import LossyNetwork
+
+            return LossyNetwork(loss), True
+        return None, False
+
+    def _run_distributed(self):
+        spec = self.spec
+        if spec.durability.durable:
+            return execute_durable(
+                "chaos",
+                spec.durability.checkpoint_dir,
+                spec.durable_identity(),
+                seed=spec.market.seed,
+                recorder=self.recorder,
+                inject_stall_after=spec.durability.inject_stall_after,
+            )
+        policy = self._resolve_policy()
+        network, reliable = self._resolve_network()
+        schedule = (
+            self._fault_schedule
+            if self._fault_schedule is not None
+            else spec.faults.build_schedule()
+        )
+        return execute_distributed(
+            self.market,
+            policy=policy,
+            network=network,
+            seed=spec.market.seed,
+            max_slots=int(spec.engine.options.get("max_slots", 1_000_000)),
+            reliable_transport=reliable,
+            initial_matching=self._initial_matching,
+            recorder=self.recorder,
+            fault_schedule=schedule,
+            deadline_slots=spec.faults.deadline_slots,
+            on_timeout=spec.faults.on_timeout,
+        )
+
+    def _run_swaps(self):
+        from repro.core.swap_extension import coordinated_swaps
+
+        result = execute_two_stage(self.market, record_trace=False)
+        return coordinated_swaps(self.market, result.matching)
+
+    def _run_dynamic(self):
+        spec = self.spec
+        workload = spec.market.workload
+        if spec.durability.durable:
+            return execute_durable(
+                "dynamic",
+                spec.durability.checkpoint_dir,
+                spec.durable_identity(),
+                seed=spec.market.seed,
+                recorder=self.recorder,
+                inject_stall_after=spec.durability.inject_stall_after,
+            )
+        from repro.dynamic.generator import DynamicMarketGenerator
+        from repro.dynamic.online import OnlineMatcher, RematchStrategy
+
+        strategies = (
+            list(RematchStrategy)
+            if workload.strategy == "both"
+            else [RematchStrategy(workload.strategy)]
+        )
+        results = {}
+        for strategy in strategies:
+            generator = DynamicMarketGenerator(
+                num_channels=spec.market.sellers,
+                initial_buyers=spec.market.buyers,
+                arrival_rate=workload.arrival_rate,
+                departure_prob=workload.departure_prob,
+                drift_sigma=workload.drift,
+                rng=np.random.default_rng(spec.market.seed),
+            )
+            matcher = OnlineMatcher(strategy, recorder=self.recorder)
+            results[strategy] = execute_online_run(
+                matcher, generator.epochs(workload.epochs)
+            )
+        return results
+
+    def _run_figure(self):
+        from repro.analysis.paper_figures import figure_spec, run_figure
+
+        spec = self.spec
+        options = spec.engine.options
+        figure = int(spec.command[3])
+        fig_spec = figure_spec(figure, options.get("panel", "a"))
+        return run_figure(
+            fig_spec,
+            repetitions=options.get("repetitions"),
+            seed=spec.market.seed,
+            recorder=self.recorder,
+            jobs=spec.parallel.jobs,
+        )

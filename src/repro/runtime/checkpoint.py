@@ -44,25 +44,17 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import CheckpointError
-from repro.ioutil import atomic_write_json, fsync_directory, read_json
+from repro.ioutil import (
+    atomic_write_json,
+    config_hash,
+    fsync_directory,
+    read_json,
+)
 
 __all__ = ["CheckpointStore", "config_hash"]
 
 #: Bump when the manifest/WAL/checkpoint layout changes incompatibly.
 STORE_SCHEMA_VERSION = 1
-
-
-def config_hash(config: Dict[str, Any]) -> str:
-    """Stable short hash of a run configuration.
-
-    Canonical-JSON SHA-256, truncated to 16 hex chars: enough to make
-    collisions between *different* configs of the same repo vanishingly
-    unlikely, short enough to read in error messages.  Stored in the
-    manifest and stamped into every checkpoint, so a stale snapshot from
-    a reconfigured run can never be restored silently.
-    """
-    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 class CheckpointStore:

@@ -46,7 +46,56 @@ from repro.obs.manifest import build_manifest
 from repro.obs.recorder import Recorder, resolve_recorder
 from repro.runtime.checkpoint import CheckpointStore
 
-__all__ = ["run_durable_dynamic", "run_durable_chaos"]
+__all__ = ["run_durable_dynamic", "run_durable_chaos", "run_params"]
+
+
+def run_params(store: CheckpointStore) -> Dict[str, Any]:
+    """Normalise a run directory's stored config to the flat legacy keys.
+
+    Durable run directories hold one of two config shapes: the legacy
+    flat mapping documented on :func:`run_durable_dynamic` /
+    :func:`run_durable_chaos`, or (since the Session layer) a
+    spec-shaped identity from
+    :meth:`repro.run.spec.RunSpec.durable_identity` with nested
+    ``market`` / ``engine`` / ``faults`` sections.  Every reader below
+    goes through this flattener, so both shapes build and resume
+    identically.
+    """
+    config = store.config
+    if "market" not in config:
+        return dict(config)
+    params: Dict[str, Any] = {
+        "checkpoint_every": config.get("checkpoint_every", 0),
+    }
+    market = config.get("market", {})
+    for key in ("buyers", "sellers", "seed"):
+        if key in market:
+            params[key] = market[key]
+    workload = market.get("workload") or {}
+    for key in (
+        "epochs",
+        "arrival_rate",
+        "departure_prob",
+        "drift",
+        "strategy",
+    ):
+        if key in workload:
+            params[key] = workload[key]
+    options = config.get("engine", {}).get("options", {})
+    for key in ("policy", "max_slots"):
+        if key in options:
+            params[key] = options[key]
+    faults = config.get("faults", {})
+    for key in (
+        "loss",
+        "crashes",
+        "partitions",
+        "deadline_slots",
+        "on_timeout",
+    ):
+        if key in faults:
+            params[key] = faults[key]
+    return params
 
 
 class _TeeSink(EventSink):
@@ -90,7 +139,7 @@ class _DurableRun:
         self.ambient = resolve_recorder(recorder)
         self.inject_stall_after = inject_stall_after
         self.checkpoint_every = int(
-            store.config.get("checkpoint_every", 0) or 0
+            run_params(store).get("checkpoint_every", 0) or 0
         )
         #: All committed WAL records, prior (on resume) plus new.
         self.records: List[Dict[str, Any]] = list(prior_records or [])
@@ -192,7 +241,7 @@ def _build_dynamic_engine(store: CheckpointStore):
     from repro.dynamic.generator import DynamicMarketGenerator
     from repro.dynamic.online import OnlineMatcher, RematchStrategy
 
-    config = store.config
+    config = run_params(store)
     generator = DynamicMarketGenerator(
         num_channels=int(config["sellers"]),
         initial_buyers=int(config["buyers"]),
@@ -210,7 +259,7 @@ def _drive_dynamic(
 ) -> Dict[str, Any]:
     """Execute epochs ``start_index..epochs-1`` under WAL protection."""
     store = run.store
-    epochs = int(store.config["epochs"])
+    epochs = int(run_params(store)["epochs"])
     matcher._recorder = run.recorder  # route dynamic.epoch into the trace
     for index in range(start_index, epochs):
         epoch = generator.next_epoch()
@@ -275,18 +324,20 @@ def run_durable_dynamic(
     ``config`` keys: ``sellers``, ``buyers``, ``arrival_rate``,
     ``departure_prob``, ``drift``, ``epochs``, ``seed``, ``strategy``
     (``warm`` | ``cold``), ``checkpoint_every``.
+
+    A shim over :func:`repro.run.session.execute_durable`, which holds
+    the execution body; behaviour and the run-dir layout are unchanged.
     """
-    store = CheckpointStore.create(
-        run_dir, kind="dynamic", seed=int(config["seed"]), config=config
+    from repro.run.session import execute_durable
+
+    return execute_durable(
+        "dynamic",
+        run_dir,
+        config,
+        seed=int(config["seed"]),
+        recorder=recorder,
+        inject_stall_after=inject_stall_after,
     )
-    run = _DurableRun(
-        store, recorder, fresh=True, inject_stall_after=inject_stall_after
-    )
-    try:
-        generator, matcher = _build_dynamic_engine(store)
-        return _drive_dynamic(run, generator, matcher, start_index=0)
-    finally:
-        run.close()
 
 
 # ----------------------------------------------------------------------
@@ -302,7 +353,7 @@ def _build_chaos_simulation(store: CheckpointStore, recorder: Recorder):
     from repro.distributed.transition import adaptive_policy, default_policy
     from repro.workloads.scenarios import paper_simulation_market
 
-    config = store.config
+    config = run_params(store)
     rng = np.random.default_rng(store.seed)
     market = paper_simulation_market(
         int(config["buyers"]), int(config["sellers"]), rng
@@ -340,7 +391,7 @@ def _build_chaos_simulation(store: CheckpointStore, recorder: Recorder):
 def _drive_chaos(run: _DurableRun, sim) -> Dict[str, Any]:
     """Run the simulator to quiescence under WAL protection."""
     store = run.store
-    config = store.config
+    config = run_params(store)
     simulator = sim.simulator
 
     def on_slot(s) -> None:
@@ -412,16 +463,17 @@ def run_durable_chaos(
     :meth:`~repro.distributed.faults.CrashFault.parse`),
     ``deadline_slots``, ``on_timeout``, ``max_slots``,
     ``checkpoint_every``.
+
+    A shim over :func:`repro.run.session.execute_durable`, which holds
+    the execution body; behaviour and the run-dir layout are unchanged.
     """
-    store = CheckpointStore.create(
-        run_dir, kind="chaos", seed=int(config["seed"]), config=config
+    from repro.run.session import execute_durable
+
+    return execute_durable(
+        "chaos",
+        run_dir,
+        config,
+        seed=int(config["seed"]),
+        recorder=recorder,
+        inject_stall_after=inject_stall_after,
     )
-    run = _DurableRun(
-        store, recorder, fresh=True, inject_stall_after=inject_stall_after
-    )
-    try:
-        sim = _build_chaos_simulation(store, run.recorder)
-        sim.emit_run_start()
-        return _drive_chaos(run, sim)
-    finally:
-        run.close()

@@ -10,7 +10,12 @@ from __future__ import annotations
 import json
 import os
 
-from benchmarks.compare_perf import check_parallel_speedup, main
+from benchmarks.compare_perf import (
+    REQUIRED_BASELINE_CPUS,
+    check_baseline_env,
+    check_parallel_speedup,
+    main,
+)
 
 
 def _sweep_report(speedup, cpu_count, **overrides):
@@ -103,6 +108,46 @@ class TestGateIntegration:
         assert self._run(tmp_path, baseline, current) == 0
 
 
+class TestCheckBaselineEnv:
+    """The env-metadata ratchet on the committed sweep baseline."""
+
+    def test_satisfying_baseline_passes(self):
+        report = _sweep_report(0.9, cpu_count=REQUIRED_BASELINE_CPUS)
+        assert check_baseline_env(report) is None
+
+    def test_below_ratchet_fails(self):
+        report = _sweep_report(1.6, cpu_count=1)
+        failure = check_baseline_env(report, required_cpus=2)
+        assert failure is not None
+        assert "cpu_count 1" in failure and "required 2" in failure
+
+    def test_missing_env_block_fails(self):
+        report = _sweep_report(1.6, cpu_count=4)
+        del report["env"]
+        failure = check_baseline_env(report)
+        assert failure is not None and "no env.cpu_count" in failure
+
+    def test_missing_cpu_count_fails(self):
+        report = _sweep_report(1.6, cpu_count=4)
+        del report["env"]["cpu_count"]
+        assert check_baseline_env(report) is not None
+
+    def test_non_integer_cpu_count_fails(self):
+        failure = check_baseline_env(_sweep_report(1.6, cpu_count="n/a"))
+        assert failure is not None and "not an integer" in failure
+
+    def test_gate_rejects_metadata_regressed_baseline(self, tmp_path, capsys):
+        # A baseline stripped of its env record must fail the gate even
+        # when every timing is fine: losing the metadata would silently
+        # disable the multi-core parallel_speedup rule forever.
+        baseline = _sweep_report(0.9, cpu_count=1)
+        del baseline["env"]
+        current = _sweep_report(0.9, cpu_count=1)
+        gate = TestGateIntegration()
+        assert gate._run(tmp_path, baseline, current, "--ratios-only") == 1
+        assert "env.cpu_count" in capsys.readouterr().out
+
+
 class TestCommittedBaselines:
     """The committed baselines must themselves satisfy the gate."""
 
@@ -116,6 +161,9 @@ class TestCommittedBaselines:
                 report = json.load(handle)
             assert check_parallel_speedup(report) is None, rel
             # Honest metadata: the env block records the producing
-            # machine and the sweep's worker count.
-            assert report["env"]["cpu_count"] >= 1
+            # machine and the sweep's worker count, and satisfies the
+            # REQUIRED_BASELINE_CPUS ratchet (bumped whenever a
+            # beefier-machine baseline is committed).
+            assert check_baseline_env(report) is None, rel
+            assert report["env"]["cpu_count"] >= REQUIRED_BASELINE_CPUS
             assert report["env"]["jobs"] >= 2

@@ -1,0 +1,317 @@
+"""Session layer: shim equivalence, uniform assembly, durable identity.
+
+The tentpole contract in one file:
+
+* every legacy entrypoint (``run_two_stage``,
+  ``run_distributed_matching``, ``OnlineMatcher.run``, the durable
+  runners, registry ``solve``) is a thin shim whose emitted trace is
+  byte-identical to calling the Session executors directly;
+* ``Session(spec).run()`` reproduces the same results from a declarative
+  spec;
+* a durable run launched from a spec stores
+  ``config_hash(spec.durable_identity())`` as its run-dir identity, and
+  ``repro resume`` accepts that run dir.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.two_stage import run_two_stage
+from repro.distributed.protocol import run_distributed_matching
+from repro.dynamic.generator import DynamicMarketGenerator
+from repro.dynamic.online import OnlineMatcher, RematchStrategy
+from repro.engine.registry import solve as registry_solve
+from repro.errors import SpecError
+from repro.ioutil import config_hash
+from repro.obs import JsonlEventSink, Recorder, use_recorder
+from repro.run.session import (
+    Session,
+    build_market,
+    build_recorder,
+    execute_distributed,
+    execute_durable,
+    execute_online_run,
+    execute_solve,
+    execute_two_stage,
+)
+from repro.run.spec import (
+    DurabilitySpec,
+    EngineSpec,
+    MarketSpec,
+    RunSpec,
+    TelemetrySpec,
+    WorkloadSpec,
+)
+from repro.workloads.scenarios import paper_simulation_market
+
+
+def _market(buyers=12, sellers=3, seed=5):
+    return paper_simulation_market(
+        buyers, sellers, np.random.default_rng(seed)
+    )
+
+
+def _record(fn) -> str:
+    """Run ``fn`` under an event-recording recorder; return the JSONL."""
+    buffer = io.StringIO()
+    recorder = Recorder(events=JsonlEventSink(buffer))
+    with recorder, use_recorder(recorder):
+        fn()
+    return buffer.getvalue()
+
+
+class TestShimTraceEquivalence:
+    """Shim vs executor: byte-identical event streams and results."""
+
+    def test_run_two_stage(self):
+        market = _market()
+        via_shim = _record(lambda: run_two_stage(market))
+        via_executor = _record(lambda: execute_two_stage(market))
+        assert via_shim == via_executor and via_shim
+
+    def test_run_distributed_matching(self):
+        market = _market()
+        via_shim = _record(lambda: run_distributed_matching(market, seed=5))
+        via_executor = _record(lambda: execute_distributed(market, seed=5))
+        assert via_shim == via_executor and via_shim
+
+    def test_online_matcher_run(self):
+        def epochs():
+            return DynamicMarketGenerator(
+                num_channels=3,
+                initial_buyers=10,
+                arrival_rate=3.0,
+                departure_prob=0.1,
+                drift_sigma=0.05,
+                rng=np.random.default_rng(3),
+            ).epochs(4)
+
+        via_shim = _record(
+            lambda: OnlineMatcher(RematchStrategy.WARM).run(epochs())
+        )
+        via_executor = _record(
+            lambda: execute_online_run(
+                OnlineMatcher(RematchStrategy.WARM), epochs()
+            )
+        )
+        assert via_shim == via_executor and via_shim
+
+    def test_registry_solve(self):
+        import json
+
+        def canonical(trace: str):
+            # Solve events carry wall/cpu timings; everything else in the
+            # stream must match byte-for-byte.
+            events = []
+            for line in trace.splitlines():
+                payload = json.loads(line)
+                events.append(
+                    {
+                        key: value
+                        for key, value in payload.items()
+                        if not key.endswith("_s")
+                    }
+                )
+            return events
+
+        market = _market()
+        via_shim = _record(lambda: registry_solve("two_stage", market))
+        via_executor = _record(lambda: execute_solve("two_stage", market))
+        assert canonical(via_shim) == canonical(via_executor)
+        assert via_shim
+
+    def test_durable_dynamic(self, tmp_path):
+        from repro.runtime.durable import run_durable_dynamic
+
+        config = dict(
+            sellers=3,
+            buyers=10,
+            arrival_rate=3.0,
+            departure_prob=0.1,
+            drift=0.05,
+            epochs=4,
+            seed=11,
+            strategy="warm",
+            checkpoint_every=2,
+        )
+        shim_result = run_durable_dynamic(tmp_path / "shim", dict(config))
+        exec_result = execute_durable(
+            "dynamic", tmp_path / "exec", dict(config), seed=11
+        )
+        assert shim_result == exec_result
+
+    def test_durable_chaos(self, tmp_path):
+        from repro.runtime.durable import run_durable_chaos
+
+        config = dict(
+            buyers=8,
+            sellers=3,
+            seed=2,
+            policy="default",
+            crashes=["buyer:1@4-9"],
+            checkpoint_every=3,
+        )
+        shim_result = run_durable_chaos(tmp_path / "shim", dict(config))
+        exec_result = execute_durable(
+            "chaos", tmp_path / "exec", dict(config), seed=2
+        )
+        assert shim_result == exec_result
+
+
+class TestSessionDispatch:
+    def test_toy_returns_two_stage_result(self):
+        result = Session(
+            RunSpec(command="toy", market=MarketSpec(scenario="toy"))
+        ).run()
+        assert result.social_welfare == pytest.approx(30.0)
+
+    def test_distributed_matches_direct_executor(self):
+        spec = RunSpec(
+            command="distributed",
+            market=MarketSpec(buyers=12, sellers=3, seed=5),
+            engine=EngineSpec(name="distributed", options={"policy": "default"}),
+        )
+        session_run = Session(spec).run()
+        direct = execute_distributed(_market(), seed=5)
+        assert session_run.matching == direct.matching
+        assert session_run.slots == direct.slots
+
+    def test_session_trace_matches_executor_trace(self):
+        spec = RunSpec(
+            command="distributed",
+            market=MarketSpec(buyers=12, sellers=3, seed=5),
+            engine=EngineSpec(name="distributed", options={"policy": "default"}),
+        )
+        # Session dispatch with an injected recorder emits the identical
+        # stream the direct executor does.
+        buffer = io.StringIO()
+        recorder = Recorder(events=JsonlEventSink(buffer))
+        with recorder:
+            Session(spec, recorder=recorder).run()
+        via_executor = _record(
+            lambda: execute_distributed(_market(), seed=5)
+        )
+        assert buffer.getvalue() == via_executor and via_executor
+
+    def test_dynamic_runs_both_strategies(self):
+        spec = RunSpec(
+            command="dynamic",
+            market=MarketSpec(
+                buyers=10,
+                sellers=3,
+                seed=3,
+                workload=WorkloadSpec(epochs=4, strategy="both"),
+            ),
+        )
+        results = Session(spec).run()
+        assert set(results) == {RematchStrategy.WARM, RematchStrategy.COLD}
+        assert all(len(outcomes) == 4 for outcomes in results.values())
+
+    def test_solve_returns_report(self):
+        spec = RunSpec(
+            command="solve",
+            market=MarketSpec(buyers=8, sellers=3, seed=1),
+            engine=EngineSpec(name="greedy"),
+        )
+        report = Session(spec).run()
+        assert report.solver == "greedy"
+
+    def test_policy_both_rejected_for_single_session(self):
+        spec = RunSpec(
+            command="distributed",
+            market=MarketSpec(buyers=8, sellers=3),
+            engine=EngineSpec(name="distributed", options={"policy": "both"}),
+        )
+        with pytest.raises(SpecError, match="single policy"):
+            Session(spec).run()
+
+    def test_report_command_is_cli_only(self):
+        with pytest.raises(SpecError, match="CLI-only"):
+            Session(RunSpec(command="report")).run()
+
+    def test_invalid_spec_rejected_at_construction(self):
+        with pytest.raises(SpecError):
+            Session(RunSpec(command="dynamic"))  # no workload
+
+
+class TestUniformAssembly:
+    def test_build_market_scenarios(self):
+        toy = build_market(MarketSpec(scenario="toy"))
+        assert toy.num_buyers == 5 and toy.num_channels == 3
+        paper = build_market(MarketSpec(buyers=9, sellers=4, seed=2))
+        assert paper.num_buyers == 9 and paper.num_channels == 4
+
+    def test_default_telemetry_yields_null_recorder(self):
+        recorder = build_recorder(TelemetrySpec())
+        assert not recorder.enabled
+
+    def test_trace_telemetry_writes_manifest(self, tmp_path):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        spec = RunSpec(command="toy", market=MarketSpec(scenario="toy"))
+        recorder = build_recorder(
+            TelemetrySpec(trace_out=str(trace)),
+            seed=spec.market.seed,
+            config=spec.to_dict(),
+        )
+        with recorder, use_recorder(recorder):
+            execute_two_stage(build_market(spec.market))
+        lines = trace.read_text().splitlines()
+        manifest = json.loads(lines[0])
+        assert manifest["event"] == "manifest"
+        assert manifest["config"]["command"] == "toy"
+
+
+class TestDurableSpecIdentity:
+    def _durable_spec(self, tmp_path):
+        return RunSpec(
+            command="dynamic",
+            market=MarketSpec(
+                buyers=10,
+                sellers=3,
+                seed=4,
+                workload=WorkloadSpec(epochs=4, strategy="warm"),
+            ),
+            durability=DurabilitySpec(
+                checkpoint_dir=str(tmp_path / "run"), checkpoint_every=2
+            ),
+        )
+
+    def test_run_dir_hash_is_spec_identity_hash(self, tmp_path):
+        from repro.runtime import CheckpointStore
+
+        spec = self._durable_spec(tmp_path)
+        Session(spec).run()
+        store = CheckpointStore.open(spec.durability.checkpoint_dir)
+        assert store.config_hash == config_hash(spec.durable_identity())
+
+    def test_resume_accepts_spec_shaped_run_dir(self, tmp_path):
+        from repro.runtime import resume_run
+
+        spec = self._durable_spec(tmp_path)
+        fresh = Session(spec).run()
+        resumed = resume_run(spec.durability.checkpoint_dir)
+        assert resumed == fresh
+
+    def test_equivalent_spec_different_telemetry_same_identity(self, tmp_path):
+        from repro.runtime import CheckpointStore
+
+        spec = self._durable_spec(tmp_path)
+        Session(spec).run()
+        store = CheckpointStore.open(spec.durability.checkpoint_dir)
+        loud = RunSpec.from_dict(
+            {
+                **spec.to_dict(),
+                "telemetry": TelemetrySpec(metrics=True).to_dict(),
+                "durability": DurabilitySpec(
+                    checkpoint_dir="somewhere-else",
+                    checkpoint_every=spec.durability.checkpoint_every,
+                ).to_dict(),
+            }
+        )
+        assert store.config_hash == config_hash(loud.durable_identity())
