@@ -24,6 +24,21 @@ whenever the *current* run's ``env.cpu_count`` is greater than one
 shared-memory task inputs the parallel path has no excuse to lose to
 serial on a multi-core machine.  Single-core runners skip the rule --
 there a speedup above 1 is physically impossible.
+
+Failures *explain themselves*.  A failing kernels report is followed by
+an attribution diff of the harness's span tables and deterministic cost
+counters: counter drift means the two runs executed different operation
+sequences (an algorithmic change), counters flat while wall time moved
+means the machine -- not the code -- changed speed.  Every timing
+failure line carries the run's ``env.cpu_count`` and sample spread, a
+spread above :data:`SPREAD_WARN` of the median draws a warning even
+when nothing fails, and the noise-floor guard downgrades a median
+regression to a warning when the sample's *minimum* still fits under
+the ceiling on a high-spread run (the machine demonstrably can still go
+that fast; rerun rather than red-flag).
+
+This script stays stdlib-only and importable without the repro package
+on the path: CI runs it as a standalone gate.
 """
 
 from __future__ import annotations
@@ -32,7 +47,7 @@ import argparse
 import json
 import os
 import sys
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
 
@@ -59,6 +74,13 @@ _INVARIANT_KEYS = {
 #: mode): the engine registry must not add more than 2% dispatch overhead
 #: over calling the backend directly.
 _MAX_RATIO_KEYS = {"BENCH_dispatch.json": ("overhead", 1.02)}
+
+#: Sides of the kernels report carrying span tables and cost counters.
+_ATTRIBUTED_SIDES = ("fast", "scalar", "reference")
+
+#: Sample spread (``(max - min) / median`` of the timed runs) above
+#: which the current run's timings are flagged as noisy.
+SPREAD_WARN = 0.15
 
 #: Ratchet on the committed sweep baseline's recorded environment: a
 #: regenerated BENCH_sweep.json must come from a machine with at least
@@ -155,54 +177,195 @@ def _dig(report: Dict[str, object], dotted: str) -> float:
     return float(node)  # type: ignore[arg-type]
 
 
+def _side_block(report: Dict[str, object], dotted: str) -> Dict[str, object]:
+    """The dict holding a dotted timing, e.g. ``fast`` of ``fast.median_s``."""
+    block = report.get(dotted.split(".")[0])
+    return block if isinstance(block, dict) else {}
+
+
+def sample_spread(block: Dict[str, object]) -> Optional[float]:
+    """``(max - min) / median`` of a timed side's samples, if recorded."""
+    times = block.get("times_s")
+    median = block.get("median_s")
+    if not isinstance(times, list) or len(times) < 2 or not median:
+        return None
+    return (max(times) - min(times)) / float(median)
+
+
+def _env_cpu_count(report: Dict[str, object]) -> Optional[int]:
+    env = report.get("env")
+    if isinstance(env, dict):
+        try:
+            return int(env.get("cpu_count"))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return None
+    return None
+
+
+def attribution_lines(
+    baseline: Dict[str, object], current: Dict[str, object]
+) -> List[str]:
+    """Explain a kernels-report failure from its spans and counters.
+
+    For each benchmark side, compares the deterministic cost counters
+    first -- drift there is an algorithmic difference no amount of
+    machine variation can produce -- and falls back to naming the span
+    phases whose wall time moved while the counters stayed flat, the
+    signature of environment noise.
+    """
+    lines: List[str] = []
+    saw_data = False
+    for side in _ATTRIBUTED_SIDES:
+        base_side = baseline.get(side)
+        cur_side = current.get(side)
+        if not isinstance(base_side, dict) or not isinstance(cur_side, dict):
+            continue
+        base_counters = base_side.get("counters")
+        cur_counters = cur_side.get("counters")
+        if not isinstance(base_counters, dict) or not isinstance(
+            cur_counters, dict
+        ):
+            continue
+        saw_data = True
+        drifted: List[str] = []
+        for counter in sorted(set(base_counters) | set(cur_counters)):
+            base_value = int(base_counters.get(counter, 0))
+            cur_value = int(cur_counters.get(counter, 0))
+            if base_value != cur_value:
+                ratio = (
+                    f"{cur_value / base_value:.2f}x" if base_value else "new"
+                )
+                drifted.append(
+                    f"{counter} {base_value} -> {cur_value} ({ratio})"
+                )
+        moved: List[str] = []
+        base_spans = {
+            row["name"]: float(row["wall_s"])
+            for row in base_side.get("spans", [])
+            if isinstance(row, dict)
+        }
+        cur_spans = {
+            row["name"]: float(row["wall_s"])
+            for row in cur_side.get("spans", [])
+            if isinstance(row, dict)
+        }
+        for span in sorted(set(base_spans) | set(cur_spans)):
+            base_wall = base_spans.get(span, 0.0)
+            cur_wall = cur_spans.get(span, 0.0)
+            if base_wall > 0.0 and abs(cur_wall / base_wall - 1.0) >= 0.10:
+                moved.append(f"{span} {cur_wall / base_wall - 1.0:+.0%}")
+        if drifted:
+            lines.append(
+                f"  attribution[{side}]: counter drift "
+                + "; ".join(drifted[:4])
+                + " -- algorithmic regression, not machine noise"
+            )
+        elif moved:
+            lines.append(
+                f"  attribution[{side}]: "
+                + ", ".join(moved[:4])
+                + " moved while deterministic counters stayed flat "
+                + "-- environment noise, not an algorithmic change"
+            )
+        else:
+            lines.append(
+                f"  attribution[{side}]: counters flat and no span moved "
+                f">=10% -- nothing to attribute"
+            )
+    if not saw_data:
+        lines.append(
+            "  attribution unavailable: baseline or current report "
+            "predates span/counter capture (regenerate with "
+            "benchmarks/perf_harness.py)"
+        )
+    return lines
+
+
 def _check_report(
     name: str,
     baseline: Dict[str, object],
     current: Dict[str, object],
     threshold: float,
     ratios_only: bool,
-) -> Iterator[str]:
-    """Yield human-readable failure lines for one report pair."""
+) -> Tuple[List[str], List[str]]:
+    """Return (failure lines, warning lines) for one report pair."""
+    failures: List[str] = []
+    warnings: List[str] = []
     invariant = _INVARIANT_KEYS.get(name)
     if invariant is not None and not current.get(invariant, False):
-        yield f"{name}: invariant {invariant!r} is no longer true"
+        failures.append(f"{name}: invariant {invariant!r} is no longer true")
     ratio_key = _RATIO_KEYS.get(name)
     if ratio_key is not None:
         base_ratio = float(baseline[ratio_key])
         cur_ratio = float(current[ratio_key])
         floor = base_ratio * (1.0 - threshold)
         if cur_ratio < floor:
-            yield (
+            failures.append(
                 f"{name}: {ratio_key} fell {base_ratio:.2f}x -> "
                 f"{cur_ratio:.2f}x (floor {floor:.2f}x)"
             )
     if name == "BENCH_sweep.json":
         parallel_failure = check_parallel_speedup(current)
         if parallel_failure is not None:
-            yield parallel_failure
+            failures.append(parallel_failure)
         env_failure = check_baseline_env(baseline)
         if env_failure is not None:
-            yield env_failure
+            failures.append(env_failure)
     max_ratio = _MAX_RATIO_KEYS.get(name)
     if max_ratio is not None:
         key, ceiling = max_ratio
         cur_ratio = float(current[key])
         if cur_ratio > ceiling:
-            yield (
+            failures.append(
                 f"{name}: {key} {cur_ratio:.3f}x exceeds the "
                 f"{ceiling:.2f}x ceiling"
             )
-    if ratios_only:
-        return
-    for dotted in _MEDIAN_PATHS.get(name, ()):
-        base_s = _dig(baseline, dotted)
-        cur_s = _dig(current, dotted)
-        ceiling = base_s * (1.0 + threshold)
-        if cur_s > ceiling:
-            yield (
+    cpu_count = _env_cpu_count(current)
+    cpu_text = "?" if cpu_count is None else str(cpu_count)
+    if not ratios_only:
+        for dotted in _MEDIAN_PATHS.get(name, ()):
+            base_s = _dig(baseline, dotted)
+            cur_s = _dig(current, dotted)
+            ceiling = base_s * (1.0 + threshold)
+            cur_block = _side_block(current, dotted)
+            spread = sample_spread(cur_block)
+            spread_text = "n/a" if spread is None else f"{spread:.0%}"
+            if spread is not None and spread > SPREAD_WARN:
+                warnings.append(
+                    f"{name}: {dotted.split('.')[0]} sample spread "
+                    f"{spread:.0%} of median exceeds {SPREAD_WARN:.0%} -- "
+                    f"this run's timings are noisy"
+                )
+            if cur_s <= ceiling:
+                continue
+            line = (
                 f"{name}: {dotted} regressed {base_s:.4f}s -> {cur_s:.4f}s "
-                f"(ceiling {ceiling:.4f}s, +{(cur_s / base_s - 1) * 100:.0f}%)"
+                f"(ceiling {ceiling:.4f}s, "
+                f"+{(cur_s / base_s - 1) * 100:.0f}%; "
+                f"env.cpu_count={cpu_text}, spread {spread_text})"
             )
+            cur_min = cur_block.get("min_s")
+            if (
+                isinstance(cur_min, (int, float))
+                and float(cur_min) <= ceiling
+                and spread is not None
+                and spread > SPREAD_WARN
+            ):
+                # Noise-floor guard: the machine demonstrably still
+                # reaches the old speed; a regressed *median* on a
+                # high-spread sample is scheduler noise until a rerun
+                # reproduces it.
+                warnings.append(
+                    line
+                    + f" -- noise-floor guard: min_s {float(cur_min):.4f}s "
+                    f"is within the ceiling on a high-spread sample; "
+                    f"not failing, rerun to confirm"
+                )
+            else:
+                failures.append(line)
+    if failures and name == "BENCH_kernels.json":
+        failures.extend(attribution_lines(baseline, current))
+    return failures, warnings
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -223,6 +386,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     failures: List[str] = []
+    warnings: List[str] = []
     compared = 0
     for name in sorted(_MEDIAN_PATHS):
         base_path = os.path.join(args.baseline_dir, name)
@@ -230,18 +394,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not os.path.exists(base_path) or not os.path.exists(cur_path):
             continue
         compared += 1
-        failures.extend(
-            _check_report(
-                name,
-                _load(base_path),
-                _load(cur_path),
-                args.threshold,
-                args.ratios_only,
-            )
+        report_failures, report_warnings = _check_report(
+            name,
+            _load(base_path),
+            _load(cur_path),
+            args.threshold,
+            args.ratios_only,
         )
+        failures.extend(report_failures)
+        warnings.extend(report_warnings)
     if not compared:
         print("compare_perf: no overlapping BENCH_*.json reports found", file=sys.stderr)
         return 2
+    for line in warnings:
+        print(f"WARNING {line}")
     if failures:
         for line in failures:
             print(f"REGRESSION {line}")

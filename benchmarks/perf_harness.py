@@ -19,6 +19,14 @@ plus the observability layer's own ``stage1.mwis_solve_s`` timer totals):
   engine registry (``get_solver("two_stage").solve``) vs directly,
   guarding the registry's dispatch + report-building overhead (<2%).
 
+Every timed side records its full noise envelope (``min_s`` / ``max_s``
+/ ``stdev_s`` beside ``median_s``), and the kernels report carries each
+side's span table and deterministic cost counters so the perf gate can
+*attribute* a failure (which phase moved; did the operation counts move
+with it).  Each invocation also appends one summary line to
+``BENCH_history.jsonl`` in the output directory -- the performance
+trajectory across regenerations.
+
 Run ``python benchmarks/perf_harness.py`` to regenerate both next to the
 committed baselines in ``benchmarks/baselines/``; pass ``--quick`` for
 the CI smoke variant (small market, fewer runs) and ``--output-dir`` to
@@ -43,8 +51,11 @@ from repro.core.soa import BATCH_STAGE1_ENV
 from repro.core.two_stage import run_two_stage
 from repro.engine import get_solver
 from repro.interference.bitset import FAST_KERNELS_ENV
-from repro.ioutil import atomic_write_json
+from repro.ioutil import append_jsonl, atomic_write_json
 from repro.obs import MetricsRegistry, Recorder, use_recorder
+from repro.obs.spans import SpanTracer
+from repro.prof.attribution import span_table
+from repro.prof.counters import reset_cost_counters, snapshot_cost_counters
 from repro.workloads.scenarios import paper_simulation_market
 
 #: Default home of the committed baseline artefacts.
@@ -84,21 +95,51 @@ def _timed_runs(
     return times, outputs
 
 
+def _stats_block(times: List[float]) -> Dict[str, object]:
+    """Median plus the sample's noise envelope (min/max/stdev).
+
+    ``compare_perf.py`` uses min and spread as its noise-floor guard: a
+    median regression whose min is still inside the ceiling on a
+    high-spread sample reads as scheduler noise, not code.
+    """
+    return {
+        "median_s": statistics.median(times),
+        "min_s": min(times),
+        "max_s": max(times),
+        "stdev_s": statistics.stdev(times) if len(times) >= 2 else 0.0,
+        "times_s": times,
+    }
+
+
 def _stage1_once(
     market, fast: bool, batched: bool = True
-) -> Tuple[object, float]:
-    """One recorded Stage-I run; returns (result, mwis timer total_s)."""
+) -> Tuple[object, float, List[Dict[str, object]], Dict[str, int]]:
+    """One recorded Stage-I run.
+
+    Returns ``(result, mwis timer total_s, span table, cost counters)``
+    -- the span table and the deterministic kernel cost counters are
+    what ``compare_perf.py``'s attribution diff consumes to tell
+    "algorithm changed" apart from "machine was slow".
+    """
     os.environ[FAST_KERNELS_ENV] = "1" if fast else "0"
     os.environ[BATCH_STAGE1_ENV] = "1" if batched else "0"
     registry = MetricsRegistry()
+    tracer = SpanTracer()
+    reset_cost_counters()
     try:
-        with use_recorder(Recorder(metrics=registry)):
+        with use_recorder(Recorder(metrics=registry, spans=tracer)):
             result = deferred_acceptance(market, record_trace=False)
     finally:
         os.environ.pop(FAST_KERNELS_ENV, None)
         os.environ.pop(BATCH_STAGE1_ENV, None)
+    counters = {
+        name: value
+        for name, value in snapshot_cost_counters().items()
+        if value
+    }
     timers = registry.snapshot()["timers"]
-    return result, timers.get("stage1.mwis_solve_s", {}).get("total_s", 0.0)
+    mwis_s = timers.get("stage1.mwis_solve_s", {}).get("total_s", 0.0)
+    return result, mwis_s, span_table(tracer.records), counters
 
 
 def _coalitions(market, result) -> Dict[int, Tuple[int, ...]]:
@@ -120,20 +161,33 @@ def bench_kernels(quick: bool, runs: int) -> Dict[str, object]:
         ("reference", False, True),
     ):
         mwis_totals: List[float] = []
+        span_tables: List[List[Dict[str, object]]] = []
+        counter_snaps: List[Dict[str, int]] = []
         results: List[object] = []
 
         def run_once() -> object:
-            result, mwis_s = _stage1_once(market, fast, batched)
+            result, mwis_s, spans, counters = _stage1_once(
+                market, fast, batched
+            )
             mwis_totals.append(mwis_s)
+            span_tables.append(spans)
+            counter_snaps.append(counters)
             return result
 
         times, outputs = _timed_runs(run_once, runs)
         results = outputs
         matchings[label] = _coalitions(market, results[0])
+        # The deterministic counters must agree across same-input runs;
+        # record the first snapshot and surface any disagreement rather
+        # than averaging it away.
         sides[label] = {
-            "median_s": statistics.median(times),
-            "times_s": times,
+            **_stats_block(times),
             "mwis_solve_median_s": statistics.median(mwis_totals),
+            "spans": span_tables[0],
+            "counters": counter_snaps[0],
+            "counters_deterministic": all(
+                snap == counter_snaps[0] for snap in counter_snaps
+            ),
         }
     fast_median = sides["fast"]["median_s"]
     return {
@@ -184,8 +238,8 @@ def bench_sweep(quick: bool, runs: int, jobs: int) -> Dict[str, object]:
         "runs": runs,
         "jobs": jobs,
         "sweep": {k: list(v) if isinstance(v, tuple) else v for k, v in sweep.items()},
-        "serial": {"median_s": serial_median, "times_s": serial_times},
-        "parallel": {"median_s": parallel_median, "times_s": parallel_times},
+        "serial": _stats_block(serial_times),
+        "parallel": _stats_block(parallel_times),
         "parallel_speedup": (
             serial_median / parallel_median if parallel_median else 0.0
         ),
@@ -242,16 +296,8 @@ def bench_dispatch(quick: bool, runs: int) -> Dict[str, object]:
         "quick": quick,
         "runs": runs,
         "market": params,
-        "direct": {
-            "median_s": statistics.median(direct_times),
-            "min_s": min(direct_times),
-            "times_s": direct_times,
-        },
-        "dispatch": {
-            "median_s": statistics.median(dispatch_times),
-            "min_s": min(dispatch_times),
-            "times_s": dispatch_times,
-        },
+        "direct": _stats_block(direct_times),
+        "dispatch": _stats_block(dispatch_times),
         "overhead": statistics.median(ratios) if ratios else 0.0,
         "call_ratios": ratios,
         "identical_matching": (
@@ -312,6 +358,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         reports["BENCH_sweep.json"] = {**bench_sweep(args.quick, runs, args.jobs), **{"env": meta}}
     if args.only in (None, "dispatch"):
         reports["BENCH_dispatch.json"] = {**bench_dispatch(args.quick, runs), **{"env": meta}}
+    history_entry: Dict[str, object] = {
+        "unix_time": round(time.time(), 3),
+        "quick": args.quick,
+        "runs": runs,
+        "env": meta,
+        "headlines": {},
+    }
     for name, report in reports.items():
         path = os.path.join(args.output_dir, name)
         # Atomic replace: an interrupted harness run keeps the previous
@@ -319,11 +372,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         atomic_write_json(path, report)
         if "speedup" in report:
             headline = f"speedup {report['speedup']:.2f}x"
+            history_entry["headlines"][name] = {
+                "speedup": report["speedup"],
+                "fast_median_s": report["fast"]["median_s"],
+            }
         elif "overhead" in report:
             headline = f"dispatch overhead {report['overhead']:.3f}x"
+            history_entry["headlines"][name] = {
+                "overhead": report["overhead"],
+            }
         else:
             headline = f"parallel {report['parallel_speedup']:.2f}x"
+            history_entry["headlines"][name] = {
+                "parallel_speedup": report["parallel_speedup"],
+            }
         print(f"{path}: {headline}")
+    # The trajectory file: one line per harness invocation, so a slow
+    # drift that never trips the gate is still visible in the history.
+    append_jsonl(
+        os.path.join(args.output_dir, "BENCH_history.jsonl"), history_entry
+    )
     return 0
 
 

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import dataclasses
 import sys
 from typing import Optional, Sequence, Tuple
 
@@ -64,6 +65,7 @@ from repro.core.stability import (
 from repro.obs import format_metrics_summary, get_recorder, use_recorder
 from repro.run.session import (
     build_market,
+    build_profiler,
     build_recorder,
     build_slo_engine,
     execute_distributed,
@@ -78,6 +80,7 @@ from repro.run.spec import (
     FaultSpec,
     MarketSpec,
     ParallelSpec,
+    ProfileSpec,
     RunSpec,
     TelemetrySpec,
     WorkloadSpec,
@@ -166,6 +169,16 @@ def _observability_parent() -> argparse.ArgumentParser:
         help=(
             "what a violated SLO does to the exit code: warn (report "
             "only, default) or fail (exit nonzero)"
+        ),
+    )
+    group.add_argument(
+        "--profile-out",
+        metavar="DIR",
+        default=None,
+        help=(
+            "profile the run (cProfile + tracemalloc + kernel cost "
+            "counters) and write profile.json / profile.collapsed / "
+            "profile.speedscope.json into DIR"
         ),
     )
     return parent
@@ -627,11 +640,13 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("trace", metavar="TRACE", help="JSONL trace path")
     export.add_argument(
         "--format",
-        choices=["chrome", "openmetrics"],
+        choices=["chrome", "openmetrics", "collapsed", "speedscope"],
         required=True,
         help=(
             "chrome: trace-event JSON for Perfetto/chrome://tracing; "
-            "openmetrics: exposition text of the trace's event counts"
+            "openmetrics: exposition text of the trace's event counts; "
+            "collapsed: flamegraph collapsed span stacks; "
+            "speedscope: span tree as a speedscope.app profile"
         ),
     )
     export.add_argument(
@@ -658,6 +673,78 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         metavar="N",
         help="show at most N chains, latest first (default 3)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run, inspect and diff performance profiles",
+        description=(
+            "Profiling toolkit: execute a RunSpec under the stdlib "
+            "profiler harness, render a profile's attribution tables, "
+            "or diff two profiles (deterministic cost-counter drift "
+            "fails the diff; wall-time movement is informational)."
+        ),
+    )
+    profile_sub = profile.add_subparsers(
+        dest="profile_command", required=True
+    )
+
+    prof_run = profile_sub.add_parser(
+        "run",
+        help="execute a RunSpec with profiling on and write the artifacts",
+    )
+    prof_run.add_argument(
+        "spec",
+        metavar="SPEC",
+        help="RunSpec JSON path (write one with '<subcommand> --dry-run')",
+    )
+    prof_run.add_argument(
+        "--out",
+        metavar="DIR",
+        default="profile-out",
+        help="artifact directory (default ./profile-out)",
+    )
+    prof_run.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip the tracemalloc driver (cheaper; no alloc table)",
+    )
+
+    prof_top = profile_sub.add_parser(
+        "top",
+        help="show a profile's dominant spans, functions or alloc sites",
+    )
+    prof_top.add_argument(
+        "path",
+        metavar="PROFILE",
+        help="profile.json path (or the directory holding it)",
+    )
+    prof_top.add_argument(
+        "--section",
+        choices=["spans", "functions", "allocs"],
+        default="spans",
+        help="which attribution table to render (default spans)",
+    )
+    prof_top.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows to show (default 10)",
+    )
+
+    prof_diff = profile_sub.add_parser(
+        "diff",
+        help=(
+            "compare two profiles; exit 1 on deterministic cost-counter "
+            "drift (an algorithmic difference, never hardware noise)"
+        ),
+    )
+    prof_diff.add_argument(
+        "left", metavar="A", help="baseline profile.json (or directory)"
+    )
+    prof_diff.add_argument(
+        "right", metavar="B", help="candidate profile.json (or directory)"
     )
 
     watch = sub.add_parser(
@@ -695,6 +782,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append frames instead of clearing the screen (log-friendly)",
     )
+    watch.add_argument(
+        "--profile",
+        metavar="DIR",
+        default=None,
+        help=(
+            "a run's --profile-out directory; once its profile.json "
+            "appears, top self-time spans and allocation sites are shown"
+        ),
+    )
 
     return parser
 
@@ -710,6 +806,7 @@ _OBS_FLAGS = (
     "serve_hold",
     "slo",
     "slo_policy",
+    "profile_out",
 )
 
 
@@ -732,6 +829,14 @@ def _spec_from_args(args: argparse.Namespace) -> RunSpec:
     ``repro <command> <flags>`` and ``repro run <spec.json>`` execute the
     identical path.
     """
+    spec = _base_spec_from_args(args)
+    profile = ProfileSpec.from_args(args)
+    if profile.enabled:
+        spec = dataclasses.replace(spec, profile=profile)
+    return spec
+
+
+def _base_spec_from_args(args: argparse.Namespace) -> RunSpec:
     command = args.command
     telemetry = TelemetrySpec.from_args(args)
     if command in ("fig6", "fig7", "fig8"):
@@ -1391,7 +1496,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         format_summary,
         load_events,
         to_chrome_trace,
+        to_collapsed,
         to_openmetrics,
+        to_speedscope,
     )
 
     try:
@@ -1419,6 +1526,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             events = load_events(args.trace)
             if args.format == "chrome":
                 rendered = json_module.dumps(to_chrome_trace(events), indent=1)
+            elif args.format == "collapsed":
+                rendered = to_collapsed(events)
+            elif args.format == "speedscope":
+                rendered = json_module.dumps(to_speedscope(events), indent=1)
             else:
                 rendered = to_openmetrics(counters_from_events(events))
             if args.output is None:
@@ -1534,6 +1645,62 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError, SpecError
+    from repro.prof import (
+        diff_profiles,
+        format_diff,
+        format_top,
+        load_profile,
+    )
+
+    try:
+        if args.profile_command == "run":
+            from repro.run.session import Session
+
+            try:
+                with open(args.spec, "r", encoding="utf-8") as handle:
+                    spec = RunSpec.from_json(handle.read())
+            except OSError as exc:
+                print(
+                    f"error: cannot read spec file {args.spec!r}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            spec = dataclasses.replace(
+                spec,
+                profile=ProfileSpec(
+                    profile_out=args.out, memory=not args.no_memory
+                ),
+            )
+            Session(spec).run()
+            print(f"profile written to {args.out}")
+            payload = load_profile(args.out)
+            for line in format_top(payload, limit=10, section="spans"):
+                print(line)
+            return 0
+        if args.profile_command == "top":
+            payload = load_profile(args.path)
+            for line in format_top(
+                payload, limit=args.limit, section=args.section
+            ):
+                print(line)
+            return 0
+        if args.profile_command == "diff":
+            diff = diff_profiles(
+                load_profile(args.left), load_profile(args.right)
+            )
+            for line in format_diff(diff):
+                print(line)
+            return 1 if diff["counter_drift"] else 0
+    except (OSError, ObservabilityError, SpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(
+        f"unhandled profile subcommand {args.profile_command!r}"
+    )
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     from repro.obs.watch import watch
 
@@ -1542,6 +1709,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         interval_s=args.interval,
         frames=args.frames,
         plain=args.plain,
+        profile_path=args.profile,
     )
 
 
@@ -1584,6 +1752,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_solvers(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "resume":
         return _cmd_resume(args)
     if args.command == "supervise":
@@ -1621,10 +1791,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if spec is not None:
         telemetry = spec.telemetry
+        profile = spec.profile
         manifest_seed: Optional[int] = spec.market.seed
         manifest_config: dict = spec.to_dict()
     else:
         telemetry = TelemetrySpec.from_args(args)
+        profile = ProfileSpec.from_args(args)
         manifest_seed = getattr(args, "seed", None)
         manifest_config = {
             key: value
@@ -1634,7 +1806,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         recorder = build_recorder(
-            telemetry, seed=manifest_seed, config=manifest_config
+            telemetry,
+            profile=profile,
+            seed=manifest_seed,
+            config=manifest_config,
         )
     except OSError as exc:
         print(
@@ -1662,12 +1837,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         print(f"telemetry server listening on {server.url}", file=sys.stderr)
 
+    profiler = build_profiler(
+        profile, recorder, meta={"command": args.command}
+    )
     try:
         with recorder, use_recorder(recorder):
+            if profiler is not None:
+                profiler.start()
             if spec is not None:
                 exit_code = _dispatch_spec(spec)
             else:
                 exit_code = _dispatch(args)
+            if profiler is not None:
+                profiler.stop()
             if engine is not None:
                 # Final evaluation happens inside the recorder context so
                 # slo.violated events reach the trace before it closes.
@@ -1708,6 +1890,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 2
         print(f"metrics written to {telemetry.metrics_out}")
+    if profiler is not None and profiler.payload is not None:
+        try:
+            profiler.write()
+        except OSError as exc:
+            print(
+                f"error: cannot write profile to "
+                f"{profile.profile_out!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"profile written to {profile.profile_out}")
     if telemetry.trace_out is not None:
         print(f"trace written to {telemetry.trace_out}")
     return exit_code

@@ -46,7 +46,22 @@ from repro.interference.mwis import MwisAlgorithm, mwis_solve
 from repro.obs.events import round_to_event
 from repro.obs.recorder import Recorder, resolve_recorder
 
-__all__ = ["StageOneResult", "deferred_acceptance", "seller_select_coalition"]
+__all__ = [
+    "COST_COUNTERS",
+    "StageOneResult",
+    "deferred_acceptance",
+    "seller_select_coalition",
+]
+
+#: Deterministic cost counters for the scalar Stage-I pool cache:
+#: machine-independent operation counts accumulated by every solve and
+#: read/reset by :mod:`repro.prof.counters`.  A cache *hit* is a member
+#: whose induced mask survived the round untouched by the delta.
+COST_COUNTERS: Dict[str, int] = {
+    "stage1.cache_hit_ops": 0,
+    "stage1.cache_departed_ops": 0,
+    "stage1.cache_arrived_ops": 0,
+}
 
 
 @dataclass(frozen=True)
@@ -157,6 +172,11 @@ class _SellerMwisCache:
         new_pool = set(pool)
         departed = self.pool - new_pool
         arrived = new_pool - self.pool
+        counters = COST_COUNTERS
+        counters["stage1.cache_departed_ops"] += len(departed)
+        counters["stage1.cache_arrived_ops"] += len(arrived)
+        if not departed and not arrived:
+            counters["stage1.cache_hit_ops"] += len(new_pool)
         new_mask = self.pool_mask
         if departed:
             new_mask &= ~mask_of(departed)

@@ -53,6 +53,7 @@ from repro.obs.recorder import Recorder
 __all__ = [
     "BATCH_STAGE1_ENV",
     "BATCHED_ALGORITHMS",
+    "COST_COUNTERS",
     "MarketSoA",
     "SellerPoolCache",
     "batch_stage1_enabled",
@@ -69,6 +70,21 @@ BATCHED_ALGORITHMS = (MwisAlgorithm.GWMIN, MwisAlgorithm.GWMIN2)
 
 _ONE = np.uint64(1)
 _LOW6 = np.uint64(63)
+
+#: Deterministic cost counters for the batched SoA kernel: machine-
+#: independent operation counts accumulated by every solve and
+#: read/reset by :mod:`repro.prof.counters`.  Two same-seed runs must
+#: show identical values; a drift is an algorithmic change, not noise.
+COST_COUNTERS: Dict[str, int] = {
+    "soa.mwis_iter_ops": 0,
+    "soa.popcount_word_ops": 0,
+    "soa.reduceat_row_ops": 0,
+    "soa.compaction_ops": 0,
+    "soa.isolated_harvest_ops": 0,
+    "soa.pick_ops": 0,
+    "soa.cache_departed_ops": 0,
+    "soa.cache_arrived_ops": 0,
+}
 
 
 def batch_stage1_enabled() -> bool:
@@ -228,6 +244,8 @@ class SellerPoolCache:
         departed = np.flatnonzero(member & ~new_member)
         arrivals = pool[~member[pool]]
         remain = np.flatnonzero(member & new_member)
+        COST_COUNTERS["soa.cache_departed_ops"] += int(departed.size)
+        COST_COUNTERS["soa.cache_arrived_ops"] += int(arrivals.size)
         rows, adj, words = self.rows, self._adj, self.words
         pool_words = self._pool_words
         dep_words = arr_words = None
@@ -263,6 +281,7 @@ class SellerPoolCache:
             departed = current[~keep[current]]
         else:
             departed = current
+        COST_COUNTERS["soa.cache_departed_ops"] += int(departed.size)
         if departed.size:
             self.member[departed] = False
             slot_of[self.ids[departed]] = -1
@@ -272,6 +291,7 @@ class SellerPoolCache:
             self.rows[departed] = 0
             self._free.extend(departed.tolist())
         arrivals = pool[missing]
+        COST_COUNTERS["soa.cache_arrived_ops"] += int(arrivals.size)
         if arrivals.size:
             while len(self._free) < arrivals.size:
                 self._grow()
@@ -404,15 +424,19 @@ def _batched_mwis(
     starts = bounds[:-1]
     span = np.diff(bounds)
     positions = np.arange(slots.size, dtype=np.int64)
+    iters = popcount_words = reduceat_rows = 0
+    compactions = harvested = picked = 0
     while True:
         alive_m = (alive[seg_id, wq] & bit) != 0
         alive_count = int(np.count_nonzero(alive_m))
         if alive_count == 0:
             break
+        iters += 1
         # Compaction: drop dead members (and finished segments) from the
         # working arrays once most of them are gone, so late iterations
         # only touch the still-contested tail.
         if slots.size > 256 and alive_count * 2 < slots.size:
+            compactions += 1
             keep = alive_m
             slots, ids = slots[keep], ids[keep]
             seg_id, weights = seg_id[keep], weights[keep]
@@ -432,10 +456,12 @@ def _batched_mwis(
         else:
             deg = _popcount(live).sum(axis=1).astype(np.int64)
             no_neighbour = deg == 0
+            popcount_words += int(live.size)
 
         iso = alive_m & no_neighbour
         if iso.any():
             pos = np.flatnonzero(iso)
+            harvested += int(pos.size)
             chosen_ids.append(ids[pos])
             chosen_seg.append(seg_id[pos])
             np.bitwise_xor.at(alive, (seg_id[pos], wq[pos]), bit[pos])
@@ -452,6 +478,7 @@ def _batched_mwis(
         masked = np.where(alive_m, score, -1.0)
 
         seg_max = np.maximum.reduceat(masked, starts)
+        reduceat_rows += 2 * int(masked.size)  # max pass + min pass below
         active = seg_max >= 0.0
         if not active.any():  # pragma: no cover - alive members imply an
             break  # active segment; defensive against a stuck loop.
@@ -462,6 +489,7 @@ def _batched_mwis(
 
         chosen_ids.append(ids[picks])
         chosen_seg.append(seg_id[picks])
+        picked += int(picks.size)
         pseg = seg_id[picks]
         before = alive[pseg]
         removed = rows_g[picks] & before
@@ -514,6 +542,14 @@ def _batched_mwis(
                 np.multiply(touched, -cache.weights[sl], out=fold[:, 1:])
                 np.cumsum(fold, axis=1, out=fold)
                 closed[lo:hi] = fold[:, -1]
+
+    counters = COST_COUNTERS
+    counters["soa.mwis_iter_ops"] += iters
+    counters["soa.popcount_word_ops"] += popcount_words
+    counters["soa.reduceat_row_ops"] += reduceat_rows
+    counters["soa.compaction_ops"] += compactions
+    counters["soa.isolated_harvest_ops"] += harvested
+    counters["soa.pick_ops"] += picked
 
     out: List[np.ndarray] = []
     if chosen_ids:

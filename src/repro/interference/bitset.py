@@ -42,6 +42,7 @@ from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 __all__ = [
     "FAST_KERNELS_ENV",
+    "COST_COUNTERS",
     "fast_kernels_enabled",
     "popcount",
     "mask_of",
@@ -50,6 +51,19 @@ __all__ = [
     "mwis_gwmin_bits",
     "mwis_gwmin2_bits",
 ]
+
+#: Deterministic cost counters for the select-and-remove kernel:
+#: machine-independent operation counts accumulated by every solve and
+#: read/reset by :mod:`repro.prof.counters`.  Two same-seed runs must
+#: show identical values; a drift is an algorithmic change, not noise.
+COST_COUNTERS: Dict[str, int] = {
+    "bitset.heap_pop_ops": 0,
+    "bitset.dead_drop_ops": 0,
+    "bitset.stale_drop_ops": 0,
+    "bitset.select_ops": 0,
+    "bitset.heap_push_ops": 0,
+    "bitset.mask_and_ops": 0,
+}
 
 #: Environment variable selecting the kernel path.  Anything but the
 #: literal string ``"0"`` (including unset) enables the bitset kernels.
@@ -118,23 +132,37 @@ def _select_loop(
     heap: List[Tuple[float, int]] = [(-score_of[j], j) for j in pool]
     heapq.heapify(heap)
     chosen: List[int] = []
+    pops = dead = stale = pushes = mask_ands = 0
     while heap:
         neg_score, j = heapq.heappop(heap)
+        pops += 1
         if not (alive >> j) & 1:
+            dead += 1
             continue
         if -neg_score != score_of[j]:
             # Stale entry: j's score changed after this entry was pushed.
             # An entry carrying the current score is guaranteed to be in
             # the heap (one is pushed on every change), so drop this one.
+            stale += 1
             continue
         chosen.append(j)
         removed_mask = (induced[j] & alive) | (1 << j)
+        mask_ands += 1
         alive &= ~removed_mask
         if not alive:
             break
         for r in bits_of(removed_mask):
+            mask_ands += 1  # on_remove intersects induced[r] & alive
             for k in on_remove(r, alive):
                 heapq.heappush(heap, (-score_of[k], k))
+                pushes += 1
+    counters = COST_COUNTERS
+    counters["bitset.heap_pop_ops"] += pops
+    counters["bitset.dead_drop_ops"] += dead
+    counters["bitset.stale_drop_ops"] += stale
+    counters["bitset.select_ops"] += len(chosen)
+    counters["bitset.heap_push_ops"] += pushes
+    counters["bitset.mask_and_ops"] += mask_ands
     chosen.sort()
     return chosen
 

@@ -19,8 +19,10 @@ helper implementing the classic recipe:
    Windows).
 
 Appending logs (the runtime WAL, JSONL traces) have different semantics
-and are handled by their owners; this module is only for whole-file
-artifacts.
+and are handled by their owners; the one append this module offers is
+:func:`append_jsonl` -- whole-line durable appends for history files
+like the benchmark trajectory, where a torn tail line is tolerable (a
+reader skips it) but a lost fsync is not.
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "atomic_write_json",
+    "append_jsonl",
     "canonical_json",
     "config_hash",
     "fsync_directory",
@@ -100,6 +103,21 @@ def atomic_write_json(
     """
     text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
     atomic_write_text(path, text + "\n")
+
+
+def append_jsonl(path: _PathLike, payload: Any) -> None:
+    """Durably append ``payload`` as one canonical-JSON line.
+
+    The line is written in a single ``write`` call, flushed and fsynced,
+    so concurrent appenders interleave at line granularity and a crash
+    can at worst tear the final line -- which a JSONL reader skips --
+    never corrupt earlier history.
+    """
+    line = canonical_json(payload) + "\n"
+    with open(os.fspath(path), "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
 
 
 def read_json(path: _PathLike) -> Any:

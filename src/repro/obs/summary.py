@@ -65,7 +65,7 @@ def format_metrics_summary(recorder: Recorder) -> str:
 
     tree = format_span_tree(recorder)
     if tree:
-        lines.append("spans (wall / cpu):")
+        lines.append("spans (wall / cpu / self):")
         lines.append(tree)
 
     if not lines:
@@ -73,14 +73,24 @@ def format_metrics_summary(recorder: Recorder) -> str:
     return "\n".join(lines)
 
 
-def format_span_tree(recorder: Recorder, max_lines: int = 40) -> str:
+def format_span_tree(
+    recorder: Recorder, max_lines: int = 40, sort: str = "record"
+) -> str:
     """Indented span tree, aggregated by (depth, name, parent-chain).
 
     Repeated spans (e.g. one ``stage1.mwis`` per seller per round) are
     rolled up into one line with a count, so the tree stays readable for
-    arbitrarily long runs.  At most ``max_lines`` lines are returned;
-    a truncation marker reports anything dropped.
+    arbitrarily long runs.  Each line shows wall, cpu and *self* time
+    (wall minus direct children), so the dominant leaf phase is visible
+    without exporting the trace.  ``sort`` orders siblings: ``record``
+    keeps first-finish order, ``self`` puts the most expensive first.
+    At most ``max_lines`` lines are returned; a truncation marker
+    reports anything dropped.
     """
+    if sort not in ("record", "self"):
+        raise ValueError(
+            f"format_span_tree: sort must be 'record' or 'self', got {sort!r}"
+        )
     records = recorder.spans.records
     if not records:
         return ""
@@ -88,8 +98,13 @@ def format_span_tree(recorder: Recorder, max_lines: int = 40) -> str:
     # Children finish before parents, so rebuild the tree from the
     # parent indices, then aggregate sibling spans sharing a name.
     children: dict = {}
+    child_wall: dict = {}
     for record in records:
         children.setdefault(record.parent, []).append(record)
+        if record.parent >= 0:
+            child_wall[record.parent] = (
+                child_wall.get(record.parent, 0.0) + record.wall_s
+            )
 
     lines: List[str] = []
 
@@ -97,13 +112,25 @@ def format_span_tree(recorder: Recorder, max_lines: int = 40) -> str:
         grouped: dict = {}
         for record in children.get(parent_index, []):
             grouped.setdefault(record.name, []).append(record)
-        for name, group in grouped.items():
+        groups = list(grouped.items())
+        if sort == "self":
+            groups.sort(
+                key=lambda item: -sum(
+                    max(r.wall_s - child_wall.get(r.index, 0.0), 0.0)
+                    for r in item[1]
+                )
+            )
+        for name, group in groups:
             wall = sum(r.wall_s for r in group)
             cpu = sum(r.cpu_s for r in group)
+            self_s = sum(
+                max(r.wall_s - child_wall.get(r.index, 0.0), 0.0)
+                for r in group
+            )
             count = f" x{len(group)}" if len(group) > 1 else ""
             lines.append(
                 f"{'  ' * (indent + 1)}{name}{count}  "
-                f"{wall:.6f}s / {cpu:.6f}s"
+                f"{wall:.6f}s / {cpu:.6f}s / {self_s:.6f}s"
             )
             for record in group:
                 render(record.index, indent + 1)

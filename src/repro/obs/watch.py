@@ -156,6 +156,33 @@ def render_frame(frame: Mapping[str, Any]) -> str:
             lines.append(f"slo!      violated={run['slo_violations']}")
 
     metrics = frame.get("metrics") or {}
+    timers = metrics.get("timers") or {}
+    if timers:
+        hot = sorted(
+            timers.items(),
+            key=lambda item: -float(item[1].get("total_s", 0.0)),
+        )[:3]
+        parts = [
+            f"{name}={_format_seconds(float(stats.get('total_s', 0.0)))}"
+            for name, stats in hot
+        ]
+        lines.append("phases    " + "  ".join(parts))
+
+    profile = frame.get("profile") or {}
+    spans = profile.get("spans") or []
+    if spans:
+        parts = [
+            f"{row['name']}={_format_seconds(float(row['self_s']))}"
+            for row in spans[:3]
+        ]
+        lines.append("top spans " + "  ".join(parts))
+    allocs = profile.get("allocs") or []
+    if allocs:
+        parts = [
+            f"{row['site']}={row['size_kb']:.1f}kB" for row in allocs[:3]
+        ]
+        lines.append("top alloc " + "  ".join(parts))
+
     histograms = metrics.get("histograms") or {}
     step = _group_value(histograms, "sim.agent_step_s")
     if step and step.get("count"):
@@ -254,6 +281,21 @@ class TraceSource:
         }
 
 
+def _load_profile_panel(path: str) -> Dict[str, Any]:
+    """Best-effort load of a profile payload for the watch panels.
+
+    The profile artifact is written when the profiled run *finishes*, so
+    while it does not exist yet (or is mid-replace) the panels simply
+    stay hidden; no error surfaces in the frame.
+    """
+    from repro.prof.report import load_profile
+
+    try:
+        return load_profile(path)
+    except ObservabilityError:
+        return {}
+
+
 def open_source(target: str):
     """``http(s)://...`` targets get a :class:`ServerSource`, else a trace."""
     if target.startswith(("http://", "https://")):
@@ -271,12 +313,16 @@ def watch(
     plain: bool = False,
     stream: Optional[TextIO] = None,
     sleep: Callable[[float], None] = time.sleep,
+    profile_path: Optional[str] = None,
 ) -> int:
     """Run the refreshing dashboard loop; returns a CLI exit code.
 
     ``frames`` bounds the number of refreshes (``None`` means until
     interrupted); ``plain`` appends frames instead of clearing the
-    screen (useful for logs and tests).  Ctrl-C exits cleanly.
+    screen (useful for logs and tests).  ``profile_path`` names a
+    ``--profile-out`` directory: once its ``profile.json`` appears
+    (profiles are written when the run finishes), top self-time spans
+    and allocation sites join the frame.  Ctrl-C exits cleanly.
     """
     if interval_s <= 0:
         raise ObservabilityError(
@@ -290,6 +336,8 @@ def watch(
     try:
         while frames is None or rendered < frames:
             frame = source.fetch()
+            if profile_path is not None:
+                frame["profile"] = _load_profile_panel(profile_path)
             frame["now"] = time.strftime("%H:%M:%S")
             text = render_frame(frame)
             if plain:

@@ -46,12 +46,13 @@ from repro.obs import (
     build_manifest,
 )
 from repro.obs.recorder import resolve_recorder
-from repro.run.spec import MarketSpec, RunSpec, TelemetrySpec
+from repro.run.spec import MarketSpec, ProfileSpec, RunSpec, TelemetrySpec
 
 __all__ = [
     "Session",
     "build_market",
     "build_recorder",
+    "build_profiler",
     "build_slo_engine",
     "start_telemetry_server",
     "execute_two_stage",
@@ -284,24 +285,30 @@ def build_market(spec: MarketSpec):
 def build_recorder(
     telemetry: TelemetrySpec,
     *,
+    profile: Optional[ProfileSpec] = None,
     seed: Optional[int] = None,
     config: Optional[Dict[str, Any]] = None,
 ) -> Recorder:
-    """Assemble a run's recorder from its telemetry spec.
+    """Assemble a run's recorder from its telemetry (and profile) specs.
 
     ``trace_out`` turns on the event sink (with a manifest header carrying
     ``seed`` and ``config``) and span tracing; ``metrics``,
     ``metrics_out``, ``serve_metrics`` and ``slo`` all turn on the metrics
     registry; ``serve_metrics`` and ``slo`` additionally turn on the live
-    run registry.  An all-default spec returns the null recorder and the
-    run executes exactly as without observability.
+    run registry.  An enabled ``profile`` spec needs span records and a
+    metrics registry to attribute against, so it turns both on -- but
+    never an event sink, which is why profiling alone changes no trace
+    byte.  An all-default spec returns the null recorder and the run
+    executes exactly as without observability.
     """
     trace_out = telemetry.trace_out
+    profiling = profile is not None and profile.enabled
     want_metrics = bool(
         telemetry.metrics
         or telemetry.metrics_out
         or telemetry.serve_metrics
         or telemetry.slo
+        or profiling
     )
     want_runs = bool(telemetry.serve_metrics or telemetry.slo)
     if trace_out is None and not want_metrics and not want_runs:
@@ -318,11 +325,24 @@ def build_recorder(
         metrics=MetricsRegistry() if want_metrics else None,
         spans=(
             SpanTracer()
-            if trace_out is not None or telemetry.metrics
+            if trace_out is not None or telemetry.metrics or profiling
             else None
         ),
         runs=RunRegistry() if want_runs else None,
     )
+
+
+def build_profiler(
+    profile: Optional[ProfileSpec],
+    recorder: Recorder,
+    meta: Optional[Dict[str, Any]] = None,
+):
+    """Instantiate the profiler (or ``None`` when the spec is disabled)."""
+    if profile is None or not profile.enabled:
+        return None
+    from repro.prof import Profiler
+
+    return Profiler(profile, recorder, meta=meta)
 
 
 def build_slo_engine(telemetry: TelemetrySpec, recorder: Recorder):
@@ -414,6 +434,7 @@ class Session:
         if recorder is None:
             recorder = build_recorder(
                 spec.telemetry,
+                profile=spec.profile,
                 seed=spec.market.seed,
                 config=spec.to_dict(),
             )
@@ -437,7 +458,14 @@ class Session:
         server = start_telemetry_server(
             spec.telemetry, self.recorder, slo_engine
         )
+        profiler = build_profiler(
+            spec.profile,
+            self.recorder,
+            meta={"command": spec.command, "spec_hash": spec.spec_hash()},
+        )
         try:
+            if profiler is not None:
+                profiler.start()
             if self._owns_recorder:
                 with self.recorder, use_recorder(self.recorder):
                     result = self._dispatch()
@@ -448,7 +476,13 @@ class Session:
                     result = self._dispatch()
                     if slo_engine is not None:
                         slo_engine.evaluate(final=True)
+            if profiler is not None:
+                profiler.stop()
+                profiler.write()
+                profiler = None
         finally:
+            if profiler is not None:  # an exception unwound the dispatch
+                profiler.stop()
             if server is not None:
                 server.stop()
         return result

@@ -13,6 +13,8 @@ orthogonal sub-specs.
 * :class:`FaultSpec` -- the declarative fault schedule (loss rate,
   crash/partition spec strings, deadline and timeout policy);
 * :class:`TelemetrySpec` -- trace/metrics/serving/SLO wiring;
+* :class:`ProfileSpec` -- the stdlib profiler harness (cProfile +
+  tracemalloc) and deterministic kernel cost counters;
 * :class:`DurabilitySpec` -- checkpoint directory, cadence and the
   supervised-retry policy;
 * :class:`ParallelSpec` -- worker-pool sizing for sweeps.
@@ -47,6 +49,7 @@ __all__ = [
     "EngineSpec",
     "FaultSpec",
     "TelemetrySpec",
+    "ProfileSpec",
     "DurabilitySpec",
     "ParallelSpec",
     "RunSpec",
@@ -414,6 +417,54 @@ class TelemetrySpec:
 
 
 @dataclass(frozen=True)
+class ProfileSpec:
+    """Profiling wiring: stdlib profiler drivers + cost counters.
+
+    Null by default: with ``profile_out`` unset no profiler is
+    installed, no deterministic cost counter is flushed, and a run is
+    byte-identical (trace and metrics) to one executed before this spec
+    existed.  With ``profile_out`` set, the run writes its attribution
+    artifacts (``profile.json``, ``profile.collapsed``,
+    ``profile.speedscope.json``) into that directory; ``cprofile`` and
+    ``memory`` gate the two stdlib drivers individually.
+    """
+
+    profile_out: Optional[str] = None
+    cprofile: bool = True
+    memory: bool = True
+    top: int = 20
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Any, section: str = "profile"):
+        _require_mapping(section, payload)
+        _reject_unknown(section, payload, _field_names(cls))
+        return cls(**payload)
+
+    def validate(self, section: str = "profile") -> None:
+        if self.profile_out is not None and not isinstance(
+            self.profile_out, str
+        ):
+            raise SpecError(
+                f"{section}.profile_out: expected a string path, "
+                f"got {self.profile_out!r}"
+            )
+        _check_int(section, "top", self.top, minimum=1)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the run profiles at all (the null-default gate)."""
+        return self.profile_out is not None
+
+    @classmethod
+    def from_args(cls, args) -> "ProfileSpec":
+        """Build from a parsed argparse namespace (missing flags = defaults)."""
+        return cls(profile_out=getattr(args, "profile_out", None))
+
+
+@dataclass(frozen=True)
 class DurabilitySpec:
     """Checkpointing cadence and the supervised-retry policy."""
 
@@ -490,6 +541,7 @@ class RunSpec:
     engine: EngineSpec = field(default_factory=EngineSpec)
     faults: FaultSpec = field(default_factory=FaultSpec)
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+    profile: ProfileSpec = field(default_factory=ProfileSpec)
     durability: DurabilitySpec = field(default_factory=DurabilitySpec)
     parallel: ParallelSpec = field(default_factory=ParallelSpec)
 
@@ -497,7 +549,7 @@ class RunSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "schema": SPEC_SCHEMA_VERSION,
             "command": self.command,
             "market": self.market.to_dict(),
@@ -507,6 +559,12 @@ class RunSpec:
             "durability": self.durability.to_dict(),
             "parallel": self.parallel.to_dict(),
         }
+        # Emitted only when non-default: specs (and the trace manifests
+        # that embed them) written before profiling existed stay
+        # byte-identical to ones written by this build.
+        if self.profile != ProfileSpec():
+            payload["profile"] = self.profile.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Any) -> "RunSpec":
@@ -543,6 +601,7 @@ class RunSpec:
             "engine": EngineSpec,
             "faults": FaultSpec,
             "telemetry": TelemetrySpec,
+            "profile": ProfileSpec,
             "durability": DurabilitySpec,
             "parallel": ParallelSpec,
         }
@@ -582,6 +641,7 @@ class RunSpec:
         self.engine.validate()
         self.faults.validate()
         self.telemetry.validate()
+        self.profile.validate()
         self.durability.validate()
         self.parallel.validate()
         if self.command == "dynamic":
@@ -608,8 +668,8 @@ class RunSpec:
         Stored as the run-dir manifest config, so the manifest's
         ``config_hash`` is keyed off the spec's canonical serialization
         and resume compatibility becomes a spec-equality check.
-        Telemetry, parallelism, the checkpoint directory path and the
-        stall-injection test hook are deliberately excluded: none of them
+        Telemetry, profiling, parallelism, the checkpoint directory path
+        and the stall-injection test hook are deliberately excluded: none of them
         changes what the run computes, so none of them may change its
         identity (a victim run with ``--inject-stall-after`` must resume
         into the same identity as its uninterrupted golden twin).

@@ -31,7 +31,9 @@ from repro.trace.export import (
     counters_from_events,
     parse_openmetrics,
     to_chrome_trace,
+    to_collapsed,
     to_openmetrics,
+    to_speedscope,
 )
 from repro.trace.reader import (
     TraceReader,
@@ -51,7 +53,9 @@ __all__ = [
     "counters_from_events",
     "parse_openmetrics",
     "to_chrome_trace",
+    "to_collapsed",
     "to_openmetrics",
+    "to_speedscope",
     "TraceReader",
     "TraceSummary",
     "format_summary",

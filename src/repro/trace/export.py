@@ -14,12 +14,17 @@ tooling and need no dependencies to write:
   offline comparison; :func:`counters_from_events` synthesises a
   counters-only snapshot from a raw trace so traces without an embedded
   metrics dump can still be exported.
+* **Collapsed stacks** (:func:`to_collapsed`) -- one ``a;b;c  N`` line
+  per unique span stack with its *self* time in microseconds, the
+  input format of every flamegraph renderer.
+* **speedscope JSON** (:func:`to_speedscope`) -- an evented speedscope
+  profile of the span tree, loadable at https://www.speedscope.app.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ObservabilityError
 
@@ -28,6 +33,8 @@ __all__ = [
     "to_openmetrics",
     "parse_openmetrics",
     "counters_from_events",
+    "to_collapsed",
+    "to_speedscope",
 ]
 
 #: Virtual-time scale for slot-clocked events: one slot = 1 ms = 1000 us.
@@ -364,6 +371,110 @@ def _parse_histogram(
         "max": approx_max,
         "boundaries": boundaries,
         "bucket_counts": bucket_counts,
+    }
+
+
+def _span_tree(
+    events: List[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Dict[int, List[int]]]:
+    """Span events plus a parent-index -> child-indices map.
+
+    Span events appear in the stream in finish order, which is exactly
+    the tracer's record index order, so position in the filtered list is
+    the index the ``parent`` field refers to (roots carry ``-1``).
+    """
+    spans = [e for e in events if e.get("event") == "span"]
+    children: Dict[int, List[int]] = {}
+    for index, span in enumerate(spans):
+        children.setdefault(int(span.get("parent", -1)), []).append(index)
+    return spans, children
+
+
+def to_collapsed(events: List[Dict[str, Any]]) -> str:
+    """Render a trace's span tree as collapsed flamegraph stacks.
+
+    One ``root;child;leaf  N`` line per unique span stack, where ``N``
+    is the stack's *self* wall time (wall minus direct children) in
+    integer microseconds.  Identical stacks aggregate; zero-self lines
+    are dropped; output is sorted, so two identical traces collapse to
+    identical bytes.
+    """
+    spans, children = _span_tree(events)
+    stacks: Dict[str, int] = {}
+    for index, span in enumerate(spans):
+        wall = float(span.get("wall_s", 0.0))
+        child_wall = sum(
+            float(spans[c].get("wall_s", 0.0))
+            for c in children.get(index, ())
+        )
+        self_us = int(round(max(wall - child_wall, 0.0) * 1e6))
+        if self_us <= 0:
+            continue
+        frames = []
+        cursor: Optional[int] = index
+        while cursor is not None and cursor >= 0:
+            frames.append(str(spans[cursor].get("name", "span")))
+            parent = int(spans[cursor].get("parent", -1))
+            cursor = parent if parent >= 0 else None
+        stack = ";".join(reversed(frames))
+        stacks[stack] = stacks.get(stack, 0) + self_us
+    lines = [f"{stack} {count}" for stack, count in sorted(stacks.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_speedscope(
+    events: List[Dict[str, Any]], name: str = "spans"
+) -> Dict[str, Any]:
+    """Convert a trace's span tree to an evented speedscope profile.
+
+    The layout is synthesised from the tree -- roots back to back,
+    children back to back inside their parent -- so the profile is
+    deterministic (independent of real start timestamps) and always
+    properly nested.  Durations are the recorded wall seconds.
+    """
+    spans, children = _span_tree(events)
+    frame_index: Dict[str, int] = {}
+    frames: List[Dict[str, Any]] = []
+
+    def frame_of(span_name: str) -> int:
+        if span_name not in frame_index:
+            frame_index[span_name] = len(frames)
+            frames.append({"name": span_name})
+        return frame_index[span_name]
+
+    profile_events: List[Dict[str, Any]] = []
+
+    def emit(index: int, start: float) -> float:
+        span = spans[index]
+        frame = frame_of(str(span.get("name", "span")))
+        wall = float(span.get("wall_s", 0.0))
+        profile_events.append({"type": "O", "frame": frame, "at": start})
+        cursor = start
+        for child in children.get(index, ()):
+            cursor = emit(child, cursor)
+        end = max(start + wall, cursor)
+        profile_events.append({"type": "C", "frame": frame, "at": end})
+        return end
+
+    cursor = 0.0
+    for root in children.get(-1, ()):
+        cursor = emit(root, cursor)
+
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "evented",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0.0,
+                "endValue": cursor,
+                "events": profile_events,
+            }
+        ],
+        "activeProfileIndex": 0,
+        "exporter": "repro.trace.export",
     }
 
 

@@ -108,6 +108,43 @@ class TestRenderFrame:
         text = render_frame({"source": "http://down", "error": "refused"})
         assert "[source error] refused" in text
 
+    def test_profile_panels_render_top_spans_and_allocs(self):
+        frame = {
+            "source": "x.jsonl",
+            "profile": {
+                "spans": [
+                    {"name": "stage1.mwis", "count": 40, "wall_s": 0.08,
+                     "cpu_s": 0.08, "self_s": 0.08},
+                    {"name": "stage2", "count": 1, "wall_s": 0.01,
+                     "cpu_s": 0.01, "self_s": 0.01},
+                ],
+                "allocs": [
+                    {"site": "soa.py:353", "size_kb": 5.7, "count": 1},
+                ],
+            },
+        }
+        text = render_frame(frame)
+        assert "top spans stage1.mwis=80.0ms" in text
+        assert "top alloc soa.py:353=5.7kB" in text
+
+    def test_hot_phase_panel_from_metrics_timers(self):
+        frame = {
+            "source": "x.jsonl",
+            "metrics": {
+                "timers": {
+                    "stage1_mwis_solve_s": {"count": 7, "total_s": 0.4,
+                                            "mean_s": 0.057, "max_s": 0.1},
+                    "stage2_transfer_s": {"count": 1, "total_s": 0.1,
+                                          "mean_s": 0.1, "max_s": 0.1},
+                }
+            },
+        }
+        text = render_frame(frame)
+        assert "phases    stage1_mwis_solve_s=400.0ms" in text
+
+    def test_missing_profile_stays_hidden(self):
+        assert "top spans" not in render_frame({"source": "x", "profile": {}})
+
 
 class TestSources:
     def test_trace_source_replays_into_registry(self, tmp_path):

@@ -1,0 +1,143 @@
+"""Profile artifacts: write/load round trip, diff verdicts, top tables."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.prof import (
+    PROFILE_COLLAPSED,
+    PROFILE_JSON,
+    PROFILE_SCHEMA_VERSION,
+    PROFILE_SPEEDSCOPE,
+    diff_profiles,
+    format_diff,
+    format_top,
+    load_profile,
+    write_profile,
+)
+
+
+def _payload(counters=None, spans=None):
+    return {
+        "schema": PROFILE_SCHEMA_VERSION,
+        "meta": {"command": "toy"},
+        "spans": spans
+        or [
+            {
+                "name": "stage1.mwis",
+                "count": 4,
+                "wall_s": 0.01,
+                "cpu_s": 0.01,
+                "self_s": 0.01,
+            }
+        ],
+        "functions": [],
+        "allocs": [],
+        "counters": counters or {"soa.mwis_iter_ops": 10},
+    }
+
+
+def _events():
+    return [
+        {
+            "event": "span",
+            "name": "stage1.mwis",
+            "parent": -1,
+            "depth": 0,
+            "wall_s": 0.01,
+            "cpu_s": 0.01,
+            "start_s": 0.0,
+        }
+    ]
+
+
+class TestWriteLoad:
+    def test_writes_all_three_artifacts(self, tmp_path):
+        paths = write_profile(str(tmp_path / "out"), _payload(), _events())
+        assert paths["profile"].endswith(PROFILE_JSON)
+        assert paths["collapsed"].endswith(PROFILE_COLLAPSED)
+        assert paths["speedscope"].endswith(PROFILE_SPEEDSCOPE)
+        # profile.json loads back equal; speedscope parses as JSON.
+        assert load_profile(str(tmp_path / "out")) == _payload()
+        with open(paths["speedscope"], encoding="utf-8") as handle:
+            assert json.load(handle)["profiles"]
+
+    def test_load_accepts_directory_or_file(self, tmp_path):
+        write_profile(str(tmp_path), _payload(), _events())
+        by_dir = load_profile(str(tmp_path))
+        by_file = load_profile(str(tmp_path / PROFILE_JSON))
+        assert by_dir == by_file
+
+    def test_load_rejects_missing_and_non_profile(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            load_profile(str(tmp_path / "absent"))
+        bogus = tmp_path / PROFILE_JSON
+        bogus.write_text('{"not": "a profile"}', encoding="utf-8")
+        with pytest.raises(ObservabilityError, match="not a profile"):
+            load_profile(str(tmp_path))
+
+    def test_load_rejects_newer_schema(self, tmp_path):
+        payload = _payload()
+        payload["schema"] = PROFILE_SCHEMA_VERSION + 1
+        (tmp_path / PROFILE_JSON).write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+        with pytest.raises(ObservabilityError, match="newer"):
+            load_profile(str(tmp_path))
+
+
+class TestDiff:
+    def test_identical_counters_mean_no_drift(self):
+        diff = diff_profiles(_payload(), _payload())
+        assert diff["counter_drift"] == []
+        assert "identical" in format_diff(diff)[0]
+
+    def test_counter_drift_is_called_algorithmic(self):
+        drifted = _payload(counters={"soa.mwis_iter_ops": 25})
+        diff = diff_profiles(_payload(), drifted)
+        assert diff["counter_drift"] == [
+            {"counter": "soa.mwis_iter_ops", "a": 10, "b": 25}
+        ]
+        text = "\n".join(format_diff(diff))
+        assert "COUNTER DRIFT soa.mwis_iter_ops" in text
+        assert "algorithmic" in text
+
+    def test_span_deltas_are_informational(self):
+        slower = _payload(
+            spans=[
+                {
+                    "name": "stage1.mwis",
+                    "count": 4,
+                    "wall_s": 0.02,
+                    "cpu_s": 0.02,
+                    "self_s": 0.02,
+                }
+            ]
+        )
+        diff = diff_profiles(_payload(), slower)
+        assert diff["counter_drift"] == []
+        (delta,) = diff["span_deltas"]
+        assert delta == {
+            "name": "stage1.mwis",
+            "a_wall_s": 0.01,
+            "b_wall_s": 0.02,
+        }
+
+
+class TestTop:
+    def test_spans_section_leads_with_dominant_phase(self):
+        lines = format_top(_payload(), section="spans")
+        assert "stage1.mwis" in lines[1]
+
+    def test_empty_sections_explain_themselves(self):
+        empty = {**_payload(), "spans": [], "functions": [], "allocs": []}
+        assert format_top(empty, section="spans") == ["(no spans recorded)"]
+        assert "cprofile" in format_top(empty, section="functions")[0]
+        assert "memory" in format_top(empty, section="allocs")[0]
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown profile"):
+            format_top(_payload(), section="flames")

@@ -23,6 +23,7 @@ from repro.run.spec import (
     EngineSpec,
     FaultSpec,
     MarketSpec,
+    ProfileSpec,
     RunSpec,
     TelemetrySpec,
     WorkloadSpec,
@@ -76,6 +77,50 @@ class TestRoundTrip:
         )
         back = RunSpec.from_json(spec.to_json())
         assert back.market.workload == spec.market.workload
+
+
+class TestProfileSpec:
+    def test_round_trips_through_run_spec(self):
+        spec = RunSpec(
+            command="toy",
+            profile=ProfileSpec(profile_out="prof", memory=False, top=5),
+        )
+        back = RunSpec.from_json(spec.to_json())
+        assert back.profile == spec.profile
+        assert back == spec
+
+    def test_default_profile_is_omitted_from_payload(self):
+        # Specs (and the trace manifests embedding them) written before
+        # profiling existed must stay byte-identical: the section only
+        # appears when it is non-default.
+        assert "profile" not in RunSpec(command="toy").to_dict()
+        assert "profile" in RunSpec(
+            command="toy", profile=ProfileSpec(profile_out="prof")
+        ).to_dict()
+
+    def test_unknown_profile_field_rejected(self):
+        spec = RunSpec(command="toy", profile=ProfileSpec(profile_out="p"))
+        payload = spec.to_dict()
+        payload["profile"]["flamegraph"] = True
+        with pytest.raises(SpecError, match="profile.*'flamegraph'"):
+            RunSpec.from_dict(payload)
+
+    def test_validate_rejects_bad_fields(self):
+        with pytest.raises(SpecError, match="profile.profile_out"):
+            ProfileSpec(profile_out=7).validate()
+        with pytest.raises(SpecError, match="profile.top"):
+            ProfileSpec(top=0).validate()
+
+    def test_enabled_follows_profile_out(self):
+        assert not ProfileSpec().enabled
+        assert ProfileSpec(profile_out="prof").enabled
+
+    def test_profiling_is_excluded_from_durable_identity(self):
+        base = RunSpec(command="toy")
+        profiled = RunSpec(
+            command="toy", profile=ProfileSpec(profile_out="prof")
+        )
+        assert base.durable_identity() == profiled.durable_identity()
 
 
 class TestSpecHash:

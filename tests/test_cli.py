@@ -467,3 +467,73 @@ class TestTraceCommands:
         # Behaviourally identical (timings and the manifest timestamp
         # legitimately differ): the trace toolkit's own diff must be clean.
         assert main(["trace", "diff", outputs[0], outputs[1]]) == 0
+
+
+class TestProfileCommands:
+    """The `repro profile` family and --profile-out, through main()."""
+
+    @pytest.fixture()
+    def profiled(self, tmp_path, capsys):
+        """Two same-seed toy profiles captured via --profile-out."""
+        paths = {}
+        for name in ("a", "b"):
+            path = tmp_path / name
+            assert main(["toy", "--profile-out", str(path)]) == 0
+            paths[name] = str(path)
+        out = capsys.readouterr().out
+        assert f"profile written to {paths['a']}" in out
+        return paths
+
+    def test_top_names_the_dominant_phase(self, profiled, capsys):
+        assert main(["profile", "top", profiled["a"]]) == 0
+        out = capsys.readouterr().out
+        assert "stage1.mwis" in out
+
+    def test_top_rejects_unknown_section(self, profiled, capsys):
+        assert (
+            main(["profile", "top", profiled["a"], "--section", "spans"])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["profile", "top", str(profiled["a"]) + "-nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_diff_same_seed_exit_zero(self, profiled, capsys):
+        assert main(["profile", "diff", profiled["a"], profiled["b"]]) == 0
+        assert "counters identical" in capsys.readouterr().out
+
+    def test_diff_missing_path_exit_two(self, profiled, tmp_path, capsys):
+        missing = str(tmp_path / "gone")
+        assert main(["profile", "diff", profiled["a"], missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_export_collapsed_stacks(self, tmp_path, capsys):
+        trace = tmp_path / "toy.jsonl"
+        assert main(["toy", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert (
+            main(["trace", "export", str(trace), "--format", "collapsed"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        for line in out.strip().splitlines():
+            stack, _, value = line.rpartition(" ")
+            assert stack and value.isdigit(), line
+        assert any("stage1.mwis" in line for line in out.splitlines())
+
+    def test_export_speedscope_is_loadable(self, tmp_path, capsys):
+        trace = tmp_path / "toy.jsonl"
+        assert main(["toy", "--trace-out", str(trace)]) == 0
+        target = tmp_path / "prof.speedscope.json"
+        assert (
+            main(
+                [
+                    "trace", "export", str(trace),
+                    "--format", "speedscope", "--output", str(target),
+                ]
+            )
+            == 0
+        )
+        document = json.loads(target.read_text())
+        assert "speedscope" in document["$schema"]
+        assert document["profiles"][0]["type"] == "evented"

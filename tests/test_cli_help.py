@@ -26,6 +26,7 @@ OBS_FLAGS = (
     "--serve-hold",
     "--slo",
     "--slo-policy",
+    "--profile-out",
 )
 
 #: Flags the durability parent contributes to checkpointable commands.
@@ -64,7 +65,7 @@ FLAG_SNAPSHOT = {
     "supervise": ("--backoff", "--deadline", "--max-retries", "--retry-seed",
                   "--run-dir", "--stall-timeout") + OBS_FLAGS,
     "run": ("--dry-run",),
-    "watch": ("--frames", "--interval", "--plain"),
+    "watch": ("--frames", "--interval", "--plain", "--profile"),
 }
 
 
@@ -90,7 +91,7 @@ def commands():
 
 
 def test_subcommand_inventory_is_complete(commands):
-    assert set(commands) == set(FLAG_SNAPSHOT) | {"trace"}
+    assert set(commands) == set(FLAG_SNAPSHOT) | {"trace", "profile"}
 
 
 @pytest.mark.parametrize("command", sorted(FLAG_SNAPSHOT))
